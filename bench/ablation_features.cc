@@ -1,0 +1,121 @@
+// Ablation: ranking features.
+//
+// §3: "In their paper, Pal and Counts evaluate a dozen features. We kept
+// those which they present as important: the topical signal (TS), the
+// mention impact (MI), and the retweet impact (RI)." This bench compares
+// the production 3-feature configuration against configurations that
+// re-enable the dropped signals (conversation share, hashtag share,
+// follower prior), measuring precision@5 against the simulation's ground
+// truth and judged impurity.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/crowd.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace esharp;
+
+struct Quality {
+  double precision_at_5 = 0;
+  double impurity = 0;
+};
+
+Quality Measure(const bench::ExperimentWorld& world,
+                const expert::DetectorOptions& detector_options) {
+  core::ESharpOptions options;
+  options.detector = detector_options;
+  core::ESharp system(&world.artifacts.store, &world.corpus, options);
+  auto runs = *eval::RunComparison(system, world.query_sets);
+
+  Quality q;
+  size_t queries_with_results = 0;
+  eval::CrowdOptions crowd_options;
+  eval::SimulatedCrowd crowd(crowd_options);
+  size_t judged_total = 0, judged_flagged = 0;
+  for (const eval::SetRun& run : runs) {
+    for (const eval::QueryRun& qr : run.runs) {
+      auto kept = eval::ApplyThreshold(qr.esharp, 0.0, 5);
+      if (kept.empty()) continue;
+      ++queries_with_results;
+      size_t relevant = 0;
+      for (const auto& e : kept) {
+        if (eval::IsRelevant(world.corpus, e.user, qr.query.domain)) {
+          ++relevant;
+        }
+      }
+      q.precision_at_5 +=
+          static_cast<double>(relevant) / static_cast<double>(kept.size());
+      auto judged = crowd.Judge(world.corpus, qr.query.domain, kept);
+      for (const auto& j : judged) {
+        ++judged_total;
+        if (!j.judged_relevant) ++judged_flagged;
+      }
+    }
+  }
+  if (queries_with_results > 0) {
+    q.precision_at_5 /= static_cast<double>(queries_with_results);
+  }
+  if (judged_total > 0) {
+    q.impurity =
+        static_cast<double>(judged_flagged) / static_cast<double>(judged_total);
+  }
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  using namespace esharp;
+  bench::PrintHeader("Ablation: ranking feature configurations (e# side)");
+
+  auto world = bench::BuildWorld();
+
+  struct Config {
+    const char* name;
+    expert::DetectorOptions options;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"TS+MI+RI (paper)", {}});
+  {
+    expert::DetectorOptions o;
+    o.weight_topical_signal = 1.0;
+    o.weight_mention_impact = 0.0;
+    o.weight_retweet_impact = 0.0;
+    configs.push_back({"TS only", o});
+  }
+  {
+    expert::DetectorOptions o;
+    o.weight_conversation = 0.1;
+    o.weight_hashtag = 0.1;
+    configs.push_back({"+CS +HS", o});
+  }
+  {
+    expert::DetectorOptions o;
+    o.weight_followers = 0.3;
+    configs.push_back({"+followers prior", o});
+  }
+  {
+    expert::DetectorOptions o;
+    o.weight_topical_signal = 0.0;
+    o.weight_mention_impact = 0.0;
+    o.weight_retweet_impact = 0.0;
+    o.weight_followers = 1.0;
+    configs.push_back({"followers only", o});
+  }
+
+  std::printf("%-20s %-14s %-12s\n", "Configuration", "Precision@5",
+              "Impurity");
+  for (const Config& config : configs) {
+    Quality q = Measure(*world, config.options);
+    std::printf("%-20s %-14.3f %-12.3f\n", config.name, q.precision_at_5,
+                q.impurity);
+  }
+  std::printf(
+      "\nShape to check: the paper's TS+MI+RI blend is at or near the best\n"
+      "precision; a pure popularity prior (followers only) is clearly\n"
+      "worse, which is why topical concentration carries the weights.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: community-detection paradigms (the paper's §8 names "exploring
+// different community detection paradigms" as future work).
+//
+// Runs the paper's parallel modularity maximization, Newman's sequential
+// greedy and weighted label propagation over the REAL extraction output
+// (the similarity graph of the simulated month of logs), and compares the
+// community-count profile, size histogram, modularity, ground-truth
+// clustering quality and downstream e# recall.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "community/newman.h"
+#include "eval/metrics.h"
+#include "graph/builder.h"
+
+namespace {
+
+using namespace esharp;
+
+void Report(const char* name, const graph::Graph& g,
+            const community::DetectionResult& result,
+            const bench::ExperimentWorld& world) {
+  community::CommunityStore store =
+      community::CommunityStore::Build(g, result.assignment);
+  community::SizeHistogram h = store.ComputeSizeHistogram();
+  eval::ClusterQuality q =
+      eval::EvaluateClustering(store, world.generated.log);
+
+  // Downstream effect: e# recall with this store.
+  core::ESharp system(&store, &world.corpus);
+  auto runs = *eval::RunComparison(system, world.query_sets);
+  double answered = 0;
+  for (const eval::SetRun& run : runs) {
+    answered += eval::AnsweredProportion(run, eval::Side::kESharp);
+  }
+  answered /= static_cast<double>(runs.size());
+
+  std::printf("%-18s %8zu %8zu %8.3f %8.3f %8.3f %10.3f %10zu\n", name,
+              store.num_communities(), h.orphans,
+              result.modularity_per_iteration.back(), q.purity, q.nmi,
+              answered, result.iterations);
+}
+
+}  // namespace
+
+int main() {
+  using namespace esharp;
+  bench::PrintHeader("Ablation: community detection paradigms");
+
+  auto world = bench::BuildWorld();
+  const graph::Graph& g = world->artifacts.similarity_graph;
+
+  std::printf("%-18s %8s %8s %8s %8s %8s %10s %10s\n", "Algorithm", "Comms",
+              "Orphans", "Mod", "Purity", "NMI", "e# recall", "Iters");
+
+  auto parallel = *community::DetectCommunitiesParallel(g);
+  Report("parallel (paper)", g, parallel, *world);
+
+  auto lpa = *community::DetectCommunitiesLabelPropagation(g);
+  Report("label-prop", g, lpa, *world);
+
+  auto louvain = *community::DetectCommunitiesLouvain(g);
+  Report("louvain", g, louvain, *world);
+
+  auto newman = *community::DetectCommunitiesNewman(g);
+  Report("newman-greedy", g, newman, *world);
+
+  std::printf(
+      "\nShape to check: all three find domain-shaped communities (high\n"
+      "purity/NMI); the parallel variant converges in a handful of bulk\n"
+      "iterations, Newman needs one merge per step; downstream e# recall is\n"
+      "similar across paradigms, supporting the paper's modular design.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: the weekly refresh (§6.3: "The offline part of our system runs
+// weekly on a production cluster").
+//
+// Simulates two consecutive weeks of search logs over the same topic
+// universe and compares re-clustering week 2 from scratch against warm-
+// starting from week 1's communities: iterations, wall time and the
+// stability of the resulting collection.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace esharp;
+  bench::PrintHeader("Ablation: weekly refresh, cold vs warm start");
+
+  querylog::UniverseOptions uo;
+  uo.seed = 3001;
+  querylog::TopicUniverse universe = *querylog::TopicUniverse::Generate(uo);
+
+  querylog::GeneratorOptions week1_options;
+  week1_options.seed = 3002;
+  querylog::GeneratedLog week1 = *GenerateQueryLog(universe, week1_options);
+  querylog::GeneratorOptions week2_options;
+  week2_options.seed = 3003;
+  querylog::GeneratedLog week2 = *GenerateQueryLog(universe, week2_options);
+
+  core::OfflineOptions base;
+  core::OfflineArtifacts week1_artifacts =
+      *RunOfflinePipeline(week1.log, base);
+
+  Timer cold_timer;
+  core::OfflineArtifacts cold = *RunOfflinePipeline(week2.log, base);
+  double cold_seconds = cold_timer.ElapsedSeconds();
+
+  core::OfflineOptions incremental = base;
+  incremental.previous_store = &week1_artifacts.store;
+  Timer warm_timer;
+  core::OfflineArtifacts warm = *RunOfflinePipeline(week2.log, incremental);
+  double warm_seconds = warm_timer.ElapsedSeconds();
+
+  std::printf("%-26s %-12s %-12s\n", "Metric (week 2)", "Cold", "Warm");
+  std::printf("%-26s %-12zu %-12zu\n", "Clustering iterations",
+              cold.communities_per_iteration.size() - 1,
+              warm.communities_per_iteration.size() - 1);
+  std::printf("%-26s %-12.3f %-12.3f\n", "Pipeline seconds", cold_seconds,
+              warm_seconds);
+  std::printf("%-26s %-12zu %-12zu\n", "Communities",
+              cold.store.num_communities(), warm.store.num_communities());
+  std::printf("%-26s %-12.3f %-12.3f\n", "Final modularity",
+              cold.modularity_per_iteration.back(),
+              warm.modularity_per_iteration.back());
+
+  eval::ClusterQuality cold_quality =
+      eval::EvaluateClustering(cold.store, week2.log);
+  eval::ClusterQuality warm_quality =
+      eval::EvaluateClustering(warm.store, week2.log);
+  std::printf("%-26s %-12.3f %-12.3f\n", "Purity vs ground truth",
+              cold_quality.purity, warm_quality.purity);
+  std::printf("%-26s %-12.3f %-12.3f\n", "NMI vs ground truth",
+              cold_quality.nmi, warm_quality.nmi);
+
+  std::printf(
+      "\nShape to check: the warm start converges in fewer iterations with\n"
+      "matching quality — why a weekly production cadence is affordable.\n");
+  return 0;
+}

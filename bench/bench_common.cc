@@ -1,0 +1,78 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace esharp::bench {
+
+namespace {
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).MoveValueUnsafe();
+}
+
+}  // namespace
+
+std::unique_ptr<ExperimentWorld> BuildWorld(const WorldOptions& options) {
+  const bool standard = options.scale == WorldScale::kStandard;
+
+  querylog::UniverseOptions uo;
+  uo.num_categories = 6;
+  uo.domains_per_category = standard ? 60 : 12;
+  uo.seed = options.seed;
+
+  querylog::GeneratorOptions go;
+  go.seed = options.seed + 1;
+  go.head_impressions = standard ? 50000 : 20000;
+
+  microblog::CorpusOptions co;
+  co.seed = options.seed + 2;
+  co.casual_users = standard ? 1500 : 200;
+  co.spam_users = standard ? 120 : 20;
+  co.mean_experts_per_domain = 5.0;
+  co.expert_tweets_mean = standard ? 60 : 30;
+
+  eval::QuerySetOptions qso;
+  qso.per_category = standard ? 100 : 20;
+  qso.top_n = standard ? 250 : 50;
+
+  auto world = std::make_unique<ExperimentWorld>();
+  world->universe =
+      Unwrap(querylog::TopicUniverse::Generate(uo), "universe generation");
+  world->generated =
+      Unwrap(GenerateQueryLog(world->universe, go), "query log generation");
+
+  static ThreadPool pool(options.threads);
+  core::OfflineOptions offline;
+  offline.backend = options.backend;
+  offline.pool = &pool;
+  offline.num_partitions = options.threads;
+  offline.meter = &world->meter;
+  offline.extraction.min_similarity = 0.15;
+  world->artifacts = Unwrap(RunOfflinePipeline(world->generated.log, offline),
+                            "offline pipeline");
+
+  world->corpus =
+      Unwrap(GenerateCorpus(world->universe, co), "corpus generation");
+  world->query_sets = Unwrap(
+      BuildQuerySets(world->universe, world->generated.log, qso),
+      "query set construction");
+  return world;
+}
+
+std::vector<eval::SetRun> RunStandardComparison(const ExperimentWorld& world) {
+  core::ESharp system(&world.artifacts.store, &world.corpus);
+  return *eval::RunComparison(system, world.query_sets);
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace esharp::bench

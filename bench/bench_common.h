@@ -1,0 +1,57 @@
+#ifndef ESHARP_BENCH_BENCH_COMMON_H_
+#define ESHARP_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "esharp/esharp.h"
+#include "esharp/pipeline.h"
+#include "eval/harness.h"
+#include "eval/query_sets.h"
+#include "microblog/generator.h"
+#include "querylog/generator.h"
+
+namespace esharp::bench {
+
+/// \brief Scale of the standard experiment world.
+enum class WorldScale {
+  kSmall,     // quick smoke runs
+  kStandard,  // the paper-shaped configuration: 6 sets, 750 queries
+};
+
+/// \brief Everything the experiment binaries need, built once per process.
+struct ExperimentWorld {
+  querylog::TopicUniverse universe;
+  querylog::GeneratedLog generated;
+  core::OfflineArtifacts artifacts;
+  microblog::TweetCorpus corpus;
+  std::vector<eval::QuerySet> query_sets;
+  ResourceMeter meter;
+};
+
+/// \brief Options of world construction.
+struct WorldOptions {
+  WorldScale scale = WorldScale::kStandard;
+  uint64_t seed = 2016;  // EDBT 2016
+  core::ClusteringBackend backend = core::ClusteringBackend::kParallelNative;
+  /// Worker threads for the offline stage ("VMs" of Table 9).
+  size_t threads = 8;
+};
+
+/// \brief Builds the standard experiment world: universe -> query log ->
+/// offline pipeline -> tweet corpus -> the paper's six query sets (750
+/// queries at standard scale). Deterministic in the seed. Aborts with a
+/// message on generation failure (benches have no error channel).
+std::unique_ptr<ExperimentWorld> BuildWorld(const WorldOptions& options = {});
+
+/// \brief Runs the baseline/e# comparison over the world's query sets.
+std::vector<eval::SetRun> RunStandardComparison(const ExperimentWorld& world);
+
+/// \brief Prints a section header in the benches' uniform style.
+void PrintHeader(const std::string& title);
+
+}  // namespace esharp::bench
+
+#endif  // ESHARP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,31 @@
+// Reproduces Figure 6: distribution of the community sizes.
+//
+// Paper shape: the modal bucket is 2-10 queries per community (~60% of
+// communities), around 20% are orphans (single query), and very few
+// communities have more than 50 members.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace esharp;
+  bench::PrintHeader("Figure 6: distribution of community sizes");
+
+  auto world = bench::BuildWorld();
+  community::SizeHistogram h = world->artifacts.store.ComputeSizeHistogram();
+  double total = static_cast<double>(h.total());
+
+  std::printf("%-22s %-18s %-10s\n", "Queries per community",
+              "Communities Count", "Share");
+  std::printf("%-22s %-18zu %6.1f%%\n", "1 (orphans)", h.orphans,
+              100.0 * static_cast<double>(h.orphans) / total);
+  std::printf("%-22s %-18zu %6.1f%%\n", "2 to 10", h.small,
+              100.0 * static_cast<double>(h.small) / total);
+  std::printf("%-22s %-18zu %6.1f%%\n", "10 to 50", h.medium,
+              100.0 * static_cast<double>(h.medium) / total);
+  std::printf("%-22s %-18zu %6.1f%%\n", "More than 50", h.large,
+              100.0 * static_cast<double>(h.large) / total);
+  std::printf("\nPaper shape: ~60%% in 2-10, ~20%% orphans, few above 50.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Figure 8: effect of query expansion on the number of experts
+// per query. For each query set and each n in 0..14, the percentage of
+// queries for which the algorithm returned at least n experts.
+//
+// Paper shape: the e# curve dominates the baseline curve in almost every
+// panel (about +10% on average, up to +30%).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace esharp;
+  bench::PrintHeader(
+      "Figure 8: % of queries with >= n experts (n = 0..14), per set");
+
+  auto world = bench::BuildWorld();
+  auto runs = bench::RunStandardComparison(*world);
+
+  for (const eval::SetRun& run : runs) {
+    std::printf("\n--- set: %s ---\n", run.name.c_str());
+    auto baseline = eval::CumulativeCoverage(run, eval::Side::kBaseline, 14);
+    auto esharp_curve = eval::CumulativeCoverage(run, eval::Side::kESharp, 14);
+    std::printf("%-4s %-12s %-12s %-8s\n", "n", "Baseline(%)", "e#(%)",
+                "Delta");
+    double dominated = 0;
+    for (size_t n = 0; n <= 14; ++n) {
+      std::printf("%-4zu %-12.1f %-12.1f %+8.1f\n", n, baseline[n],
+                  esharp_curve[n], esharp_curve[n] - baseline[n]);
+      if (esharp_curve[n] >= baseline[n]) dominated += 1;
+    }
+    std::printf("e# >= baseline at %.0f/15 points\n", dominated);
+  }
+  std::printf(
+      "\nPaper shape: query expansion improves the number of experts found\n"
+      "in almost every case (average ~10%%, up to 30%%).\n");
+  return 0;
+}

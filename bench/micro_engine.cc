@@ -1,0 +1,109 @@
+// Micro-benchmarks of engine primitives: value hashing/comparison, token
+// index lookups, community-store lookups — the operations the online stage
+// leans on per query (§6.3 budgets: expansion < 100 ms, detection < 1 s).
+
+#include <benchmark/benchmark.h>
+
+#include "community/parallel_cd.h"
+#include "community/store.h"
+#include "graph/builder.h"
+#include "common/rng.h"
+#include "microblog/generator.h"
+#include "querylog/generator.h"
+#include "sqlengine/operators.h"
+
+namespace {
+
+using namespace esharp;
+
+void BM_ValueHashString(benchmark::State& state) {
+  std::vector<sql::Value> values;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(
+        sql::Value::String("query term " + std::to_string(rng.Uniform(1000))));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(values[i++ % values.size()].Hash());
+  }
+}
+BENCHMARK(BM_ValueHashString);
+
+void BM_ValueCompareNumericFamily(benchmark::State& state) {
+  sql::Value a = sql::Value::Int(42);
+  sql::Value b = sql::Value::Double(42.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(b));
+  }
+}
+BENCHMARK(BM_ValueCompareNumericFamily);
+
+void BM_RowKeyHash(benchmark::State& state) {
+  sql::TableBuilder b({{"a", sql::DataType::kString},
+                       {"b", sql::DataType::kInt64}});
+  b.AddRow({sql::Value::String("49ers draft"), sql::Value::Int(7)});
+  sql::Table t = b.Build();
+  std::vector<size_t> keys = {0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::HashRowKeys(t.row(0), keys));
+  }
+}
+BENCHMARK(BM_RowKeyHash);
+
+class OnlineFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (corpus != nullptr) return;
+    querylog::UniverseOptions uo;
+    uo.seed = 9;
+    universe = new querylog::TopicUniverse(
+        *querylog::TopicUniverse::Generate(uo));
+    microblog::CorpusOptions co;
+    co.seed = 10;
+    corpus = new microblog::TweetCorpus(*GenerateCorpus(*universe, co));
+    querylog::GeneratorOptions go;
+    go.seed = 11;
+    querylog::GeneratedLog gen = *GenerateQueryLog(*universe, go);
+    graph::SimilarityGraphOptions so;
+    graph::Graph g = *BuildSimilarityGraph(gen.log, so);
+    auto detection = *community::DetectCommunitiesParallel(g);
+    store = new community::CommunityStore(
+        community::CommunityStore::Build(g, detection.assignment));
+  }
+  static querylog::TopicUniverse* universe;
+  static microblog::TweetCorpus* corpus;
+  static community::CommunityStore* store;
+};
+
+querylog::TopicUniverse* OnlineFixture::universe = nullptr;
+microblog::TweetCorpus* OnlineFixture::corpus = nullptr;
+community::CommunityStore* OnlineFixture::store = nullptr;
+
+BENCHMARK_F(OnlineFixture, BM_MatchTweets)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus->MatchTweets({"49ers"}));
+  }
+}
+
+BENCHMARK_F(OnlineFixture, BM_MatchTweetsTwoTerms)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus->MatchTweets({"49ers", "review"}));
+  }
+}
+
+BENCHMARK_F(OnlineFixture, BM_StoreExactLookup)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Find("49ers"));
+  }
+}
+
+BENCHMARK_F(OnlineFixture, BM_StorePhraseLookup)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->FindPhrase("review"));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_MAIN();

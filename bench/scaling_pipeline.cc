@@ -1,0 +1,71 @@
+// Scaling: the offline pipeline as the simulated log grows.
+//
+// The paper's pipeline digests 998 GB with 65 VMs; this bench sweeps the
+// simulated world size and the worker count, printing per-stage wall time
+// so the scaling behavior (extraction ~linear in click records, clustering
+// ~linear in edges x iterations; workers help both) is visible.
+
+#include <cstdio>
+
+#include "esharp/pipeline.h"
+#include "querylog/generator.h"
+
+using namespace esharp;
+
+namespace {
+
+struct Row {
+  size_t domains;
+  size_t queries;
+  size_t edges;
+  double extraction_s;
+  double clustering_s;
+};
+
+Row RunOne(size_t domains_per_category, size_t threads) {
+  querylog::UniverseOptions uo;
+  uo.num_categories = 6;
+  uo.domains_per_category = domains_per_category;
+  uo.seed = 42;
+  querylog::TopicUniverse universe = *querylog::TopicUniverse::Generate(uo);
+  querylog::GeneratorOptions go;
+  go.seed = 43;
+  querylog::GeneratedLog gen = *GenerateQueryLog(universe, go);
+
+  static ThreadPool pool(8);
+  ResourceMeter meter;
+  core::OfflineOptions options;
+  options.pool = threads > 1 ? &pool : nullptr;
+  options.num_partitions = threads;
+  options.meter = &meter;
+  core::OfflineArtifacts artifacts = *RunOfflinePipeline(gen.log, options);
+
+  Row row;
+  row.domains = universe.num_domains();
+  row.queries = artifacts.similarity_graph.num_vertices();
+  row.edges = artifacts.similarity_graph.num_edges();
+  row.extraction_s = meter.Get("Extraction").seconds;
+  row.clustering_s = meter.Get("Clustering").seconds;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== Scaling: offline pipeline vs world size ===\n");
+  std::printf("%-10s %-9s %-9s %-9s %-14s %-14s\n", "Workers", "Domains",
+              "Queries", "Edges", "Extraction(s)", "Clustering(s)");
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    for (size_t dpc : {20, 60, 120, 240}) {
+      Row row = RunOne(dpc, threads);
+      std::printf("%-10zu %-9zu %-9zu %-9zu %-14.3f %-14.3f\n", threads,
+                  row.domains, row.queries, row.edges, row.extraction_s,
+                  row.clustering_s);
+    }
+  }
+  std::printf(
+      "\nShape to check: both stages grow roughly linearly with the world.\n"
+      "On multi-core machines the worker pool cuts extraction wall time;\n"
+      "clustering's native backend is bookkeeping-bound at this scale.\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// esharp_cli — command-line front end for the library.
+//
+//   esharp_cli build  [--seed N] [--out PATH]      build a collection of
+//                                                  expertise domains from a
+//                                                  simulated month of logs
+//                                                  and save it as TSV
+//   esharp_cli inspect --store PATH --term TERM    load a saved collection
+//                                                  and show TERM's community
+//                                                  and its closest neighbors
+//   esharp_cli search [--seed N] --query "Q"       run baseline and e# over
+//                                                  a simulated microblog
+//
+// Everything is deterministic in --seed, so results are reproducible.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/file_io.h"
+#include "esharp/esharp.h"
+#include "esharp/pipeline.h"
+#include "microblog/generator.h"
+#include "querylog/generator.h"
+
+using namespace esharp;
+
+namespace {
+
+struct Args {
+  std::string command;
+  uint64_t seed = 2016;
+  std::string out = "esharp_store.tsv";
+  std::string store;
+  std::string term;
+  std::string query;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    std::string value = argv[i + 1];
+    if (flag == "--seed") {
+      args->seed = std::stoull(value);
+    } else if (flag == "--out") {
+      args->out = value;
+    } else if (flag == "--store") {
+      args->store = value;
+    } else if (flag == "--term") {
+      args->term = value;
+    } else if (flag == "--query") {
+      args->query = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<core::OfflineArtifacts> BuildCollection(uint64_t seed) {
+  querylog::UniverseOptions uo;
+  uo.seed = seed;
+  ESHARP_ASSIGN_OR_RETURN(querylog::TopicUniverse universe,
+                          querylog::TopicUniverse::Generate(uo));
+  querylog::GeneratorOptions go;
+  go.seed = seed + 1;
+  ESHARP_ASSIGN_OR_RETURN(querylog::GeneratedLog generated,
+                          GenerateQueryLog(universe, go));
+  core::OfflineOptions offline;
+  return RunOfflinePipeline(generated.log, offline);
+}
+
+int RunBuild(const Args& args) {
+  auto artifacts = BuildCollection(args.seed);
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 artifacts.status().ToString().c_str());
+    return 1;
+  }
+  community::SizeHistogram h = artifacts->store.ComputeSizeHistogram();
+  std::printf("Built %zu communities over %zu queries "
+              "(%zu orphans, %zu of size 2-10).\n",
+              artifacts->store.num_communities(),
+              artifacts->similarity_graph.num_vertices(), h.orphans, h.small);
+  Status st = WriteStringToFile(args.out, artifacts->store.SerializeTsv());
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Saved to %s (%s).\n", args.out.c_str(),
+              HumanBytes(artifacts->store.SizeBytes()).c_str());
+  return 0;
+}
+
+int RunInspect(const Args& args) {
+  if (args.store.empty() || args.term.empty()) {
+    std::fprintf(stderr, "inspect requires --store and --term\n");
+    return 2;
+  }
+  auto content = ReadFileToString(args.store);
+  if (!content.ok()) {
+    std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+    return 1;
+  }
+  auto store = community::CommunityStore::ParseTsv(*content);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  auto found = store->Find(args.term);
+  if (!found.ok()) found = store->FindPhrase(args.term);
+  if (!found.ok()) {
+    std::printf("'%s' matches no community.\n", args.term.c_str());
+    return 0;
+  }
+  std::printf("Community of '%s' (%zu terms):\n ", args.term.c_str(),
+              (*found)->terms.size());
+  for (const std::string& t : (*found)->terms) std::printf(" %s;", t.c_str());
+  std::printf("\nClosest communities:\n");
+  for (const auto& [index, weight] :
+       store->ClosestCommunities((*found)->id, 3)) {
+    const community::Community& c = store->community(index);
+    std::printf("  w=%.3f  '%s' (+%zu more terms)\n", weight,
+                c.terms.empty() ? "?" : c.terms[0].c_str(),
+                c.terms.size() - 1);
+  }
+  return 0;
+}
+
+int RunSearch(const Args& args) {
+  if (args.query.empty()) {
+    std::fprintf(stderr, "search requires --query\n");
+    return 2;
+  }
+  auto artifacts = BuildCollection(args.seed);
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 artifacts.status().ToString().c_str());
+    return 1;
+  }
+  querylog::UniverseOptions uo;
+  uo.seed = args.seed;
+  auto universe = querylog::TopicUniverse::Generate(uo);
+  microblog::CorpusOptions co;
+  co.seed = args.seed + 2;
+  auto corpus = GenerateCorpus(*universe, co);
+  if (!corpus.ok()) return 1;
+
+  core::ESharp system(&artifacts->store, &*corpus);
+  auto baseline = system.detector().FindExperts(args.query);
+  auto expanded = system.FindExperts(args.query);
+  if (!baseline.ok() || !expanded.ok()) return 1;
+
+  std::printf("Query: '%s'\n", args.query.c_str());
+  core::QueryExpansion expansion = system.Expand(args.query);
+  std::printf("Expansion: %s (%zu terms)\n",
+              expansion.matched ? "matched" : "no community",
+              expansion.terms.size());
+  std::printf("\n%-10s %-24s %-8s\n", "Algorithm", "Expert", "Score");
+  for (size_t i = 0; i < baseline->size() && i < 5; ++i) {
+    std::printf("%-10s %-24s %-8.2f\n", "baseline",
+                corpus->user((*baseline)[i].user).screen_name.c_str(),
+                (*baseline)[i].score);
+  }
+  for (size_t i = 0; i < expanded->size() && i < 5; ++i) {
+    std::printf("%-10s %-24s %-8.2f\n", "e#",
+                corpus->user((*expanded)[i].user).screen_name.c_str(),
+                (*expanded)[i].score);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s build [--seed N] [--out PATH]\n"
+                 "       %s inspect --store PATH --term TERM\n"
+                 "       %s search [--seed N] --query QUERY\n",
+                 argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  if (args.command == "build") return RunBuild(args);
+  if (args.command == "inspect") return RunInspect(args);
+  if (args.command == "search") return RunSearch(args);
+  std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+  return 2;
+}

@@ -1,0 +1,92 @@
+// Quickstart: the complete e# flow in one small program.
+//
+//  1. Simulate a topic universe, a month of search logs and a tweet corpus
+//     (stand-ins for the proprietary data the paper uses).
+//  2. Run the offline pipeline: click vectors -> similarity graph ->
+//     community detection -> indexed community store.
+//  3. Ask for experts on a topic, with and without query expansion.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "esharp/esharp.h"
+#include "esharp/pipeline.h"
+#include "microblog/generator.h"
+#include "querylog/generator.h"
+
+using namespace esharp;
+
+int main() {
+  // ---- 1. Simulated inputs ------------------------------------------------
+  querylog::UniverseOptions universe_options;
+  universe_options.num_categories = 3;
+  universe_options.domains_per_category = 20;
+  universe_options.seed = 1;
+  auto universe = querylog::TopicUniverse::Generate(universe_options);
+  if (!universe.ok()) {
+    std::printf("universe: %s\n", universe.status().ToString().c_str());
+    return 1;
+  }
+
+  querylog::GeneratorOptions log_options;
+  log_options.seed = 2;
+  auto generated = GenerateQueryLog(*universe, log_options);
+  if (!generated.ok()) {
+    std::printf("log: %s\n", generated.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Simulated query log: %zu distinct queries, %zu click records\n",
+              generated->log.num_queries(), generated->log.num_records());
+
+  microblog::CorpusOptions corpus_options;
+  corpus_options.seed = 3;
+  corpus_options.casual_users = 400;
+  auto corpus = GenerateCorpus(*universe, corpus_options);
+  if (!corpus.ok()) {
+    std::printf("corpus: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Simulated microblog: %zu users, %zu tweets\n",
+              corpus->num_users(), corpus->num_tweets());
+
+  // ---- 2. Offline: build the collection of expertise domains --------------
+  core::OfflineOptions offline_options;
+  auto artifacts = RunOfflinePipeline(generated->log, offline_options);
+  if (!artifacts.ok()) {
+    std::printf("offline: %s\n", artifacts.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Offline pipeline: %zu queries -> %zu communities\n",
+              artifacts->similarity_graph.num_vertices(),
+              artifacts->store.num_communities());
+
+  // ---- 3. Online: find experts -------------------------------------------
+  core::ESharp esharp(&artifacts->store, &*corpus);
+  const char* query = "49ers";
+
+  core::QueryExpansion expansion = esharp.Expand(query);
+  std::printf("\nQuery '%s' expands to %zu terms:\n  ", query,
+              expansion.terms.size());
+  for (size_t i = 0; i < expansion.terms.size() && i < 8; ++i) {
+    std::printf("%s%s", i ? ", " : "", expansion.terms[i].c_str());
+  }
+  std::printf("%s\n", expansion.terms.size() > 8 ? ", ..." : "");
+
+  auto baseline = esharp.detector().FindExperts(query);
+  auto expanded = esharp.FindExperts(query);
+  if (!baseline.ok() || !expanded.ok()) return 1;
+
+  std::printf("\nBaseline (Pal & Counts) found %zu experts;"
+              " e# found %zu experts.\n",
+              baseline->size(), expanded->size());
+  std::printf("\nTop e# experts for '%s':\n", query);
+  for (size_t i = 0; i < expanded->size() && i < 5; ++i) {
+    const auto& profile = corpus->user((*expanded)[i].user);
+    std::printf("  %-24s score=%.2f  (%s)\n", profile.screen_name.c_str(),
+                (*expanded)[i].score, profile.description.c_str());
+  }
+  return 0;
+}

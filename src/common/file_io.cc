@@ -1,0 +1,43 @@
+#include "common/file_io.h"
+
+#include <cstdio>
+
+namespace esharp {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '", path, "' for reading");
+  }
+  std::string out;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IOError("read error on '", path, "'");
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '", path, "' for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool failed = written != content.size();
+  if (std::fclose(f) != 0) failed = true;
+  if (failed) return Status::IOError("write error on '", path, "'");
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace esharp

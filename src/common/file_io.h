@@ -1,0 +1,21 @@
+#ifndef ESHARP_COMMON_FILE_IO_H_
+#define ESHARP_COMMON_FILE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace esharp {
+
+/// \brief Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Writes a string to a file, replacing any previous content.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+/// \brief True iff the file exists and is readable.
+bool FileExists(const std::string& path);
+
+}  // namespace esharp
+
+#endif  // ESHARP_COMMON_FILE_IO_H_

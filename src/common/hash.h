@@ -1,0 +1,40 @@
+#ifndef ESHARP_COMMON_HASH_H_
+#define ESHARP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace esharp {
+
+/// \brief 64-bit FNV-1a over bytes; stable across platforms, used to shard
+/// rows across partitions deterministically (map-reduce shuffles must route a
+/// key to the same partition on every run).
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// \brief Mixes a 64-bit value (finalizer from MurmurHash3).
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// \brief Combines two hash values (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace esharp
+
+#endif  // ESHARP_COMMON_HASH_H_

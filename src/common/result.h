@@ -1,0 +1,77 @@
+#ifndef ESHARP_COMMON_RESULT_H_
+#define ESHARP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace esharp {
+
+/// \brief Either a value of type T or an error Status (Arrow-style Result).
+///
+/// Use together with ESHARP_ASSIGN_OR_RETURN to keep error propagation terse:
+///
+///   ESHARP_ASSIGN_OR_RETURN(auto graph, BuildGraph(log));
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, enables `return value;`).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit, enables
+  /// `return Status::InvalidArgument(...)`). The status must not be OK.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  /// Returns true iff this holds a value.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the error (Status::OK() when ok()).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// Returns the value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(std::move(rep_));
+  }
+
+  /// Moves the value out; must only be called when ok().
+  T MoveValueUnsafe() { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace esharp
+
+#define ESHARP_CONCAT_IMPL(a, b) a##b
+#define ESHARP_CONCAT(a, b) ESHARP_CONCAT_IMPL(a, b)
+
+/// \brief Evaluates a Result-returning expression; on error returns the
+/// Status, otherwise assigns the value to `lhs`.
+#define ESHARP_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto ESHARP_CONCAT(_res_, __LINE__) = (expr);                             \
+  if (!ESHARP_CONCAT(_res_, __LINE__).ok())                                 \
+    return ESHARP_CONCAT(_res_, __LINE__).status();                         \
+  lhs = std::move(ESHARP_CONCAT(_res_, __LINE__)).MoveValueUnsafe()
+
+#endif  // ESHARP_COMMON_RESULT_H_

@@ -1,0 +1,149 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace esharp {
+
+namespace {
+
+// SplitMix64: used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Gaussian() {
+  // Box–Muller; u1 must be strictly positive.
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Gaussian() * sigma + mu);
+}
+
+uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation for large means.
+    double draw = Gaussian() * std::sqrt(mean) + mean;
+    return draw < 0 ? 0 : static_cast<uint64_t>(draw + 0.5);
+  }
+  // Knuth's method.
+  const double limit = std::exp(-mean);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double target = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  pmf_.resize(n);
+  cdf_.resize(n);
+  double norm = 0;
+  for (size_t k = 0; k < n; ++k) {
+    pmf_[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+    norm += pmf_[k];
+  }
+  double acc = 0;
+  for (size_t k = 0; k < n; ++k) {
+    pmf_[k] /= norm;
+    acc += pmf_[k];
+    cdf_[k] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  // Binary search for the first cdf entry >= u.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfSampler::Pmf(size_t rank) const {
+  assert(rank < pmf_.size());
+  return pmf_[rank];
+}
+
+}  // namespace esharp

@@ -1,0 +1,81 @@
+#include "common/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esharp {
+
+void SparseVector::Add(uint32_t dim, double value) {
+  if (value == 0.0) return;
+  entries_.emplace_back(dim, value);
+  dirty_ = true;
+}
+
+void SparseVector::Canonicalize() const {
+  if (!dirty_) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size();) {
+    uint32_t dim = entries_[i].first;
+    double sum = 0;
+    while (i < entries_.size() && entries_[i].first == dim) {
+      sum += entries_[i].second;
+      ++i;
+    }
+    if (sum != 0.0) entries_[out++] = {dim, sum};
+  }
+  entries_.resize(out);
+  dirty_ = false;
+}
+
+size_t SparseVector::NumNonZero() const {
+  Canonicalize();
+  return entries_.size();
+}
+
+double SparseVector::Norm() const {
+  Canonicalize();
+  double s = 0;
+  for (const auto& [d, v] : entries_) s += v * v;
+  return std::sqrt(s);
+}
+
+double SparseVector::Sum() const {
+  Canonicalize();
+  double s = 0;
+  for (const auto& [d, v] : entries_) s += v;
+  return s;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  Canonicalize();
+  other.Canonicalize();
+  double s = 0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].first < other.entries_[j].first) {
+      ++i;
+    } else if (entries_[i].first > other.entries_[j].first) {
+      ++j;
+    } else {
+      s += entries_[i].second * other.entries_[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return s;
+}
+
+double SparseVector::Cosine(const SparseVector& other) const {
+  double na = Norm(), nb = other.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(other) / (na * nb);
+}
+
+const std::vector<std::pair<uint32_t, double>>& SparseVector::entries() const {
+  Canonicalize();
+  return entries_;
+}
+
+}  // namespace esharp

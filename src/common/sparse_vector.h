@@ -1,0 +1,52 @@
+#ifndef ESHARP_COMMON_SPARSE_VECTOR_H_
+#define ESHARP_COMMON_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace esharp {
+
+/// \brief Sparse non-negative vector keyed by uint32 dimension ids.
+///
+/// The extraction stage (§4.1) represents each query as a vector in URL
+/// space, where component u holds the number of clicks on URL u. Stored as a
+/// sorted (dim, value) list; cosine similarity is a sorted-merge, so comparing
+/// two queries costs O(nnz1 + nnz2).
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Adds `value` to dimension `dim` (accumulates duplicates lazily; the
+  /// vector is canonicalized on first read).
+  void Add(uint32_t dim, double value);
+
+  /// Number of non-zero entries (after canonicalization).
+  size_t NumNonZero() const;
+
+  /// L2 norm.
+  double Norm() const;
+
+  /// Sum of all components.
+  double Sum() const;
+
+  /// Dot product with another sparse vector.
+  double Dot(const SparseVector& other) const;
+
+  /// Cosine similarity in [0, 1] for non-negative vectors; 0 when either
+  /// vector is empty. This is the edge weight of the term-similarity graph.
+  double Cosine(const SparseVector& other) const;
+
+  /// Sorted, deduplicated entries.
+  const std::vector<std::pair<uint32_t, double>>& entries() const;
+
+ private:
+  void Canonicalize() const;
+
+  mutable std::vector<std::pair<uint32_t, double>> entries_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace esharp
+
+#endif  // ESHARP_COMMON_SPARSE_VECTOR_H_

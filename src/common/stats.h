@@ -1,0 +1,55 @@
+#ifndef ESHARP_COMMON_STATS_H_
+#define ESHARP_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace esharp {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the expert ranker to z-score the (log-transformed) TS/MI/RI
+/// features over the candidate pool, as §3 of the paper prescribes.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added.
+  size_t count() const { return n_; }
+
+  /// Arithmetic mean (0 when empty).
+  double Mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (0 when fewer than 2 observations).
+  double Variance() const;
+
+  /// Population standard deviation.
+  double StdDev() const;
+
+  /// Z-score of x under the accumulated distribution. Returns 0 when the
+  /// standard deviation is 0 (all observations identical).
+  double ZScore(double x) const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const OnlineStats& other);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// \brief Mean of a vector (0 when empty).
+double Mean(const std::vector<double>& xs);
+
+/// \brief Population standard deviation of a vector.
+double StdDev(const std::vector<double>& xs);
+
+/// \brief Pearson correlation of two equal-length vectors (0 if degenerate).
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace esharp
+
+#endif  // ESHARP_COMMON_STATS_H_

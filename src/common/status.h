@@ -1,0 +1,155 @@
+#ifndef ESHARP_COMMON_STATUS_H_
+#define ESHARP_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace esharp {
+
+/// \brief Machine-readable category of a failure.
+///
+/// Modeled after the Status idiom used by RocksDB and Apache Arrow: every
+/// fallible operation returns a Status (or a Result<T>, see result.h) instead
+/// of throwing. The OK path stores no heap state.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kInternal = 6,
+  kNotImplemented = 7,
+  kFailedPrecondition = 8,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "Invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy when OK (single pointer, no allocation). Construct errors
+/// through the named factories: `Status::InvalidArgument("bad k: ", k)`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. Prefer the named
+  /// factory functions below.
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  /// Returns an OK status (no error).
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Make(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status FailedPrecondition(Args&&... args) {
+    return Make(StatusCode::kFailedPrecondition, std::forward<Args>(args)...);
+  }
+
+  /// Returns true iff the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// Returns the status code (kOk when ok()).
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// Returns the error message ("" when ok()).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+
+  /// Renders "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args);
+
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+namespace internal {
+inline void AppendPieces(std::string*) {}
+template <typename T, typename... Rest>
+void AppendPieces(std::string* out, T&& first, Rest&&... rest) {
+  if constexpr (std::is_arithmetic_v<std::decay_t<T>>) {
+    out->append(std::to_string(first));
+  } else {
+    out->append(first);
+  }
+  AppendPieces(out, std::forward<Rest>(rest)...);
+}
+}  // namespace internal
+
+template <typename... Args>
+Status Status::Make(StatusCode code, Args&&... args) {
+  std::string msg;
+  internal::AppendPieces(&msg, std::forward<Args>(args)...);
+  return Status(code, std::move(msg));
+}
+
+}  // namespace esharp
+
+/// \brief Propagates a non-OK Status to the caller (Arrow idiom).
+#define ESHARP_RETURN_NOT_OK(expr)                \
+  do {                                            \
+    ::esharp::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#endif  // ESHARP_COMMON_STATUS_H_

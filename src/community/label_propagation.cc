@@ -1,0 +1,81 @@
+#include "community/label_propagation.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace esharp::community {
+
+Result<DetectionResult> DetectCommunitiesLabelPropagation(
+    const graph::Graph& g, const LabelPropagationOptions& options) {
+  if (g.num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  DetectionResult result;
+  result.assignment.resize(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    result.assignment[v] = static_cast<CommunityId>(v);
+  }
+
+  auto count_labels = [&]() {
+    std::unordered_map<CommunityId, size_t> seen;
+    for (CommunityId c : result.assignment) seen[c] += 1;
+    return seen.size();
+  };
+
+  std::optional<ModularityContext> ctx;
+  if (g.num_edges() > 0) ctx.emplace(g);
+
+  auto record = [&]() {
+    result.communities_per_iteration.push_back(count_labels());
+    if (ctx.has_value()) {
+      Partition p(g);
+      std::unordered_map<CommunityId, CommunityId> relabel;
+      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+        relabel[static_cast<CommunityId>(v)] = result.assignment[v];
+      }
+      p.Relabel(relabel);
+      result.modularity_per_iteration.push_back(p.TotalModularity(*ctx));
+    } else {
+      result.modularity_per_iteration.push_back(0.0);
+    }
+  };
+
+  record();
+  if (g.num_edges() == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::unordered_map<CommunityId, double> tally;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (g.neighbors(v).empty()) continue;
+      tally.clear();
+      for (const graph::Graph::Neighbor& n : g.neighbors(v)) {
+        tally[result.assignment[n.id]] += n.weight;
+      }
+      CommunityId best = result.assignment[v];
+      double best_w = -1;
+      for (const auto& [label, w] : tally) {
+        if (w > best_w || (w == best_w && label < best)) {
+          best_w = w;
+          best = label;
+        }
+      }
+      if (best != result.assignment[v]) {
+        result.assignment[v] = best;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    ++result.iterations;
+    record();
+  }
+  return result;
+}
+
+}  // namespace esharp::community

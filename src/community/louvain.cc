@@ -1,0 +1,202 @@
+#include "community/louvain.h"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace esharp::community {
+
+namespace {
+
+// A working multigraph for the coarsening levels: adjacency with weights
+// plus per-vertex self-loop weight (internal weight folded by contraction).
+struct LevelGraph {
+  // adjacency[v] : neighbor -> weight (no self entries).
+  std::vector<std::unordered_map<uint32_t, double>> adjacency;
+  std::vector<double> self_loop;   // folded internal weight per vertex
+  std::vector<double> degree;      // weighted degree incl. 2*self_loop
+  double total_weight = 0;         // m (self loops count once)
+};
+
+LevelGraph FromGraph(const graph::Graph& g) {
+  LevelGraph lg;
+  lg.adjacency.resize(g.num_vertices());
+  lg.self_loop.assign(g.num_vertices(), 0.0);
+  lg.degree.assign(g.num_vertices(), 0.0);
+  for (const graph::Edge& e : g.edges()) {
+    lg.adjacency[e.u][e.v] += e.weight;
+    lg.adjacency[e.v][e.u] += e.weight;
+    lg.degree[e.u] += e.weight;
+    lg.degree[e.v] += e.weight;
+    lg.total_weight += e.weight;
+  }
+  return lg;
+}
+
+// One level of local moves; returns the vertex -> community assignment and
+// whether anything moved.
+bool LocalMoves(const LevelGraph& lg, size_t max_sweeps,
+                std::vector<uint32_t>* community) {
+  const size_t n = lg.adjacency.size();
+  community->resize(n);
+  std::iota(community->begin(), community->end(), 0);
+  // degree[] in LevelGraph excludes self loops; fold them in once.
+  std::vector<double> vertex_degree = lg.degree;
+  for (size_t v = 0; v < n; ++v) vertex_degree[v] += 2.0 * lg.self_loop[v];
+  std::vector<double> community_degree = vertex_degree;
+
+  const double m = lg.total_weight +
+                   std::accumulate(lg.self_loop.begin(), lg.self_loop.end(),
+                                   0.0);
+  if (m <= 0) return false;
+
+  bool any_move = false;
+  std::unordered_map<uint32_t, double> weight_to;
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool moved = false;
+    for (uint32_t v = 0; v < n; ++v) {
+      uint32_t current = (*community)[v];
+      weight_to.clear();
+      for (const auto& [u, w] : lg.adjacency[v]) {
+        weight_to[(*community)[u]] += w;
+      }
+      // Remove v from its community for the gain arithmetic.
+      community_degree[current] -= vertex_degree[v];
+      double best_gain = 0;
+      uint32_t best_comm = current;
+      double base = weight_to.count(current) ? weight_to.at(current) : 0.0;
+      double base_gain =
+          base - community_degree[current] * vertex_degree[v] / (2.0 * m);
+      for (const auto& [comm, w] : weight_to) {
+        double gain =
+            w - community_degree[comm] * vertex_degree[v] / (2.0 * m);
+        double delta = gain - base_gain;
+        if (delta > best_gain + 1e-12 ||
+            (delta > best_gain - 1e-12 && comm < best_comm &&
+             delta > 1e-12)) {
+          best_gain = delta;
+          best_comm = comm;
+        }
+      }
+      community_degree[best_comm] += vertex_degree[v];
+      if (best_comm != current) {
+        (*community)[v] = best_comm;
+        moved = true;
+        any_move = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return any_move;
+}
+
+// Contracts the level graph by the assignment; fills the dense relabeling
+// old-community -> new-vertex.
+LevelGraph Contract(const LevelGraph& lg,
+                    const std::vector<uint32_t>& community,
+                    std::vector<uint32_t>* dense) {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  dense->assign(community.size(), 0);
+  for (size_t v = 0; v < community.size(); ++v) {
+    auto it = remap.find(community[v]);
+    if (it == remap.end()) {
+      it = remap.emplace(community[v],
+                         static_cast<uint32_t>(remap.size())).first;
+    }
+    (*dense)[v] = it->second;
+  }
+  LevelGraph out;
+  out.adjacency.resize(remap.size());
+  out.self_loop.assign(remap.size(), 0.0);
+  out.degree.assign(remap.size(), 0.0);
+  for (size_t v = 0; v < community.size(); ++v) {
+    out.self_loop[(*dense)[v]] += lg.self_loop[v];
+  }
+  for (uint32_t v = 0; v < lg.adjacency.size(); ++v) {
+    for (const auto& [u, w] : lg.adjacency[v]) {
+      if (u < v) continue;  // visit each undirected pair once
+      uint32_t cv = (*dense)[v], cu = (*dense)[u];
+      if (cv == cu) {
+        out.self_loop[cv] += w;
+      } else {
+        out.adjacency[cv][cu] += w;
+        out.adjacency[cu][cv] += w;
+        out.degree[cv] += w;
+        out.degree[cu] += w;
+        out.total_weight += w;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DetectionResult> DetectCommunitiesLouvain(
+    const graph::Graph& g, const LouvainOptions& options) {
+  if (g.num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  DetectionResult result;
+  result.assignment.resize(g.num_vertices());
+  std::iota(result.assignment.begin(), result.assignment.end(), 0);
+
+  if (g.num_edges() == 0) {
+    result.communities_per_iteration = {g.num_vertices()};
+    result.modularity_per_iteration = {0.0};
+    result.converged = true;
+    return result;
+  }
+
+  ModularityContext ctx(g);
+  auto record = [&]() {
+    Partition p(g);
+    std::unordered_map<CommunityId, CommunityId> relabel;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      relabel[static_cast<CommunityId>(v)] = result.assignment[v];
+    }
+    p.Relabel(relabel);
+    result.communities_per_iteration.push_back(p.NumCommunities());
+    result.modularity_per_iteration.push_back(p.TotalModularity(ctx));
+  };
+  record();
+
+  LevelGraph level = FromGraph(g);
+  // vertex_map[v] = current super-vertex of original vertex v.
+  std::vector<uint32_t> vertex_map(g.num_vertices());
+  std::iota(vertex_map.begin(), vertex_map.end(), 0);
+
+  for (size_t depth = 0; depth < options.max_levels; ++depth) {
+    std::vector<uint32_t> community;
+    bool moved = LocalMoves(level, options.max_sweeps_per_level, &community);
+    if (!moved) {
+      result.converged = true;
+      break;
+    }
+    std::vector<uint32_t> dense;
+    level = Contract(level, community, &dense);
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      vertex_map[v] = dense[vertex_map[v]];
+    }
+    // Name communities by their smallest original member for stability.
+    std::unordered_map<uint32_t, CommunityId> name;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      auto it = name.find(vertex_map[v]);
+      if (it == name.end() || v < it->second) {
+        name[vertex_map[v]] = static_cast<CommunityId>(v);
+      }
+    }
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      result.assignment[v] = name.at(vertex_map[v]);
+    }
+    ++result.iterations;
+    double before = result.modularity_per_iteration.back();
+    record();
+    if (result.modularity_per_iteration.back() - before < options.min_gain) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace esharp::community

@@ -1,0 +1,37 @@
+#ifndef ESHARP_COMMUNITY_LOUVAIN_H_
+#define ESHARP_COMMUNITY_LOUVAIN_H_
+
+#include "common/result.h"
+#include "community/parallel_cd.h"
+
+namespace esharp::community {
+
+/// \brief Options of the Louvain detector.
+struct LouvainOptions {
+  /// Cap on local-move sweeps within one level.
+  size_t max_sweeps_per_level = 50;
+  /// Cap on coarsening levels.
+  size_t max_levels = 20;
+  /// Minimum total-modularity improvement to continue a level.
+  double min_gain = 1e-9;
+};
+
+/// \brief Louvain multi-level modularity maximization (Blondel et al.) —
+/// a second "different community detection paradigm" for the §8 ablation.
+///
+/// Each level repeats vertex-local moves (move a vertex to the neighboring
+/// community with the best modularity gain, ties toward the smaller
+/// community id) until no move improves the objective, then contracts
+/// communities into super-vertices and recurses. Deterministic: vertices
+/// are visited in id order.
+///
+/// Where the paper's parallel algorithm merges whole communities in bulk
+/// (good for map-reduce rounds), Louvain refines vertex by vertex — it
+/// usually reaches higher modularity but is inherently sequential, which
+/// is precisely the trade-off the paper's design sidesteps.
+Result<DetectionResult> DetectCommunitiesLouvain(
+    const graph::Graph& g, const LouvainOptions& options = {});
+
+}  // namespace esharp::community
+
+#endif  // ESHARP_COMMUNITY_LOUVAIN_H_

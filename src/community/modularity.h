@@ -1,0 +1,123 @@
+#ifndef ESHARP_COMMUNITY_MODULARITY_H_
+#define ESHARP_COMMUNITY_MODULARITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace esharp::community {
+
+/// \brief Community identifier. During detection a community is named after
+/// one of its member vertices (the paper's SQL names communities by query).
+using CommunityId = uint32_t;
+
+/// \brief Modularity arithmetic of §4.2.1 (Eqs. 3-9), weighted form.
+///
+/// The paper presents modularity over an unweighted multigraph obtained by
+/// rescaling/discretizing the similarity weights (footnote 1). Working with
+/// the weights directly is the limit of that construction as the rescaling
+/// factor grows: every count becomes a weight sum. DiscretizedGain (below)
+/// exposes the paper's literal integer form for tests.
+///
+///   Mod(C)           = w_C - m_G * (D_C / D_G)^2              (Eq. 6)
+///   DeltaMod(C1, C2) = w_12 - D_1 * D_2 / (2 m_G)             (Eqs. 8-9)
+///
+/// where w_C is the total edge weight inside C, m_G the total graph weight,
+/// D_C the summed weighted degree of C's vertices and D_G = 2 m_G.
+class ModularityContext {
+ public:
+  /// Captures the graph-level constants. The graph must be finalized.
+  explicit ModularityContext(const graph::Graph& g);
+
+  /// Total edge weight m_G.
+  double total_weight() const { return total_weight_; }
+
+  /// Merge gain of Eq. 8: DeltaMod = w_between - E[w_between].
+  /// `degree1`/`degree2` are the summed weighted degrees of the two
+  /// communities; `weight_between` the total weight of edges across them.
+  double MergeGain(double degree1, double degree2, double weight_between) const {
+    return weight_between - degree1 * degree2 / (2.0 * total_weight_);
+  }
+
+  /// Modularity of one community (Eq. 6).
+  double CommunityModularity(double internal_weight, double degree_sum) const {
+    double frac = degree_sum / (2.0 * total_weight_);
+    return internal_weight - total_weight_ * frac * frac;
+  }
+
+ private:
+  double total_weight_;
+};
+
+/// \brief A partition of graph vertices into communities, with the degree
+/// and internal-weight bookkeeping all detection algorithms need.
+class Partition {
+ public:
+  /// Singleton partition: each vertex its own community (the initialization
+  /// of both Newman's heuristic and the paper's parallel variant).
+  explicit Partition(const graph::Graph& g);
+
+  /// Warm-start partition from an explicit assignment (one community id per
+  /// vertex) — used by the weekly incremental refresh, which seeds the new
+  /// run with last week's communities. The assignment must have one entry
+  /// per graph vertex.
+  Partition(const graph::Graph& g, std::vector<CommunityId> assignment);
+
+  const graph::Graph& graph() const { return *graph_; }
+
+  /// Community of a vertex.
+  CommunityId CommunityOf(graph::VertexId v) const { return assignment_[v]; }
+
+  /// Reassigns every vertex through `relabel` (old community -> new
+  /// community) and refreshes the bookkeeping.
+  void Relabel(const std::unordered_map<CommunityId, CommunityId>& relabel);
+
+  /// Summed weighted degree of a community (0 for unused ids).
+  double DegreeSum(CommunityId c) const;
+
+  /// Total edge weight strictly inside a community.
+  double InternalWeight(CommunityId c) const;
+
+  /// Inter-community edge weights: for every pair of distinct connected
+  /// communities (a, b) with a < b, the summed weight of edges across.
+  std::unordered_map<uint64_t, double> InterCommunityWeights() const;
+
+  /// Number of distinct non-empty communities.
+  size_t NumCommunities() const;
+
+  /// Ids of non-empty communities.
+  std::vector<CommunityId> CommunityIds() const;
+
+  /// Members of a community.
+  std::vector<graph::VertexId> Members(CommunityId c) const;
+
+  /// Total modularity of the partition (Eq. 2).
+  double TotalModularity(const ModularityContext& ctx) const;
+
+  /// Encodes a community pair with a < b into one key.
+  static uint64_t PairKey(CommunityId a, CommunityId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+ private:
+  void Rebuild();
+
+  const graph::Graph* graph_;
+  std::vector<CommunityId> assignment_;
+  std::unordered_map<CommunityId, double> degree_sum_;
+  std::unordered_map<CommunityId, double> internal_weight_;
+};
+
+/// \brief The paper's literal integer modularity gain (footnote 1): weights
+/// are rescaled by `scale` and rounded to edge multiplicities. Exposed so
+/// tests can check the weighted form is the scale->infinity limit.
+double DiscretizedGain(double degree1, double degree2, double weight_between,
+                       double total_weight, double scale);
+
+}  // namespace esharp::community
+
+#endif  // ESHARP_COMMUNITY_MODULARITY_H_

@@ -1,0 +1,157 @@
+#include "community/newman.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace esharp::community {
+
+namespace {
+
+// Heap entry: candidate merge of two communities, stamped with both
+// communities' versions at creation. Entries whose stamps are stale are
+// discarded on pop (lazy invalidation).
+struct Candidate {
+  double gain;
+  CommunityId a, b;
+  uint32_t stamp_a, stamp_b;
+};
+
+struct CandidateLess {
+  bool operator()(const Candidate& x, const Candidate& y) const {
+    if (x.gain != y.gain) return x.gain < y.gain;
+    // Deterministic order among equal gains.
+    if (x.a != y.a) return x.a > y.a;
+    return x.b > y.b;
+  }
+};
+
+}  // namespace
+
+Result<DetectionResult> DetectCommunitiesNewman(const graph::Graph& g,
+                                                const NewmanOptions& options) {
+  if (g.num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  DetectionResult result;
+  result.assignment.resize(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    result.assignment[v] = static_cast<CommunityId>(v);
+  }
+  if (g.num_edges() == 0) {
+    result.communities_per_iteration = {g.num_vertices()};
+    result.modularity_per_iteration = {0.0};
+    result.converged = true;
+    return result;
+  }
+
+  ModularityContext ctx(g);
+  const double m = ctx.total_weight();
+
+  // Community state: degree sums, adjacency (community -> community ->
+  // inter-weight), version stamps, alive flags.
+  size_t n = g.num_vertices();
+  std::vector<double> degree(n);
+  std::vector<std::unordered_map<CommunityId, double>> adj(n);
+  std::vector<uint32_t> stamp(n, 0);
+  std::vector<bool> alive(n, true);
+  // parent[b] = a after b merges into a; find() resolves transitively.
+  std::vector<CommunityId> parent(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    degree[v] = g.WeightedDegree(v);
+    parent[v] = static_cast<CommunityId>(v);
+  }
+  std::function<CommunityId(CommunityId)> find =
+      [&](CommunityId x) -> CommunityId {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const graph::Edge& e : g.edges()) {
+    adj[e.u][e.v] += e.weight;
+    adj[e.v][e.u] += e.weight;
+  }
+
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateLess> heap;
+  auto push_candidate = [&](CommunityId a, CommunityId b) {
+    if (a == b) return;
+    CommunityId lo = std::min(a, b), hi = std::max(a, b);
+    auto it = adj[lo].find(hi);
+    if (it == adj[lo].end()) return;
+    double gain = it->second - degree[lo] * degree[hi] / (2.0 * m);
+    if (gain > 0) heap.push(Candidate{gain, lo, hi, stamp[lo], stamp[hi]});
+  };
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (const auto& [other, w] : adj[v]) {
+      if (other > v) push_candidate(static_cast<CommunityId>(v), other);
+    }
+  }
+
+  size_t num_communities = n;
+  double modularity = 0;  // singleton partition: all-zero internal weights
+  for (graph::VertexId v = 0; v < n; ++v) {
+    double frac = degree[v] / (2.0 * m);
+    modularity -= m * frac * frac;
+  }
+  result.communities_per_iteration.push_back(num_communities);
+  result.modularity_per_iteration.push_back(modularity);
+
+  size_t merges = 0;
+  while (!heap.empty() && merges < options.max_merges) {
+    if (options.target_communities > 0 &&
+        num_communities <= options.target_communities) {
+      break;
+    }
+    Candidate c = heap.top();
+    heap.pop();
+    if (!alive[c.a] || !alive[c.b] || stamp[c.a] != c.stamp_a ||
+        stamp[c.b] != c.stamp_b) {
+      continue;  // stale
+    }
+    // Recompute the gain defensively (stamps should make this redundant).
+    auto it = adj[c.a].find(c.b);
+    if (it == adj[c.a].end()) continue;
+    double gain = it->second - degree[c.a] * degree[c.b] / (2.0 * m);
+    if (gain <= 0) continue;
+
+    // Merge b into a.
+    CommunityId a = c.a, b = c.b;
+    parent[b] = a;
+    modularity += gain;
+    degree[a] += degree[b];
+    alive[b] = false;
+    ++stamp[a];
+    adj[a].erase(b);
+    adj[b].erase(a);
+    for (const auto& [other, w] : adj[b]) {
+      adj[other].erase(b);
+      adj[a][other] += w;
+      adj[other][a] += w;
+    }
+    adj[b].clear();
+    --num_communities;
+    ++merges;
+
+    // Fresh candidates for the merged community.
+    for (const auto& [other, w] : adj[a]) {
+      push_candidate(a, other);
+    }
+
+    result.communities_per_iteration.push_back(num_communities);
+    result.modularity_per_iteration.push_back(modularity);
+    result.iterations = merges;
+  }
+  result.converged = heap.empty() || (options.target_communities > 0 &&
+                                      num_communities <=
+                                          options.target_communities);
+
+  for (graph::VertexId v = 0; v < n; ++v) {
+    result.assignment[v] = find(static_cast<CommunityId>(v));
+  }
+  return result;
+}
+
+}  // namespace esharp::community

@@ -1,0 +1,32 @@
+#ifndef ESHARP_COMMUNITY_NEWMAN_H_
+#define ESHARP_COMMUNITY_NEWMAN_H_
+
+#include "common/result.h"
+#include "community/parallel_cd.h"
+
+namespace esharp::community {
+
+/// \brief Options of the sequential greedy heuristic.
+struct NewmanOptions {
+  /// Optional early stop: halt once at most this many communities remain
+  /// ("or when we have reached a satisfying number of communities",
+  /// §4.2.1). 0 disables the early stop.
+  size_t target_communities = 0;
+  /// Safety cap on merges.
+  size_t max_merges = SIZE_MAX;
+};
+
+/// \brief Newman's seminal single-machine greedy modularity maximization
+/// (§4.2.1): start from singletons and repeatedly merge the pair of
+/// connected communities with the largest positive DeltaMod, one merge at a
+/// time, until no merge improves the score.
+///
+/// Implemented CNM-style with a lazily-invalidated max-heap of candidate
+/// merges, so it handles the ablation benches' graph sizes. This is the
+/// sequential reference the paper's parallel variant is measured against.
+Result<DetectionResult> DetectCommunitiesNewman(
+    const graph::Graph& g, const NewmanOptions& options = {});
+
+}  // namespace esharp::community
+
+#endif  // ESHARP_COMMUNITY_NEWMAN_H_

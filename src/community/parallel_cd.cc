@@ -1,0 +1,147 @@
+#include "community/parallel_cd.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace esharp::community {
+
+std::vector<std::pair<CommunityId, CommunityId>> BestMergeTargets(
+    const Partition& partition, const ModularityContext& ctx,
+    ThreadPool* pool, size_t num_partitions) {
+  // Step 1: neighborhood creation. Inter-community weights give the
+  // candidate pairs; gains below/at zero are not neighbors.
+  std::unordered_map<uint64_t, double> between =
+      partition.InterCommunityWeights();
+
+  // Per-community best neighbor (gain, id): step 2, neighborhood separation.
+  struct Best {
+    double gain = 0;
+    CommunityId target = 0;
+    bool has = false;
+  };
+  std::unordered_map<CommunityId, Best> best;
+
+  // The pair map is the work list. For parallel execution we snapshot it and
+  // give each worker a slice; merging per-worker partial argmaxes afterwards
+  // reproduces the sequential result because argmax is associative with the
+  // (gain desc, id asc) tiebreak.
+  std::vector<std::pair<uint64_t, double>> pairs(between.begin(), between.end());
+  std::sort(pairs.begin(), pairs.end());  // deterministic worker slices
+
+  auto consider = [&](std::unordered_map<CommunityId, Best>& acc,
+                      CommunityId c, CommunityId other, double gain) {
+    Best& b = acc[c];
+    if (!b.has || gain > b.gain || (gain == b.gain && other < b.target)) {
+      b.gain = gain;
+      b.target = other;
+      b.has = true;
+    }
+  };
+
+  size_t parts = pool != nullptr ? std::max<size_t>(1, num_partitions) : 1;
+  std::vector<std::unordered_map<CommunityId, Best>> partials(parts);
+  auto process = [&](size_t part) {
+    size_t per = (pairs.size() + parts - 1) / parts;
+    size_t begin = part * per;
+    size_t end = std::min(pairs.size(), begin + per);
+    for (size_t i = begin; i < end; ++i) {
+      CommunityId a = static_cast<CommunityId>(pairs[i].first >> 32);
+      CommunityId b = static_cast<CommunityId>(pairs[i].first & 0xFFFFFFFFu);
+      double w = pairs[i].second;
+      double gain = ctx.MergeGain(partition.DegreeSum(a),
+                                  partition.DegreeSum(b), w);
+      if (gain <= 0) continue;
+      consider(partials[part], a, b, gain);
+      consider(partials[part], b, a, gain);
+    }
+  };
+  if (pool != nullptr && parts > 1) {
+    pool->ParallelFor(parts, process);
+  } else {
+    for (size_t p = 0; p < parts; ++p) process(p);
+  }
+
+  for (const auto& partial : partials) {
+    for (const auto& [c, b] : partial) {
+      consider(best, c, b.target, b.gain);
+    }
+  }
+
+  // Step 3 naming rule: community c heads for min(c, best-target).
+  std::vector<std::pair<CommunityId, CommunityId>> out;
+  out.reserve(best.size());
+  for (const auto& [c, b] : best) {
+    CommunityId target = std::min(c, b.target);
+    if (target != c) out.emplace_back(c, target);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<DetectionResult> DetectCommunitiesParallel(
+    const graph::Graph& g, const ParallelCdOptions& options) {
+  if (g.num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  Timer timer;
+  DetectionResult result;
+  if (options.warm_start != nullptr &&
+      options.warm_start->size() != g.num_vertices()) {
+    return Status::InvalidArgument("warm start arity ",
+                                   options.warm_start->size(),
+                                   " != vertex count ", g.num_vertices());
+  }
+  Partition partition = options.warm_start != nullptr
+                            ? Partition(g, *options.warm_start)
+                            : Partition(g);
+
+  if (g.num_edges() == 0) {
+    // All vertices are orphans; nothing to merge.
+    result.assignment.resize(g.num_vertices());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      result.assignment[v] = static_cast<CommunityId>(v);
+    }
+    result.communities_per_iteration = {g.num_vertices()};
+    result.modularity_per_iteration = {0.0};
+    result.converged = true;
+    return result;
+  }
+
+  ModularityContext ctx(g);
+  result.communities_per_iteration.push_back(partition.NumCommunities());
+  result.modularity_per_iteration.push_back(partition.TotalModularity(ctx));
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<std::pair<CommunityId, CommunityId>> moves = BestMergeTargets(
+        partition, ctx, options.pool, options.num_partitions);
+    if (moves.empty()) {
+      result.converged = true;
+      break;
+    }
+    std::unordered_map<CommunityId, CommunityId> relabel(moves.begin(),
+                                                         moves.end());
+    partition.Relabel(relabel);
+    ++result.iterations;
+    result.communities_per_iteration.push_back(partition.NumCommunities());
+    result.modularity_per_iteration.push_back(partition.TotalModularity(ctx));
+  }
+
+  result.assignment.resize(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    result.assignment[v] = partition.CommunityOf(v);
+  }
+
+  if (options.meter != nullptr) {
+    options.meter->AddTime("Clustering", timer.ElapsedSeconds());
+    options.meter->AddIO("Clustering", g.SizeBytes(),
+                         result.assignment.size() * 8);
+    options.meter->AddRows("Clustering", g.num_edges(),
+                           partition.NumCommunities());
+    options.meter->SetParallelism(
+        "Clustering",
+        options.pool != nullptr ? options.num_partitions : 1);
+  }
+  return result;
+}
+
+}  // namespace esharp::community

@@ -1,0 +1,78 @@
+#ifndef ESHARP_COMMUNITY_PARALLEL_CD_H_
+#define ESHARP_COMMUNITY_PARALLEL_CD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "community/modularity.h"
+#include "graph/graph.h"
+
+namespace esharp::community {
+
+/// \brief Result of one detection run.
+struct DetectionResult {
+  /// Final community of each vertex.
+  std::vector<CommunityId> assignment;
+  /// Number of communities after each iteration; index 0 is the singleton
+  /// initialization. This series is Fig. 5.
+  std::vector<size_t> communities_per_iteration;
+  /// Total modularity after each iteration (same indexing).
+  std::vector<double> modularity_per_iteration;
+  /// Iterations executed before convergence or the cap.
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Options of the parallel community detection (§4.2.2-4.2.3).
+struct ParallelCdOptions {
+  /// Hard cap on iterations (the paper converges in ~6, Fig. 5).
+  size_t max_iterations = 30;
+  /// Optional pool for the per-community best-neighbor scan.
+  ThreadPool* pool = nullptr;
+  size_t num_partitions = 8;
+  /// Optional Table 9 accounting (stage "Clustering").
+  ResourceMeter* meter = nullptr;
+  /// Optional warm start: initial community per vertex (one entry per
+  /// vertex; community ids must be vertex ids for the deterministic
+  /// min-rename rule to apply — use the smallest member's id as the name).
+  /// The weekly refresh uses last week's communities here, cutting the
+  /// number of merge iterations the fresh run needs.
+  const std::vector<CommunityId>* warm_start = nullptr;
+};
+
+/// \brief The paper's parallel modularity-maximization heuristic, native
+/// in-memory implementation.
+///
+/// Each iteration performs the three steps of §4.2.2 / Fig. 3:
+///  1. *Neighborhood creation* — for every pair of connected communities,
+///     compute the merge gain DeltaMod (Eq. 8); positive-gain pairs form
+///     neighborhoods.
+///  2. *Neighborhood separation* — every community keeps only its closest
+///     neighborhood: the neighbor with the largest gain (argmax), ties
+///     broken toward the smaller community id for determinism.
+///  3. *Aggregation* — each community c renames itself min(c, best(c)); a
+///     community with no positive-gain neighbor keeps its name. Mutual best
+///     pairs therefore collapse onto the smaller id, and chains contract by
+///     one link per iteration — the same fixpoint cascade the SQL version
+///     produces by rewriting its Communities table.
+///
+/// Iteration stops when no rename happens or `max_iterations` is reached.
+/// The result is deterministic and identical (up to community naming) to
+/// SqlCommunityDetection on the same graph.
+Result<DetectionResult> DetectCommunitiesParallel(
+    const graph::Graph& g, const ParallelCdOptions& options = {});
+
+/// \brief Computes, for every community, its best positive-gain neighbor.
+/// Exposed for tests and for the SQL-equivalence harness: returns pairs
+/// (community, chosen-target) where target = min(self, argmax-gain
+/// neighbor); communities with no positive-gain neighbor are omitted.
+std::vector<std::pair<CommunityId, CommunityId>> BestMergeTargets(
+    const Partition& partition, const ModularityContext& ctx,
+    ThreadPool* pool, size_t num_partitions);
+
+}  // namespace esharp::community
+
+#endif  // ESHARP_COMMUNITY_PARALLEL_CD_H_

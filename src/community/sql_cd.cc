@@ -1,0 +1,264 @@
+#include "community/sql_cd.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "sqlengine/catalog.h"
+
+namespace esharp::community {
+
+namespace sqlns = esharp::sql;
+
+std::string SqlVertexName(graph::VertexId v) {
+  return StrFormat("v%09u", v);
+}
+
+namespace {
+
+// graph(query1, query2, distance): both directions of every edge.
+sqlns::Table BuildGraphTable(const graph::Graph& g) {
+  sqlns::TableBuilder b({{"query1", sqlns::DataType::kString},
+                         {"query2", sqlns::DataType::kString},
+                         {"distance", sqlns::DataType::kDouble}});
+  for (const graph::Edge& e : g.edges()) {
+    b.AddRow({sqlns::Value::String(SqlVertexName(e.u)),
+              sqlns::Value::String(SqlVertexName(e.v)),
+              sqlns::Value::Double(e.weight)});
+    b.AddRow({sqlns::Value::String(SqlVertexName(e.v)),
+              sqlns::Value::String(SqlVertexName(e.u)),
+              sqlns::Value::Double(e.weight)});
+  }
+  return b.Build();
+}
+
+// communities(comm_name, query): singleton initialization.
+sqlns::Table BuildInitialCommunities(const graph::Graph& g) {
+  sqlns::TableBuilder b({{"comm_name", sqlns::DataType::kString},
+                         {"query", sqlns::DataType::kString}});
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    b.AddRow({sqlns::Value::String(SqlVertexName(v)),
+              sqlns::Value::String(SqlVertexName(v))});
+  }
+  return b.Build();
+}
+
+}  // namespace
+
+Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
+                                             const SqlCdOptions& options) {
+  if (g.num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  Timer timer;
+  DetectionResult result;
+
+  sqlns::Catalog catalog;
+  catalog.Register("graph", BuildGraphTable(g));
+  catalog.Register("communities", BuildInitialCommunities(g));
+
+  sqlns::ExecutorOptions exec_options;
+  exec_options.pool = options.pool;
+  exec_options.num_partitions = options.num_partitions;
+  exec_options.join_strategy = options.join_strategy;
+  exec_options.meter = options.meter;
+  exec_options.stage = "Clustering";
+  sqlns::Executor executor(exec_options);
+
+  const double total_weight = g.TotalWeight();
+
+  // ModulGain(d1, d2, w) = w - d1*d2 / (2 m_G): Eq. 8/9 as a scalar UDF,
+  // exactly the role ModulGain plays in Fig. 4.
+  sqlns::ScalarUdf modul_gain =
+      [total_weight](const std::vector<sqlns::Value>& args)
+      -> Result<sqlns::Value> {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("ModulGain expects 3 arguments");
+    }
+    ESHARP_ASSIGN_OR_RETURN(double d1, args[0].AsDouble());
+    ESHARP_ASSIGN_OR_RETURN(double d2, args[1].AsDouble());
+    ESHARP_ASSIGN_OR_RETURN(double w, args[2].AsDouble());
+    return sqlns::Value::Double(w - d1 * d2 / (2.0 * total_weight));
+  };
+
+  // LEAST(candidate, self): candidate is NULL for communities with no
+  // positive-gain neighbor (left outer join miss) — keep self then.
+  sqlns::ScalarUdf least = [](const std::vector<sqlns::Value>& args)
+      -> Result<sqlns::Value> {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("LEAST expects 2 arguments");
+    }
+    if (args[0].is_null()) return args[1];
+    if (args[1].is_null()) return args[0];
+    return args[0].Compare(args[1]) <= 0 ? args[0] : args[1];
+  };
+
+  auto count_communities = [&]() -> Result<size_t> {
+    sqlns::Plan plan = sqlns::Plan::Scan("communities")
+                           .GroupBy({"comm_name"}, {sqlns::CountStar("n")});
+    ESHARP_ASSIGN_OR_RETURN(sqlns::Table t, executor.Execute(plan, catalog));
+    return t.num_rows();
+  };
+
+  auto total_modularity = [&]() -> Result<double> {
+    // Degree sums and internal weights per community, via the edge table.
+    using namespace sqlns;
+    Plan edges_c =
+        Plan::Scan("graph")
+            .Join(Plan::Scan("communities"), {"query1"}, {"query"})
+            .Join(Plan::Scan("communities"), {"query2"}, {"query"})
+            .Select({{Col("comm_name"), "comm1"},
+                     {Col("r_comm_name"), "comm2"},
+                     {Col("distance"), "w"}});
+    ESHARP_ASSIGN_OR_RETURN(Table t, executor.Execute(edges_c, catalog));
+    // Sum per community: degree = all incident directed rows; internal =
+    // rows with comm1 == comm2 (each internal undirected edge appears twice,
+    // so halve).
+    std::unordered_map<std::string, double> degree, internal;
+    ESHARP_ASSIGN_OR_RETURN(size_t c1, t.schema().IndexOf("comm1"));
+    ESHARP_ASSIGN_OR_RETURN(size_t c2, t.schema().IndexOf("comm2"));
+    ESHARP_ASSIGN_OR_RETURN(size_t cw, t.schema().IndexOf("w"));
+    for (const Row& r : t.rows()) {
+      double w = r[cw].double_value();
+      degree[r[c1].string_value()] += w;
+      if (r[c1].string_value() == r[c2].string_value()) {
+        internal[r[c1].string_value()] += w / 2.0;
+      }
+    }
+    double mod = 0;
+    for (const auto& [c, d] : degree) {
+      double frac = d / (2.0 * total_weight);
+      double internal_w = internal.count(c) ? internal.at(c) : 0.0;
+      mod += internal_w - total_weight * frac * frac;
+    }
+    return mod;
+  };
+
+  ESHARP_ASSIGN_OR_RETURN(size_t count0, count_communities());
+  result.communities_per_iteration.push_back(count0);
+  ESHARP_ASSIGN_OR_RETURN(double mod0, total_modularity());
+  result.modularity_per_iteration.push_back(mod0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    using namespace sqlns;
+
+    // --- Step 0: map both edge endpoints to communities. -----------------
+    // select c1.comm_name comm1, c2.comm_name comm2, distance
+    // from graph join communities c1 on query1 join communities c2 on query2
+    Plan edges_c =
+        Plan::Scan("graph")
+            .Join(Plan::Scan("communities"), {"query1"}, {"query"})
+            .Join(Plan::Scan("communities"), {"query2"}, {"query"})
+            .Select({{Col("comm_name"), "comm1"},
+                     {Col("r_comm_name"), "comm2"},
+                     {Col("distance"), "w"}});
+
+    // Community degree sums (internal edges count; the symmetric table
+    // already double-counts directions, which is what degree needs).
+    Plan degrees = edges_c.GroupBy({"comm1"}, {SumOf(Col("w"), "degree")})
+                       .Select({{Col("comm1"), "comm"},
+                                {Col("degree"), "degree"}});
+
+    // Inter-community weights (both directions kept; argmax is symmetric).
+    Plan between = edges_c.Where(Ne(Col("comm1"), Col("comm2")))
+                       .GroupBy({"comm1", "comm2"}, {SumOf(Col("w"), "w12")});
+
+    // --- Step 1: neighborhood creation (Fig. 4 "neighbors"). -------------
+    // join degrees twice, keep ModulGain > 0.
+    Plan neighbors =
+        between.Join(degrees, {"comm1"}, {"comm"})
+            .Join(degrees, {"comm2"}, {"comm"})
+            .Select({{Col("comm1"), "comm1"},
+                     {Col("comm2"), "comm2"},
+                     {Udf("ModulGain", modul_gain,
+                          {Col("degree"), Col("r_degree"), Col("w12")}),
+                      "gain"}})
+            .Where(Gt(Col("gain"), LitDouble(0.0)));
+
+    // --- Step 2: neighborhood separation (Fig. 4 "partitions"). ----------
+    // select comm1, argmax(gain, comm2) from neighbors group by comm1.
+    Plan partitions =
+        neighbors.GroupBy({"comm1"},
+                          {ArgMaxOf(Col("gain"), Col("comm2"), "best")});
+
+    // --- Step 3: aggregation (Fig. 4 "communities"). ----------------------
+    // Every community renames itself LEAST(self, chosen target); vertices
+    // follow their community. Left-outer join keeps communities without a
+    // positive-gain neighbor.
+    ESHARP_ASSIGN_OR_RETURN(Table partitions_table,
+                            executor.Execute(partitions, catalog));
+    Plan renamed =
+        Plan::Scan("communities")
+            .Join(Plan::Values(partitions_table), {"comm_name"}, {"comm1"},
+                  JoinType::kLeftOuter)
+            .Select({{Udf("LEAST", least, {Col("best"), Col("comm_name")}),
+                      "comm_name"},
+                     {Col("query"), "query"}});
+
+    ESHARP_ASSIGN_OR_RETURN(Table new_communities,
+                            executor.Execute(renamed, catalog));
+
+    // Convergence: did any membership change?
+    ESHARP_ASSIGN_OR_RETURN(const Table* old_communities,
+                            catalog.Get("communities"));
+    Table sorted_old = *old_communities;
+    Table sorted_new = new_communities;
+    sorted_old.SortLexicographic();
+    sorted_new.SortLexicographic();
+    bool changed = sorted_old.num_rows() != sorted_new.num_rows();
+    if (!changed) {
+      for (size_t i = 0; i < sorted_old.num_rows() && !changed; ++i) {
+        for (size_t c = 0; c < sorted_old.num_columns() && !changed; ++c) {
+          changed = sorted_old.row(i)[c].Compare(sorted_new.row(i)[c]) != 0;
+        }
+      }
+    }
+
+    catalog.Register("communities", std::move(new_communities));
+
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    ++result.iterations;
+    ESHARP_ASSIGN_OR_RETURN(size_t count, count_communities());
+    result.communities_per_iteration.push_back(count);
+    ESHARP_ASSIGN_OR_RETURN(double mod, total_modularity());
+    result.modularity_per_iteration.push_back(mod);
+  }
+
+  // Decode the final communities table into the dense assignment vector.
+  ESHARP_ASSIGN_OR_RETURN(const sqlns::Table* final_table,
+                          catalog.Get("communities"));
+  result.assignment.assign(g.num_vertices(), 0);
+  ESHARP_ASSIGN_OR_RETURN(size_t comm_idx,
+                          final_table->schema().IndexOf("comm_name"));
+  ESHARP_ASSIGN_OR_RETURN(size_t query_idx,
+                          final_table->schema().IndexOf("query"));
+  for (const sqlns::Row& r : final_table->rows()) {
+    // Names are "v%09u": parse back to ids.
+    const std::string& comm = r[comm_idx].string_value();
+    const std::string& query = r[query_idx].string_value();
+    graph::VertexId vertex =
+        static_cast<graph::VertexId>(std::stoul(query.substr(1)));
+    CommunityId community =
+        static_cast<CommunityId>(std::stoul(comm.substr(1)));
+    if (vertex >= g.num_vertices()) {
+      return Status::Internal("vertex name out of range: ", query);
+    }
+    result.assignment[vertex] = community;
+  }
+
+  if (options.meter != nullptr) {
+    options.meter->AddTime("Clustering", timer.ElapsedSeconds());
+    ESHARP_ASSIGN_OR_RETURN(const sqlns::Table* graph_table,
+                            catalog.Get("graph"));
+    options.meter->AddIO("Clustering", graph_table->SizeBytes(),
+                         final_table->SizeBytes());
+    options.meter->SetParallelism(
+        "Clustering", options.pool != nullptr ? options.num_partitions : 1);
+  }
+  return result;
+}
+
+}  // namespace esharp::community

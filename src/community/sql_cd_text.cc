@@ -1,0 +1,219 @@
+#include "community/sql_cd.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "sqlengine/parser.h"
+
+namespace esharp::community {
+
+namespace sqlns = esharp::sql;
+
+namespace {
+
+// The algorithm of Fig. 4, written as the SQL a SCOPE/Hive deployment would
+// actually submit. The driver chains the statements by registering each
+// result under its name, exactly like a multi-statement script.
+constexpr const char* kDegreesSql = R"sql(
+    SELECT c1.comm_name AS comm, sum(graph.distance) AS degree
+    FROM graph
+    INNER JOIN communities c1 ON graph.query1 = c1.query
+    GROUP BY c1.comm_name
+)sql";
+
+constexpr const char* kNeighborsSql = R"sql(
+    SELECT b.comm1 AS comm1, b.comm2 AS comm2,
+           modulgain(d1.degree, d2.degree, b.w12) AS gain
+    FROM (SELECT c1.comm_name AS comm1, c2.comm_name AS comm2,
+                 sum(graph.distance) AS w12
+          FROM graph
+          INNER JOIN communities c1 ON graph.query1 = c1.query
+          INNER JOIN communities c2 ON graph.query2 = c2.query
+          WHERE c1.comm_name <> c2.comm_name
+          GROUP BY c1.comm_name, c2.comm_name) b
+    INNER JOIN degrees d1 ON b.comm1 = d1.comm
+    INNER JOIN degrees d2 ON b.comm2 = d2.comm
+    WHERE modulgain(d1.degree, d2.degree, b.w12) > 0
+)sql";
+
+constexpr const char* kPartitionsSql = R"sql(
+    SELECT comm1, argmax(gain, comm2) AS best
+    FROM neighbors
+    GROUP BY comm1
+)sql";
+
+constexpr const char* kRenameSql = R"sql(
+    SELECT least(p.best, c.comm_name) AS comm_name, c.query AS query
+    FROM communities c
+    LEFT OUTER JOIN partitions p ON c.comm_name = p.comm1
+)sql";
+
+constexpr const char* kCountSql = R"sql(
+    SELECT comm_name, count(*) AS n FROM communities GROUP BY comm_name
+)sql";
+
+// Decodes the communities(comm_name, query) table into a dense assignment
+// vector (names are SqlVertexName-padded ids).
+Result<std::vector<CommunityId>> DecodeAssignment(const sqlns::Table& table,
+                                                  size_t num_vertices) {
+  std::vector<CommunityId> assignment(num_vertices, 0);
+  ESHARP_ASSIGN_OR_RETURN(size_t comm_idx, table.schema().IndexOf("comm_name"));
+  ESHARP_ASSIGN_OR_RETURN(size_t query_idx, table.schema().IndexOf("query"));
+  for (const sqlns::Row& r : table.rows()) {
+    graph::VertexId vertex = static_cast<graph::VertexId>(
+        std::stoul(r[query_idx].string_value().substr(1)));
+    if (vertex >= num_vertices) {
+      return Status::Internal("vertex out of range in communities table");
+    }
+    assignment[vertex] = static_cast<CommunityId>(
+        std::stoul(r[comm_idx].string_value().substr(1)));
+  }
+  return assignment;
+}
+
+}  // namespace
+
+Result<DetectionResult> DetectCommunitiesSqlText(const graph::Graph& g,
+                                                 const SqlCdOptions& options) {
+  if (g.num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  Timer timer;
+
+  // Base tables in the paper's schema.
+  sqlns::Catalog catalog;
+  {
+    sqlns::TableBuilder graph_builder({{"query1", sqlns::DataType::kString},
+                                       {"query2", sqlns::DataType::kString},
+                                       {"distance", sqlns::DataType::kDouble}});
+    for (const graph::Edge& e : g.edges()) {
+      graph_builder.AddRow({sqlns::Value::String(SqlVertexName(e.u)),
+                            sqlns::Value::String(SqlVertexName(e.v)),
+                            sqlns::Value::Double(e.weight)});
+      graph_builder.AddRow({sqlns::Value::String(SqlVertexName(e.v)),
+                            sqlns::Value::String(SqlVertexName(e.u)),
+                            sqlns::Value::Double(e.weight)});
+    }
+    catalog.Register("graph", graph_builder.Build());
+    sqlns::TableBuilder comm_builder({{"comm_name", sqlns::DataType::kString},
+                                      {"query", sqlns::DataType::kString}});
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      comm_builder.AddRow({sqlns::Value::String(SqlVertexName(v)),
+                           sqlns::Value::String(SqlVertexName(v))});
+    }
+    catalog.Register("communities", comm_builder.Build());
+  }
+
+  const double total_weight = g.TotalWeight();
+  sqlns::FunctionRegistry registry;
+  registry.RegisterScalar(
+      "modulgain",
+      [total_weight](const std::vector<sqlns::Value>& args)
+          -> Result<sqlns::Value> {
+        if (args.size() != 3) {
+          return Status::InvalidArgument("modulgain expects 3 arguments");
+        }
+        ESHARP_ASSIGN_OR_RETURN(double d1, args[0].AsDouble());
+        ESHARP_ASSIGN_OR_RETURN(double d2, args[1].AsDouble());
+        ESHARP_ASSIGN_OR_RETURN(double w, args[2].AsDouble());
+        return sqlns::Value::Double(w - d1 * d2 / (2.0 * total_weight));
+      });
+  registry.RegisterScalar(
+      "least",
+      [](const std::vector<sqlns::Value>& args) -> Result<sqlns::Value> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("least expects 2 arguments");
+        }
+        if (args[0].is_null()) return args[1];
+        if (args[1].is_null()) return args[0];
+        return args[0].Compare(args[1]) <= 0 ? args[0] : args[1];
+      });
+
+  sqlns::ExecutorOptions exec_options;
+  exec_options.pool = options.pool;
+  exec_options.num_partitions = options.num_partitions;
+  exec_options.join_strategy = options.join_strategy;
+  exec_options.meter = options.meter;
+  exec_options.stage = "Clustering";
+
+  auto run = [&](const char* sql) {
+    return sqlns::ExecuteSql(sql, catalog, registry, exec_options);
+  };
+
+  DetectionResult result;
+  ModularityContext ctx(g);
+  auto record_state = [&]() -> Status {
+    ESHARP_ASSIGN_OR_RETURN(sqlns::Table counts, run(kCountSql));
+    result.communities_per_iteration.push_back(counts.num_rows());
+    ESHARP_ASSIGN_OR_RETURN(const sqlns::Table* communities,
+                            catalog.Get("communities"));
+    ESHARP_ASSIGN_OR_RETURN(std::vector<CommunityId> assignment,
+                            DecodeAssignment(*communities, g.num_vertices()));
+    Partition partition(g);
+    std::unordered_map<CommunityId, CommunityId> relabel;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      relabel[static_cast<CommunityId>(v)] = assignment[v];
+    }
+    partition.Relabel(relabel);
+    result.modularity_per_iteration.push_back(partition.TotalModularity(ctx));
+    return Status::OK();
+  };
+
+  if (g.num_edges() == 0) {
+    result.assignment.resize(g.num_vertices());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      result.assignment[v] = static_cast<CommunityId>(v);
+    }
+    result.communities_per_iteration = {g.num_vertices()};
+    result.modularity_per_iteration = {0.0};
+    result.converged = true;
+    return result;
+  }
+
+  ESHARP_RETURN_NOT_OK(record_state());
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ESHARP_ASSIGN_OR_RETURN(sqlns::Table degrees, run(kDegreesSql));
+    catalog.Register("degrees", std::move(degrees));
+    ESHARP_ASSIGN_OR_RETURN(sqlns::Table neighbors, run(kNeighborsSql));
+    catalog.Register("neighbors", std::move(neighbors));
+    ESHARP_ASSIGN_OR_RETURN(sqlns::Table partitions, run(kPartitionsSql));
+    catalog.Register("partitions", std::move(partitions));
+    ESHARP_ASSIGN_OR_RETURN(sqlns::Table renamed, run(kRenameSql));
+
+    ESHARP_ASSIGN_OR_RETURN(const sqlns::Table* previous,
+                            catalog.Get("communities"));
+    sqlns::Table sorted_old = *previous;
+    sqlns::Table sorted_new = renamed;
+    sorted_old.SortLexicographic();
+    sorted_new.SortLexicographic();
+    bool changed = sorted_old.num_rows() != sorted_new.num_rows();
+    for (size_t i = 0; i < sorted_old.num_rows() && !changed; ++i) {
+      for (size_t c = 0; c < sorted_old.num_columns() && !changed; ++c) {
+        changed = sorted_old.row(i)[c].Compare(sorted_new.row(i)[c]) != 0;
+      }
+    }
+    catalog.Register("communities", std::move(renamed));
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    ++result.iterations;
+    ESHARP_RETURN_NOT_OK(record_state());
+  }
+
+  ESHARP_ASSIGN_OR_RETURN(const sqlns::Table* final_table,
+                          catalog.Get("communities"));
+  ESHARP_ASSIGN_OR_RETURN(result.assignment,
+                          DecodeAssignment(*final_table, g.num_vertices()));
+
+  if (options.meter != nullptr) {
+    options.meter->AddTime("Clustering", timer.ElapsedSeconds());
+    options.meter->SetParallelism(
+        "Clustering", options.pool != nullptr ? options.num_partitions : 1);
+  }
+  return result;
+}
+
+}  // namespace esharp::community

@@ -1,0 +1,173 @@
+#include "community/store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace esharp::community {
+
+CommunityStore CommunityStore::Build(
+    const graph::Graph& g, const std::vector<CommunityId>& assignment) {
+  CommunityStore store;
+  // Dense-index the community ids in first-seen order of vertex id, so the
+  // store is stable across naming schemes (native ids vs SQL names).
+  std::unordered_map<CommunityId, size_t> dense;
+  for (graph::VertexId v = 0; v < assignment.size(); ++v) {
+    CommunityId c = assignment[v];
+    auto it = dense.find(c);
+    size_t index;
+    if (it == dense.end()) {
+      index = store.communities_.size();
+      dense.emplace(c, index);
+      store.communities_.push_back(
+          Community{static_cast<CommunityId>(index), {}});
+    } else {
+      index = it->second;
+    }
+    const std::string& term = g.label(v);
+    store.communities_[index].terms.push_back(term);
+    store.term_index_.emplace(ToLowerAscii(term), index);
+  }
+  for (const graph::Edge& e : g.edges()) {
+    size_t a = dense.at(assignment[e.u]);
+    size_t b = dense.at(assignment[e.v]);
+    if (a == b) continue;
+    uint64_t key = Partition::PairKey(static_cast<CommunityId>(a),
+                                      static_cast<CommunityId>(b));
+    store.inter_weight_[key] += e.weight;
+  }
+  return store;
+}
+
+Result<const Community*> CommunityStore::Find(const std::string& term) const {
+  auto it = term_index_.find(ToLowerAscii(term));
+  if (it == term_index_.end()) {
+    return Status::NotFound("term '", term, "' matches no community");
+  }
+  return &communities_[it->second];
+}
+
+SizeHistogram CommunityStore::ComputeSizeHistogram() const {
+  SizeHistogram h;
+  for (const Community& c : communities_) {
+    size_t n = c.terms.size();
+    if (n <= 1) {
+      ++h.orphans;
+    } else if (n <= 10) {
+      ++h.small;
+    } else if (n <= 50) {
+      ++h.medium;
+    } else {
+      ++h.large;
+    }
+  }
+  return h;
+}
+
+std::vector<std::pair<size_t, double>> CommunityStore::ClosestCommunities(
+    size_t index, size_t k) const {
+  std::vector<std::pair<size_t, double>> scored;
+  for (const auto& [key, w] : inter_weight_) {
+    size_t a = static_cast<size_t>(key >> 32);
+    size_t b = static_cast<size_t>(key & 0xFFFFFFFFu);
+    if (a == index) scored.emplace_back(b, w);
+    if (b == index) scored.emplace_back(a, w);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second > y.second;
+    return x.first < y.first;
+  });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+Result<const Community*> CommunityStore::FindPhrase(
+    const std::string& query) const {
+  std::vector<std::string> needle = SplitWhitespace(ToLowerAscii(query));
+  if (needle.empty()) return Status::InvalidArgument("empty query");
+  const Community* best = nullptr;
+  size_t best_len = SIZE_MAX;
+  for (const Community& c : communities_) {
+    for (const std::string& term : c.terms) {
+      std::vector<std::string> hay = SplitWhitespace(ToLowerAscii(term));
+      if (hay.size() < needle.size() || hay.size() >= best_len) continue;
+      if (ContainsPhrase(hay, needle)) {
+        best = &c;
+        best_len = hay.size();
+      }
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no community term contains phrase '", query,
+                            "'");
+  }
+  return best;
+}
+
+std::string CommunityStore::SerializeTsv() const {
+  std::string out;
+  for (size_t i = 0; i < communities_.size(); ++i) {
+    for (const std::string& term : communities_[i].terms) {
+      out += StrFormat("t\t%zu\t", i);
+      out += term;
+      out += '\n';
+    }
+  }
+  for (const auto& [key, w] : inter_weight_) {
+    out += StrFormat("w\t%u\t%u\t%.17g\n",
+                     static_cast<uint32_t>(key >> 32),
+                     static_cast<uint32_t>(key & 0xFFFFFFFFu), w);
+  }
+  return out;
+}
+
+Result<CommunityStore> CommunityStore::ParseTsv(const std::string& tsv) {
+  CommunityStore store;
+  for (const std::string& line : SplitChar(tsv, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitChar(line, '\t');
+    if (fields[0] == "t") {
+      if (fields.size() != 3) {
+        return Status::IOError("malformed term line: '", line, "'");
+      }
+      size_t index = 0;
+      try {
+        index = std::stoul(fields[1]);
+      } catch (const std::exception&) {
+        return Status::IOError("bad community index in '", line, "'");
+      }
+      while (store.communities_.size() <= index) {
+        store.communities_.push_back(
+            Community{static_cast<CommunityId>(store.communities_.size()),
+                      {}});
+      }
+      store.communities_[index].terms.push_back(fields[2]);
+      store.term_index_.emplace(ToLowerAscii(fields[2]), index);
+    } else if (fields[0] == "w") {
+      if (fields.size() != 4) {
+        return Status::IOError("malformed weight line: '", line, "'");
+      }
+      try {
+        CommunityId a = static_cast<CommunityId>(std::stoul(fields[1]));
+        CommunityId b = static_cast<CommunityId>(std::stoul(fields[2]));
+        store.inter_weight_[Partition::PairKey(a, b)] = std::stod(fields[3]);
+      } catch (const std::exception&) {
+        return Status::IOError("bad weight line: '", line, "'");
+      }
+    } else {
+      return Status::IOError("unknown record type in '", line, "'");
+    }
+  }
+  return store;
+}
+
+uint64_t CommunityStore::SizeBytes() const {
+  uint64_t total = 0;
+  for (const Community& c : communities_) {
+    for (const std::string& t : c.terms) total += t.size() + 8;
+  }
+  return total;
+}
+
+}  // namespace esharp::community

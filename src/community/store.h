@@ -1,0 +1,90 @@
+#ifndef ESHARP_COMMUNITY_STORE_H_
+#define ESHARP_COMMUNITY_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "community/modularity.h"
+#include "graph/graph.h"
+
+namespace esharp::community {
+
+/// \brief One detected expertise domain: a community of related query terms.
+struct Community {
+  CommunityId id = 0;
+  /// Member query strings (lower-cased, as they appear in the log).
+  std::vector<std::string> terms;
+};
+
+/// \brief Histogram of community sizes in the paper's Fig. 6 buckets.
+struct SizeHistogram {
+  size_t orphans = 0;        // exactly 1 query
+  size_t small = 0;          // 2 to 10
+  size_t medium = 0;         // 11 to 50
+  size_t large = 0;          // more than 50
+  size_t total() const { return orphans + small + medium + large; }
+};
+
+/// \brief The indexed collection of expertise domains produced by the
+/// offline stage ("We store and index it in SQL Server 2014, which allows
+/// us to query it in a few milliseconds", §6.3). Lookup is exact match on
+/// the lower-cased term, per §5.
+class CommunityStore {
+ public:
+  /// Assembles the store from a graph and a detection assignment. Also
+  /// records inter-community edge weights so the closest communities of a
+  /// domain can be listed (Fig. 7).
+  static CommunityStore Build(const graph::Graph& g,
+                              const std::vector<CommunityId>& assignment);
+
+  size_t num_communities() const { return communities_.size(); }
+  const std::vector<Community>& communities() const { return communities_; }
+  const Community& community(size_t index) const {
+    return communities_[index];
+  }
+
+  /// Exact-match lookup of the community containing `term` (lower-cased
+  /// internally). NotFound if the term was never seen in the log.
+  Result<const Community*> Find(const std::string& term) const;
+
+  /// Fig. 6: distribution of community sizes.
+  SizeHistogram ComputeSizeHistogram() const;
+
+  /// Fig. 7: the k communities most strongly connected to the one at
+  /// `index`, by total inter-community edge weight, strongest first.
+  std::vector<std::pair<size_t, double>> ClosestCommunities(size_t index,
+                                                            size_t k) const;
+
+  /// Phrase lookup fallback (§5's "contains the query terms exactly and in
+  /// order"): finds the community owning a term that contains the query as
+  /// a contiguous, ordered token sequence. Among multiple containing terms,
+  /// the shortest (most specific) wins; ties break toward the smaller
+  /// community index. Slower than Find (linear scan) — the online stage
+  /// only reaches for it when the exact match misses.
+  Result<const Community*> FindPhrase(const std::string& query) const;
+
+  /// Serializes the collection to a TSV text form ("t<TAB>index<TAB>term"
+  /// and "w<TAB>a<TAB>b<TAB>weight" lines) — the artifact the weekly
+  /// offline job would publish and SQL Server would index (§6.3).
+  std::string SerializeTsv() const;
+
+  /// Parses the TSV form back into a store.
+  static Result<CommunityStore> ParseTsv(const std::string& tsv);
+
+  /// Approximate serialized size (Table 9 reports ~100 MB for the real
+  /// collection).
+  uint64_t SizeBytes() const;
+
+ private:
+  std::vector<Community> communities_;
+  /// term -> index into communities_.
+  std::unordered_map<std::string, size_t> term_index_;
+  /// (indexA, indexB) with A < B -> inter weight.
+  std::unordered_map<uint64_t, double> inter_weight_;
+};
+
+}  // namespace esharp::community
+
+#endif  // ESHARP_COMMUNITY_STORE_H_

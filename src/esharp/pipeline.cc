@@ -1,0 +1,86 @@
+#include "esharp/pipeline.h"
+
+#include <unordered_map>
+
+#include "community/parallel_cd.h"
+#include "community/sql_cd.h"
+
+namespace esharp::core {
+
+std::vector<community::CommunityId> WarmStartFromStore(
+    const graph::Graph& g, const community::CommunityStore& previous) {
+  const community::CommunityId kUnmapped =
+      static_cast<community::CommunityId>(-1);
+  // Old community index -> smallest new vertex id in that group.
+  std::unordered_map<size_t, graph::VertexId> group_name;
+  std::vector<size_t> old_group(g.num_vertices(), SIZE_MAX);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto found = previous.Find(g.label(v));
+    if (!found.ok()) continue;
+    size_t index = static_cast<size_t>((*found)->id);
+    old_group[v] = index;
+    auto it = group_name.find(index);
+    if (it == group_name.end() || v < it->second) group_name[index] = v;
+  }
+  std::vector<community::CommunityId> assignment(g.num_vertices(), kUnmapped);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    assignment[v] = old_group[v] == SIZE_MAX
+                        ? static_cast<community::CommunityId>(v)
+                        : static_cast<community::CommunityId>(
+                              group_name.at(old_group[v]));
+  }
+  return assignment;
+}
+
+Result<OfflineArtifacts> RunOfflinePipeline(const querylog::QueryLog& log,
+                                            const OfflineOptions& options) {
+  // ---- Extraction (§4.1): click vectors -> similarity graph. -------------
+  graph::SimilarityGraphOptions extraction = options.extraction;
+  extraction.pool = options.pool;
+  extraction.num_partitions = options.num_partitions;
+  extraction.meter = options.meter;
+  ESHARP_ASSIGN_OR_RETURN(graph::Graph g, BuildSimilarityGraph(log, extraction));
+
+  if (g.num_vertices() == 0) {
+    return Status::FailedPrecondition(
+        "no query survived the min-count filter; lower min_query_count");
+  }
+
+  // ---- Clustering (§4.2): modularity maximization. ------------------------
+  community::DetectionResult detection;
+  std::vector<community::CommunityId> warm_start;
+  switch (options.backend) {
+    case ClusteringBackend::kParallelNative: {
+      community::ParallelCdOptions cd;
+      cd.max_iterations = options.max_iterations;
+      cd.pool = options.pool;
+      cd.num_partitions = options.num_partitions;
+      cd.meter = options.meter;
+      if (options.previous_store != nullptr) {
+        warm_start = WarmStartFromStore(g, *options.previous_store);
+        cd.warm_start = &warm_start;
+      }
+      ESHARP_ASSIGN_OR_RETURN(detection,
+                              DetectCommunitiesParallel(g, cd));
+      break;
+    }
+    case ClusteringBackend::kSqlEngine: {
+      community::SqlCdOptions cd;
+      cd.max_iterations = options.max_iterations;
+      cd.pool = options.pool;
+      cd.num_partitions = options.num_partitions;
+      cd.meter = options.meter;
+      ESHARP_ASSIGN_OR_RETURN(detection, DetectCommunitiesSql(g, cd));
+      break;
+    }
+  }
+
+  OfflineArtifacts artifacts;
+  artifacts.communities_per_iteration = detection.communities_per_iteration;
+  artifacts.modularity_per_iteration = detection.modularity_per_iteration;
+  artifacts.store = community::CommunityStore::Build(g, detection.assignment);
+  artifacts.similarity_graph = std::move(g);
+  return artifacts;
+}
+
+}  // namespace esharp::core

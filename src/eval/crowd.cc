@@ -1,0 +1,41 @@
+#include "eval/crowd.h"
+
+namespace esharp::eval {
+
+bool IsRelevant(const microblog::TweetCorpus& corpus, microblog::UserId user,
+                querylog::DomainId query_domain) {
+  if (query_domain == querylog::kNoDomain) return false;
+  const microblog::UserProfile& profile = corpus.user(user);
+  return profile.kind == microblog::AccountKind::kExpert &&
+         profile.domain == query_domain;
+}
+
+std::vector<JudgedExpert> SimulatedCrowd::Judge(
+    const microblog::TweetCorpus& corpus, querylog::DomainId query_domain,
+    const std::vector<expert::RankedExpert>& experts) {
+  std::vector<JudgedExpert> out;
+  out.reserve(experts.size());
+  for (const expert::RankedExpert& e : experts) {
+    JudgedExpert j;
+    j.user = e.user;
+    j.relevant_truth = IsRelevant(corpus, e.user, query_domain);
+    size_t votes_non_expert = 0;
+    size_t votes_cast = 0;
+    for (size_t w = 0; w < options_.workers_per_expert; ++w) {
+      if (rng_.Bernoulli(options_.skip_probability)) continue;
+      ++votes_cast;
+      bool correct = rng_.Bernoulli(j.relevant_truth
+                                        ? options_.accuracy_on_experts
+                                        : options_.accuracy_on_nonexperts);
+      bool flags_non_expert = correct ? !j.relevant_truth : j.relevant_truth;
+      if (flags_non_expert) ++votes_non_expert;
+    }
+    // Majority flags -> excluded; ties and abstention-heavy cases keep the
+    // account (the task was to *exclude* clear non-experts).
+    j.judged_relevant = !(votes_cast > 0 && 2 * votes_non_expert > votes_cast);
+    out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace esharp::eval

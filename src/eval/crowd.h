@@ -1,0 +1,68 @@
+#ifndef ESHARP_EVAL_CROWD_H_
+#define ESHARP_EVAL_CROWD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "expert/detector.h"
+#include "microblog/corpus.h"
+#include "querylog/universe.h"
+
+namespace esharp::eval {
+
+/// \brief Ground-truth relevance: a retrieved account is a real expert for
+/// a query iff it is an expert account of the query's latent domain.
+bool IsRelevant(const microblog::TweetCorpus& corpus, microblog::UserId user,
+                querylog::DomainId query_domain);
+
+/// \brief One judged result.
+struct JudgedExpert {
+  microblog::UserId user = 0;
+  bool relevant_truth = false;
+  /// Majority vote of the simulated workers ("spot non-experts": the vote
+  /// is true when the majority did NOT flag the account).
+  bool judged_relevant = false;
+};
+
+/// \brief Options of the simulated crowdsourcing study (§6.2.1).
+struct CrowdOptions {
+  /// Workers per expert (the paper uses 3 and majority-votes).
+  size_t workers_per_expert = 3;
+  /// Probability a worker correctly KEEPS a genuinely relevant expert.
+  /// High: real experts are easy to recognize from their timeline.
+  double accuracy_on_experts = 0.92;
+  /// Probability a worker correctly FLAGS a non-expert. Lower: the paper's
+  /// workers were asked to exclude only accounts from which they "could
+  /// not get any objective information", so unverifiable accounts get the
+  /// benefit of the doubt.
+  double accuracy_on_nonexperts = 0.6;
+  /// Probability a worker skips (abstains); abstentions reduce the vote
+  /// count, ties break toward "relevant" (workers were asked to flag
+  /// non-experts, so silence is consent).
+  double skip_probability = 0.05;
+  uint64_t seed = 1234;
+};
+
+/// \brief Simulated crowd: noisy workers + majority voting over ground
+/// truth, mirroring the paper's protocol (interleaving and chunking do not
+/// affect per-account votes, so they are handled by the harness, not here).
+class SimulatedCrowd {
+ public:
+  explicit SimulatedCrowd(CrowdOptions options = {})
+      : options_(options), rng_(options.seed) {}
+
+  /// Judges one result list for a query with the given latent domain.
+  std::vector<JudgedExpert> Judge(
+      const microblog::TweetCorpus& corpus, querylog::DomainId query_domain,
+      const std::vector<expert::RankedExpert>& experts);
+
+  const CrowdOptions& options() const { return options_; }
+
+ private:
+  CrowdOptions options_;
+  Rng rng_;
+};
+
+}  // namespace esharp::eval
+
+#endif  // ESHARP_EVAL_CROWD_H_

@@ -1,0 +1,38 @@
+#include "eval/harness.h"
+
+namespace esharp::eval {
+
+Result<std::vector<SetRun>> RunComparison(const core::ESharp& esharp,
+                                          const std::vector<QuerySet>& sets,
+                                          const HarnessOptions& options) {
+  // Work on a copy of the system so we can relax the collection thresholds
+  // without mutating the caller's configuration.
+  core::ESharp collector = esharp;
+  expert::DetectorOptions* detector_options =
+      collector.mutable_detector()->mutable_options();
+  detector_options->min_z_score = options.collect_min_z;
+  detector_options->max_experts = options.max_stored_experts;
+
+  std::vector<SetRun> out;
+  out.reserve(sets.size());
+  for (const QuerySet& set : sets) {
+    SetRun run;
+    run.name = set.name;
+    run.runs.reserve(set.queries.size());
+    for (const EvalQuery& q : set.queries) {
+      QueryRun qr;
+      qr.query = q;
+      ESHARP_ASSIGN_OR_RETURN(qr.baseline,
+                              collector.detector().FindExperts(q.text));
+      core::QueryExpansion expansion = collector.Expand(q.text);
+      qr.expansion_matched = expansion.matched;
+      qr.expanded_terms = expansion.terms.size();
+      ESHARP_ASSIGN_OR_RETURN(qr.esharp, collector.FindExperts(q.text));
+      run.runs.push_back(std::move(qr));
+    }
+    out.push_back(std::move(run));
+  }
+  return out;
+}
+
+}  // namespace esharp::eval

@@ -1,0 +1,49 @@
+#ifndef ESHARP_EVAL_HARNESS_H_
+#define ESHARP_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "esharp/esharp.h"
+#include "eval/query_sets.h"
+
+namespace esharp::eval {
+
+/// \brief Both algorithms' full result lists for one query. Lists are
+/// collected un-thresholded (very low min z-score, generous cap) so metrics
+/// can re-apply any threshold — that is how the Fig. 9/10 sweeps work.
+struct QueryRun {
+  EvalQuery query;
+  std::vector<expert::RankedExpert> baseline;
+  std::vector<expert::RankedExpert> esharp;
+  /// Whether e# found a community for the query.
+  bool expansion_matched = false;
+  /// Number of terms e# searched (1 when unmatched).
+  size_t expanded_terms = 1;
+};
+
+/// \brief All runs of one query set.
+struct SetRun {
+  std::string name;
+  std::vector<QueryRun> runs;
+};
+
+/// \brief Options of the comparison harness.
+struct HarnessOptions {
+  /// Cap on stored experts per query per algorithm (paper generates up to
+  /// 15 per algorithm; we keep more so threshold sweeps have headroom).
+  size_t max_stored_experts = 50;
+  /// Floor threshold used while collecting (effectively none).
+  double collect_min_z = -1e9;
+};
+
+/// \brief Runs baseline (Pal & Counts) and e# over every query of every
+/// set, storing un-thresholded ranked lists for the metric layer.
+Result<std::vector<SetRun>> RunComparison(const core::ESharp& esharp,
+                                          const std::vector<QuerySet>& sets,
+                                          const HarnessOptions& options = {});
+
+}  // namespace esharp::eval
+
+#endif  // ESHARP_EVAL_HARNESS_H_

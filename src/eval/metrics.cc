@@ -1,0 +1,162 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace esharp::eval {
+
+namespace {
+const std::vector<expert::RankedExpert>& SideOf(const QueryRun& run,
+                                                Side side) {
+  return side == Side::kBaseline ? run.baseline : run.esharp;
+}
+}  // namespace
+
+std::vector<expert::RankedExpert> ApplyThreshold(
+    const std::vector<expert::RankedExpert>& experts, double min_z,
+    size_t cap) {
+  std::vector<expert::RankedExpert> out;
+  for (const expert::RankedExpert& e : experts) {
+    if (e.score < min_z) continue;
+    out.push_back(e);
+    if (out.size() >= cap) break;
+  }
+  return out;
+}
+
+double AnsweredProportion(const SetRun& run, Side side, double min_z,
+                          size_t cap) {
+  if (run.runs.empty()) return 0;
+  size_t answered = 0;
+  for (const QueryRun& qr : run.runs) {
+    if (!ApplyThreshold(SideOf(qr, side), min_z, cap).empty()) ++answered;
+  }
+  return static_cast<double>(answered) / static_cast<double>(run.runs.size());
+}
+
+std::vector<double> CumulativeCoverage(const SetRun& run, Side side,
+                                       size_t max_n, double min_z,
+                                       size_t cap) {
+  std::vector<double> out(max_n + 1, 0.0);
+  if (run.runs.empty()) return out;
+  for (const QueryRun& qr : run.runs) {
+    size_t n = ApplyThreshold(SideOf(qr, side), min_z, cap).size();
+    for (size_t k = 0; k <= max_n; ++k) {
+      if (n >= k) out[k] += 1.0;
+    }
+  }
+  for (double& v : out) v = 100.0 * v / static_cast<double>(run.runs.size());
+  return out;
+}
+
+double AvgExpertsPerQuery(const SetRun& run, Side side, double min_z,
+                          size_t cap) {
+  if (run.runs.empty()) return 0;
+  size_t total = 0;
+  for (const QueryRun& qr : run.runs) {
+    total += ApplyThreshold(SideOf(qr, side), min_z, cap).size();
+  }
+  return static_cast<double>(total) / static_cast<double>(run.runs.size());
+}
+
+std::vector<ImpurityPoint> ImpurityCurve(
+    const SetRun& run, Side side, const microblog::TweetCorpus& corpus,
+    const std::vector<double>& thresholds, const CrowdOptions& crowd_options,
+    size_t cap) {
+  std::vector<ImpurityPoint> out;
+  out.reserve(thresholds.size());
+  for (double z : thresholds) {
+    SimulatedCrowd crowd(crowd_options);  // fresh, deterministic judges
+    size_t total_experts = 0;
+    size_t flagged = 0;
+    for (const QueryRun& qr : run.runs) {
+      std::vector<expert::RankedExpert> kept =
+          ApplyThreshold(SideOf(qr, side), z, cap);
+      std::vector<JudgedExpert> judged =
+          crowd.Judge(corpus, qr.query.domain, kept);
+      total_experts += judged.size();
+      for (const JudgedExpert& j : judged) {
+        if (!j.judged_relevant) ++flagged;
+      }
+    }
+    ImpurityPoint p;
+    p.min_z = z;
+    p.avg_experts = run.runs.empty()
+                        ? 0
+                        : static_cast<double>(total_experts) /
+                              static_cast<double>(run.runs.size());
+    p.impurity = total_experts == 0 ? 0
+                                    : static_cast<double>(flagged) /
+                                          static_cast<double>(total_experts);
+    out.push_back(p);
+  }
+  return out;
+}
+
+ClusterQuality EvaluateClustering(const community::CommunityStore& store,
+                                  const querylog::QueryLog& log) {
+  // Ground-truth label of a term: its generator domain; unknown terms get
+  // unique negative labels (their own singleton class).
+  auto label_of = [&](const std::string& term,
+                      int64_t fallback) -> int64_t {
+    Result<uint32_t> qid = log.FindQuery(term);
+    if (qid.ok()) {
+      querylog::DomainId d = log.query(*qid).true_domain;
+      if (d != querylog::kNoDomain) return static_cast<int64_t>(d);
+    }
+    return fallback;
+  };
+
+  // Contingency counts.
+  std::map<std::pair<size_t, int64_t>, size_t> joint;
+  std::map<size_t, size_t> by_cluster;
+  std::map<int64_t, size_t> by_label;
+  size_t total = 0;
+  int64_t next_fallback = -1;
+  for (size_t c = 0; c < store.num_communities(); ++c) {
+    for (const std::string& term : store.community(c).terms) {
+      int64_t label = label_of(term, next_fallback);
+      if (label < 0) --next_fallback;
+      joint[{c, label}] += 1;
+      by_cluster[c] += 1;
+      by_label[label] += 1;
+      ++total;
+    }
+  }
+  ClusterQuality q;
+  if (total == 0) return q;
+
+  // Purity.
+  std::map<size_t, size_t> best_in_cluster;
+  for (const auto& [key, count] : joint) {
+    best_in_cluster[key.first] = std::max(best_in_cluster[key.first], count);
+  }
+  size_t agree = 0;
+  for (const auto& [c, count] : best_in_cluster) agree += count;
+  q.purity = static_cast<double>(agree) / static_cast<double>(total);
+
+  // NMI (with natural logs; symmetric normalization by sqrt(Hc * Hl)).
+  double n = static_cast<double>(total);
+  double mi = 0;
+  for (const auto& [key, count] : joint) {
+    double pxy = static_cast<double>(count) / n;
+    double px = static_cast<double>(by_cluster.at(key.first)) / n;
+    double py = static_cast<double>(by_label.at(key.second)) / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  double hc = 0, hl = 0;
+  for (const auto& [c, count] : by_cluster) {
+    double p = static_cast<double>(count) / n;
+    hc -= p * std::log(p);
+  }
+  for (const auto& [l, count] : by_label) {
+    double p = static_cast<double>(count) / n;
+    hl -= p * std::log(p);
+  }
+  q.nmi = (hc <= 0 || hl <= 0) ? 1.0 : mi / std::sqrt(hc * hl);
+  return q;
+}
+
+}  // namespace esharp::eval

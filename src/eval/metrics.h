@@ -1,0 +1,71 @@
+#ifndef ESHARP_EVAL_METRICS_H_
+#define ESHARP_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "community/store.h"
+#include "eval/crowd.h"
+#include "eval/harness.h"
+#include "querylog/log.h"
+
+namespace esharp::eval {
+
+/// \brief Which algorithm's lists a metric reads.
+enum class Side { kBaseline, kESharp };
+
+/// \brief Applies the online tuning (min z-score threshold + result cap) to
+/// a stored un-thresholded list.
+std::vector<expert::RankedExpert> ApplyThreshold(
+    const std::vector<expert::RankedExpert>& experts, double min_z,
+    size_t cap);
+
+/// \brief Table 8: proportion of queries with at least one expert after
+/// thresholding.
+double AnsweredProportion(const SetRun& run, Side side, double min_z = 0.0,
+                          size_t cap = 15);
+
+/// \brief Fig. 8: for n = 0..max_n, the percentage of queries with >= n
+/// experts (index n of the returned vector).
+std::vector<double> CumulativeCoverage(const SetRun& run, Side side,
+                                       size_t max_n = 14, double min_z = 0.0,
+                                       size_t cap = 15);
+
+/// \brief Fig. 9: average experts per query at a threshold.
+double AvgExpertsPerQuery(const SetRun& run, Side side, double min_z,
+                          size_t cap = 15);
+
+/// \brief One point of Fig. 10's size/quality trade-off.
+struct ImpurityPoint {
+  double avg_experts = 0;
+  /// Proportion of retrieved accounts the crowd flagged as non-experts.
+  double impurity = 0;
+  double min_z = 0;
+};
+
+/// \brief Fig. 10: sweeps the z-score threshold and, at each point, judges
+/// every retrieved account with the simulated crowd, reporting average
+/// result size vs impurity. `thresholds` must be non-empty.
+std::vector<ImpurityPoint> ImpurityCurve(
+    const SetRun& run, Side side, const microblog::TweetCorpus& corpus,
+    const std::vector<double>& thresholds, const CrowdOptions& crowd_options,
+    size_t cap = 15);
+
+/// \brief Extra (beyond the paper): clustering quality against the latent
+/// domains, to sanity-check the offline stage.
+struct ClusterQuality {
+  /// Fraction of graph vertices whose community's majority domain matches
+  /// their own.
+  double purity = 0;
+  /// Normalized mutual information between communities and true domains.
+  double nmi = 0;
+};
+
+/// \brief Scores a community store against the generator's ground truth.
+/// Queries not in the log's ground truth (noise) count as their own
+/// singleton domains.
+ClusterQuality EvaluateClustering(const community::CommunityStore& store,
+                                  const querylog::QueryLog& log);
+
+}  // namespace esharp::eval
+
+#endif  // ESHARP_EVAL_METRICS_H_

@@ -1,0 +1,68 @@
+#include "eval/query_sets.h"
+
+#include <algorithm>
+
+namespace esharp::eval {
+
+Result<std::vector<QuerySet>> BuildQuerySets(
+    const querylog::TopicUniverse& universe, const querylog::QueryLog& log,
+    const QuerySetOptions& options) {
+  if (options.per_category == 0 || options.top_n == 0) {
+    return Status::InvalidArgument("query set sizes must be positive");
+  }
+
+  std::vector<std::string> names =
+      querylog::DefaultCategoryNames(universe.num_categories());
+
+  // Category sets: most searched canonical terms per category.
+  size_t category_sets = std::min<size_t>(universe.num_categories(), 5);
+  std::vector<QuerySet> sets(category_sets);
+
+  struct Scored {
+    const querylog::QueryInfo* info;
+  };
+  std::vector<std::vector<const querylog::QueryInfo*>> per_category(
+      category_sets);
+  for (const querylog::QueryInfo& q : log.queries()) {
+    if (q.true_domain == querylog::kNoDomain || q.is_variant) continue;
+    uint32_t cat = universe.CategoryOf(q.true_domain);
+    if (cat >= category_sets) continue;
+    per_category[cat].push_back(&q);
+  }
+  for (size_t cat = 0; cat < category_sets; ++cat) {
+    auto& pool = per_category[cat];
+    std::sort(pool.begin(), pool.end(),
+              [](const querylog::QueryInfo* a, const querylog::QueryInfo* b) {
+                if (a->total_count != b->total_count) {
+                  return a->total_count > b->total_count;
+                }
+                return a->text < b->text;
+              });
+    sets[cat].name = names[cat];
+    for (size_t i = 0; i < pool.size() && i < options.per_category; ++i) {
+      sets[cat].queries.push_back(EvalQuery{pool[i]->text, pool[i]->true_domain});
+    }
+  }
+
+  // Top-N set: globally most searched queries, variants included.
+  std::vector<const querylog::QueryInfo*> all;
+  all.reserve(log.num_queries());
+  for (const querylog::QueryInfo& q : log.queries()) all.push_back(&q);
+  std::sort(all.begin(), all.end(),
+            [](const querylog::QueryInfo* a, const querylog::QueryInfo* b) {
+              if (a->total_count != b->total_count) {
+                return a->total_count > b->total_count;
+              }
+              return a->text < b->text;
+            });
+  QuerySet top;
+  top.name = "top" + std::to_string(options.top_n);
+  for (size_t i = 0; i < all.size() && top.queries.size() < options.top_n;
+       ++i) {
+    top.queries.push_back(EvalQuery{all[i]->text, all[i]->true_domain});
+  }
+  sets.push_back(std::move(top));
+  return sets;
+}
+
+}  // namespace esharp::eval

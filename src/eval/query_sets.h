@@ -1,0 +1,48 @@
+#ifndef ESHARP_EVAL_QUERY_SETS_H_
+#define ESHARP_EVAL_QUERY_SETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "querylog/log.h"
+#include "querylog/universe.h"
+
+namespace esharp::eval {
+
+/// \brief One benchmark query with its ground-truth domain.
+struct EvalQuery {
+  std::string text;
+  querylog::DomainId domain = querylog::kNoDomain;
+};
+
+/// \brief A named set of benchmark queries (one row of Table 1).
+struct QuerySet {
+  std::string name;
+  std::vector<EvalQuery> queries;
+};
+
+/// \brief Options for query-set construction.
+struct QuerySetOptions {
+  /// Queries per category set (the paper uses the 100 most popular search
+  /// terms per category).
+  size_t per_category = 100;
+  /// Size of the head-query set (the paper's "Top 250": the top queries of
+  /// the search engine itself, variants included).
+  size_t top_n = 250;
+};
+
+/// \brief Builds the paper's six query sets (Table 1 analogue) from the
+/// simulated log: for each of the first five categories, the most searched
+/// canonical terms of that category; plus a "top N" set of the globally
+/// most searched queries of any kind — which, coming straight from the log,
+/// includes surface variants, exactly why the paper sees its largest gain
+/// there ("we trained e# on the search log from which the queries come
+/// from, therefore we expected it to perform well").
+Result<std::vector<QuerySet>> BuildQuerySets(
+    const querylog::TopicUniverse& universe, const querylog::QueryLog& log,
+    const QuerySetOptions& options = {});
+
+}  // namespace esharp::eval
+
+#endif  // ESHARP_EVAL_QUERY_SETS_H_

@@ -1,0 +1,109 @@
+#include "eval/tasks.h"
+
+#include <unordered_set>
+
+namespace esharp::eval {
+
+std::vector<microblog::UserId> TeamDraftInterleave(
+    const std::vector<expert::RankedExpert>& list_a,
+    const std::vector<expert::RankedExpert>& list_b, size_t max_per_list,
+    Rng* rng) {
+  std::vector<microblog::UserId> out;
+  std::unordered_set<microblog::UserId> taken;
+  size_t ia = 0, ib = 0;
+  size_t drafted_a = 0, drafted_b = 0;
+
+  auto draft_from = [&](const std::vector<expert::RankedExpert>& list,
+                        size_t* index, size_t* drafted) {
+    while (*index < list.size() && *drafted < max_per_list) {
+      microblog::UserId user = list[*index].user;
+      ++*index;
+      if (taken.insert(user).second) {
+        out.push_back(user);
+        ++*drafted;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (;;) {
+    bool a_can = ia < list_a.size() && drafted_a < max_per_list;
+    bool b_can = ib < list_b.size() && drafted_b < max_per_list;
+    if (!a_can && !b_can) break;
+    bool a_first = b_can ? (a_can ? rng->Bernoulli(0.5) : false) : true;
+    if (a_first) {
+      if (!draft_from(list_a, &ia, &drafted_a)) {
+        if (!draft_from(list_b, &ib, &drafted_b)) break;
+      } else {
+        draft_from(list_b, &ib, &drafted_b);
+      }
+    } else {
+      if (!draft_from(list_b, &ib, &drafted_b)) {
+        if (!draft_from(list_a, &ia, &drafted_a)) break;
+      } else {
+        draft_from(list_a, &ia, &drafted_a);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CrowdTask> BuildCrowdTasks(
+    const std::string& query, const std::vector<expert::RankedExpert>& baseline,
+    const std::vector<expert::RankedExpert>& esharp,
+    const TaskBuildOptions& options) {
+  Rng rng(options.seed);
+  std::vector<microblog::UserId> interleaved = TeamDraftInterleave(
+      baseline, esharp, options.max_per_algorithm, &rng);
+
+  std::vector<CrowdTask> tasks;
+  size_t chunk = std::max<size_t>(1, options.chunk_size);
+  for (size_t start = 0; start < interleaved.size(); start += chunk) {
+    CrowdTask task;
+    task.query = query;
+    size_t end = std::min(interleaved.size(), start + chunk);
+    task.accounts.assign(interleaved.begin() + static_cast<long>(start),
+                         interleaved.begin() + static_cast<long>(end));
+    // "we also randomized the order to prevent the position bias".
+    rng.Shuffle(&task.accounts);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+WorkerPool::WorkerPool(const PoolOptions& options) {
+  Rng rng(options.seed);
+  workers_.reserve(options.num_workers);
+  for (size_t i = 0; i < options.num_workers; ++i) {
+    Worker w;
+    w.id = i;
+    w.spammer = rng.Bernoulli(options.spammer_rate);
+    w.accuracy = w.spammer
+                     ? 0.5  // answers at chance
+                     : options.honest_accuracy_min +
+                           (options.honest_accuracy_max -
+                            options.honest_accuracy_min) *
+                               rng.NextDouble();
+    workers_.push_back(w);
+  }
+}
+
+std::vector<size_t> WorkerPool::ScreenWorkers(size_t gold_questions,
+                                              size_t max_wrong,
+                                              Rng* rng) const {
+  std::vector<size_t> passed;
+  for (const Worker& w : workers_) {
+    size_t wrong = 0;
+    for (size_t q = 0; q < gold_questions; ++q) {
+      // Gold questions are trivial: honest workers answer at (close to)
+      // their accuracy; spammers at chance.
+      double p_correct = w.spammer ? 0.5 : std::min(0.99, w.accuracy + 0.1);
+      if (!rng->Bernoulli(p_correct)) ++wrong;
+    }
+    if (wrong <= max_wrong) passed.push_back(w.id);
+  }
+  return passed;
+}
+
+}  // namespace esharp::eval

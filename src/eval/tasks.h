@@ -1,0 +1,82 @@
+#ifndef ESHARP_EVAL_TASKS_H_
+#define ESHARP_EVAL_TASKS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "expert/detector.h"
+
+namespace esharp::eval {
+
+/// \brief One crowdsourcing unit: up to `chunk` accounts to review for one
+/// query. Mirrors the paper's task design (§6.2.1): results of the two
+/// algorithms are interleaved, chunked "into smaller sets of at most 6
+/// experts" and order-randomized "to prevent the position bias".
+struct CrowdTask {
+  std::string query;
+  std::vector<microblog::UserId> accounts;
+};
+
+/// \brief Options of task construction.
+struct TaskBuildOptions {
+  /// "we generated up to 15 experts per algorithm".
+  size_t max_per_algorithm = 15;
+  /// "sets of at most 6 experts".
+  size_t chunk_size = 6;
+  uint64_t seed = 7;
+};
+
+/// \brief Team-draft interleaving of two ranked lists: alternating drafts
+/// pick their next-best not-yet-taken account, the coin deciding who
+/// drafts first each round. Deduplicates accounts that both algorithms
+/// returned. Deterministic in *rng.
+std::vector<microblog::UserId> TeamDraftInterleave(
+    const std::vector<expert::RankedExpert>& list_a,
+    const std::vector<expert::RankedExpert>& list_b, size_t max_per_list,
+    Rng* rng);
+
+/// \brief Builds the review tasks for one query: interleave, chunk, shuffle
+/// within each chunk.
+std::vector<CrowdTask> BuildCrowdTasks(
+    const std::string& query, const std::vector<expert::RankedExpert>& baseline,
+    const std::vector<expert::RankedExpert>& esharp,
+    const TaskBuildOptions& options = {});
+
+/// \brief A pool of simulated crowd workers, some of them spammers who
+/// answer randomly. The paper "filtered spammers with trivial preliminary
+/// questions"; ScreenWorkers reproduces that gold-question gate.
+class WorkerPool {
+ public:
+  struct Worker {
+    size_t id = 0;
+    double accuracy = 0.85;
+    bool spammer = false;
+  };
+
+  struct PoolOptions {
+    size_t num_workers = 64;  // the paper used 64 crowdworkers
+    double spammer_rate = 0.15;
+    double honest_accuracy_min = 0.75;
+    double honest_accuracy_max = 0.95;
+    uint64_t seed = 11;
+  };
+
+  explicit WorkerPool(const PoolOptions& options);
+
+  const std::vector<Worker>& workers() const { return workers_; }
+
+  /// The gold-question gate: each worker answers `gold_questions` trivial
+  /// screening questions (honest workers pass with their accuracy, spammers
+  /// answer at chance); workers missing more than `max_wrong` are excluded.
+  /// Returns the ids of workers who passed.
+  std::vector<size_t> ScreenWorkers(size_t gold_questions, size_t max_wrong,
+                                    Rng* rng) const;
+
+ private:
+  std::vector<Worker> workers_;
+};
+
+}  // namespace esharp::eval
+
+#endif  // ESHARP_EVAL_TASKS_H_

@@ -1,0 +1,115 @@
+#include "expert/cluster_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+
+namespace esharp::expert {
+
+namespace {
+
+struct Point {
+  double x[3];
+};
+
+double Distance2(const Point& a, const Point& b) {
+  double d = 0;
+  for (int i = 0; i < 3; ++i) d += (a.x[i] - b.x[i]) * (a.x[i] - b.x[i]);
+  return d;
+}
+
+}  // namespace
+
+std::vector<RankedExpert> ClusterFilter(const std::vector<RankedExpert>& ranked,
+                                        const ClusterFilterOptions& options) {
+  size_t k = std::max<size_t>(1, options.num_clusters);
+  if (ranked.size() <= k) return ranked;  // nothing to separate
+
+  std::vector<Point> points(ranked.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    points[i] = Point{{ranked[i].z_topical_signal, ranked[i].z_mention_impact,
+                       ranked[i].z_retweet_impact}};
+  }
+
+  // k-means++-style seeding: first center is the top-ranked candidate, each
+  // further center the point farthest from its nearest center
+  // (deterministic).
+  std::vector<Point> centers = {points[0]};
+  while (centers.size() < k) {
+    size_t best = 0;
+    double best_d = -1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double nearest = std::numeric_limits<double>::max();
+      for (const Point& c : centers) {
+        nearest = std::min(nearest, Distance2(points[i], c));
+      }
+      if (nearest > best_d) {
+        best_d = nearest;
+        best = i;
+      }
+    }
+    centers.push_back(points[best]);
+  }
+
+  // Lloyd iterations.
+  std::vector<size_t> assign(points.size(), 0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool moved = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < centers.size(); ++c) {
+        double d = Distance2(points[i], centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+    // Recompute centers.
+    std::vector<Point> sums(centers.size(), Point{{0, 0, 0}});
+    std::vector<size_t> counts(centers.size(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      for (int d = 0; d < 3; ++d) sums[assign[i]].x[d] += points[i].x[d];
+      ++counts[assign[i]];
+    }
+    for (size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its center
+      for (int d = 0; d < 3; ++d) {
+        centers[c].x[d] = sums[c].x[d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  // Keep the cluster with the highest mean aggregate score.
+  std::vector<double> score_sum(centers.size(), 0);
+  std::vector<size_t> cluster_size(centers.size(), 0);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    score_sum[assign[i]] += ranked[i].score;
+    ++cluster_size[assign[i]];
+  }
+  size_t authority = 0;
+  double best_mean = -std::numeric_limits<double>::max();
+  for (size_t c = 0; c < centers.size(); ++c) {
+    if (cluster_size[c] == 0) continue;
+    double mean = score_sum[c] / static_cast<double>(cluster_size[c]);
+    if (mean > best_mean) {
+      best_mean = mean;
+      authority = c;
+    }
+  }
+
+  std::vector<RankedExpert> out;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (assign[i] == authority) out.push_back(ranked[i]);
+  }
+  return out;
+}
+
+}  // namespace esharp::expert

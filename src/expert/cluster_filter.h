@@ -1,0 +1,36 @@
+#ifndef ESHARP_EXPERT_CLUSTER_FILTER_H_
+#define ESHARP_EXPERT_CLUSTER_FILTER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "expert/detector.h"
+
+namespace esharp::expert {
+
+/// \brief Options of the optional cluster-analysis filter.
+struct ClusterFilterOptions {
+  /// Number of clusters (Pal & Counts separate an "authority" cluster from
+  /// the rest; 2 is their effective setting).
+  size_t num_clusters = 2;
+  /// Lloyd iterations.
+  size_t max_iterations = 50;
+  /// Seed for the deterministic k-means++-style initialization.
+  uint64_t seed = 5;
+};
+
+/// \brief Pal & Counts' optional filtering step (§3 of the e# paper):
+/// cluster the candidates in feature space (their z-scored TS/MI/RI) and
+/// keep only the cluster with the highest mean aggregate score — the
+/// "authority cluster".
+///
+/// e# deliberately drops this stage ("This step is computationally
+/// expensive, and it is contrary to our objective of improving recall");
+/// it is implemented here so the ablation bench can quantify exactly that
+/// trade-off.
+std::vector<RankedExpert> ClusterFilter(const std::vector<RankedExpert>& ranked,
+                                        const ClusterFilterOptions& options = {});
+
+}  // namespace esharp::expert
+
+#endif  // ESHARP_EXPERT_CLUSTER_FILTER_H_

@@ -1,0 +1,173 @@
+#include "expert/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "expert/cluster_filter.h"
+#include "common/strings.h"
+
+namespace esharp::expert {
+
+std::vector<CandidateEvidence> ExpertDetector::CollectCandidates(
+    const std::string& query) const {
+  std::vector<std::string> tokens = SplitWhitespace(ToLowerAscii(query));
+  std::vector<uint32_t> matching = corpus_->MatchTweets(tokens);
+
+  std::unordered_map<microblog::UserId, CandidateEvidence> by_user;
+  for (uint32_t tid : matching) {
+    const microblog::Tweet& t = corpus_->tweet(tid);
+    CandidateEvidence& author = by_user[t.author];
+    author.user = t.author;
+    author.is_author = true;
+    author.tweets_on_topic += 1;
+    author.retweets_on_topic += t.retweet_count;
+    if (!t.mentions.empty()) author.conversational_on_topic += 1;
+    if (t.text.find('#') != std::string::npos) author.hashtag_on_topic += 1;
+    for (microblog::UserId m : t.mentions) {
+      CandidateEvidence& mentioned = by_user[m];
+      mentioned.user = m;
+      mentioned.is_mentioned = true;
+      mentioned.mentions_on_topic += 1;
+    }
+  }
+
+  std::vector<CandidateEvidence> out;
+  out.reserve(by_user.size());
+  for (const auto& [uid, ev] : by_user) out.push_back(ev);
+  std::sort(out.begin(), out.end(),
+            [](const CandidateEvidence& a, const CandidateEvidence& b) {
+              return a.user < b.user;
+            });
+  return out;
+}
+
+Result<std::vector<RankedExpert>> ExpertDetector::RankCandidates(
+    const std::vector<CandidateEvidence>& candidates) const {
+  if (candidates.empty()) return std::vector<RankedExpert>{};
+  const double eps = options_.smoothing;
+  if (eps <= 0) {
+    return Status::InvalidArgument("smoothing must be positive");
+  }
+
+  // Features per §3: ratios of on-topic to total activity, log-transformed
+  // ("the features appear to be log-normally distributed. Therefore, we
+  // take their logarithm to obtain Gaussian distributions").
+  const bool extended = options_.weight_conversation != 0 ||
+                        options_.weight_hashtag != 0 ||
+                        options_.weight_followers != 0;
+  struct RawFeatures {
+    double log_ts, log_mi, log_ri;
+    double log_cs = 0, log_hs = 0, log_nf = 0;
+  };
+  std::vector<RawFeatures> feats(candidates.size());
+  OnlineStats ts_stats, mi_stats, ri_stats, cs_stats, hs_stats, nf_stats;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const CandidateEvidence& c = candidates[i];
+    double total_tweets =
+        static_cast<double>(corpus_->TweetsByUser(c.user));
+    double total_mentions =
+        static_cast<double>(corpus_->MentionsOfUser(c.user));
+    double total_retweets =
+        static_cast<double>(corpus_->RetweetsOfUser(c.user));
+    double ts = (static_cast<double>(c.tweets_on_topic) + eps) /
+                (total_tweets + eps);
+    double mi = (static_cast<double>(c.mentions_on_topic) + eps) /
+                (total_mentions + eps);
+    double ri = (static_cast<double>(c.retweets_on_topic) + eps) /
+                (total_retweets + eps);
+    feats[i] = RawFeatures{std::log(ts), std::log(mi), std::log(ri)};
+    ts_stats.Add(feats[i].log_ts);
+    mi_stats.Add(feats[i].log_mi);
+    ri_stats.Add(feats[i].log_ri);
+    if (extended) {
+      double on_topic = static_cast<double>(c.tweets_on_topic);
+      double cs = (static_cast<double>(c.conversational_on_topic) + eps) /
+                  (on_topic + eps);
+      double hs = (static_cast<double>(c.hashtag_on_topic) + eps) /
+                  (on_topic + eps);
+      double nf = std::log(
+          1.0 + static_cast<double>(corpus_->user(c.user).followers));
+      feats[i].log_cs = std::log(cs);
+      feats[i].log_hs = std::log(hs);
+      feats[i].log_nf = nf;  // already a log scale
+      cs_stats.Add(feats[i].log_cs);
+      hs_stats.Add(feats[i].log_hs);
+      nf_stats.Add(feats[i].log_nf);
+    }
+  }
+
+  std::vector<RankedExpert> ranked;
+  ranked.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    RankedExpert e;
+    e.user = candidates[i].user;
+    e.z_topical_signal = ts_stats.ZScore(feats[i].log_ts);
+    e.z_mention_impact = mi_stats.ZScore(feats[i].log_mi);
+    e.z_retweet_impact = ri_stats.ZScore(feats[i].log_ri);
+    e.score = options_.weight_topical_signal * e.z_topical_signal +
+              options_.weight_mention_impact * e.z_mention_impact +
+              options_.weight_retweet_impact * e.z_retweet_impact;
+    if (extended) {
+      e.z_conversation = cs_stats.ZScore(feats[i].log_cs);
+      e.z_hashtag = hs_stats.ZScore(feats[i].log_hs);
+      e.z_followers = nf_stats.ZScore(feats[i].log_nf);
+      e.score += options_.weight_conversation * e.z_conversation +
+                 options_.weight_hashtag * e.z_hashtag +
+                 options_.weight_followers * e.z_followers;
+    }
+    ranked.push_back(e);
+  }
+
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedExpert& a, const RankedExpert& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+
+  if (options_.enable_cluster_filter) {
+    ranked = ClusterFilter(ranked);
+  }
+
+  std::vector<RankedExpert> out;
+  for (const RankedExpert& e : ranked) {
+    if (e.score < options_.min_z_score) continue;
+    out.push_back(e);
+    if (out.size() >= options_.max_experts) break;
+  }
+  return out;
+}
+
+Result<std::vector<RankedExpert>> ExpertDetector::FindExperts(
+    const std::string& query) const {
+  return RankCandidates(CollectCandidates(query));
+}
+
+std::vector<CandidateEvidence> MergeEvidence(
+    const std::vector<std::vector<CandidateEvidence>>& lists) {
+  std::unordered_map<microblog::UserId, CandidateEvidence> by_user;
+  for (const auto& list : lists) {
+    for (const CandidateEvidence& c : list) {
+      CandidateEvidence& acc = by_user[c.user];
+      acc.user = c.user;
+      acc.is_author = acc.is_author || c.is_author;
+      acc.is_mentioned = acc.is_mentioned || c.is_mentioned;
+      acc.tweets_on_topic += c.tweets_on_topic;
+      acc.mentions_on_topic += c.mentions_on_topic;
+      acc.retweets_on_topic += c.retweets_on_topic;
+      acc.conversational_on_topic += c.conversational_on_topic;
+      acc.hashtag_on_topic += c.hashtag_on_topic;
+    }
+  }
+  std::vector<CandidateEvidence> out;
+  out.reserve(by_user.size());
+  for (const auto& [uid, ev] : by_user) out.push_back(ev);
+  std::sort(out.begin(), out.end(),
+            [](const CandidateEvidence& a, const CandidateEvidence& b) {
+              return a.user < b.user;
+            });
+  return out;
+}
+
+}  // namespace esharp::expert

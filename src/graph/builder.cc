@@ -1,0 +1,92 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace esharp::graph {
+
+Result<Graph> BuildSimilarityGraph(const querylog::QueryLog& log,
+                                   const SimilarityGraphOptions& options) {
+  if (options.min_similarity < 0 || options.min_similarity > 1) {
+    return Status::InvalidArgument("min_similarity must be in [0,1], got ",
+                                   options.min_similarity);
+  }
+  Timer timer;
+
+  // Apply the min-count filter first (the filtered log is the stage input).
+  querylog::QueryLog filtered = log.FilterByMinCount(options.min_query_count);
+  std::vector<SparseVector> vectors = filtered.BuildClickVectors();
+  const size_t n = filtered.num_queries();
+
+  // Inverted index: URL -> query ids that clicked it.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> url_to_queries;
+  for (const querylog::ClickRecord& r : filtered.records()) {
+    url_to_queries[r.url_id].push_back(r.query_id);
+  }
+
+  Graph g;
+  for (size_t q = 0; q < n; ++q) {
+    g.AddVertex(filtered.query(static_cast<uint32_t>(q)).text);
+  }
+
+  // Candidate generation + cosine scoring, parallel over query ids. Each
+  // worker emits (u, v, w) with u < v; workers own disjoint u ranges so no
+  // pair is emitted twice.
+  const size_t parts =
+      options.pool != nullptr ? std::max<size_t>(1, options.num_partitions) : 1;
+  std::vector<std::vector<Edge>> edge_chunks(parts);
+
+  auto process_range = [&](size_t part) {
+    size_t per = (n + parts - 1) / parts;
+    size_t begin = part * per;
+    size_t end = std::min(n, begin + per);
+    std::vector<Edge>& out = edge_chunks[part];
+    std::unordered_set<uint32_t> candidates;
+    for (size_t q = begin; q < end; ++q) {
+      candidates.clear();
+      for (const auto& [url, clicks] :
+           vectors[q].entries()) {
+        (void)clicks;
+        auto it = url_to_queries.find(url);
+        if (it == url_to_queries.end()) continue;
+        if (it->second.size() > options.max_url_fanout) continue;
+        for (uint32_t other : it->second) {
+          if (other > q) candidates.insert(other);
+        }
+      }
+      for (uint32_t other : candidates) {
+        double sim = vectors[q].Cosine(vectors[other]);
+        if (sim >= options.min_similarity) {
+          out.push_back(Edge{static_cast<VertexId>(q),
+                             static_cast<VertexId>(other), sim});
+        }
+      }
+    }
+  };
+
+  if (options.pool != nullptr && parts > 1) {
+    options.pool->ParallelFor(parts, process_range);
+  } else {
+    for (size_t p = 0; p < parts; ++p) process_range(p);
+  }
+
+  for (const std::vector<Edge>& chunk : edge_chunks) {
+    for (const Edge& e : chunk) {
+      ESHARP_RETURN_NOT_OK(g.AddEdge(e.u, e.v, e.weight));
+    }
+  }
+  g.Finalize();
+
+  if (options.meter != nullptr) {
+    options.meter->AddTime("Extraction", timer.ElapsedSeconds());
+    options.meter->AddIO("Extraction", log.SizeBytes(), g.SizeBytes());
+    options.meter->AddRows("Extraction", log.num_records(), g.num_edges());
+    options.meter->SetParallelism("Extraction", parts);
+  }
+  return g;
+}
+
+}  // namespace esharp::graph

@@ -1,0 +1,46 @@
+#ifndef ESHARP_GRAPH_BUILDER_H_
+#define ESHARP_GRAPH_BUILDER_H_
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "graph/graph.h"
+#include "querylog/log.h"
+
+namespace esharp::graph {
+
+/// \brief Options of the extraction stage (§4.1).
+struct SimilarityGraphOptions {
+  /// Minimum cosine similarity for an edge to be materialized. The paper
+  /// keeps the graph sparse (60M edges from 998 GB of log).
+  double min_similarity = 0.15;
+  /// URLs clicked by more than this many distinct queries are skipped during
+  /// candidate generation (hub URLs like portals connect everything and
+  /// would densify the graph quadratically). Their clicks still count in
+  /// the cosine numerator/denominator.
+  size_t max_url_fanout = 256;
+  /// Minimum searches per month for a query to enter the graph — the
+  /// paper's noise filter ("we remove all the queries which appear less
+  /// than 50 times per month").
+  uint64_t min_query_count = 50;
+  /// Optional thread pool; null builds single-threaded.
+  ThreadPool* pool = nullptr;
+  /// Partitions for the parallel pass.
+  size_t num_partitions = 8;
+  /// Optional resource accounting (stage "Extraction" of Table 9).
+  ResourceMeter* meter = nullptr;
+};
+
+/// \brief Builds the term-similarity graph from a month of click behavior.
+///
+/// Vertices are query strings surviving the min-count filter; an edge links
+/// two queries whose URL-click vectors have cosine similarity at least
+/// `min_similarity`. Candidate pairs come from an inverted URL->queries
+/// index, so the cost is proportional to co-click structure rather than to
+/// all pairs.
+Result<Graph> BuildSimilarityGraph(const querylog::QueryLog& log,
+                                   const SimilarityGraphOptions& options);
+
+}  // namespace esharp::graph
+
+#endif  // ESHARP_GRAPH_BUILDER_H_

@@ -1,0 +1,84 @@
+#include "microblog/corpus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace esharp::microblog {
+
+void TweetCorpus::AddUser(UserProfile user) {
+  assert(user.id == users_.size() && "user ids must be dense and in order");
+  users_.push_back(std::move(user));
+  tweets_by_user_.push_back(0);
+  mentions_of_user_.push_back(0);
+  retweets_of_user_.push_back(0);
+}
+
+uint32_t TweetCorpus::AddTweet(UserId author, std::string text,
+                               std::vector<UserId> mentions,
+                               uint32_t retweet_count) {
+  assert(author < users_.size());
+  uint32_t id = static_cast<uint32_t>(tweets_.size());
+  Tweet t;
+  t.id = id;
+  t.author = author;
+  t.text = ToLowerAscii(text);
+  t.mentions = std::move(mentions);
+  t.retweet_count = retweet_count;
+
+  // Index unique tokens.
+  std::vector<std::string> tokens = SplitWhitespace(t.text);
+  std::unordered_set<std::string> unique(tokens.begin(), tokens.end());
+  for (const std::string& tok : unique) {
+    token_index_[tok].push_back(id);
+  }
+
+  ++tweets_by_user_[author];
+  for (UserId m : t.mentions) {
+    assert(m < users_.size());
+    ++mentions_of_user_[m];
+  }
+  retweets_of_user_[author] += retweet_count;
+
+  tweets_.push_back(std::move(t));
+  return id;
+}
+
+std::vector<uint32_t> TweetCorpus::MatchTweets(
+    const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) return {};
+  // Intersect postings, rarest token first.
+  std::vector<const std::vector<uint32_t>*> postings;
+  postings.reserve(tokens.size());
+  for (const std::string& tok : tokens) {
+    auto it = token_index_.find(ToLowerAscii(tok));
+    if (it == token_index_.end()) return {};
+    postings.push_back(&it->second);
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint32_t> result = *postings[0];
+  for (size_t i = 1; i < postings.size() && !result.empty(); ++i) {
+    std::vector<uint32_t> next;
+    next.reserve(result.size());
+    std::set_intersection(result.begin(), result.end(), postings[i]->begin(),
+                          postings[i]->end(), std::back_inserter(next));
+    result = std::move(next);
+  }
+  return result;
+}
+
+uint64_t TweetCorpus::SizeBytes() const {
+  uint64_t total = 0;
+  for (const Tweet& t : tweets_) {
+    total += t.text.size() + t.mentions.size() * 4 + 16;
+  }
+  for (const UserProfile& u : users_) {
+    total += u.screen_name.size() + u.description.size() + 24;
+  }
+  return total;
+}
+
+}  // namespace esharp::microblog

@@ -1,0 +1,97 @@
+#ifndef ESHARP_MICROBLOG_CORPUS_H_
+#define ESHARP_MICROBLOG_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "querylog/universe.h"
+
+namespace esharp::microblog {
+
+/// \brief Account identifier.
+using UserId = uint32_t;
+
+/// \brief Ground-truth account archetypes of the simulation.
+enum class AccountKind {
+  kExpert,  // authoritative on exactly one latent domain
+  kCasual,  // ordinary account, occasional topical chatter
+  kSpam,    // keyword-stuffing account, topically meaningless
+};
+
+/// \brief A microblog account with the profile metadata the paper's example
+/// tables display (screen name, description, verified flag, followers).
+struct UserProfile {
+  UserId id = 0;
+  std::string screen_name;
+  std::string description;
+  bool verified = false;
+  uint64_t followers = 0;
+  AccountKind kind = AccountKind::kCasual;
+  /// Latent domain of expertise (kNoDomain unless kind == kExpert).
+  querylog::DomainId domain = querylog::kNoDomain;
+};
+
+/// \brief One micropost.
+struct Tweet {
+  uint32_t id = 0;
+  UserId author = 0;
+  /// Lower-cased, whitespace-tokenizable text (<= 140 chars by
+  /// construction).
+  std::string text;
+  /// Users @-mentioned in the tweet.
+  std::vector<UserId> mentions;
+  /// How many times this tweet was retweeted.
+  uint32_t retweet_count = 0;
+};
+
+/// \brief An indexed tweet corpus: the candidate-selection and feature
+/// substrate of the Pal & Counts detector (§3).
+///
+/// The indexes cover exactly what the detector needs: a token inverted
+/// index for "tweet matches query" (all terms present after lower-casing),
+/// per-user tweet/mention/retweet totals for the TS/MI/RI denominators.
+class TweetCorpus {
+ public:
+  /// Adds a user; ids must be added densely in order.
+  void AddUser(UserProfile user);
+
+  /// Adds a tweet (id assigned densely); updates all indexes.
+  uint32_t AddTweet(UserId author, std::string text,
+                    std::vector<UserId> mentions, uint32_t retweet_count);
+
+  size_t num_users() const { return users_.size(); }
+  size_t num_tweets() const { return tweets_.size(); }
+  const UserProfile& user(UserId id) const { return users_[id]; }
+  const std::vector<UserProfile>& users() const { return users_; }
+  const Tweet& tweet(uint32_t id) const { return tweets_[id]; }
+  const std::vector<Tweet>& tweets() const { return tweets_; }
+
+  /// Ids of tweets containing every token of `tokens` (whole-word match
+  /// after lower-casing — the §3 predicate). Empty tokens match nothing.
+  std::vector<uint32_t> MatchTweets(const std::vector<std::string>& tokens) const;
+
+  /// Total tweets authored by a user.
+  uint64_t TweetsByUser(UserId id) const { return tweets_by_user_[id]; }
+  /// Total mentions of a user across the corpus.
+  uint64_t MentionsOfUser(UserId id) const { return mentions_of_user_[id]; }
+  /// Total retweets of a user's tweets.
+  uint64_t RetweetsOfUser(UserId id) const { return retweets_of_user_[id]; }
+
+  /// Approximate memory footprint.
+  uint64_t SizeBytes() const;
+
+ private:
+  std::vector<UserProfile> users_;
+  std::vector<Tweet> tweets_;
+  std::unordered_map<std::string, std::vector<uint32_t>> token_index_;
+  std::vector<uint64_t> tweets_by_user_;
+  std::vector<uint64_t> mentions_of_user_;
+  std::vector<uint64_t> retweets_of_user_;
+};
+
+}  // namespace esharp::microblog
+
+#endif  // ESHARP_MICROBLOG_CORPUS_H_

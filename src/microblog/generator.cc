@@ -1,0 +1,307 @@
+#include "microblog/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "querylog/variants.h"
+
+namespace esharp::microblog {
+
+namespace {
+
+using querylog::DomainId;
+using querylog::TopicDomain;
+using querylog::TopicUniverse;
+
+// Filler vocabulary for tweet bodies. Deliberately disjoint from topic
+// terms so matching is controlled by the topical tokens alone.
+const std::vector<std::string>& Fillers() {
+  static const std::vector<std::string> kFillers = {
+      "today",  "loving",  "great",   "watch",   "just",   "really",
+      "this",   "amazing", "update",  "thoughts", "live",  "new",
+      "what",   "happening", "check", "out",     "big",    "day",
+      "finally", "again",  "best",    "wow",     "cant",   "wait",
+  };
+  return kFillers;
+}
+
+std::string MakeTweetText(const std::string& topical, Rng* rng) {
+  const auto& fillers = Fillers();
+  size_t n_fill = 3 + rng->Uniform(5);
+  std::vector<std::string> words;
+  if (!topical.empty()) words.push_back(topical);
+  for (size_t i = 0; i < n_fill; ++i) {
+    words.push_back(fillers[rng->Uniform(fillers.size())]);
+  }
+  // Insert the topical term at a random position for variety.
+  rng->Shuffle(&words);
+  std::string text = Join(words, " ");
+  if (text.size() > 140) text.resize(140);
+  return text;
+}
+
+std::string MakeScreenName(const std::string& head, AccountKind kind,
+                           size_t serial, Rng* rng) {
+  static const std::vector<std::string> kExpertSuffixes = {
+      "News", "Daily", "Insider", "Guru", "Central", "Report", "HQ",
+      "Fan", "Watch", "Live"};
+  std::string compact;
+  for (char c : head) {
+    if (c != ' ') compact += c;
+  }
+  switch (kind) {
+    case AccountKind::kExpert:
+      return compact + kExpertSuffixes[rng->Uniform(kExpertSuffixes.size())] +
+             (serial > 0 ? std::to_string(serial) : "");
+    case AccountKind::kCasual:
+      return StrFormat("user_%zu", serial);
+    case AccountKind::kSpam:
+      return StrFormat("bestdeals%zu", serial);
+  }
+  return compact;
+}
+
+std::string MakeDescription(const std::string& head, AccountKind kind,
+                            Rng* rng) {
+  static const std::vector<std::string> kExpertTemplates = {
+      "All news about %s.",
+      "Your source for everything %s.",
+      "Covering %s since 2009.",
+      "Huge %s fan. Opinions are my own.",
+      "%s analysis, stats and rumors.",
+  };
+  static const std::vector<std::string> kCasualTemplates = {
+      "Living life one day at a time.",
+      "Coffee first.",
+      "Dad. Dreamer. Doer.",
+      "Somewhere between here and there.",
+  };
+  static const std::vector<std::string> kSpamTemplates = {
+      "Best deals on the internet!!!",
+      "Follow for follow.",
+      "Click the link in bio.",
+  };
+  switch (kind) {
+    case AccountKind::kExpert:
+      return StrFormat(
+          kExpertTemplates[rng->Uniform(kExpertTemplates.size())].c_str(),
+          head.c_str());
+    case AccountKind::kCasual:
+      return kCasualTemplates[rng->Uniform(kCasualTemplates.size())];
+    case AccountKind::kSpam:
+      return kSpamTemplates[rng->Uniform(kSpamTemplates.size())];
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<TweetCorpus> GenerateCorpus(const TopicUniverse& universe,
+                                   const CorpusOptions& options) {
+  if (options.mean_experts_per_domain <= 0) {
+    return Status::InvalidArgument("mean_experts_per_domain must be > 0");
+  }
+  Rng rng(options.seed);
+  TweetCorpus corpus;
+
+  // Popularity of a domain within its category, shared with the query-log
+  // generator's Zipf shape: attention on the platform mirrors attention on
+  // the search engine. Tail domains get few experts, little casual chatter
+  // and no spam — which is why the baseline (and sometimes even e#) comes
+  // up empty on tail queries, as in the paper's Table 8.
+  const size_t dpc = universe.options().domains_per_category;
+  ZipfSampler domain_zipf(std::max<size_t>(dpc, 1), 1.05);
+  // Platform attention correlates with search attention but is not equal
+  // to it: a lognormal jitter makes some heavily-searched topics nearly
+  // absent from the microblog (the paper's baseline misses 2-36% of
+  // *popular* queries precisely because search demand and tweet supply
+  // diverge).
+  std::vector<double> platform_weight(universe.num_domains());
+  for (DomainId id = 0; id < universe.num_domains(); ++id) {
+    double search_weight = domain_zipf.Pmf(id % dpc) / domain_zipf.Pmf(0);
+    platform_weight[id] = search_weight * rng.LogNormal(0.0, 1.3);
+  }
+  auto domain_weight = [&](DomainId id) { return platform_weight[id]; };
+  // Per-category categorical samplers over platform weights. The exponent
+  // sharpens concentration: casual chatter and spam pile onto what is hot,
+  // and genuinely dead topics get nothing at all — that is what makes even
+  // e# miss a few queries, as the paper's Table 8 shows (e# tops out at
+  // .86-.98, not 1.0).
+  std::vector<std::vector<double>> category_weights(universe.num_categories());
+  for (DomainId id = 0; id < universe.num_domains(); ++id) {
+    category_weights[universe.CategoryOf(id)].push_back(
+        std::pow(platform_weight[id], 1.35));
+  }
+  auto sample_domain = [&](Rng* r) -> DomainId {
+    uint32_t category =
+        static_cast<uint32_t>(r->Uniform(universe.num_categories()));
+    size_t rank = r->Categorical(category_weights[category]);
+    return static_cast<DomainId>(category * dpc + rank);
+  };
+
+  // ---- Accounts ----------------------------------------------------------
+  // Experts first; remember them per domain for mention generation.
+  std::vector<std::vector<UserId>> experts_by_domain(universe.num_domains());
+  std::vector<double> influence;  // per user, drives retweets/followers
+
+  UserId next_user = 0;
+  for (const TopicDomain& dom : universe.domains()) {
+    uint64_t n_experts = rng.Poisson(
+        options.mean_experts_per_domain *
+        std::min(3.0, 0.08 + 1.5 * domain_weight(dom.id)));
+    for (uint64_t e = 0; e < n_experts; ++e) {
+      UserProfile u;
+      u.id = next_user++;
+      u.kind = AccountKind::kExpert;
+      u.domain = dom.id;
+      double infl = rng.LogNormal(0.0, 1.0);  // median 1, heavy tail
+      u.screen_name = MakeScreenName(dom.terms[0], u.kind, e, &rng);
+      u.description = MakeDescription(dom.terms[0], u.kind, &rng);
+      u.followers = static_cast<uint64_t>(300.0 * infl * rng.LogNormal(1.0, 1.2));
+      u.verified = u.followers > 20000 && rng.Bernoulli(0.4);
+      corpus.AddUser(u);
+      experts_by_domain[dom.id].push_back(u.id);
+      influence.push_back(infl);
+    }
+  }
+  const UserId first_casual = next_user;
+  for (size_t i = 0; i < options.casual_users; ++i) {
+    UserProfile u;
+    u.id = next_user++;
+    u.kind = AccountKind::kCasual;
+    u.screen_name = MakeScreenName("", u.kind, i, &rng);
+    u.description = MakeDescription("", u.kind, &rng);
+    u.followers = static_cast<uint64_t>(rng.LogNormal(4.0, 1.2));
+    corpus.AddUser(u);
+    influence.push_back(0.2 * rng.LogNormal(0.0, 0.5));
+  }
+  for (size_t i = 0; i < options.spam_users; ++i) {
+    UserProfile u;
+    u.id = next_user++;
+    u.kind = AccountKind::kSpam;
+    u.screen_name = MakeScreenName("", u.kind, i, &rng);
+    u.description = MakeDescription("", u.kind, &rng);
+    u.followers = static_cast<uint64_t>(rng.LogNormal(3.0, 1.5));
+    corpus.AddUser(u);
+    influence.push_back(0.05);
+  }
+  (void)first_casual;
+
+  // ---- Expert tweets ------------------------------------------------------
+  for (const TopicDomain& dom : universe.domains()) {
+    for (UserId uid : experts_by_domain[dom.id]) {
+      // The preferred-term subset: the crux of the recall problem. An
+      // expert uses only a couple of the domain's terms, so a query on a
+      // sibling term misses them without expansion.
+      std::vector<std::string> preferred;
+      size_t n_pref = 1 + rng.Uniform(std::min(options.max_preferred_terms,
+                                               dom.terms.size()));
+      std::vector<size_t> order(dom.terms.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng.Shuffle(&order);
+      for (size_t i = 0; i < n_pref; ++i) preferred.push_back(dom.terms[order[i]]);
+
+      double on_topic_rate =
+          options.expert_on_topic_min +
+          (options.expert_on_topic_max - options.expert_on_topic_min) *
+              rng.NextDouble();
+      uint64_t n_tweets = 1 + static_cast<uint64_t>(
+          options.expert_tweets_mean * rng.LogNormal(0.0, 0.6));
+
+      for (uint64_t t = 0; t < n_tweets; ++t) {
+        bool on_topic = rng.Bernoulli(on_topic_rate);
+        std::string topical;
+        if (on_topic) {
+          topical = preferred[rng.Uniform(preferred.size())];
+          if (rng.Bernoulli(options.hashtag_probability)) {
+            topical = querylog::ApplyVariant(topical,
+                                             querylog::VariantKind::kHashtag,
+                                             &rng);
+          }
+        }
+        uint32_t retweets = 0;
+        if (on_topic) {
+          retweets = static_cast<uint32_t>(
+              influence[uid] * rng.LogNormal(1.0, 1.0));
+        } else if (rng.Bernoulli(0.2)) {
+          retweets = static_cast<uint32_t>(rng.LogNormal(0.0, 0.7));
+        }
+        // Experts occasionally mention fellow domain experts.
+        std::vector<UserId> mentions;
+        if (on_topic && experts_by_domain[dom.id].size() > 1 &&
+            rng.Bernoulli(0.15)) {
+          UserId other;
+          do {
+            other = experts_by_domain[dom.id][rng.Uniform(
+                experts_by_domain[dom.id].size())];
+          } while (other == uid);
+          mentions.push_back(other);
+        }
+        corpus.AddTweet(uid, MakeTweetText(topical, &rng), std::move(mentions),
+                        retweets);
+      }
+    }
+  }
+
+  // ---- Casual tweets ------------------------------------------------------
+  for (UserId uid = first_casual; uid < first_casual + options.casual_users;
+       ++uid) {
+    uint64_t n_tweets = 1 + static_cast<uint64_t>(
+        options.casual_tweets_mean * rng.LogNormal(0.0, 0.8));
+    for (uint64_t t = 0; t < n_tweets; ++t) {
+      bool topical = rng.Bernoulli(0.5);
+      std::string term;
+      std::vector<UserId> mentions;
+      if (topical) {
+        // Casual attention is Zipfian over domains and head-heavy within a
+        // domain: the tail sibling phrases are almost never tweeted, which
+        // is the recall gap expansion closes.
+        const TopicDomain& dom = universe.domain(sample_domain(&rng));
+        term = rng.Bernoulli(0.7)
+                   ? dom.terms[0]
+                   : dom.terms[rng.Uniform(dom.terms.size())];
+        // Mentions are how MI flows to experts: casual users @ the experts
+        // of the domain they talk about, weighted toward influence.
+        if (!experts_by_domain[dom.id].empty() &&
+            rng.Bernoulli(options.mention_probability)) {
+          const std::vector<UserId>& pool = experts_by_domain[dom.id];
+          std::vector<double> weights;
+          weights.reserve(pool.size());
+          for (UserId e : pool) weights.push_back(influence[e] + 0.05);
+          mentions.push_back(pool[rng.Categorical(weights)]);
+        }
+      }
+      uint32_t retweets =
+          rng.Bernoulli(0.1)
+              ? static_cast<uint32_t>(rng.LogNormal(0.0, 0.5))
+              : 0;
+      corpus.AddTweet(uid, MakeTweetText(term, &rng), std::move(mentions),
+                      retweets);
+    }
+  }
+
+  // ---- Spam tweets --------------------------------------------------------
+  const UserId first_spam =
+      first_casual + static_cast<UserId>(options.casual_users);
+  for (UserId uid = first_spam; uid < corpus.num_users(); ++uid) {
+    uint64_t n_tweets = 1 + static_cast<uint64_t>(
+        options.spam_tweets_mean * rng.LogNormal(0.0, 0.5));
+    for (uint64_t t = 0; t < n_tweets; ++t) {
+      // Keyword stuffing targets *popular* head terms — spam chases
+      // traffic, so the tail stays spam-free.
+      std::string stuffed;
+      size_t n_terms = 1 + rng.Uniform(3);
+      for (size_t k = 0; k < n_terms; ++k) {
+        const TopicDomain& dom = universe.domain(sample_domain(&rng));
+        if (!stuffed.empty()) stuffed += " ";
+        stuffed += dom.terms[0];
+      }
+      corpus.AddTweet(uid, MakeTweetText(stuffed, &rng), {}, 0);
+    }
+  }
+
+  return corpus;
+}
+
+}  // namespace esharp::microblog

@@ -1,0 +1,174 @@
+#include "qna/corpus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace esharp::qna {
+
+void QnaCorpus::AddUser(UserProfile user) {
+  assert(user.id == users_.size());
+  users_.push_back(std::move(user));
+  answers_by_user_.push_back(0);
+  upvotes_of_user_.push_back(0);
+  accepts_of_user_.push_back(0);
+}
+
+uint32_t QnaCorpus::AddQuestion(UserId asker, std::string title) {
+  assert(asker < users_.size());
+  uint32_t id = static_cast<uint32_t>(questions_.size());
+  Question q;
+  q.id = id;
+  q.asker = asker;
+  q.title = ToLowerAscii(title);
+  std::vector<std::string> tokens = SplitWhitespace(q.title);
+  std::unordered_set<std::string> unique(tokens.begin(), tokens.end());
+  for (const std::string& tok : unique) token_index_[tok].push_back(id);
+  questions_.push_back(std::move(q));
+  answers_of_question_.emplace_back();
+  return id;
+}
+
+uint32_t QnaCorpus::AddAnswer(uint32_t question, UserId author,
+                              uint32_t upvotes, bool accepted) {
+  assert(question < questions_.size());
+  assert(author < users_.size());
+  uint32_t id = static_cast<uint32_t>(answers_.size());
+  answers_.push_back(Answer{id, question, author, upvotes, accepted});
+  answers_of_question_[question].push_back(id);
+  ++answers_by_user_[author];
+  upvotes_of_user_[author] += upvotes;
+  if (accepted) ++accepts_of_user_[author];
+  return id;
+}
+
+std::vector<uint32_t> QnaCorpus::MatchQuestions(
+    const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) return {};
+  std::vector<const std::vector<uint32_t>*> postings;
+  for (const std::string& tok : tokens) {
+    auto it = token_index_.find(ToLowerAscii(tok));
+    if (it == token_index_.end()) return {};
+    postings.push_back(&it->second);
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint32_t> result = *postings[0];
+  for (size_t i = 1; i < postings.size() && !result.empty(); ++i) {
+    std::vector<uint32_t> next;
+    std::set_intersection(result.begin(), result.end(), postings[i]->begin(),
+                          postings[i]->end(), std::back_inserter(next));
+    result = std::move(next);
+  }
+  return result;
+}
+
+const std::vector<uint32_t>& QnaCorpus::AnswersOf(uint32_t question) const {
+  return answers_of_question_[question];
+}
+
+Result<QnaCorpus> GenerateQnaCorpus(const querylog::TopicUniverse& universe,
+                                    const QnaOptions& options) {
+  if (options.mean_experts_per_domain <= 0) {
+    return Status::InvalidArgument("mean_experts_per_domain must be > 0");
+  }
+  Rng rng(options.seed);
+  QnaCorpus corpus;
+
+  // Experts per domain, with the same popularity skew as the microblog.
+  const size_t dpc = universe.options().domains_per_category;
+  ZipfSampler domain_zipf(std::max<size_t>(dpc, 1), 1.05);
+  std::vector<std::vector<UserId>> experts_by_domain(universe.num_domains());
+  std::vector<double> reputation;
+
+  UserId next_user = 0;
+  for (const querylog::TopicDomain& dom : universe.domains()) {
+    double weight = domain_zipf.Pmf(dom.id % dpc) / domain_zipf.Pmf(0);
+    uint64_t n = rng.Poisson(options.mean_experts_per_domain *
+                             (0.15 + 1.5 * weight));
+    for (uint64_t e = 0; e < n; ++e) {
+      UserProfile u;
+      u.id = next_user++;
+      u.kind = AccountKind::kExpert;
+      u.domain = dom.id;
+      u.display_name =
+          StrFormat("%s_answers_%llu", dom.terms[0].c_str(),
+                    static_cast<unsigned long long>(e));
+      u.bio = "Answering everything about " + dom.terms[0] + ".";
+      corpus.AddUser(u);
+      experts_by_domain[dom.id].push_back(u.id);
+      reputation.push_back(rng.LogNormal(0.0, 1.0));
+    }
+  }
+  const UserId first_casual = next_user;
+  for (size_t i = 0; i < options.casual_users; ++i) {
+    UserProfile u;
+    u.id = next_user++;
+    u.kind = AccountKind::kCasual;
+    u.display_name = StrFormat("curious_%zu", i);
+    u.bio = "Just asking questions.";
+    corpus.AddUser(u);
+    reputation.push_back(0.1);
+  }
+
+  // Casual users ask; domain experts answer.
+  static const std::vector<std::string> kQuestionTemplates = {
+      "what should i know about %s",
+      "how do i get started with %s",
+      "is %s worth following this year",
+      "best resources to learn about %s",
+      "why is %s trending",
+  };
+  for (UserId asker = first_casual; asker < corpus.num_users(); ++asker) {
+    uint64_t n_questions =
+        1 + rng.Poisson(options.questions_per_casual_mean - 1);
+    for (uint64_t k = 0; k < n_questions; ++k) {
+      const querylog::TopicDomain& dom = universe.domain(
+          static_cast<querylog::DomainId>(
+              (rng.Uniform(universe.num_categories()) * dpc) +
+              domain_zipf.Sample(&rng)));
+      const std::string& term =
+          rng.Bernoulli(0.7) ? dom.terms[0]
+                             : dom.terms[rng.Uniform(dom.terms.size())];
+      std::string title = StrFormat(
+          kQuestionTemplates[rng.Uniform(kQuestionTemplates.size())].c_str(),
+          term.c_str());
+      uint32_t qid = corpus.AddQuestion(asker, title);
+
+      // Experts of the domain answer with some probability; the best
+      // answer (highest reputation) tends to be accepted.
+      UserId best_author = 0;
+      uint32_t best_upvotes = 0;
+      bool any = false;
+      for (UserId expert : experts_by_domain[dom.id]) {
+        if (!rng.Bernoulli(options.expert_answer_rate)) continue;
+        uint32_t upvotes = static_cast<uint32_t>(
+            reputation[expert] * rng.LogNormal(1.0, 0.8));
+        corpus.AddAnswer(qid, expert, upvotes, false);
+        if (!any || upvotes > best_upvotes) {
+          best_upvotes = upvotes;
+          best_author = expert;
+          any = true;
+        }
+      }
+      // Accepted mark goes to the strongest answer (modeled as one extra
+      // accepted answer by the same author).
+      if (any && rng.Bernoulli(0.6)) {
+        corpus.AddAnswer(qid, best_author, 1 + best_upvotes / 4, true);
+      }
+      // Occasionally a casual user chimes in with a weak answer.
+      if (rng.Bernoulli(0.3)) {
+        UserId other =
+            first_casual + static_cast<UserId>(rng.Uniform(
+                               options.casual_users));
+        corpus.AddAnswer(qid, other, rng.Bernoulli(0.3) ? 1 : 0, false);
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace esharp::qna

@@ -1,0 +1,111 @@
+#ifndef ESHARP_QNA_CORPUS_H_
+#define ESHARP_QNA_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "querylog/universe.h"
+
+namespace esharp::qna {
+
+/// \brief Account identifier on the Q&A platform.
+using UserId = uint32_t;
+
+/// \brief Account archetypes (mirrors the microblog simulator).
+enum class AccountKind { kExpert, kCasual };
+
+/// \brief A Q&A platform profile.
+struct UserProfile {
+  UserId id = 0;
+  std::string display_name;
+  std::string bio;
+  AccountKind kind = AccountKind::kCasual;
+  querylog::DomainId domain = querylog::kNoDomain;
+};
+
+/// \brief A question; the title carries the topical terms.
+struct Question {
+  uint32_t id = 0;
+  UserId asker = 0;
+  std::string title;  // lower-cased
+};
+
+/// \brief An answer to a question.
+struct Answer {
+  uint32_t id = 0;
+  uint32_t question = 0;
+  UserId author = 0;
+  uint32_t upvotes = 0;
+  bool accepted = false;
+};
+
+/// \brief An indexed Quora-style corpus — the "other social network" of the
+/// paper's future-work section (§8: "expanding into other social networks
+/// such as Quora and Facebook").
+///
+/// Structurally a Q&A site differs from a microblog: content is anchored to
+/// questions, authority flows through answers, upvotes and accepted marks
+/// rather than retweets and mentions. What stays identical is the shape the
+/// e# online stage needs — "find candidates for a term, count their
+/// topical vs total activity" — which is why the expansion layer transfers
+/// unchanged (see qna::QnaExpertDetector).
+class QnaCorpus {
+ public:
+  void AddUser(UserProfile user);
+  uint32_t AddQuestion(UserId asker, std::string title);
+  uint32_t AddAnswer(uint32_t question, UserId author, uint32_t upvotes,
+                     bool accepted);
+
+  size_t num_users() const { return users_.size(); }
+  size_t num_questions() const { return questions_.size(); }
+  size_t num_answers() const { return answers_.size(); }
+  const UserProfile& user(UserId id) const { return users_[id]; }
+  const Question& question(uint32_t id) const { return questions_[id]; }
+  const Answer& answer(uint32_t id) const { return answers_[id]; }
+
+  /// Question ids whose title contains every token (lower-cased whole-word
+  /// match — the same predicate the microblog uses, §3).
+  std::vector<uint32_t> MatchQuestions(
+      const std::vector<std::string>& tokens) const;
+
+  /// Answer ids attached to a question.
+  const std::vector<uint32_t>& AnswersOf(uint32_t question) const;
+
+  /// Per-user totals (feature denominators).
+  uint64_t AnswersByUser(UserId id) const { return answers_by_user_[id]; }
+  uint64_t UpvotesOfUser(UserId id) const { return upvotes_of_user_[id]; }
+  uint64_t AcceptsOfUser(UserId id) const { return accepts_of_user_[id]; }
+
+ private:
+  std::vector<UserProfile> users_;
+  std::vector<Question> questions_;
+  std::vector<Answer> answers_;
+  std::unordered_map<std::string, std::vector<uint32_t>> token_index_;
+  std::vector<std::vector<uint32_t>> answers_of_question_;
+  std::vector<uint64_t> answers_by_user_;
+  std::vector<uint64_t> upvotes_of_user_;
+  std::vector<uint64_t> accepts_of_user_;
+};
+
+/// \brief Options of the Q&A population generator.
+struct QnaOptions {
+  double mean_experts_per_domain = 3.0;
+  size_t casual_users = 600;
+  double questions_per_casual_mean = 4.0;
+  /// Probability a domain expert answers a question of their domain.
+  double expert_answer_rate = 0.5;
+  uint64_t seed = 404;
+};
+
+/// \brief Generates a Q&A corpus over the shared topic universe: casual
+/// users ask questions phrased with domain terms; experts of the domain
+/// answer and collect upvotes/accepted marks.
+Result<QnaCorpus> GenerateQnaCorpus(const querylog::TopicUniverse& universe,
+                                    const QnaOptions& options);
+
+}  // namespace esharp::qna
+
+#endif  // ESHARP_QNA_CORPUS_H_

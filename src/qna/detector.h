@@ -1,0 +1,84 @@
+#ifndef ESHARP_QNA_DETECTOR_H_
+#define ESHARP_QNA_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "community/store.h"
+#include "qna/corpus.h"
+
+namespace esharp::qna {
+
+/// \brief A ranked Q&A expert.
+struct RankedAnswerer {
+  UserId user = 0;
+  double score = 0;
+  double z_answer_share = 0;   // AS: on-topic answers / total answers
+  double z_vote_impact = 0;    // VI: on-topic upvotes / total upvotes
+  double z_accept_impact = 0;  // AI: on-topic accepted / total accepted
+};
+
+/// \brief Options of the Q&A detector (weights mirror §3's guidance:
+/// topical concentration dominates, influence seconds it).
+struct QnaDetectorOptions {
+  double weight_answer_share = 0.4;
+  double weight_vote_impact = 0.4;
+  double weight_accept_impact = 0.2;
+  double min_z_score = 0.0;
+  size_t max_experts = 15;
+  double smoothing = 0.01;
+};
+
+/// \brief Per-candidate raw evidence for one topic.
+struct AnswererEvidence {
+  UserId user = 0;
+  uint64_t answers_on_topic = 0;
+  uint64_t upvotes_on_topic = 0;
+  uint64_t accepts_on_topic = 0;
+};
+
+/// \brief Pal & Counts' recipe transplanted to a Q&A network: candidates
+/// are the answerers of questions matching the query; features are the
+/// on-topic shares of their answers, upvotes and accepted marks,
+/// log-transformed, z-scored over the pool and combined by weighted sum.
+///
+/// Because the class exposes the same collect/merge/rank decomposition as
+/// the microblog detector, e#'s expansion layer applies verbatim — the
+/// paper's claim that "our system can work with any Expertise Retrieval
+/// system" (§7.1), exercised on a second substrate.
+class QnaExpertDetector {
+ public:
+  explicit QnaExpertDetector(const QnaCorpus* corpus,
+                             QnaDetectorOptions options = {})
+      : corpus_(corpus), options_(options) {}
+
+  std::vector<AnswererEvidence> CollectCandidates(
+      const std::string& query) const;
+
+  Result<std::vector<RankedAnswerer>> RankCandidates(
+      const std::vector<AnswererEvidence>& candidates) const;
+
+  Result<std::vector<RankedAnswerer>> FindExperts(
+      const std::string& query) const;
+
+  /// e#'s online stage on the Q&A substrate: expand the query against the
+  /// community store, union the per-term candidate pools, rank once.
+  Result<std::vector<RankedAnswerer>> FindExpertsExpanded(
+      const community::CommunityStore& store, const std::string& query,
+      size_t max_expansion_terms = 30) const;
+
+  const QnaDetectorOptions& options() const { return options_; }
+
+ private:
+  const QnaCorpus* corpus_;
+  QnaDetectorOptions options_;
+};
+
+/// \brief Union of evidence pools by user (the §5 merge).
+std::vector<AnswererEvidence> MergeQnaEvidence(
+    const std::vector<std::vector<AnswererEvidence>>& lists);
+
+}  // namespace esharp::qna
+
+#endif  // ESHARP_QNA_DETECTOR_H_

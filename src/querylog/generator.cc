@@ -1,0 +1,188 @@
+#include "querylog/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace esharp::querylog {
+
+namespace {
+
+// Distributes `total` clicks over `urls` with a geometric-ish profile
+// (first URLs of a domain absorb most clicks, like a navigational homepage).
+void SpreadClicks(QueryLog* log, uint32_t query_id,
+                  const std::vector<uint32_t>& urls, uint64_t total,
+                  double concentration, Rng* rng) {
+  if (urls.empty() || total == 0) return;
+  double remaining = static_cast<double>(total);
+  for (size_t i = 0; i + 1 < urls.size() && remaining >= 1.0; ++i) {
+    double share = concentration * (0.8 + 0.4 * rng->NextDouble());
+    share = std::min(share, 1.0);
+    uint64_t clicks = static_cast<uint64_t>(remaining * share);
+    if (clicks > 0) log->AddClicks(query_id, urls[i], clicks);
+    remaining -= static_cast<double>(clicks);
+  }
+  uint64_t last = static_cast<uint64_t>(remaining);
+  if (last > 0) log->AddClicks(query_id, urls.back(), last);
+}
+
+// Picks up to k distinct random elements of `pool`.
+std::vector<uint32_t> PickSome(const std::vector<uint32_t>& pool, size_t k,
+                               Rng* rng) {
+  std::vector<uint32_t> out;
+  if (pool.empty()) return out;
+  k = std::min(k, pool.size());
+  std::vector<size_t> idx(pool.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  for (size_t i = 0; i < k; ++i) out.push_back(pool[idx[i]]);
+  return out;
+}
+
+}  // namespace
+
+Result<GeneratedLog> GenerateQueryLog(const TopicUniverse& universe,
+                                      const GeneratorOptions& options) {
+  if (options.domain_click_share + options.related_click_share +
+          options.category_click_share > 1.0) {
+    return Status::InvalidArgument("click shares exceed 1.0");
+  }
+  if (options.head_impressions == 0) {
+    return Status::InvalidArgument("head_impressions must be > 0");
+  }
+
+  GeneratedLog out;
+  Rng rng(options.seed);
+  QueryLog& log = out.log;
+
+  // Per-category domain popularity: Zipf over the domain's rank inside its
+  // category, so every category has head and tail domains.
+  const size_t dpc = universe.options().domains_per_category;
+  ZipfSampler domain_zipf(std::max<size_t>(dpc, 1),
+                          options.domain_zipf_exponent);
+  const double zipf_head = domain_zipf.Pmf(0);
+
+  out.domain_head_terms.resize(universe.num_domains());
+
+  for (const TopicDomain& dom : universe.domains()) {
+    out.domain_head_terms[dom.id] = dom.terms.empty() ? "" : dom.terms[0];
+    // Rank of this domain within its category (generation order is rank).
+    size_t rank_in_cat = dom.id % dpc;
+    double dom_weight = domain_zipf.Pmf(rank_in_cat) / zipf_head;
+    double dom_impressions =
+        static_cast<double>(options.head_impressions) * dom_weight;
+
+    bool ambiguous_domain = rng.Bernoulli(options.ambiguity_rate);
+    const TopicDomain* alias_dom = nullptr;
+    if (ambiguous_domain && universe.num_domains() > 1) {
+      DomainId other;
+      do {
+        other = static_cast<DomainId>(rng.Uniform(universe.num_domains()));
+      } while (other == dom.id);
+      alias_dom = &universe.domain(other);
+    }
+
+    double sibling_weight = 1.0;
+    for (size_t t = 0; t < dom.terms.size(); ++t) {
+      const std::string& term = dom.terms[t];
+      double term_impressions = dom_impressions * sibling_weight;
+      sibling_weight *= options.sibling_decay;
+
+      // Popular topics accumulate more surface variants in a real log
+      // ("dozens, sometimes hundreds of variants", §4.1): scale the variant
+      // budget with domain popularity.
+      VariantOptions variant_options = options.variants;
+      variant_options.mean_variants_per_term *= (0.5 + 1.5 * dom_weight);
+      std::vector<Variant> variants =
+          DeriveVariants(term, variant_options, &rng);
+
+      for (size_t v = 0; v < variants.size(); ++v) {
+        double share =
+            v == 0 ? 1.0
+                   : options.variant_share_min +
+                         (options.variant_share_max -
+                          options.variant_share_min) *
+                             rng.NextDouble();
+        uint64_t searches =
+            static_cast<uint64_t>(term_impressions * share + 0.5);
+        if (searches == 0) continue;
+
+        uint32_t qid = log.AddQuery(variants[v].text, dom.id, v != 0);
+        log.AddSearches(qid, searches);
+
+        uint64_t clicks = static_cast<uint64_t>(
+            static_cast<double>(searches) * options.click_through_rate);
+        if (clicks == 0) continue;
+
+        // Ambiguous canonical terms split their click mass between two
+        // unrelated domains (only the canonical surface form is ambiguous;
+        // hashtag/typo variants stay specific).
+        uint64_t alias_clicks = 0;
+        if (v == 0 && alias_dom != nullptr) {
+          alias_clicks = clicks / 2;
+          clicks -= alias_clicks;
+        }
+
+        uint64_t dom_clicks = static_cast<uint64_t>(
+            static_cast<double>(clicks) * options.domain_click_share);
+        // Popular topics co-click with their neighbors far more (49ers <->
+        // Kaepernick <-> SF tourism in the paper's Fig. 7); tail topics
+        // barely leak. Scaling by popularity keeps head communities
+        // richly connected without gluing the tail together.
+        double rel_share = options.related_click_share * (0.6 + dom_weight);
+        uint64_t rel_clicks = static_cast<uint64_t>(
+            static_cast<double>(clicks) * rel_share);
+        uint64_t cat_clicks = static_cast<uint64_t>(
+            static_cast<double>(clicks) * options.category_click_share);
+        uint64_t noise_clicks = clicks - dom_clicks - rel_clicks - cat_clicks;
+
+        SpreadClicks(&log, qid, dom.urls, dom_clicks, 0.45, &rng);
+        if (!dom.related.empty() && rel_clicks > 0) {
+          // Clicks leak onto the URLs of nearby topics; the first related
+          // domain absorbs most of it so Fig. 7's "closest community" is a
+          // stable, meaningful neighbor.
+          const TopicDomain& rel =
+              universe.domain(dom.related[rng.Uniform(
+                  std::min<size_t>(dom.related.size(), 2))]);
+          SpreadClicks(&log, qid, PickSome(rel.urls, 3, &rng), rel_clicks,
+                       0.5, &rng);
+        }
+        SpreadClicks(&log, qid,
+                     PickSome(universe.category_urls(dom.category), 3, &rng),
+                     cat_clicks, 0.5, &rng);
+        SpreadClicks(&log, qid, PickSome(universe.noise_urls(), 2, &rng),
+                     noise_clicks, 0.6, &rng);
+        if (alias_clicks > 0) {
+          SpreadClicks(&log, qid, alias_dom->urls, alias_clicks, 0.45, &rng);
+        }
+      }
+    }
+  }
+
+  // Junk queries: tiny counts, each clicking mostly its own navigational
+  // URL plus a little shared-noise mass. Most fall below the min-count
+  // filter; the survivors become the orphan communities of Fig. 6 (the
+  // paper reports ~20% orphans) because their click vectors resemble
+  // nothing else.
+  uint32_t next_junk_url = universe.num_urls();
+  for (size_t i = 0; i < options.noise_queries; ++i) {
+    std::string text = StrFormat("junkquery%zu z%llu", i,
+                                 static_cast<unsigned long long>(
+                                     rng.Uniform(1000000)));
+    uint32_t qid = log.AddQuery(text, kNoDomain, false);
+    // Long-tailed counts: most below 50, a meaningful tail above.
+    uint64_t searches = 1 + static_cast<uint64_t>(rng.LogNormal(2.45, 1.4));
+    log.AddSearches(qid, searches);
+    uint64_t clicks = static_cast<uint64_t>(
+        static_cast<double>(searches) * options.click_through_rate);
+    uint64_t own = static_cast<uint64_t>(static_cast<double>(clicks) * 0.8);
+    log.AddClicks(qid, next_junk_url++, own);
+    SpreadClicks(&log, qid, PickSome(universe.noise_urls(), 2, &rng),
+                 clicks - own, 0.7, &rng);
+  }
+
+  return out;
+}
+
+}  // namespace esharp::querylog

@@ -1,0 +1,66 @@
+#ifndef ESHARP_QUERYLOG_GENERATOR_H_
+#define ESHARP_QUERYLOG_GENERATOR_H_
+
+#include "common/result.h"
+#include "querylog/log.h"
+#include "querylog/universe.h"
+#include "querylog/variants.h"
+
+namespace esharp::querylog {
+
+/// \brief Options shaping the synthetic month of search behavior.
+struct GeneratorOptions {
+  /// Searches of the most popular domain's head term for the month.
+  uint64_t head_impressions = 50000;
+  /// Zipf exponent of domain popularity within a category.
+  double domain_zipf_exponent = 1.05;
+  /// Popularity decay per sibling-term rank within a domain.
+  double sibling_decay = 0.55;
+  /// Variant popularity as a fraction of its canonical term, drawn
+  /// uniformly from [min, max].
+  double variant_share_min = 0.03;
+  double variant_share_max = 0.30;
+  /// Click mass routed to the query's own domain URLs.
+  double domain_click_share = 0.69;
+  /// Click mass routed to URLs of semantically related domains (the "SF
+  /// Gate covers both the 49ers and San Francisco tourism" effect) — this
+  /// is what places related communities near each other in the similarity
+  /// graph (Fig. 7's closest-communities structure).
+  double related_click_share = 0.07;
+  /// Click mass routed to category-shared URLs.
+  double category_click_share = 0.08;
+  /// Remaining mass goes to global noise URLs.
+  /// Fraction of canonical terms that are ambiguous (half their clicks go
+  /// to a second, unrelated domain — e.g. "football" across continents).
+  double ambiguity_rate = 0.02;
+  /// Noise-only junk queries (spam, navigational one-offs) added to the log
+  /// with clicks only on noise URLs; most fall below the min-count filter.
+  size_t noise_queries = 400;
+  /// Overall clicks-per-search ratio.
+  double click_through_rate = 0.6;
+  /// Variant derivation knobs.
+  VariantOptions variants;
+  uint64_t seed = 7;
+};
+
+/// \brief Ground truth retained alongside the generated log (which queries
+/// are variants of what, and which domain owns each query).
+struct GeneratedLog {
+  QueryLog log;
+  /// Canonical head term per domain, convenient for benches.
+  std::vector<std::string> domain_head_terms;
+};
+
+/// \brief Simulates one month of search-engine behavior over a universe.
+///
+/// The output reproduces the statistical features the pipeline depends on:
+/// Zipfian query popularity, click vectors concentrated on domain URLs (so
+/// same-domain queries have high cosine similarity), surface variants with
+/// correlated clicks, category-level co-clicks (so related domains end up
+/// near each other in the similarity graph, Fig. 7), ambiguity and noise.
+Result<GeneratedLog> GenerateQueryLog(const TopicUniverse& universe,
+                                      const GeneratorOptions& options);
+
+}  // namespace esharp::querylog
+
+#endif  // ESHARP_QUERYLOG_GENERATOR_H_

@@ -1,0 +1,196 @@
+#include "querylog/universe.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace esharp::querylog {
+
+namespace {
+
+// Seed vocabulary per category so examples and qualitative benches print
+// recognizable terms (the paper's Tables 1-7 revolve around these). Synthetic
+// terms take over once the seeds run out.
+const std::vector<std::vector<std::string>>& SeedHeads() {
+  static const std::vector<std::vector<std::string>> kSeeds = {
+      // sports
+      {"49ers", "nfl", "buffalo bills", "nascar", "baltimore ravens",
+       "red sox", "lakers", "serena williams", "tour de france",
+       "world cup", "colin kaepernick", "super bowl"},
+      // electronics
+      {"bluetooth speakers", "ipad mini", "garmin", "xbox", "vacuum cleaners",
+       "smart watch", "vr glasses", "android phone", "drone camera",
+       "wireless earbuds", "gaming laptop", "4k tv"},
+      // finance
+      {"nasdaq", "dow futures", "msft", "stock quotes", "bloomberg",
+       "mortgage rates", "gold price", "sp 500", "bitcoin",
+       "retirement planning", "credit score", "exchange rate"},
+      // health
+      {"scoliosis", "asthma", "diabetes", "bmi", "bulimia", "flu symptoms",
+       "blood pressure", "migraine", "allergy", "back pain",
+       "cholesterol", "insomnia"},
+      // wikipedia
+      {"world war i", "world war ii", "aashiqui 2", "lycos", "beyonce",
+       "albert einstein", "star wars vii", "french revolution",
+       "roman empire", "solar system", "shakespeare", "apollo 11"},
+      // misc / top-250 style head queries
+      {"sarah palin", "mapquest", "honda", "antonov225", "saudi arabia",
+       "weather", "pizza near me", "taylor swift", "game of thrones",
+       "minecraft", "craigslist", "powerball"},
+  };
+  return kSeeds;
+}
+
+// Qualifier suffixes appended to head terms to form sibling terms of the
+// same domain ("49ers draft", "49ers news", ...).
+const std::vector<std::string>& Qualifiers() {
+  static const std::vector<std::string> kQualifiers = {
+      "news", "draft", "schedule", "score", "rumors", "review", "price",
+      "forum", "tickets", "live", "update", "stats", "guide", "history",
+  };
+  return kQualifiers;
+}
+
+}  // namespace
+
+std::vector<std::string> DefaultCategoryNames(size_t num_categories) {
+  static const std::vector<std::string> kNames = {
+      "sports", "electronics", "finance", "health", "wikipedia", "top250",
+  };
+  std::vector<std::string> out;
+  for (size_t i = 0; i < num_categories; ++i) {
+    if (i < kNames.size()) {
+      out.push_back(kNames[i]);
+    } else {
+      out.push_back(StrFormat("category%zu", i));
+    }
+  }
+  return out;
+}
+
+Result<TopicUniverse> TopicUniverse::Generate(const UniverseOptions& options) {
+  if (options.num_categories == 0 || options.domains_per_category == 0) {
+    return Status::InvalidArgument("universe must have categories and domains");
+  }
+  if (options.min_terms_per_domain == 0 ||
+      options.min_terms_per_domain > options.max_terms_per_domain) {
+    return Status::InvalidArgument("invalid terms_per_domain range");
+  }
+  if (options.min_urls_per_domain == 0 ||
+      options.min_urls_per_domain > options.max_urls_per_domain) {
+    return Status::InvalidArgument("invalid urls_per_domain range");
+  }
+
+  TopicUniverse u;
+  u.options_ = options;
+  u.num_categories_ = options.num_categories;
+  Rng rng(options.seed);
+
+  uint32_t next_url = 0;
+  const auto& seeds = SeedHeads();
+  std::unordered_map<std::string, DomainId> term_owner;
+
+  u.category_urls_.resize(options.num_categories);
+  for (size_t cat = 0; cat < options.num_categories; ++cat) {
+    for (size_t i = 0; i < options.shared_urls_per_category; ++i) {
+      u.category_urls_[cat].push_back(next_url++);
+    }
+  }
+  for (size_t i = 0; i < options.global_noise_urls; ++i) {
+    u.noise_urls_.push_back(next_url++);
+  }
+
+  DomainId next_domain = 0;
+  for (uint32_t cat = 0; cat < options.num_categories; ++cat) {
+    const std::vector<std::string>* seed_list =
+        cat < seeds.size() ? &seeds[cat] : nullptr;
+    for (size_t d = 0; d < options.domains_per_category; ++d) {
+      TopicDomain dom;
+      dom.id = next_domain++;
+      dom.category = cat;
+
+      // Head term: a seed if available, otherwise synthetic.
+      std::string head;
+      if (seed_list != nullptr && d < seed_list->size()) {
+        head = (*seed_list)[d];
+      } else {
+        head = StrFormat("topic%u x%zu", cat, d);
+      }
+      dom.terms.push_back(head);
+
+      // Sibling terms: head + qualifier. The shortness of microposts means
+      // an expert rarely uses two siblings in one tweet — this is exactly
+      // the recall gap e# closes. Seeded (head-of-category) domains are the
+      // popular topics and get the full sibling complement, like the rich
+      // "49ers" community of the paper's Fig. 7; the tail is sparser.
+      size_t n_terms;
+      if (seed_list != nullptr && d < seed_list->size()) {
+        n_terms = options.max_terms_per_domain;
+      } else {
+        n_terms = static_cast<size_t>(rng.UniformInt(
+            static_cast<int64_t>(options.min_terms_per_domain),
+            static_cast<int64_t>(options.max_terms_per_domain)));
+      }
+      const auto& quals = Qualifiers();
+      std::vector<size_t> pick(quals.size());
+      for (size_t i = 0; i < pick.size(); ++i) pick[i] = i;
+      rng.Shuffle(&pick);
+      for (size_t i = 0; i + 1 < n_terms && i < pick.size(); ++i) {
+        dom.terms.push_back(head + " " + quals[pick[i]]);
+      }
+
+      // Every canonical term is owned by exactly one domain. If a seed list
+      // collides (it should not), suffix to disambiguate.
+      for (std::string& t : dom.terms) {
+        t = ToLowerAscii(t);
+        while (term_owner.count(t)) t += " alt";
+        term_owner.emplace(t, dom.id);
+      }
+
+      // Domain-owned URLs.
+      size_t n_urls = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(options.min_urls_per_domain),
+          static_cast<int64_t>(options.max_urls_per_domain)));
+      for (size_t i = 0; i < n_urls; ++i) dom.urls.push_back(next_url++);
+
+      u.domains_.push_back(std::move(dom));
+    }
+  }
+
+  // Relate each domain to its nearest same-category neighbors (ring order),
+  // giving Fig. 7 its "closest communities" structure.
+  for (uint32_t cat = 0; cat < options.num_categories; ++cat) {
+    std::vector<DomainId> ids = u.DomainsInCategory(cat);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      TopicDomain& dom = u.domains_[ids[i]];
+      for (size_t k = 1; k <= options.related_per_domain && k < ids.size();
+           ++k) {
+        dom.related.push_back(ids[(i + k) % ids.size()]);
+      }
+    }
+  }
+
+  u.num_urls_ = next_url;
+  return u;
+}
+
+std::vector<DomainId> TopicUniverse::DomainsInCategory(uint32_t category) const {
+  std::vector<DomainId> out;
+  for (const TopicDomain& d : domains_) {
+    if (d.category == category) out.push_back(d.id);
+  }
+  return out;
+}
+
+Result<DomainId> TopicUniverse::DomainOfTerm(const std::string& term) const {
+  std::string needle = ToLowerAscii(term);
+  for (const TopicDomain& d : domains_) {
+    for (const std::string& t : d.terms) {
+      if (t == needle) return d.id;
+    }
+  }
+  return Status::NotFound("term '", term, "' is not a canonical term");
+}
+
+}  // namespace esharp::querylog

@@ -1,0 +1,108 @@
+#ifndef ESHARP_QUERYLOG_UNIVERSE_H_
+#define ESHARP_QUERYLOG_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace esharp::querylog {
+
+/// \brief Identifier of a latent expertise domain.
+using DomainId = uint32_t;
+
+/// \brief Sentinel for "no ground-truth domain" (pure noise).
+inline constexpr DomainId kNoDomain = static_cast<DomainId>(-1);
+
+/// \brief A latent domain of expertise (e.g. "the 49ers", "diabetes").
+///
+/// Domains are the hidden ground truth of the simulation: the query-log
+/// generator derives queries and click behavior from them, the microblog
+/// generator derives expert accounts and tweets from them, and the
+/// evaluation harness scores clustering and retrieval against them. The
+/// paper's real-world counterpart is unobservable; making it explicit here
+/// is what lets us measure recall exactly.
+struct TopicDomain {
+  DomainId id = 0;
+  /// Category index (e.g. sports/electronics/finance/health/wiki/misc).
+  uint32_t category = 0;
+  /// Canonical query terms of the domain, head term first. Variants
+  /// (misspellings, hashtags) are derived downstream and are NOT listed.
+  std::vector<std::string> terms;
+  /// URL ids owned by this domain (clicks concentrate here).
+  std::vector<uint32_t> urls;
+  /// Ids of semantically nearby domains (share category URLs; used to
+  /// validate Fig. 7's "closest communities" behavior).
+  std::vector<DomainId> related;
+};
+
+/// \brief Options for universe generation.
+struct UniverseOptions {
+  /// Number of query categories; the first five mimic the paper's Sports,
+  /// Electronics, Finance, Health and Wikipedia sets, the rest are misc.
+  size_t num_categories = 6;
+  /// Domains per category.
+  size_t domains_per_category = 60;
+  /// Min/max canonical terms per domain (before variants). The paper's
+  /// Fig. 6 finds most communities hold 2-10 queries; canonical terms plus
+  /// variants land in that range.
+  size_t min_terms_per_domain = 1;
+  size_t max_terms_per_domain = 4;
+  /// URLs owned by each domain.
+  size_t min_urls_per_domain = 3;
+  size_t max_urls_per_domain = 8;
+  /// Category-level shared URLs (e.g. espn.com for sports).
+  size_t shared_urls_per_category = 12;
+  /// Global noise URLs clicked by everything (portals, social networks).
+  size_t global_noise_urls = 150;
+  /// Neighbors each domain is related to within its category.
+  size_t related_per_domain = 3;
+  uint64_t seed = 42;
+};
+
+/// \brief Human-readable names of the default categories (aligned with the
+/// paper's Table 1 sets).
+std::vector<std::string> DefaultCategoryNames(size_t num_categories);
+
+/// \brief The complete latent world shared by the query-log and microblog
+/// simulators.
+class TopicUniverse {
+ public:
+  /// Generates a universe. Deterministic in `options.seed`.
+  static Result<TopicUniverse> Generate(const UniverseOptions& options);
+
+  const std::vector<TopicDomain>& domains() const { return domains_; }
+  const TopicDomain& domain(DomainId id) const { return domains_[id]; }
+  size_t num_domains() const { return domains_.size(); }
+  size_t num_categories() const { return num_categories_; }
+  /// Total number of distinct URL ids (domain-owned + shared + noise).
+  uint32_t num_urls() const { return num_urls_; }
+  /// Shared URLs of a category.
+  const std::vector<uint32_t>& category_urls(uint32_t category) const {
+    return category_urls_[category];
+  }
+  /// Global noise URLs.
+  const std::vector<uint32_t>& noise_urls() const { return noise_urls_; }
+  /// Category of a domain.
+  uint32_t CategoryOf(DomainId id) const { return domains_[id].category; }
+  /// Domains of one category.
+  std::vector<DomainId> DomainsInCategory(uint32_t category) const;
+  /// Ground-truth domain of a canonical term, or error if unknown.
+  Result<DomainId> DomainOfTerm(const std::string& term) const;
+
+  const UniverseOptions& options() const { return options_; }
+
+ private:
+  UniverseOptions options_;
+  std::vector<TopicDomain> domains_;
+  std::vector<std::vector<uint32_t>> category_urls_;
+  std::vector<uint32_t> noise_urls_;
+  size_t num_categories_ = 0;
+  uint32_t num_urls_ = 0;
+};
+
+}  // namespace esharp::querylog
+
+#endif  // ESHARP_QUERYLOG_UNIVERSE_H_

@@ -1,0 +1,92 @@
+#include "querylog/variants.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace esharp::querylog {
+
+std::string ApplyVariant(const std::string& term, VariantKind kind, Rng* rng) {
+  switch (kind) {
+    case VariantKind::kCanonical:
+      return term;
+    case VariantKind::kHashtag: {
+      std::string out = "#";
+      for (char c : term) {
+        if (c != ' ') out += c;
+      }
+      return out;
+    }
+    case VariantKind::kNoSpace: {
+      std::string out;
+      for (char c : term) {
+        if (c != ' ') out += c;
+      }
+      return out;
+    }
+    case VariantKind::kAbbreviation: {
+      std::vector<std::string> words = SplitWhitespace(term);
+      if (words.size() < 2) return term;  // no useful abbreviation
+      std::string out;
+      for (const std::string& w : words) out += w[0];
+      return out;
+    }
+    case VariantKind::kTypoSwap: {
+      if (term.size() < 3) return term;
+      std::string out = term;
+      size_t i = rng->Uniform(out.size() - 1);
+      if (out[i] == ' ' || out[i + 1] == ' ') return term;
+      std::swap(out[i], out[i + 1]);
+      return out;
+    }
+    case VariantKind::kTypoDrop: {
+      if (term.size() < 4) return term;
+      std::string out = term;
+      size_t i = rng->Uniform(out.size());
+      if (out[i] == ' ') return term;
+      out.erase(i, 1);
+      return out;
+    }
+    case VariantKind::kTypoDouble: {
+      if (term.size() < 3) return term;
+      std::string out = term;
+      size_t i = rng->Uniform(out.size());
+      if (out[i] == ' ') return term;
+      out.insert(i, 1, out[i]);
+      return out;
+    }
+  }
+  return term;
+}
+
+std::vector<Variant> DeriveVariants(const std::string& term,
+                                    const VariantOptions& options, Rng* rng) {
+  std::vector<Variant> out;
+  out.push_back(Variant{term, VariantKind::kCanonical});
+  std::unordered_set<std::string> seen = {term};
+
+  static const VariantKind kDerivable[] = {
+      VariantKind::kHashtag,  VariantKind::kNoSpace,
+      VariantKind::kAbbreviation, VariantKind::kTypoSwap,
+      VariantKind::kTypoDrop, VariantKind::kTypoDouble,
+  };
+
+  size_t target = static_cast<size_t>(
+      rng->Poisson(options.mean_variants_per_term));
+  target = std::min(target, options.max_variants_per_term);
+
+  // Try a bounded number of draws; some kinds are no-ops for short or
+  // single-word terms and are skipped via the dedup set.
+  size_t attempts = 0;
+  while (out.size() - 1 < target && attempts < 4 * (target + 1)) {
+    ++attempts;
+    VariantKind kind = kDerivable[rng->Uniform(std::size(kDerivable))];
+    std::string text = ApplyVariant(term, kind, rng);
+    if (seen.insert(text).second) {
+      out.push_back(Variant{std::move(text), kind});
+    }
+  }
+  return out;
+}
+
+}  // namespace esharp::querylog

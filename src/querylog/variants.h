@@ -1,0 +1,49 @@
+#ifndef ESHARP_QUERYLOG_VARIANTS_H_
+#define ESHARP_QUERYLOG_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace esharp::querylog {
+
+/// \brief Kinds of surface variant a canonical term appears under in a real
+/// query log (§4.1: "the same term can appear with dozens, sometimes
+/// hundreds of variants (e.g., san francisco, #sanfrancisco, sf, ...)").
+enum class VariantKind {
+  kCanonical,
+  kHashtag,       // "#sanfrancisco"
+  kNoSpace,       // "sanfrancisco"
+  kAbbreviation,  // "sf" (first letters of each word)
+  kTypoSwap,      // adjacent transposition
+  kTypoDrop,      // dropped character
+  kTypoDouble,    // doubled character
+};
+
+/// \brief One derived query string with its kind.
+struct Variant {
+  std::string text;
+  VariantKind kind = VariantKind::kCanonical;
+};
+
+/// \brief Options for variant derivation.
+struct VariantOptions {
+  /// Expected number of variants per canonical term (Poisson).
+  double mean_variants_per_term = 2.0;
+  /// Maximum variants retained per term.
+  size_t max_variants_per_term = 8;
+};
+
+/// \brief Derives surface variants of a canonical term. The canonical term
+/// itself is always first in the returned list. Deterministic in *rng.
+/// Variants are deduplicated and never equal the canonical form.
+std::vector<Variant> DeriveVariants(const std::string& term,
+                                    const VariantOptions& options, Rng* rng);
+
+/// \brief Applies one specific variant transformation (exposed for tests).
+std::string ApplyVariant(const std::string& term, VariantKind kind, Rng* rng);
+
+}  // namespace esharp::querylog
+
+#endif  // ESHARP_QUERYLOG_VARIANTS_H_

@@ -1,0 +1,30 @@
+#include "sqlengine/catalog.h"
+
+namespace esharp::sql {
+
+void Catalog::Register(const std::string& name, Table table) {
+  tables_.insert_or_assign(name, std::move(table));
+}
+
+Result<const Table*> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '", name, "' in catalog");
+  }
+  return &it->second;
+}
+
+void Catalog::Drop(const std::string& name) { tables_.erase(name); }
+
+bool Catalog::Contains(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace esharp::sql

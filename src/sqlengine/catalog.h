@@ -1,0 +1,40 @@
+#ifndef ESHARP_SQLENGINE_CATALOG_H_
+#define ESHARP_SQLENGINE_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "sqlengine/table.h"
+
+namespace esharp::sql {
+
+/// \brief Named-table registry: the engine's view of the "database".
+///
+/// The community-detection driver registers `graph` and `communities` here
+/// and re-points `communities` at each iteration's output, mirroring how the
+/// production pipeline rewrites its SCOPE tables between passes.
+class Catalog {
+ public:
+  /// Registers (or replaces) a table under a name.
+  void Register(const std::string& name, Table table);
+
+  /// Looks up a table by name.
+  Result<const Table*> Get(const std::string& name) const;
+
+  /// Removes a table; missing names are ignored.
+  void Drop(const std::string& name);
+
+  /// True iff a table with this name exists.
+  bool Contains(const std::string& name) const;
+
+  /// Registered table names (sorted).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace esharp::sql
+
+#endif  // ESHARP_SQLENGINE_CATALOG_H_

@@ -1,0 +1,285 @@
+#include "sqlengine/expression.h"
+
+#include <cmath>
+
+namespace esharp::sql {
+
+namespace {
+
+class ColumnExpr final : public Expr {
+ public:
+  explicit ColumnExpr(std::string name)
+      : Expr(Kind::kColumn), name_(std::move(name)) {}
+
+  Status Bind(const Schema& schema) const override {
+    // Idempotent for a given schema, so pre-bound expressions can be shared
+    // by parallel partition workers without rebinding races.
+    uint64_t fp = Fnv1a64(schema.ToString());
+    if (bound_ && fp == schema_fp_) return Status::OK();
+    ESHARP_ASSIGN_OR_RETURN(index_, schema.IndexOf(name_));
+    schema_fp_ = fp;
+    bound_ = true;
+    return Status::OK();
+  }
+
+  Result<Value> Eval(const Row& row) const override {
+    if (!bound_) return Status::FailedPrecondition("column '", name_, "' not bound");
+    if (index_ >= row.size()) {
+      return Status::Internal("bound index ", index_, " out of row arity ",
+                              row.size());
+    }
+    return row[index_];
+  }
+
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+  mutable size_t index_ = 0;
+  mutable uint64_t schema_fp_ = 0;
+  mutable bool bound_ = false;
+};
+
+class FlexibleColumnExpr final : public Expr {
+ public:
+  explicit FlexibleColumnExpr(std::string name)
+      : Expr(Kind::kColumn), name_(std::move(name)) {}
+
+  Status Bind(const Schema& schema) const override {
+    uint64_t fp = Fnv1a64(schema.ToString());
+    if (bound_ && fp == schema_fp_) return Status::OK();
+    schema_fp_ = fp;
+    // Exact match wins.
+    if (schema.Contains(name_)) {
+      ESHARP_ASSIGN_OR_RETURN(index_, schema.IndexOf(name_));
+      bound_ = true;
+      return Status::OK();
+    }
+    // Otherwise a unique ".name" suffix (bare reference to aliased column).
+    std::string suffix = "." + name_;
+    size_t found = SIZE_MAX;
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      const std::string& col = schema.column(i).name;
+      if (col.size() > suffix.size() &&
+          col.compare(col.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        if (found != SIZE_MAX) {
+          return Status::InvalidArgument("ambiguous column reference '",
+                                         name_, "' in schema [",
+                                         schema.ToString(), "]");
+        }
+        found = i;
+      }
+    }
+    if (found == SIZE_MAX) {
+      return Status::NotFound("no column matching '", name_, "' in schema [",
+                              schema.ToString(), "]");
+    }
+    index_ = found;
+    bound_ = true;
+    return Status::OK();
+  }
+
+  Result<Value> Eval(const Row& row) const override {
+    if (!bound_) {
+      return Status::FailedPrecondition("column '", name_, "' not bound");
+    }
+    return row[index_];
+  }
+
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+  mutable size_t index_ = 0;
+  mutable uint64_t schema_fp_ = 0;
+  mutable bool bound_ = false;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : Expr(Kind::kLiteral), value_(std::move(v)) {}
+
+  Status Bind(const Schema&) const override { return Status::OK(); }
+  Result<Value> Eval(const Row&) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+class BinaryExprNode final : public Expr {
+ public:
+  BinaryExprNode(BinaryOp op, ExprPtr left, ExprPtr right)
+      : Expr(Kind::kBinary), op_(op), left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Status Bind(const Schema& schema) const override {
+    ESHARP_RETURN_NOT_OK(left_->Bind(schema));
+    return right_->Bind(schema);
+  }
+
+  Result<Value> Eval(const Row& row) const override {
+    // Short-circuit boolean connectives.
+    if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+      ESHARP_ASSIGN_OR_RETURN(Value lv, left_->Eval(row));
+      if (lv.type() != DataType::kBool) {
+        return Status::InvalidArgument("AND/OR operand is not BOOL: ",
+                                       lv.ToString());
+      }
+      if (op_ == BinaryOp::kAnd && !lv.bool_value()) return Value::Bool(false);
+      if (op_ == BinaryOp::kOr && lv.bool_value()) return Value::Bool(true);
+      ESHARP_ASSIGN_OR_RETURN(Value rv, right_->Eval(row));
+      if (rv.type() != DataType::kBool) {
+        return Status::InvalidArgument("AND/OR operand is not BOOL: ",
+                                       rv.ToString());
+      }
+      return rv;
+    }
+
+    ESHARP_ASSIGN_OR_RETURN(Value lv, left_->Eval(row));
+    ESHARP_ASSIGN_OR_RETURN(Value rv, right_->Eval(row));
+
+    switch (op_) {
+      case BinaryOp::kEq: return Value::Bool(lv.Compare(rv) == 0);
+      case BinaryOp::kNe: return Value::Bool(lv.Compare(rv) != 0);
+      case BinaryOp::kLt: return Value::Bool(lv.Compare(rv) < 0);
+      case BinaryOp::kLe: return Value::Bool(lv.Compare(rv) <= 0);
+      case BinaryOp::kGt: return Value::Bool(lv.Compare(rv) > 0);
+      case BinaryOp::kGe: return Value::Bool(lv.Compare(rv) >= 0);
+      default: break;
+    }
+
+    // Arithmetic: exact on int64 pairs (except division), double otherwise.
+    if (lv.type() == DataType::kInt64 && rv.type() == DataType::kInt64 &&
+        op_ != BinaryOp::kDiv) {
+      int64_t a = lv.int_value(), b = rv.int_value();
+      switch (op_) {
+        case BinaryOp::kAdd: return Value::Int(a + b);
+        case BinaryOp::kSub: return Value::Int(a - b);
+        case BinaryOp::kMul: return Value::Int(a * b);
+        default: break;
+      }
+    }
+    ESHARP_ASSIGN_OR_RETURN(double a, lv.AsDouble());
+    ESHARP_ASSIGN_OR_RETURN(double b, rv.AsDouble());
+    switch (op_) {
+      case BinaryOp::kAdd: return Value::Double(a + b);
+      case BinaryOp::kSub: return Value::Double(a - b);
+      case BinaryOp::kMul: return Value::Double(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0.0) return Status::InvalidArgument("division by zero");
+        return Value::Double(a / b);
+      default:
+        return Status::Internal("unhandled binary op");
+    }
+  }
+
+  std::string ToString() const override {
+    static const char* names[] = {"+", "-", "*", "/", "=", "!=", "<", "<=",
+                                  ">", ">=", "AND", "OR"};
+    return "(" + left_->ToString() + " " +
+           names[static_cast<int>(op_)] + " " + right_->ToString() + ")";
+  }
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_, right_;
+};
+
+class UnaryExprNode final : public Expr {
+ public:
+  UnaryExprNode(UnaryOp op, ExprPtr operand)
+      : Expr(Kind::kUnary), op_(op), operand_(std::move(operand)) {}
+
+  Status Bind(const Schema& schema) const override {
+    return operand_->Bind(schema);
+  }
+
+  Result<Value> Eval(const Row& row) const override {
+    ESHARP_ASSIGN_OR_RETURN(Value v, operand_->Eval(row));
+    switch (op_) {
+      case UnaryOp::kNot:
+        if (v.type() != DataType::kBool) {
+          return Status::InvalidArgument("NOT operand is not BOOL");
+        }
+        return Value::Bool(!v.bool_value());
+      case UnaryOp::kNeg: {
+        if (v.type() == DataType::kInt64) return Value::Int(-v.int_value());
+        ESHARP_ASSIGN_OR_RETURN(double d, v.AsDouble());
+        return Value::Double(-d);
+      }
+    }
+    return Status::Internal("unhandled unary op");
+  }
+
+  std::string ToString() const override {
+    return (op_ == UnaryOp::kNot ? "NOT " : "-") + operand_->ToString();
+  }
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class UdfExpr final : public Expr {
+ public:
+  UdfExpr(std::string name, ScalarUdf fn, std::vector<ExprPtr> args)
+      : Expr(Kind::kUdf), name_(std::move(name)), fn_(std::move(fn)),
+        args_(std::move(args)) {}
+
+  Status Bind(const Schema& schema) const override {
+    for (const ExprPtr& a : args_) ESHARP_RETURN_NOT_OK(a->Bind(schema));
+    return Status::OK();
+  }
+
+  Result<Value> Eval(const Row& row) const override {
+    std::vector<Value> vals;
+    vals.reserve(args_.size());
+    for (const ExprPtr& a : args_) {
+      ESHARP_ASSIGN_OR_RETURN(Value v, a->Eval(row));
+      vals.push_back(std::move(v));
+    }
+    return fn_(vals);
+  }
+
+  std::string ToString() const override {
+    std::string out = name_ + "(";
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args_[i]->ToString();
+    }
+    return out + ")";
+  }
+
+ private:
+  std::string name_;
+  ScalarUdf fn_;
+  std::vector<ExprPtr> args_;
+};
+
+}  // namespace
+
+ExprPtr Col(std::string name) {
+  return std::make_shared<ColumnExpr>(std::move(name));
+}
+ExprPtr ColFlexible(std::string name) {
+  return std::make_shared<FlexibleColumnExpr>(std::move(name));
+}
+ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprPtr LitInt(int64_t v) { return Lit(Value::Int(v)); }
+ExprPtr LitDouble(double v) { return Lit(Value::Double(v)); }
+ExprPtr LitString(std::string v) { return Lit(Value::String(std::move(v))); }
+ExprPtr LitBool(bool v) { return Lit(Value::Bool(v)); }
+ExprPtr BinaryExpr(Expr::BinaryOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<BinaryExprNode>(op, std::move(left), std::move(right));
+}
+ExprPtr UnaryExpr(Expr::UnaryOp op, ExprPtr operand) {
+  return std::make_shared<UnaryExprNode>(op, std::move(operand));
+}
+ExprPtr Udf(std::string name, ScalarUdf fn, std::vector<ExprPtr> args) {
+  return std::make_shared<UdfExpr>(std::move(name), std::move(fn),
+                                   std::move(args));
+}
+
+}  // namespace esharp::sql

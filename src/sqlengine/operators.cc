@@ -1,0 +1,307 @@
+#include "sqlengine/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace esharp::sql {
+
+Result<std::vector<size_t>> ResolveKeyIndexes(
+    const Schema& schema, const std::vector<std::string>& keys) {
+  std::vector<size_t> out;
+  out.reserve(keys.size());
+  for (const std::string& k : keys) {
+    // Exact name first; otherwise a UNIQUE ".k" suffix, so bare SQL key
+    // references resolve against alias-qualified schemas.
+    if (schema.Contains(k)) {
+      ESHARP_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(k));
+      out.push_back(idx);
+      continue;
+    }
+    std::string suffix = "." + k;
+    size_t found = SIZE_MAX;
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      const std::string& col = schema.column(i).name;
+      if (col.size() > suffix.size() &&
+          col.compare(col.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        if (found != SIZE_MAX) {
+          return Status::InvalidArgument("ambiguous key '", k,
+                                         "' in schema [", schema.ToString(),
+                                         "]");
+        }
+        found = i;
+      }
+    }
+    if (found == SIZE_MAX) {
+      return Status::NotFound("no column matching key '", k,
+                              "' in schema [", schema.ToString(), "]");
+    }
+    out.push_back(found);
+  }
+  return out;
+}
+
+uint64_t HashRowKeys(const Row& row, const std::vector<size_t>& key_indexes) {
+  uint64_t h = 0x87c37b91114253d5ULL;
+  for (size_t idx : key_indexes) {
+    h = HashCombine(h, row[idx].Hash());
+  }
+  return h;
+}
+
+bool RowKeysEqual(const Row& a, const std::vector<size_t>& a_idx,
+                  const Row& b, const std::vector<size_t>& b_idx) {
+  for (size_t i = 0; i < a_idx.size(); ++i) {
+    if (a[a_idx[i]].Compare(b[b_idx[i]]) != 0) return false;
+  }
+  return true;
+}
+
+Result<Table> Filter(const Table& t, const ExprPtr& pred) {
+  ESHARP_RETURN_NOT_OK(pred->Bind(t.schema()));
+  Table out(t.schema());
+  for (const Row& row : t.rows()) {
+    ESHARP_ASSIGN_OR_RETURN(Value v, pred->Eval(row));
+    if (v.type() != DataType::kBool) {
+      return Status::InvalidArgument("filter predicate is not BOOL: ",
+                                     pred->ToString());
+    }
+    if (v.bool_value()) out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& t, const std::vector<ProjectedColumn>& cols) {
+  for (const ProjectedColumn& c : cols) {
+    ESHARP_RETURN_NOT_OK(c.expr->Bind(t.schema()));
+  }
+  std::vector<Row> rows;
+  rows.reserve(t.num_rows());
+  Schema schema;
+  bool schema_set = false;
+  for (const Row& row : t.rows()) {
+    Row out_row;
+    out_row.reserve(cols.size());
+    for (const ProjectedColumn& c : cols) {
+      ESHARP_ASSIGN_OR_RETURN(Value v, c.expr->Eval(row));
+      out_row.push_back(std::move(v));
+    }
+    if (!schema_set) {
+      for (size_t i = 0; i < cols.size(); ++i) {
+        schema.AddColumn({cols[i].name, out_row[i].type()});
+      }
+      schema_set = true;
+    }
+    rows.push_back(std::move(out_row));
+  }
+  if (!schema_set) {
+    for (const ProjectedColumn& c : cols) {
+      schema.AddColumn({c.name, DataType::kNull});
+    }
+  }
+  return Table(std::move(schema), std::move(rows));
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys,
+                       JoinType type) {
+  if (left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument("join key arity mismatch: ",
+                                   left_keys.size(), " vs ",
+                                   right_keys.size());
+  }
+  ESHARP_ASSIGN_OR_RETURN(std::vector<size_t> lidx,
+                          ResolveKeyIndexes(left.schema(), left_keys));
+  ESHARP_ASSIGN_OR_RETURN(std::vector<size_t> ridx,
+                          ResolveKeyIndexes(right.schema(), right_keys));
+
+  Schema out_schema = Schema::Concat(left.schema(), right.schema(), "r_");
+  Table out(out_schema);
+
+  // Build side: the right table.
+  std::unordered_multimap<uint64_t, size_t> build;
+  build.reserve(right.num_rows() * 2);
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    build.emplace(HashRowKeys(right.row(i), ridx), i);
+  }
+
+  const size_t right_width = right.schema().num_columns();
+  for (const Row& lrow : left.rows()) {
+    uint64_t h = HashRowKeys(lrow, lidx);
+    auto range = build.equal_range(h);
+    bool matched = false;
+    for (auto it = range.first; it != range.second; ++it) {
+      const Row& rrow = right.row(it->second);
+      if (!RowKeysEqual(lrow, lidx, rrow, ridx)) continue;
+      matched = true;
+      Row out_row = lrow;
+      out_row.insert(out_row.end(), rrow.begin(), rrow.end());
+      out.AppendRowUnchecked(std::move(out_row));
+    }
+    if (!matched && type == JoinType::kLeftOuter) {
+      Row out_row = lrow;
+      out_row.resize(out_row.size() + right_width);  // NULL padding
+      out.AppendRowUnchecked(std::move(out_row));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// A group key materialized as a vector of values, hashable and comparable.
+struct GroupKey {
+  std::vector<Value> values;
+
+  bool operator==(const GroupKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i].Compare(other.values[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    uint64_t h = 0x2545F4914F6CDD1DULL;
+    for (const Value& v : k.values) h = HashCombine(h, v.Hash());
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Result<Table> HashAggregate(const Table& t,
+                            const std::vector<std::string>& group_keys,
+                            const std::vector<AggSpec>& aggs) {
+  ESHARP_ASSIGN_OR_RETURN(std::vector<size_t> kidx,
+                          ResolveKeyIndexes(t.schema(), group_keys));
+  for (const AggSpec& a : aggs) {
+    if (a.arg) ESHARP_RETURN_NOT_OK(a.arg->Bind(t.schema()));
+    if (a.output) ESHARP_RETURN_NOT_OK(a.output->Bind(t.schema()));
+  }
+
+  std::unordered_map<GroupKey, std::vector<AggAccumulator>, GroupKeyHash>
+      groups;
+  std::vector<GroupKey> order;  // first-seen order for deterministic output
+
+  for (const Row& row : t.rows()) {
+    GroupKey key;
+    key.values.reserve(kidx.size());
+    for (size_t i : kidx) key.values.push_back(row[i]);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      std::vector<AggAccumulator> accs;
+      accs.reserve(aggs.size());
+      for (const AggSpec& a : aggs) accs.emplace_back(a.kind);
+      it = groups.emplace(key, std::move(accs)).first;
+      order.push_back(key);
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      Value arg = Value::Bool(true);  // COUNT(*) counts every row
+      if (aggs[a].arg) {
+        ESHARP_ASSIGN_OR_RETURN(arg, aggs[a].arg->Eval(row));
+      }
+      Value output;
+      if (aggs[a].output) {
+        ESHARP_ASSIGN_OR_RETURN(output, aggs[a].output->Eval(row));
+      }
+      it->second[a].Add(arg, output);
+    }
+  }
+
+  // Global aggregate over empty input still yields one row of empty accs.
+  if (group_keys.empty() && groups.empty()) {
+    std::vector<AggAccumulator> accs;
+    for (const AggSpec& a : aggs) accs.emplace_back(a.kind);
+    groups.emplace(GroupKey{}, std::move(accs));
+    order.push_back(GroupKey{});
+  }
+
+  Schema out_schema;
+  for (size_t i = 0; i < group_keys.size(); ++i) {
+    ESHARP_ASSIGN_OR_RETURN(size_t idx, t.schema().IndexOf(group_keys[i]));
+    out_schema.AddColumn({group_keys[i], t.schema().column(idx).type});
+  }
+  // Aggregate output types are data-dependent; declared after the first
+  // group's Finish() below, defaulting to kNull.
+  size_t agg_col_start = out_schema.num_columns();
+  for (const AggSpec& a : aggs) out_schema.AddColumn({a.name, DataType::kNull});
+
+  Table out(out_schema);
+  out.Reserve(order.size());
+  bool types_set = false;
+  for (const GroupKey& key : order) {
+    Row row = key.values;
+    const std::vector<AggAccumulator>& accs = groups.at(key);
+    for (size_t a = 0; a < accs.size(); ++a) {
+      ESHARP_ASSIGN_OR_RETURN(Value v, accs[a].Finish());
+      row.push_back(std::move(v));
+    }
+    if (!types_set) {
+      Schema refined = out.schema();
+      // Rebuild the schema with observed aggregate types.
+      Schema s2;
+      for (size_t c = 0; c < refined.num_columns(); ++c) {
+        Column col = refined.column(c);
+        if (c >= agg_col_start) col.type = row[c].type();
+        s2.AddColumn(col);
+      }
+      out = Table(s2, {});
+      out.Reserve(order.size());
+      types_set = true;
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> UnionAll(const Table& a, const Table& b) {
+  if (a.num_columns() != b.num_columns()) {
+    return Status::InvalidArgument("UNION ALL arity mismatch: ",
+                                   a.num_columns(), " vs ", b.num_columns());
+  }
+  Table out = a;
+  for (const Row& r : b.rows()) out.AppendRowUnchecked(r);
+  return out;
+}
+
+Result<Table> Distinct(const Table& t) {
+  std::unordered_set<GroupKey, GroupKeyHash> seen;
+  seen.reserve(t.num_rows() * 2);
+  Table out(t.schema());
+  for (const Row& row : t.rows()) {
+    GroupKey key{row};
+    if (seen.insert(std::move(key)).second) out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+Result<Table> SortBy(const Table& t, const std::vector<std::string>& keys,
+                     const std::vector<bool>& ascending) {
+  ESHARP_ASSIGN_OR_RETURN(std::vector<size_t> kidx,
+                          ResolveKeyIndexes(t.schema(), keys));
+  Table out = t;
+  std::stable_sort(
+      out.mutable_rows().begin(), out.mutable_rows().end(),
+      [&](const Row& a, const Row& b) {
+        for (size_t i = 0; i < kidx.size(); ++i) {
+          bool asc = i < ascending.size() ? ascending[i] : true;
+          int c = a[kidx[i]].Compare(b[kidx[i]]);
+          if (c != 0) return asc ? c < 0 : c > 0;
+        }
+        return false;
+      });
+  return out;
+}
+
+Result<Table> Limit(const Table& t, size_t n) {
+  if (n >= t.num_rows()) return t;
+  std::vector<Row> rows(t.rows().begin(), t.rows().begin() + n);
+  return Table(t.schema(), std::move(rows));
+}
+
+}  // namespace esharp::sql

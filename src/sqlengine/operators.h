@@ -1,0 +1,83 @@
+#ifndef ESHARP_SQLENGINE_OPERATORS_H_
+#define ESHARP_SQLENGINE_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sqlengine/aggregates.h"
+#include "sqlengine/expression.h"
+#include "sqlengine/table.h"
+
+namespace esharp::sql {
+
+/// \brief One output column of a projection: an expression plus its name.
+struct ProjectedColumn {
+  ExprPtr expr;
+  std::string name;
+};
+
+/// \brief Join flavors. The pipeline uses inner joins; left-outer exists for
+/// the evaluation harness (queries with zero experts must still be counted).
+enum class JoinType { kInner, kLeftOuter };
+
+/// \name Single-threaded operator kernels
+///
+/// Each kernel consumes materialized tables and produces a materialized
+/// table — the execution model of a map-reduce relational stage. The
+/// parallel wrappers in parallel.h split inputs into hash partitions and run
+/// these kernels per partition.
+/// @{
+
+/// SELECT * FROM t WHERE pred. `pred` must evaluate to BOOL.
+Result<Table> Filter(const Table& t, const ExprPtr& pred);
+
+/// SELECT exprs AS names FROM t. Output column types are inferred from the
+/// first row (kNull for empty inputs).
+Result<Table> Project(const Table& t, const std::vector<ProjectedColumn>& cols);
+
+/// Hash join on equality of the key columns. Right-side columns whose names
+/// clash with left-side names are prefixed with "r_" in the output schema.
+/// For kLeftOuter, unmatched left rows emit NULLs for the right columns.
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys,
+                       JoinType type = JoinType::kInner);
+
+/// GROUP BY group_keys with the given aggregates. With empty group_keys,
+/// produces exactly one row (global aggregate).
+Result<Table> HashAggregate(const Table& t,
+                            const std::vector<std::string>& group_keys,
+                            const std::vector<AggSpec>& aggs);
+
+/// Concatenation of two relations with identical schemas.
+Result<Table> UnionAll(const Table& a, const Table& b);
+
+/// Duplicate elimination over whole rows.
+Result<Table> Distinct(const Table& t);
+
+/// Stable sort by the given key columns. `ascending` is per-key and may be
+/// shorter than `keys` (missing entries default to ascending).
+Result<Table> SortBy(const Table& t, const std::vector<std::string>& keys,
+                     const std::vector<bool>& ascending = {});
+
+/// First n rows.
+Result<Table> Limit(const Table& t, size_t n);
+
+/// @}
+
+/// \brief Key extractor shared by join/aggregate/partitioning: evaluates the
+/// key columns of a row and hashes them into one 64-bit value.
+Result<std::vector<size_t>> ResolveKeyIndexes(
+    const Schema& schema, const std::vector<std::string>& keys);
+
+/// Hashes the selected columns of a row.
+uint64_t HashRowKeys(const Row& row, const std::vector<size_t>& key_indexes);
+
+/// True iff the selected columns of two rows are pairwise equal.
+bool RowKeysEqual(const Row& a, const std::vector<size_t>& a_idx,
+                  const Row& b, const std::vector<size_t>& b_idx);
+
+}  // namespace esharp::sql
+
+#endif  // ESHARP_SQLENGINE_OPERATORS_H_

@@ -1,0 +1,77 @@
+#ifndef ESHARP_SQLENGINE_PARALLEL_H_
+#define ESHARP_SQLENGINE_PARALLEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "sqlengine/operators.h"
+
+namespace esharp::sql {
+
+/// \brief Execution context shared by the parallel operators.
+///
+/// `num_partitions` plays the role of the paper's VM count: every parallel
+/// stage splits its input into this many hash partitions and processes them
+/// on the thread pool. `meter` (optional) accumulates Table 9-style stats.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  size_t num_partitions = 8;
+  ResourceMeter* meter = nullptr;
+  /// Stage name under which meter stats are recorded.
+  std::string stage = "sql";
+};
+
+/// \brief Strategy for the parallel join, mirroring §4.2.3 of the paper.
+enum class JoinStrategy {
+  /// "Replicated join": replicate (and index) the build side at every
+  /// worker, split the probe side, join each split against the full build
+  /// side. Best when the build side fits in memory at each node.
+  kReplicated,
+  /// "Chained map-side joins": co-partition both sides on the join key and
+  /// join partition-wise. Used when replication is not possible.
+  kPartitioned,
+};
+
+/// \brief Splits a table into `num_partitions` hash partitions on the given
+/// key columns; co-partitioned inputs join correctly partition-wise.
+Result<std::vector<Table>> HashPartition(const Table& t,
+                                         const std::vector<std::string>& keys,
+                                         size_t num_partitions);
+
+/// \brief Splits a table into round-robin chunks (for stateless per-row maps
+/// and local pre-aggregation).
+std::vector<Table> RoundRobinPartition(const Table& t, size_t num_partitions);
+
+/// \brief Concatenates partitions back into one table.
+Result<Table> ConcatTables(const std::vector<Table>& parts);
+
+/// \brief Parallel hash join; result rows equal the single-threaded
+/// HashJoin up to row order.
+Result<Table> ParallelHashJoin(const ExecContext& ctx, const Table& left,
+                               const Table& right,
+                               const std::vector<std::string>& left_keys,
+                               const std::vector<std::string>& right_keys,
+                               JoinType type = JoinType::kInner,
+                               JoinStrategy strategy = JoinStrategy::kReplicated);
+
+/// \brief Parallel GROUP BY: partitions rows by group key, aggregates each
+/// partition independently, and concatenates (keys never straddle
+/// partitions). With empty group keys, falls back to a two-phase
+/// local-aggregate + merge plan.
+Result<Table> ParallelHashAggregate(const ExecContext& ctx, const Table& t,
+                                    const std::vector<std::string>& group_keys,
+                                    const std::vector<AggSpec>& aggs);
+
+/// \brief Parallel filter (round-robin split, per-chunk kernel, concat).
+Result<Table> ParallelFilter(const ExecContext& ctx, const Table& t,
+                             const ExprPtr& pred);
+
+/// \brief Parallel projection.
+Result<Table> ParallelProject(const ExecContext& ctx, const Table& t,
+                              const std::vector<ProjectedColumn>& cols);
+
+}  // namespace esharp::sql
+
+#endif  // ESHARP_SQLENGINE_PARALLEL_H_

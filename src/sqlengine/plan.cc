@@ -1,0 +1,236 @@
+#include "sqlengine/plan.h"
+
+#include "common/strings.h"
+
+namespace esharp::sql {
+
+namespace {
+std::shared_ptr<PlanNode> NewNode(PlanNode::Kind kind) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = kind;
+  return node;
+}
+}  // namespace
+
+Plan Plan::Scan(std::string table_name) {
+  auto node = NewNode(PlanNode::Kind::kScan);
+  node->table_name = std::move(table_name);
+  return Plan(node);
+}
+
+Plan Plan::Values(Table table) {
+  auto node = NewNode(PlanNode::Kind::kValues);
+  node->literal_table = std::make_shared<const Table>(std::move(table));
+  return Plan(node);
+}
+
+Plan Plan::Where(ExprPtr predicate) const {
+  auto node = NewNode(PlanNode::Kind::kFilter);
+  node->children = {root_};
+  node->predicate = std::move(predicate);
+  return Plan(node);
+}
+
+Plan Plan::Select(std::vector<ProjectedColumn> projections) const {
+  auto node = NewNode(PlanNode::Kind::kProject);
+  node->children = {root_};
+  node->projections = std::move(projections);
+  return Plan(node);
+}
+
+Plan Plan::Join(const Plan& right, std::vector<std::string> left_keys,
+                std::vector<std::string> right_keys, JoinType type) const {
+  auto node = NewNode(PlanNode::Kind::kJoin);
+  node->children = {root_, right.root_};
+  node->left_keys = std::move(left_keys);
+  node->right_keys = std::move(right_keys);
+  node->join_type = type;
+  return Plan(node);
+}
+
+Plan Plan::GroupBy(std::vector<std::string> keys,
+                   std::vector<AggSpec> aggregates) const {
+  auto node = NewNode(PlanNode::Kind::kAggregate);
+  node->children = {root_};
+  node->group_keys = std::move(keys);
+  node->aggregates = std::move(aggregates);
+  return Plan(node);
+}
+
+Plan Plan::Distinct() const {
+  auto node = NewNode(PlanNode::Kind::kDistinct);
+  node->children = {root_};
+  return Plan(node);
+}
+
+Plan Plan::OrderBy(std::vector<std::string> keys,
+                   std::vector<bool> ascending) const {
+  auto node = NewNode(PlanNode::Kind::kSort);
+  node->children = {root_};
+  node->sort_keys = std::move(keys);
+  node->sort_ascending = std::move(ascending);
+  return Plan(node);
+}
+
+Plan Plan::Take(size_t n) const {
+  auto node = NewNode(PlanNode::Kind::kLimit);
+  node->children = {root_};
+  node->limit = n;
+  return Plan(node);
+}
+
+Plan Plan::Union(const Plan& other) const {
+  auto node = NewNode(PlanNode::Kind::kUnionAll);
+  node->children = {root_, other.root_};
+  return Plan(node);
+}
+
+Plan Plan::As(std::string alias) const {
+  auto node = NewNode(PlanNode::Kind::kAlias);
+  node->children = {root_};
+  node->alias = std::move(alias);
+  return Plan(node);
+}
+
+namespace {
+void ExplainNode(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      out->append("Scan(" + node.table_name + ")\n");
+      break;
+    case PlanNode::Kind::kValues:
+      out->append(StrFormat("Values(%zu rows)\n",
+                            node.literal_table->num_rows()));
+      break;
+    case PlanNode::Kind::kFilter:
+      out->append("Filter(" + node.predicate->ToString() + ")\n");
+      break;
+    case PlanNode::Kind::kProject: {
+      std::string cols;
+      for (size_t i = 0; i < node.projections.size(); ++i) {
+        if (i > 0) cols += ", ";
+        cols += node.projections[i].expr->ToString() + " AS " +
+                node.projections[i].name;
+      }
+      out->append("Project(" + cols + ")\n");
+      break;
+    }
+    case PlanNode::Kind::kJoin:
+      out->append("HashJoin(" + Join(node.left_keys, ",") + " = " +
+                  Join(node.right_keys, ",") + ")\n");
+      break;
+    case PlanNode::Kind::kAggregate:
+      out->append("Aggregate(by " + Join(node.group_keys, ",") + ")\n");
+      break;
+    case PlanNode::Kind::kDistinct:
+      out->append("Distinct\n");
+      break;
+    case PlanNode::Kind::kSort:
+      out->append("Sort(" + Join(node.sort_keys, ",") + ")\n");
+      break;
+    case PlanNode::Kind::kLimit:
+      out->append(StrFormat("Limit(%zu)\n", node.limit));
+      break;
+    case PlanNode::Kind::kUnionAll:
+      out->append("UnionAll\n");
+      break;
+    case PlanNode::Kind::kAlias:
+      out->append("Alias(" + node.alias + ")\n");
+      break;
+  }
+  for (const auto& child : node.children) {
+    ExplainNode(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string Plan::Explain() const {
+  std::string out;
+  ExplainNode(*root_, 0, &out);
+  return out;
+}
+
+Result<Table> Executor::Execute(const Plan& plan, const Catalog& catalog) const {
+  return ExecuteNode(*plan.root(), catalog);
+}
+
+Result<Table> Executor::ExecuteNode(const PlanNode& node,
+                                    const Catalog& catalog) const {
+  ExecContext ctx{options_.pool, options_.num_partitions, options_.meter,
+                  options_.stage};
+  switch (node.kind) {
+    case PlanNode::Kind::kScan: {
+      ESHARP_ASSIGN_OR_RETURN(const Table* t, catalog.Get(node.table_name));
+      return *t;
+    }
+    case PlanNode::Kind::kValues:
+      return *node.literal_table;
+    case PlanNode::Kind::kFilter: {
+      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      if (options_.pool != nullptr) {
+        return ParallelFilter(ctx, in, node.predicate);
+      }
+      return Filter(in, node.predicate);
+    }
+    case PlanNode::Kind::kProject: {
+      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      if (options_.pool != nullptr) {
+        return ParallelProject(ctx, in, node.projections);
+      }
+      return Project(in, node.projections);
+    }
+    case PlanNode::Kind::kJoin: {
+      ESHARP_ASSIGN_OR_RETURN(Table left, ExecuteNode(*node.children[0], catalog));
+      ESHARP_ASSIGN_OR_RETURN(Table right,
+                              ExecuteNode(*node.children[1], catalog));
+      if (options_.pool != nullptr) {
+        return ParallelHashJoin(ctx, left, right, node.left_keys,
+                                node.right_keys, node.join_type,
+                                options_.join_strategy);
+      }
+      return HashJoin(left, right, node.left_keys, node.right_keys,
+                      node.join_type);
+    }
+    case PlanNode::Kind::kAggregate: {
+      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      if (options_.pool != nullptr) {
+        return ParallelHashAggregate(ctx, in, node.group_keys, node.aggregates);
+      }
+      return HashAggregate(in, node.group_keys, node.aggregates);
+    }
+    case PlanNode::Kind::kDistinct: {
+      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      return sql::Distinct(in);
+    }
+    case PlanNode::Kind::kSort: {
+      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      return SortBy(in, node.sort_keys, node.sort_ascending);
+    }
+    case PlanNode::Kind::kLimit: {
+      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      return sql::Limit(in, node.limit);
+    }
+    case PlanNode::Kind::kUnionAll: {
+      ESHARP_ASSIGN_OR_RETURN(Table left, ExecuteNode(*node.children[0], catalog));
+      ESHARP_ASSIGN_OR_RETURN(Table right,
+                              ExecuteNode(*node.children[1], catalog));
+      return UnionAll(left, right);
+    }
+    case PlanNode::Kind::kAlias: {
+      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      Schema renamed;
+      for (const Column& c : in.schema().columns()) {
+        // Strip any previous qualifier, then apply the new one.
+        size_t dot = c.name.rfind('.');
+        std::string base =
+            dot == std::string::npos ? c.name : c.name.substr(dot + 1);
+        renamed.AddColumn({node.alias + "." + base, c.type});
+      }
+      return Table(renamed, in.rows());
+    }
+  }
+  return Status::Internal("unhandled plan node kind");
+}
+
+}  // namespace esharp::sql

@@ -1,0 +1,87 @@
+#include "sqlengine/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace esharp::sql {
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity ", row.size(),
+                                   " does not match schema arity ",
+                                   schema_.num_columns());
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Table::GetValue(size_t row_index,
+                              const std::string& column) const {
+  if (row_index >= rows_.size()) {
+    return Status::OutOfRange("row ", row_index, " >= ", rows_.size());
+  }
+  ESHARP_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  return rows_[row_index][col];
+}
+
+uint64_t Table::SizeBytes() const {
+  uint64_t total = 0;
+  for (const Row& r : rows_) {
+    for (const Value& v : r) total += v.SizeBytes();
+  }
+  return total;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  // Compute column widths over the rendered prefix.
+  size_t shown = std::min(max_rows, rows_.size());
+  std::vector<size_t> widths(schema_.num_columns());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    widths[c] = schema_.column(c).name.size();
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    out += StrFormat("%-*s  ", static_cast<int>(widths[c]),
+                     schema_.column(c).name.c_str());
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      out += StrFormat("%-*s  ", static_cast<int>(widths[c]),
+                       cells[r][c].c_str());
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += StrFormat("... (%zu more rows)\n", rows_.size() - shown);
+  }
+  return out;
+}
+
+void Table::SortLexicographic() {
+  std::sort(rows_.begin(), rows_.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+}
+
+TableBuilder& TableBuilder::AddRow(Row row) {
+  assert(row.size() == table_.schema().num_columns());
+  table_.AppendRowUnchecked(std::move(row));
+  return *this;
+}
+
+}  // namespace esharp::sql

@@ -1,0 +1,89 @@
+#ifndef ESHARP_SQLENGINE_TABLE_H_
+#define ESHARP_SQLENGINE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sqlengine/schema.h"
+#include "sqlengine/value.h"
+
+namespace esharp::sql {
+
+/// \brief One tuple; values are positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// \brief In-memory row-store relation: a Schema plus a vector of Rows.
+///
+/// The engine is batch-oriented (table-at-a-time operators), matching the
+/// map-reduce relational execution model the paper targets: each operator
+/// materializes its output, and the parallel executor splits tables into
+/// hash partitions.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row& mutable_row(size_t i) { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  /// Appends a row after checking arity (type checking is left to operators;
+  /// generators construct well-typed rows by design).
+  Status AppendRow(Row row);
+
+  /// Appends without arity checking (hot path for operator outputs).
+  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Reserves capacity.
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Value at (row, column-name); error if the column is missing.
+  Result<Value> GetValue(size_t row_index, const std::string& column) const;
+
+  /// Approximate in-memory footprint in bytes (sum of value sizes).
+  uint64_t SizeBytes() const;
+
+  /// Renders at most `max_rows` rows as an aligned text table (debugging,
+  /// example programs).
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Sorts rows lexicographically by all columns — canonical form used by
+  /// tests to compare results regardless of operator output order.
+  void SortLexicographic();
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// \brief Convenience builder used by tests and generators.
+///
+///   TableBuilder b({{"query", DataType::kString}, {"count", DataType::kInt64}});
+///   b.AddRow({Value::String("49ers"), Value::Int(12)});
+class TableBuilder {
+ public:
+  explicit TableBuilder(std::vector<Column> columns)
+      : table_(Schema(std::move(columns))) {}
+
+  /// Adds a row; aborts on arity mismatch (builder misuse is a programming
+  /// error, not a runtime condition).
+  TableBuilder& AddRow(Row row);
+
+  /// Finalizes the table.
+  Table Build() { return std::move(table_); }
+
+ private:
+  Table table_;
+};
+
+}  // namespace esharp::sql
+
+#endif  // ESHARP_SQLENGINE_TABLE_H_

@@ -1,0 +1,119 @@
+#include "sqlengine/value.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace esharp::sql {
+
+std::string_view DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kNull: return "NULL";
+    case DataType::kBool: return "BOOL";
+    case DataType::kInt64: return "INT64";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type()) {
+    case DataType::kBool: return bool_value() ? 1.0 : 0.0;
+    case DataType::kInt64: return static_cast<double>(int_value());
+    case DataType::kDouble: return double_value();
+    default:
+      return Status::InvalidArgument("cannot coerce ",
+                                     DataTypeToString(type()), " to double");
+  }
+}
+
+namespace {
+// Rank used to order values of different type families.
+int TypeRank(DataType t) {
+  switch (t) {
+    case DataType::kNull: return 0;
+    case DataType::kBool: return 1;
+    case DataType::kInt64:
+    case DataType::kDouble: return 2;
+    case DataType::kString: return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type()), rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool: {
+      bool a = bool_value(), b = other.bool_value();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      // Numeric family: compare as doubles, but keep exact int comparison
+      // when both sides are ints.
+      if (type() == DataType::kInt64 && other.type() == DataType::kInt64) {
+        int64_t a = int_value(), b = other.int_value();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      double a = type() == DataType::kInt64 ? static_cast<double>(int_value())
+                                            : double_value();
+      double b = other.type() == DataType::kInt64
+                     ? static_cast<double>(other.int_value())
+                     : other.double_value();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kString:
+      return string_value().compare(other.string_value()) < 0
+                 ? -1
+                 : (string_value() == other.string_value() ? 0 : 1);
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case DataType::kBool:
+      return Mix64(bool_value() ? 1 : 2);
+    case DataType::kInt64:
+      // Hash ints via their double image so 1 and 1.0 collide (they compare
+      // equal in the numeric family).
+      return Mix64(static_cast<uint64_t>(
+          std::hash<double>{}(static_cast<double>(int_value()))));
+    case DataType::kDouble:
+      return Mix64(static_cast<uint64_t>(std::hash<double>{}(double_value())));
+    case DataType::kString:
+      return Fnv1a64(string_value());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull: return "NULL";
+    case DataType::kBool: return bool_value() ? "true" : "false";
+    case DataType::kInt64: return std::to_string(int_value());
+    case DataType::kDouble: return StrFormat("%.6g", double_value());
+    case DataType::kString: return string_value();
+  }
+  return "?";
+}
+
+uint64_t Value::SizeBytes() const {
+  switch (type()) {
+    case DataType::kNull: return 1;
+    case DataType::kBool: return 1;
+    case DataType::kInt64: return 8;
+    case DataType::kDouble: return 8;
+    case DataType::kString: return string_value().size() + 8;
+  }
+  return 0;
+}
+
+}  // namespace esharp::sql

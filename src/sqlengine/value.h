@@ -1,0 +1,91 @@
+#ifndef ESHARP_SQLENGINE_VALUE_H_
+#define ESHARP_SQLENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+#include "common/result.h"
+
+namespace esharp::sql {
+
+/// \brief Column data types supported by the engine.
+///
+/// The pipeline needs exactly these: strings for query terms and community
+/// names, integers for counts/degrees, doubles for distances and modularity
+/// gains, booleans for predicates.
+enum class DataType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// \brief Name of a DataType ("INT64", ...).
+std::string_view DataTypeToString(DataType t);
+
+/// \brief A single SQL value: NULL, BOOL, INT64, DOUBLE, or STRING.
+///
+/// Comparison follows SQL-ish semantics except that NULL compares equal to
+/// NULL and sorts first — the engine is used for deterministic dataflow, not
+/// three-valued logic.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : rep_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  DataType type() const {
+    switch (rep_.index()) {
+      case 0: return DataType::kNull;
+      case 1: return DataType::kBool;
+      case 2: return DataType::kInt64;
+      case 3: return DataType::kDouble;
+      default: return DataType::kString;
+    }
+  }
+
+  bool is_null() const { return rep_.index() == 0; }
+
+  /// Typed accessors; the caller must check type() first.
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+
+  /// Numeric coercion: INT64 and DOUBLE widen to double; BOOL to 0/1.
+  /// Returns an error for STRING/NULL.
+  Result<double> AsDouble() const;
+
+  /// Total order across values: NULL < BOOL < INT64/DOUBLE (numeric order
+  /// intermixed) < STRING.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable 64-bit hash (equal values hash equal, across int/double when
+  /// they compare equal).
+  uint64_t Hash() const;
+
+  /// Debug/CSV rendering.
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint in bytes (for ResourceMeter IO stats).
+  uint64_t SizeBytes() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+}  // namespace esharp::sql
+
+#endif  // ESHARP_SQLENGINE_VALUE_H_

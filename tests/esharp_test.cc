@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "esharp/esharp.h"
+#include "esharp/pipeline.h"
+#include "microblog/generator.h"
+#include "querylog/generator.h"
+
+namespace esharp::core {
+namespace {
+
+// Shared small world for the end-to-end tests.
+class ESharpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    querylog::UniverseOptions uo;
+    uo.num_categories = 3;
+    uo.domains_per_category = 12;
+    uo.seed = 301;
+    universe_ = new querylog::TopicUniverse(
+        *querylog::TopicUniverse::Generate(uo));
+
+    querylog::GeneratorOptions go;
+    go.seed = 302;
+    go.head_impressions = 30000;
+    log_ = new querylog::GeneratedLog(*GenerateQueryLog(*universe_, go));
+
+    OfflineOptions offline;
+    offline.extraction.min_similarity = 0.15;
+    artifacts_ = new OfflineArtifacts(*RunOfflinePipeline(log_->log, offline));
+
+    microblog::CorpusOptions co;
+    co.seed = 303;
+    co.casual_users = 300;
+    co.spam_users = 30;
+    corpus_ = new microblog::TweetCorpus(*GenerateCorpus(*universe_, co));
+  }
+
+  static void TearDownTestSuite() {
+    delete universe_;
+    delete log_;
+    delete artifacts_;
+    delete corpus_;
+  }
+
+  static querylog::TopicUniverse* universe_;
+  static querylog::GeneratedLog* log_;
+  static OfflineArtifacts* artifacts_;
+  static microblog::TweetCorpus* corpus_;
+};
+
+querylog::TopicUniverse* ESharpTest::universe_ = nullptr;
+querylog::GeneratedLog* ESharpTest::log_ = nullptr;
+OfflineArtifacts* ESharpTest::artifacts_ = nullptr;
+microblog::TweetCorpus* ESharpTest::corpus_ = nullptr;
+
+// ---------------------------------------------------------------- Offline --
+
+TEST_F(ESharpTest, OfflinePipelineProducesCommunities) {
+  EXPECT_GT(artifacts_->store.num_communities(), 0u);
+  EXPECT_LT(artifacts_->store.num_communities(),
+            artifacts_->similarity_graph.num_vertices());
+  // Convergence trace starts at singleton count and decreases.
+  ASSERT_GE(artifacts_->communities_per_iteration.size(), 2u);
+  EXPECT_EQ(artifacts_->communities_per_iteration[0],
+            artifacts_->similarity_graph.num_vertices());
+  EXPECT_LT(artifacts_->communities_per_iteration.back(),
+            artifacts_->communities_per_iteration.front());
+}
+
+TEST_F(ESharpTest, CommunitiesGroupDomainSiblings) {
+  // The head term's community should contain at least one sibling term or
+  // variant of the same domain, for most head terms.
+  size_t grouped = 0, considered = 0;
+  for (const querylog::TopicDomain& dom : universe_->domains()) {
+    auto found = artifacts_->store.Find(dom.terms[0]);
+    if (!found.ok()) continue;
+    ++considered;
+    if ((*found)->terms.size() > 1) ++grouped;
+  }
+  ASSERT_GT(considered, 20u);
+  EXPECT_GT(static_cast<double>(grouped) / static_cast<double>(considered),
+            0.6);
+}
+
+TEST_F(ESharpTest, SqlBackendMatchesNativeBackend) {
+  OfflineOptions native_options;
+  native_options.extraction.min_similarity = 0.15;
+  native_options.backend = ClusteringBackend::kParallelNative;
+  OfflineArtifacts native = *RunOfflinePipeline(log_->log, native_options);
+
+  OfflineOptions sql_options = native_options;
+  sql_options.backend = ClusteringBackend::kSqlEngine;
+  OfflineArtifacts sql = *RunOfflinePipeline(log_->log, sql_options);
+
+  EXPECT_EQ(native.store.num_communities(), sql.store.num_communities());
+  EXPECT_EQ(native.communities_per_iteration, sql.communities_per_iteration);
+}
+
+TEST(OfflinePipelineTest, EmptyLogFailsPrecondition) {
+  querylog::QueryLog empty;
+  OfflineOptions options;
+  EXPECT_TRUE(RunOfflinePipeline(empty, options).status()
+                  .IsFailedPrecondition());
+}
+
+// ----------------------------------------------------------------- Online --
+
+TEST_F(ESharpTest, ExpansionMatchesCommunityTerms) {
+  ESharp system(&artifacts_->store, corpus_);
+  // A canonical head term must match its community.
+  const querylog::TopicDomain& dom = universe_->domain(0);
+  QueryExpansion expansion = system.Expand(dom.terms[0]);
+  EXPECT_TRUE(expansion.matched);
+  EXPECT_GE(expansion.terms.size(), 1u);
+  EXPECT_EQ(expansion.terms[0], dom.terms[0]);
+  // Unknown queries degrade gracefully.
+  QueryExpansion none = system.Expand("zzz unknown query zzz");
+  EXPECT_FALSE(none.matched);
+  EXPECT_EQ(none.terms.size(), 1u);
+}
+
+TEST_F(ESharpTest, ExpansionIsCaseInsensitive) {
+  ESharp system(&artifacts_->store, corpus_);
+  const querylog::TopicDomain& dom = universe_->domain(0);
+  std::string upper = dom.terms[0];
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  EXPECT_TRUE(system.Expand(upper).matched);
+}
+
+TEST_F(ESharpTest, MaxExpansionTermsRespected) {
+  ESharpOptions options;
+  options.max_expansion_terms = 2;
+  ESharp system(&artifacts_->store, corpus_, options);
+  for (const querylog::TopicDomain& dom : universe_->domains()) {
+    QueryExpansion e = system.Expand(dom.terms[0]);
+    EXPECT_LE(e.terms.size(), 2u);
+  }
+}
+
+TEST_F(ESharpTest, ESharpNeverReturnsFewerCandidatesThanBaseline) {
+  // By construction (union of per-term pools), e#'s candidate pool is a
+  // superset of the baseline's — the paper's recall claim in its sharpest
+  // form. Compare unthresholded pool sizes.
+  ESharpOptions options;
+  options.detector.min_z_score = -1e9;
+  options.detector.max_experts = 100000;
+  ESharp system(&artifacts_->store, corpus_, options);
+  size_t esharp_wins = 0, queries = 0;
+  for (const querylog::TopicDomain& dom : universe_->domains()) {
+    for (const std::string& term : dom.terms) {
+      ++queries;
+      auto baseline = *system.detector().FindExperts(term);
+      auto expanded = *system.FindExperts(term);
+      EXPECT_GE(expanded.size(), baseline.size()) << "query " << term;
+      if (expanded.size() > baseline.size()) ++esharp_wins;
+    }
+  }
+  // Expansion must actually help on a meaningful share of queries.
+  EXPECT_GT(static_cast<double>(esharp_wins) / static_cast<double>(queries),
+            0.2);
+}
+
+TEST_F(ESharpTest, ExpandedSearchFindsSiblingTermExperts) {
+  // Find a domain with >= 2 canonical terms and at least one expert; a
+  // query on a sibling term should surface experts reachable only through
+  // expansion for at least one such domain.
+  ESharpOptions options;
+  options.detector.min_z_score = -1e9;
+  options.detector.max_experts = 100000;
+  ESharp system(&artifacts_->store, corpus_, options);
+  bool found_gain = false;
+  for (const querylog::TopicDomain& dom : universe_->domains()) {
+    if (dom.terms.size() < 2) continue;
+    for (size_t t = 1; t < dom.terms.size(); ++t) {
+      auto baseline = *system.detector().FindExperts(dom.terms[t]);
+      auto expanded = *system.FindExperts(dom.terms[t]);
+      if (expanded.size() > baseline.size()) {
+        found_gain = true;
+        break;
+      }
+    }
+    if (found_gain) break;
+  }
+  EXPECT_TRUE(found_gain);
+}
+
+}  // namespace
+}  // namespace esharp::core

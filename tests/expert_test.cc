@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expert/detector.h"
+
+namespace esharp::expert {
+namespace {
+
+using microblog::AccountKind;
+using microblog::TweetCorpus;
+using microblog::UserProfile;
+
+UserProfile MakeUser(microblog::UserId id) {
+  UserProfile u;
+  u.id = id;
+  u.screen_name = "u" + std::to_string(id);
+  return u;
+}
+
+// A small corpus with a clear topical authority (user 0), a generalist
+// (user 1), and a bystander who is only mentioned (user 2).
+TweetCorpus SmallCorpus() {
+  TweetCorpus corpus;
+  for (microblog::UserId id = 0; id < 3; ++id) corpus.AddUser(MakeUser(id));
+  // User 0: 4/4 tweets on topic, retweeted, mentioned on topic.
+  corpus.AddTweet(0, "nfl preview week one", {}, 10);
+  corpus.AddTweet(0, "nfl injury report", {}, 5);
+  corpus.AddTweet(0, "nfl draft rumors", {}, 3);
+  corpus.AddTweet(0, "nfl power rankings", {}, 8);
+  // User 1: 1/4 on topic, rarely engaged.
+  corpus.AddTweet(1, "nfl is back", {0}, 0);
+  corpus.AddTweet(1, "pasta recipe", {}, 0);
+  corpus.AddTweet(1, "my cat photos", {2}, 1);
+  corpus.AddTweet(1, "rainy day", {}, 0);
+  return corpus;
+}
+
+// ---------------------------------------------------- Candidate selection --
+
+TEST(CandidateSelectionTest, AuthorsAndMentionedAreCandidates) {
+  TweetCorpus corpus = SmallCorpus();
+  ExpertDetector detector(&corpus);
+  auto candidates = detector.CollectCandidates("nfl");
+  // User 0 (author + mentioned), user 1 (author). User 2 only appears in an
+  // off-topic tweet: not a candidate.
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].user, 0u);
+  EXPECT_TRUE(candidates[0].is_author);
+  EXPECT_TRUE(candidates[0].is_mentioned);
+  EXPECT_EQ(candidates[0].tweets_on_topic, 4u);
+  EXPECT_EQ(candidates[0].mentions_on_topic, 1u);
+  EXPECT_EQ(candidates[0].retweets_on_topic, 26u);
+  EXPECT_EQ(candidates[1].user, 1u);
+  EXPECT_TRUE(candidates[1].is_author);
+  EXPECT_FALSE(candidates[1].is_mentioned);
+}
+
+TEST(CandidateSelectionTest, MultiTermQueryNeedsAllTerms) {
+  TweetCorpus corpus = SmallCorpus();
+  ExpertDetector detector(&corpus);
+  auto candidates = detector.CollectCandidates("nfl draft");
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].user, 0u);
+  EXPECT_EQ(candidates[0].tweets_on_topic, 1u);
+}
+
+TEST(CandidateSelectionTest, NoMatchesNoCandidates) {
+  TweetCorpus corpus = SmallCorpus();
+  ExpertDetector detector(&corpus);
+  EXPECT_TRUE(detector.CollectCandidates("cricket").empty());
+}
+
+// ---------------------------------------------------------------- Ranking --
+
+TEST(RankingTest, TopicalAuthorityOutranksGeneralist) {
+  TweetCorpus corpus = SmallCorpus();
+  DetectorOptions options;
+  options.min_z_score = -100;  // keep everyone
+  ExpertDetector detector(&corpus, options);
+  auto experts = *detector.FindExperts("nfl");
+  ASSERT_EQ(experts.size(), 2u);
+  EXPECT_EQ(experts[0].user, 0u);
+  EXPECT_GT(experts[0].score, experts[1].score);
+  EXPECT_GT(experts[0].z_topical_signal, experts[1].z_topical_signal);
+}
+
+TEST(RankingTest, ZScoresAreCentered) {
+  TweetCorpus corpus = SmallCorpus();
+  DetectorOptions options;
+  options.min_z_score = -100;
+  ExpertDetector detector(&corpus, options);
+  auto experts = *detector.FindExperts("nfl");
+  double sum = 0;
+  for (const RankedExpert& e : experts) sum += e.z_topical_signal;
+  EXPECT_NEAR(sum, 0.0, 1e-9);  // z-scores over the pool sum to ~0
+}
+
+TEST(RankingTest, MinZScoreFiltersAndCapApplies) {
+  TweetCorpus corpus = SmallCorpus();
+  DetectorOptions options;
+  options.min_z_score = 0.0;
+  ExpertDetector detector(&corpus, options);
+  auto experts = *detector.FindExperts("nfl");
+  // With two candidates, z-scores are symmetric: only the better one is
+  // non-negative.
+  ASSERT_EQ(experts.size(), 1u);
+  EXPECT_EQ(experts[0].user, 0u);
+
+  options.min_z_score = -100;
+  options.max_experts = 1;
+  ExpertDetector capped(&corpus, options);
+  EXPECT_EQ((*capped.FindExperts("nfl")).size(), 1u);
+}
+
+TEST(RankingTest, WeightsChangeTheScore) {
+  TweetCorpus corpus = SmallCorpus();
+  DetectorOptions ts_only;
+  ts_only.weight_topical_signal = 1.0;
+  ts_only.weight_mention_impact = 0.0;
+  ts_only.weight_retweet_impact = 0.0;
+  ts_only.min_z_score = -100;
+  ExpertDetector detector(&corpus, ts_only);
+  auto experts = *detector.FindExperts("nfl");
+  ASSERT_EQ(experts.size(), 2u);
+  EXPECT_NEAR(experts[0].score, experts[0].z_topical_signal, 1e-12);
+}
+
+TEST(RankingTest, EmptyPoolRanksEmpty) {
+  TweetCorpus corpus = SmallCorpus();
+  ExpertDetector detector(&corpus);
+  EXPECT_TRUE((*detector.RankCandidates({})).empty());
+}
+
+TEST(RankingTest, InvalidSmoothingRejected) {
+  TweetCorpus corpus = SmallCorpus();
+  DetectorOptions options;
+  options.smoothing = 0.0;
+  ExpertDetector detector(&corpus, options);
+  CandidateEvidence c;
+  c.user = 0;
+  EXPECT_FALSE(detector.RankCandidates({c}).ok());
+}
+
+TEST(RankingTest, DeterministicTieBreakByUserId) {
+  // Two users with identical evidence: order must be stable by id.
+  TweetCorpus corpus;
+  corpus.AddUser(MakeUser(0));
+  corpus.AddUser(MakeUser(1));
+  corpus.AddTweet(0, "golf swing tips", {}, 2);
+  corpus.AddTweet(1, "golf swing tips", {}, 2);
+  DetectorOptions options;
+  options.min_z_score = -100;
+  ExpertDetector detector(&corpus, options);
+  auto experts = *detector.FindExperts("golf");
+  ASSERT_EQ(experts.size(), 2u);
+  EXPECT_EQ(experts[0].user, 0u);
+  EXPECT_EQ(experts[1].user, 1u);
+}
+
+// ---------------------------------------------------------- MergeEvidence --
+
+TEST(MergeEvidenceTest, SumsCountsAndOrsFlags) {
+  CandidateEvidence a;
+  a.user = 7;
+  a.is_author = true;
+  a.tweets_on_topic = 2;
+  a.retweets_on_topic = 5;
+  CandidateEvidence b;
+  b.user = 7;
+  b.is_mentioned = true;
+  b.tweets_on_topic = 1;
+  b.mentions_on_topic = 3;
+  CandidateEvidence other;
+  other.user = 9;
+  other.is_author = true;
+  other.tweets_on_topic = 1;
+
+  auto merged = MergeEvidence({{a}, {b, other}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].user, 7u);
+  EXPECT_TRUE(merged[0].is_author);
+  EXPECT_TRUE(merged[0].is_mentioned);
+  EXPECT_EQ(merged[0].tweets_on_topic, 3u);
+  EXPECT_EQ(merged[0].mentions_on_topic, 3u);
+  EXPECT_EQ(merged[0].retweets_on_topic, 5u);
+  EXPECT_EQ(merged[1].user, 9u);
+}
+
+TEST(MergeEvidenceTest, EmptyInputs) {
+  EXPECT_TRUE(MergeEvidence({}).empty());
+  EXPECT_TRUE(MergeEvidence({{}, {}}).empty());
+}
+
+TEST(FeatureMathTest, TopicalSignalMatchesHandComputation) {
+  TweetCorpus corpus = SmallCorpus();
+  DetectorOptions options;
+  options.min_z_score = -100;
+  options.weight_topical_signal = 1.0;
+  options.weight_mention_impact = 0.0;
+  options.weight_retweet_impact = 0.0;
+  ExpertDetector detector(&corpus, options);
+  auto experts = *detector.FindExperts("nfl");
+  ASSERT_EQ(experts.size(), 2u);
+  // TS(user0) = (4 + eps) / (4 + eps) = 1; TS(user1) = (1 + eps)/(4 + eps).
+  const double eps = options.smoothing;
+  double log_ts0 = std::log((4 + eps) / (4 + eps));
+  double log_ts1 = std::log((1 + eps) / (4 + eps));
+  double mean = (log_ts0 + log_ts1) / 2;
+  double sd = std::sqrt(((log_ts0 - mean) * (log_ts0 - mean) +
+                         (log_ts1 - mean) * (log_ts1 - mean)) /
+                        2);
+  EXPECT_NEAR(experts[0].z_topical_signal, (log_ts0 - mean) / sd, 1e-9);
+  EXPECT_NEAR(experts[1].z_topical_signal, (log_ts1 - mean) / sd, 1e-9);
+}
+
+}  // namespace
+}  // namespace esharp::expert

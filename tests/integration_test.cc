@@ -1,0 +1,195 @@
+// End-to-end integration test: builds a full (small) experiment world and
+// asserts the paper's headline claims hold as *shapes* — the same checks
+// the bench binaries print for humans, here enforced by the suite.
+
+#include <gtest/gtest.h>
+
+#include "esharp/esharp.h"
+#include "esharp/pipeline.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/query_sets.h"
+#include "microblog/generator.h"
+#include "querylog/generator.h"
+
+namespace esharp {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    querylog::UniverseOptions uo;
+    uo.num_categories = 6;
+    uo.domains_per_category = 25;
+    uo.seed = 901;
+    universe_ = new querylog::TopicUniverse(
+        *querylog::TopicUniverse::Generate(uo));
+
+    querylog::GeneratorOptions go;
+    go.seed = 902;
+    generated_ = new querylog::GeneratedLog(
+        *GenerateQueryLog(*universe_, go));
+
+    core::OfflineOptions offline;
+    artifacts_ = new core::OfflineArtifacts(
+        *RunOfflinePipeline(generated_->log, offline));
+
+    microblog::CorpusOptions co;
+    co.seed = 903;
+    co.casual_users = 500;
+    co.spam_users = 40;
+    corpus_ = new microblog::TweetCorpus(*GenerateCorpus(*universe_, co));
+
+    core::ESharp system(&artifacts_->store, corpus_);
+    eval::QuerySetOptions qso;
+    qso.per_category = 40;
+    qso.top_n = 100;
+    auto sets = *BuildQuerySets(*universe_, generated_->log, qso);
+    runs_ = new std::vector<eval::SetRun>(*RunComparison(system, sets));
+  }
+
+  static void TearDownTestSuite() {
+    delete universe_;
+    delete generated_;
+    delete artifacts_;
+    delete corpus_;
+    delete runs_;
+  }
+
+  static querylog::TopicUniverse* universe_;
+  static querylog::GeneratedLog* generated_;
+  static core::OfflineArtifacts* artifacts_;
+  static microblog::TweetCorpus* corpus_;
+  static std::vector<eval::SetRun>* runs_;
+};
+
+querylog::TopicUniverse* IntegrationTest::universe_ = nullptr;
+querylog::GeneratedLog* IntegrationTest::generated_ = nullptr;
+core::OfflineArtifacts* IntegrationTest::artifacts_ = nullptr;
+microblog::TweetCorpus* IntegrationTest::corpus_ = nullptr;
+std::vector<eval::SetRun>* IntegrationTest::runs_ = nullptr;
+
+// --- Fig. 5 shape: steep decay, fast convergence. --------------------------
+
+TEST_F(IntegrationTest, ConvergenceIsSteepThenFlat) {
+  const auto& series = artifacts_->communities_per_iteration;
+  ASSERT_GE(series.size(), 3u);
+  // First iteration removes a large share of communities.
+  EXPECT_LT(series[1], series[0]);
+  EXPECT_LT(static_cast<double>(series[1]),
+            0.8 * static_cast<double>(series[0]));
+  // Converges within the paper's ballpark (roughly 6; allow headroom).
+  EXPECT_LE(series.size(), 12u);
+}
+
+// --- Fig. 6 shape: modal bucket is 2-10, meaningful orphan share. ----------
+
+TEST_F(IntegrationTest, SizeDistributionMatchesPaperShape) {
+  community::SizeHistogram h = artifacts_->store.ComputeSizeHistogram();
+  double total = static_cast<double>(h.total());
+  ASSERT_GT(total, 0);
+  EXPECT_GT(h.small / total, 0.35);    // paper ~60%
+  EXPECT_GT(h.orphans / total, 0.05);  // paper ~20%
+  EXPECT_LT(h.large / total, 0.10);    // paper: very few
+}
+
+// --- Clustering quality: communities recover the latent domains. -----------
+
+TEST_F(IntegrationTest, ClusteringRecoversLatentDomains) {
+  eval::ClusterQuality q =
+      eval::EvaluateClustering(artifacts_->store, generated_->log);
+  EXPECT_GT(q.purity, 0.8);
+  EXPECT_GT(q.nmi, 0.8);
+}
+
+// --- Table 8 shape: e# answers at least as many queries, biggest gain on
+// --- the head-query set. ----------------------------------------------------
+
+TEST_F(IntegrationTest, ESharpAnswersMoreQueriesEverywhere) {
+  for (const eval::SetRun& run : *runs_) {
+    double baseline = eval::AnsweredProportion(run, eval::Side::kBaseline);
+    double esharp_prop = eval::AnsweredProportion(run, eval::Side::kESharp);
+    EXPECT_GE(esharp_prop, baseline) << "set " << run.name;
+  }
+}
+
+TEST_F(IntegrationTest, TopSetGainIsLargest) {
+  double top_gain = 0, best_category_gain = 0;
+  for (const eval::SetRun& run : *runs_) {
+    double baseline = eval::AnsweredProportion(run, eval::Side::kBaseline);
+    double esharp_prop = eval::AnsweredProportion(run, eval::Side::kESharp);
+    double gain = baseline > 0 ? (esharp_prop - baseline) / baseline : 0;
+    if (run.name.rfind("top", 0) == 0) {
+      top_gain = gain;
+    } else {
+      best_category_gain = std::max(best_category_gain, gain);
+    }
+  }
+  EXPECT_GT(top_gain, 0.0);
+  // The head-query set benefits at least as much as a typical category set
+  // (the paper's strongest improvement is on Top 250).
+  EXPECT_GE(top_gain, 0.5 * best_category_gain);
+}
+
+// --- Fig. 8 shape: e# coverage curve dominates at (almost) every n. --------
+
+TEST_F(IntegrationTest, CoverageCurveDominates) {
+  for (const eval::SetRun& run : *runs_) {
+    auto baseline = eval::CumulativeCoverage(run, eval::Side::kBaseline, 14);
+    auto esharp_curve = eval::CumulativeCoverage(run, eval::Side::kESharp, 14);
+    size_t dominated = 0;
+    for (size_t n = 0; n <= 14; ++n) {
+      if (esharp_curve[n] + 1e-9 >= baseline[n]) ++dominated;
+    }
+    EXPECT_GE(dominated, 14u) << "set " << run.name;
+  }
+}
+
+// --- Fig. 9 shape: monotone decrease in the threshold; e# dominates. -------
+
+TEST_F(IntegrationTest, ThresholdSweepIsMonotoneAndDominated) {
+  const eval::SetRun& top = runs_->back();
+  double prev_b = 1e18, prev_e = 1e18;
+  for (double z = 0.0; z <= 8.0; z += 1.0) {
+    double b = eval::AvgExpertsPerQuery(top, eval::Side::kBaseline, z);
+    double e = eval::AvgExpertsPerQuery(top, eval::Side::kESharp, z);
+    EXPECT_LE(b, prev_b + 1e-9);
+    EXPECT_LE(e, prev_e + 1e-9);
+    EXPECT_GE(e, b);
+    prev_b = b;
+    prev_e = e;
+  }
+}
+
+// --- Fig. 10 shape: at matched sizes, e# impurity is not (much) worse. -----
+
+TEST_F(IntegrationTest, ImpurityPenaltyIsBounded) {
+  eval::CrowdOptions crowd;
+  std::vector<double> thresholds = {2.0, 1.0, 0.5, 0.0};
+  for (const eval::SetRun& run : *runs_) {
+    auto baseline = eval::ImpurityCurve(run, eval::Side::kBaseline, *corpus_,
+                                  thresholds, crowd);
+    auto esharp_curve = eval::ImpurityCurve(run, eval::Side::kESharp, *corpus_,
+                                      thresholds, crowd);
+    for (size_t i = 0; i < thresholds.size(); ++i) {
+      if (baseline[i].avg_experts < 0.5) continue;  // nothing to compare
+      EXPECT_LE(esharp_curve[i].impurity, baseline[i].impurity + 0.15)
+          << "set " << run.name << " z=" << thresholds[i];
+    }
+  }
+}
+
+// --- Superset property: expansion can only add candidates. -----------------
+
+TEST_F(IntegrationTest, CandidatePoolIsSuperset) {
+  for (const eval::SetRun& run : *runs_) {
+    for (const eval::QueryRun& qr : run.runs) {
+      EXPECT_GE(qr.esharp.size(), qr.baseline.size())
+          << "query " << qr.query.text;
+      EXPECT_GE(qr.expanded_terms, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esharp

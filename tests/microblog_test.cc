@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "microblog/corpus.h"
+#include "microblog/generator.h"
+
+namespace esharp::microblog {
+namespace {
+
+UserProfile MakeUser(UserId id, AccountKind kind) {
+  UserProfile u;
+  u.id = id;
+  u.kind = kind;
+  u.screen_name = "u" + std::to_string(id);
+  return u;
+}
+
+// ---------------------------------------------------------------- Corpus --
+
+TEST(CorpusTest, TweetIndexesUpdate) {
+  TweetCorpus corpus;
+  corpus.AddUser(MakeUser(0, AccountKind::kExpert));
+  corpus.AddUser(MakeUser(1, AccountKind::kCasual));
+  corpus.AddTweet(0, "49ers Draft looking STRONG", {1}, 7);
+  corpus.AddTweet(0, "coffee time", {}, 0);
+  corpus.AddTweet(1, "who are the 49ers", {0}, 1);
+
+  EXPECT_EQ(corpus.num_tweets(), 3u);
+  EXPECT_EQ(corpus.TweetsByUser(0), 2u);
+  EXPECT_EQ(corpus.TweetsByUser(1), 1u);
+  EXPECT_EQ(corpus.MentionsOfUser(0), 1u);
+  EXPECT_EQ(corpus.MentionsOfUser(1), 1u);
+  EXPECT_EQ(corpus.RetweetsOfUser(0), 7u);
+  EXPECT_EQ(corpus.RetweetsOfUser(1), 1u);
+}
+
+TEST(CorpusTest, MatchIsAllTermsLowerCased) {
+  TweetCorpus corpus;
+  corpus.AddUser(MakeUser(0, AccountKind::kExpert));
+  uint32_t t0 = corpus.AddTweet(0, "49ers DRAFT news", {}, 0);
+  corpus.AddTweet(0, "49ers game today", {}, 0);
+  corpus.AddTweet(0, "nba draft", {}, 0);
+
+  auto hits = corpus.MatchTweets({"49ers", "draft"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], t0);
+  EXPECT_EQ(corpus.MatchTweets({"49ERS"}).size(), 2u);
+  EXPECT_EQ(corpus.MatchTweets({"draft"}).size(), 2u);
+  EXPECT_TRUE(corpus.MatchTweets({"hockey"}).empty());
+  EXPECT_TRUE(corpus.MatchTweets({}).empty());
+}
+
+TEST(CorpusTest, MatchRequiresWholeTokens) {
+  TweetCorpus corpus;
+  corpus.AddUser(MakeUser(0, AccountKind::kCasual));
+  corpus.AddTweet(0, "drafting prospects", {}, 0);
+  EXPECT_TRUE(corpus.MatchTweets({"draft"}).empty());
+}
+
+TEST(CorpusTest, MatchResultsAreSortedTweetIds) {
+  TweetCorpus corpus;
+  corpus.AddUser(MakeUser(0, AccountKind::kCasual));
+  for (int i = 0; i < 20; ++i) corpus.AddTweet(0, "nfl talk", {}, 0);
+  auto hits = corpus.MatchTweets({"nfl"});
+  ASSERT_EQ(hits.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+}
+
+// -------------------------------------------------------------- Generator --
+
+class CorpusGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    querylog::UniverseOptions uo;
+    uo.num_categories = 3;
+    uo.domains_per_category = 10;
+    uo.seed = 77;
+    universe_ = std::make_unique<querylog::TopicUniverse>(
+        *querylog::TopicUniverse::Generate(uo));
+    CorpusOptions co;
+    co.seed = 78;
+    co.casual_users = 200;
+    co.spam_users = 20;
+    co.mean_experts_per_domain = 4;
+    co.expert_tweets_mean = 30;
+    corpus_ = std::make_unique<TweetCorpus>(*GenerateCorpus(*universe_, co));
+  }
+
+  std::unique_ptr<querylog::TopicUniverse> universe_;
+  std::unique_ptr<TweetCorpus> corpus_;
+};
+
+TEST_F(CorpusGeneratorTest, PopulationHasAllKinds) {
+  size_t experts = 0, casual = 0, spam = 0;
+  for (const UserProfile& u : corpus_->users()) {
+    switch (u.kind) {
+      case AccountKind::kExpert: ++experts; break;
+      case AccountKind::kCasual: ++casual; break;
+      case AccountKind::kSpam: ++spam; break;
+    }
+  }
+  EXPECT_GT(experts, 50u);
+  EXPECT_EQ(casual, 200u);
+  EXPECT_EQ(spam, 20u);
+}
+
+TEST_F(CorpusGeneratorTest, ExpertsHaveDomainsOthersDoNot) {
+  for (const UserProfile& u : corpus_->users()) {
+    if (u.kind == AccountKind::kExpert) {
+      EXPECT_NE(u.domain, querylog::kNoDomain);
+      EXPECT_LT(u.domain, universe_->num_domains());
+    } else {
+      EXPECT_EQ(u.domain, querylog::kNoDomain);
+    }
+  }
+}
+
+TEST_F(CorpusGeneratorTest, ExpertsAreTopical) {
+  // For experts with enough tweets, at least half should contain one of
+  // their domain's terms (ignoring hashtag variants, this undercounts).
+  size_t checked = 0;
+  std::vector<std::vector<uint32_t>> tweets_by_user(corpus_->num_users());
+  for (const Tweet& t : corpus_->tweets()) {
+    tweets_by_user[t.author].push_back(t.id);
+  }
+  for (const UserProfile& u : corpus_->users()) {
+    if (u.kind != AccountKind::kExpert) continue;
+    if (tweets_by_user[u.id].size() < 20) continue;
+    const auto& dom = universe_->domain(u.domain);
+    size_t topical = 0;
+    for (uint32_t tid : tweets_by_user[u.id]) {
+      const std::string& text = corpus_->tweet(tid).text;
+      for (const std::string& term : dom.terms) {
+        if (text.find(term) != std::string::npos) {
+          ++topical;
+          break;
+        }
+      }
+    }
+    double rate = static_cast<double>(topical) /
+                  static_cast<double>(tweets_by_user[u.id].size());
+    EXPECT_GT(rate, 0.3) << "expert " << u.screen_name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST_F(CorpusGeneratorTest, MentionsFlowToExperts) {
+  uint64_t expert_mentions = 0, other_mentions = 0;
+  for (const UserProfile& u : corpus_->users()) {
+    if (u.kind == AccountKind::kExpert) {
+      expert_mentions += corpus_->MentionsOfUser(u.id);
+    } else {
+      other_mentions += corpus_->MentionsOfUser(u.id);
+    }
+  }
+  EXPECT_GT(expert_mentions, other_mentions);
+}
+
+TEST_F(CorpusGeneratorTest, TweetsRespectLengthLimit) {
+  for (const Tweet& t : corpus_->tweets()) {
+    EXPECT_LE(t.text.size(), 140u);
+    EXPECT_FALSE(t.text.empty());
+  }
+}
+
+TEST_F(CorpusGeneratorTest, ScreenNamesAreUniqueEnough) {
+  std::unordered_set<std::string> names;
+  size_t collisions = 0;
+  for (const UserProfile& u : corpus_->users()) {
+    if (!names.insert(u.screen_name).second) ++collisions;
+  }
+  // A handful of collisions is acceptable (real platforms disambiguate),
+  // wholesale duplication is a generator bug.
+  EXPECT_LT(collisions, corpus_->num_users() / 10);
+}
+
+TEST_F(CorpusGeneratorTest, DeterministicForSeed) {
+  CorpusOptions co;
+  co.seed = 78;
+  co.casual_users = 200;
+  co.spam_users = 20;
+  co.mean_experts_per_domain = 4;
+  co.expert_tweets_mean = 30;
+  TweetCorpus again = *GenerateCorpus(*universe_, co);
+  ASSERT_EQ(again.num_tweets(), corpus_->num_tweets());
+  EXPECT_EQ(again.tweet(0).text, corpus_->tweet(0).text);
+  EXPECT_EQ(again.tweet(again.num_tweets() - 1).text,
+            corpus_->tweet(corpus_->num_tweets() - 1).text);
+}
+
+TEST(CorpusGeneratorOptionsTest, InvalidMeanRejected) {
+  querylog::UniverseOptions uo;
+  uo.num_categories = 1;
+  uo.domains_per_category = 2;
+  querylog::TopicUniverse u = *querylog::TopicUniverse::Generate(uo);
+  CorpusOptions co;
+  co.mean_experts_per_domain = 0;
+  EXPECT_FALSE(GenerateCorpus(u, co).ok());
+}
+
+}  // namespace
+}  // namespace esharp::microblog

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sqlengine/operators.h"
+
+namespace esharp::sql {
+namespace {
+
+Table People() {
+  TableBuilder b({{"name", DataType::kString},
+                  {"age", DataType::kInt64},
+                  {"score", DataType::kDouble}});
+  b.AddRow({Value::String("ann"), Value::Int(30), Value::Double(1.5)});
+  b.AddRow({Value::String("bob"), Value::Int(25), Value::Double(2.5)});
+  b.AddRow({Value::String("cat"), Value::Int(30), Value::Double(0.5)});
+  b.AddRow({Value::String("dan"), Value::Int(40), Value::Double(4.0)});
+  return b.Build();
+}
+
+// ----------------------------------------------------------- Expressions --
+
+TEST(ExpressionTest, ArithmeticAndComparison) {
+  Table t = People();
+  ExprPtr e = Gt(Add(Col("age"), LitInt(5)), LitInt(34));
+  ASSERT_TRUE(e->Bind(t.schema()).ok());
+  EXPECT_FALSE(e->Eval(t.row(1))->bool_value());  // 25+5 > 34 ? no
+  EXPECT_TRUE(e->Eval(t.row(3))->bool_value());   // 40+5 > 34 ? yes
+}
+
+TEST(ExpressionTest, IntegerArithmeticStaysExact) {
+  Table t = People();
+  ExprPtr e = Mul(Col("age"), LitInt(2));
+  ASSERT_TRUE(e->Bind(t.schema()).ok());
+  Value v = *e->Eval(t.row(0));
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.int_value(), 60);
+}
+
+TEST(ExpressionTest, DivisionIsDoubleAndChecksZero) {
+  Table t = People();
+  ExprPtr e = Div(Col("age"), LitInt(4));
+  ASSERT_TRUE(e->Bind(t.schema()).ok());
+  EXPECT_DOUBLE_EQ(e->Eval(t.row(0))->double_value(), 7.5);
+  ExprPtr bad = Div(Col("age"), LitInt(0));
+  ASSERT_TRUE(bad->Bind(t.schema()).ok());
+  EXPECT_FALSE(bad->Eval(t.row(0)).ok());
+}
+
+TEST(ExpressionTest, BooleanShortCircuit) {
+  Table t = People();
+  // Right side would divide by zero; AND must not evaluate it when the
+  // left side is already false.
+  ExprPtr e = And(Lt(Col("age"), LitInt(0)),
+                  Gt(Div(Col("age"), LitInt(0)), LitInt(1)));
+  ASSERT_TRUE(e->Bind(t.schema()).ok());
+  EXPECT_FALSE(e->Eval(t.row(0))->bool_value());
+  ExprPtr o = Or(Gt(Col("age"), LitInt(0)),
+                 Gt(Div(Col("age"), LitInt(0)), LitInt(1)));
+  ASSERT_TRUE(o->Bind(t.schema()).ok());
+  EXPECT_TRUE(o->Eval(t.row(0))->bool_value());
+}
+
+TEST(ExpressionTest, NotAndNeg) {
+  Table t = People();
+  ExprPtr e = Not(Eq(Col("name"), LitString("ann")));
+  ASSERT_TRUE(e->Bind(t.schema()).ok());
+  EXPECT_FALSE(e->Eval(t.row(0))->bool_value());
+  ExprPtr n = UnaryExpr(Expr::UnaryOp::kNeg, Col("age"));
+  ASSERT_TRUE(n->Bind(t.schema()).ok());
+  EXPECT_EQ(n->Eval(t.row(0))->int_value(), -30);
+}
+
+TEST(ExpressionTest, UdfReceivesArguments) {
+  Table t = People();
+  ScalarUdf twice = [](const std::vector<Value>& args) -> Result<Value> {
+    return Value::Int(args[0].int_value() * 2);
+  };
+  ExprPtr e = Udf("twice", twice, {Col("age")});
+  ASSERT_TRUE(e->Bind(t.schema()).ok());
+  EXPECT_EQ(e->Eval(t.row(1))->int_value(), 50);
+  EXPECT_EQ(e->ToString(), "twice(age)");
+}
+
+TEST(ExpressionTest, UnboundColumnFails) {
+  ExprPtr e = Col("missing");
+  Table t = People();
+  EXPECT_TRUE(e->Bind(t.schema()).IsNotFound());
+}
+
+// ---------------------------------------------------------------- Filter --
+
+TEST(FilterTest, KeepsMatchingRows) {
+  Table t = People();
+  Table out = *Filter(t, Eq(Col("age"), LitInt(30)));
+  EXPECT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.row(0)[0].string_value(), "ann");
+  EXPECT_EQ(out.row(1)[0].string_value(), "cat");
+}
+
+TEST(FilterTest, NonBoolPredicateRejected) {
+  Table t = People();
+  EXPECT_FALSE(Filter(t, Add(Col("age"), LitInt(1))).ok());
+}
+
+// --------------------------------------------------------------- Project --
+
+TEST(ProjectTest, ComputesAndRenames) {
+  Table t = People();
+  Table out = *Project(
+      t, {{Col("name"), "who"}, {Mul(Col("age"), LitInt(10)), "decades"}});
+  EXPECT_EQ(out.schema().ToString(), "who:STRING, decades:INT64");
+  EXPECT_EQ(out.row(2)[1].int_value(), 300);
+}
+
+TEST(ProjectTest, EmptyInputYieldsNullTypes) {
+  Table t(Schema({{"a", DataType::kInt64}}));
+  Table out = *Project(t, {{Col("a"), "a2"}});
+  EXPECT_EQ(out.num_rows(), 0u);
+  EXPECT_EQ(out.schema().column(0).type, DataType::kNull);
+}
+
+// -------------------------------------------------------------- HashJoin --
+
+Table Orders() {
+  TableBuilder b({{"who", DataType::kString}, {"item", DataType::kString}});
+  b.AddRow({Value::String("ann"), Value::String("book")});
+  b.AddRow({Value::String("ann"), Value::String("pen")});
+  b.AddRow({Value::String("dan"), Value::String("mug")});
+  b.AddRow({Value::String("zed"), Value::String("hat")});
+  return b.Build();
+}
+
+TEST(HashJoinTest, InnerJoinMatchesKeys) {
+  Table out = *HashJoin(People(), Orders(), {"name"}, {"who"});
+  EXPECT_EQ(out.num_rows(), 3u);  // ann x2, dan x1
+  // All output rows agree on the key columns.
+  size_t name_idx = *out.schema().IndexOf("name");
+  size_t who_idx = *out.schema().IndexOf("who");
+  for (const Row& r : out.rows()) {
+    EXPECT_EQ(r[name_idx].string_value(), r[who_idx].string_value());
+  }
+}
+
+TEST(HashJoinTest, LeftOuterPadsWithNulls) {
+  Table out = *HashJoin(People(), Orders(), {"name"}, {"who"},
+                        JoinType::kLeftOuter);
+  EXPECT_EQ(out.num_rows(), 5u);  // ann x2, bob NULL, cat NULL, dan x1
+  size_t item_idx = *out.schema().IndexOf("item");
+  size_t nulls = 0;
+  for (const Row& r : out.rows()) {
+    if (r[item_idx].is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 2u);
+}
+
+TEST(HashJoinTest, ClashingColumnNamesArePrefixed) {
+  Table a = People(), b = People();
+  Table out = *HashJoin(a, b, {"name"}, {"name"});
+  EXPECT_TRUE(out.schema().Contains("r_name"));
+  EXPECT_TRUE(out.schema().Contains("r_age"));
+  EXPECT_EQ(out.num_rows(), 4u);
+}
+
+TEST(HashJoinTest, MultiKeyJoin) {
+  TableBuilder l({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  l.AddRow({Value::Int(1), Value::Int(1)});
+  l.AddRow({Value::Int(1), Value::Int(2)});
+  TableBuilder r({{"x", DataType::kInt64}, {"y", DataType::kInt64}});
+  r.AddRow({Value::Int(1), Value::Int(2)});
+  Table out = *HashJoin(l.Build(), r.Build(), {"a", "b"}, {"x", "y"});
+  EXPECT_EQ(out.num_rows(), 1u);
+}
+
+TEST(HashJoinTest, KeyArityMismatchRejected) {
+  EXPECT_FALSE(HashJoin(People(), Orders(), {"name"}, {}).ok());
+}
+
+TEST(HashJoinTest, EmptySidesProduceEmpty) {
+  Table empty(Orders().schema());
+  EXPECT_EQ(HashJoin(People(), empty, {"name"}, {"who"})->num_rows(), 0u);
+  Table empty_left(People().schema());
+  EXPECT_EQ(HashJoin(empty_left, Orders(), {"name"}, {"who"})->num_rows(), 0u);
+}
+
+// --------------------------------------------------------- HashAggregate --
+
+TEST(HashAggregateTest, CountSumMinMaxAvgPerGroup) {
+  Table out = *HashAggregate(
+      People(), {"age"},
+      {CountStar("n"), SumOf(Col("score"), "total"),
+       MinOf(Col("score"), "lo"), MaxOf(Col("score"), "hi"),
+       AvgOf(Col("score"), "avg")});
+  Table sorted = *SortBy(out, {"age"});
+  ASSERT_EQ(sorted.num_rows(), 3u);
+  // age=30 group: ann (1.5), cat (0.5).
+  EXPECT_EQ(sorted.row(1)[0].int_value(), 30);
+  EXPECT_EQ(sorted.row(1)[1].int_value(), 2);
+  EXPECT_DOUBLE_EQ(sorted.row(1)[2].double_value(), 2.0);
+  EXPECT_DOUBLE_EQ(sorted.row(1)[3].double_value(), 0.5);
+  EXPECT_DOUBLE_EQ(sorted.row(1)[4].double_value(), 1.5);
+  EXPECT_DOUBLE_EQ(sorted.row(1)[5].double_value(), 1.0);
+}
+
+TEST(HashAggregateTest, GlobalAggregateAlwaysOneRow) {
+  Table out = *HashAggregate(People(), {}, {CountStar("n")});
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.row(0)[0].int_value(), 4);
+  // Empty input too.
+  Table empty(People().schema());
+  Table out2 = *HashAggregate(empty, {}, {CountStar("n")});
+  ASSERT_EQ(out2.num_rows(), 1u);
+  EXPECT_EQ(out2.row(0)[0].int_value(), 0);
+}
+
+TEST(HashAggregateTest, ArgMaxReturnsOutputAtMaxOrderKey) {
+  // argmax(score, name): within each age group, the name with top score.
+  Table out = *HashAggregate(People(), {"age"},
+                             {ArgMaxOf(Col("score"), Col("name"), "best")});
+  Table sorted = *SortBy(out, {"age"});
+  EXPECT_EQ(sorted.row(0)[1].string_value(), "bob");  // age 25
+  EXPECT_EQ(sorted.row(1)[1].string_value(), "ann");  // 1.5 > 0.5
+  EXPECT_EQ(sorted.row(2)[1].string_value(), "dan");
+}
+
+TEST(HashAggregateTest, ArgMaxTieBreaksTowardSmallerOutput) {
+  TableBuilder b({{"g", DataType::kInt64},
+                  {"k", DataType::kDouble},
+                  {"v", DataType::kString}});
+  b.AddRow({Value::Int(1), Value::Double(5.0), Value::String("zz")});
+  b.AddRow({Value::Int(1), Value::Double(5.0), Value::String("aa")});
+  Table out = *HashAggregate(b.Build(), {"g"},
+                             {ArgMaxOf(Col("k"), Col("v"), "best")});
+  EXPECT_EQ(out.row(0)[1].string_value(), "aa");
+}
+
+TEST(HashAggregateTest, ArgMinMirrorsArgMax) {
+  Table out = *HashAggregate(People(), {"age"},
+                             {ArgMinOf(Col("score"), Col("name"), "worst")});
+  Table sorted = *SortBy(out, {"age"});
+  EXPECT_EQ(sorted.row(1)[1].string_value(), "cat");  // 0.5 < 1.5
+}
+
+TEST(HashAggregateTest, SumOverIntsStaysInt) {
+  Table out = *HashAggregate(People(), {}, {SumOf(Col("age"), "total")});
+  EXPECT_EQ(out.row(0)[0].type(), DataType::kInt64);
+  EXPECT_EQ(out.row(0)[0].int_value(), 125);
+}
+
+TEST(AggAccumulatorTest, MergeMatchesSequential) {
+  for (AggKind kind : {AggKind::kCount, AggKind::kSum, AggKind::kMin,
+                       AggKind::kMax, AggKind::kArgMax, AggKind::kArgMin}) {
+    AggAccumulator whole(kind), left(kind), right(kind);
+    Rng rng(55);
+    for (int i = 0; i < 100; ++i) {
+      Value arg = Value::Double(rng.NextDouble());
+      Value output = Value::Int(static_cast<int64_t>(rng.Uniform(1000)));
+      whole.Add(arg, output);
+      (i % 2 == 0 ? left : right).Add(arg, output);
+    }
+    left.Merge(right);
+    Value expected = *whole.Finish();
+    Value merged = *left.Finish();
+    if (expected.type() == DataType::kDouble) {
+      // Double sums may differ in the last bits depending on association.
+      EXPECT_NEAR(expected.double_value(), merged.double_value(), 1e-9)
+          << "kind=" << static_cast<int>(kind);
+    } else {
+      EXPECT_EQ(expected.Compare(merged), 0)
+          << "kind=" << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(AggAccumulatorTest, EmptyFinishes) {
+  EXPECT_EQ(AggAccumulator(AggKind::kCount).Finish()->int_value(), 0);
+  EXPECT_TRUE(AggAccumulator(AggKind::kSum).Finish()->is_null());
+  EXPECT_TRUE(AggAccumulator(AggKind::kMax).Finish()->is_null());
+  EXPECT_TRUE(AggAccumulator(AggKind::kArgMax).Finish()->is_null());
+}
+
+// ------------------------------------------------------ Union & Distinct --
+
+TEST(UnionAllTest, ConcatenatesAndChecksArity) {
+  Table out = *UnionAll(People(), People());
+  EXPECT_EQ(out.num_rows(), 8u);
+  EXPECT_FALSE(UnionAll(People(), Orders()).ok());
+}
+
+TEST(DistinctTest, RemovesDuplicateRows) {
+  TableBuilder b({{"a", DataType::kInt64}});
+  b.AddRow({Value::Int(1)});
+  b.AddRow({Value::Int(2)});
+  b.AddRow({Value::Int(1)});
+  Table out = *Distinct(b.Build());
+  EXPECT_EQ(out.num_rows(), 2u);
+  // First occurrence order preserved.
+  EXPECT_EQ(out.row(0)[0].int_value(), 1);
+  EXPECT_EQ(out.row(1)[0].int_value(), 2);
+}
+
+// ---------------------------------------------------------- Sort & Limit --
+
+TEST(SortByTest, MultiKeyMixedDirections) {
+  Table out = *SortBy(People(), {"age", "score"}, {true, false});
+  EXPECT_EQ(out.row(0)[0].string_value(), "bob");
+  EXPECT_EQ(out.row(1)[0].string_value(), "ann");  // 30, score desc: 1.5 first
+  EXPECT_EQ(out.row(2)[0].string_value(), "cat");
+  EXPECT_EQ(out.row(3)[0].string_value(), "dan");
+}
+
+TEST(SortByTest, UnknownKeyRejected) {
+  EXPECT_FALSE(SortBy(People(), {"nope"}).ok());
+}
+
+TEST(LimitTest, TruncatesAndClamps) {
+  EXPECT_EQ(Limit(People(), 2)->num_rows(), 2u);
+  EXPECT_EQ(Limit(People(), 100)->num_rows(), 4u);
+  EXPECT_EQ(Limit(People(), 0)->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace esharp::sql

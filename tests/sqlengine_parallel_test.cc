@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "sqlengine/catalog.h"
+#include "sqlengine/parallel.h"
+#include "sqlengine/plan.h"
+
+namespace esharp::sql {
+namespace {
+
+// Random tables for the serial-vs-parallel equivalence properties.
+Table RandomTable(size_t rows, size_t key_cardinality, uint64_t seed) {
+  Rng rng(seed);
+  TableBuilder b({{"k", DataType::kInt64},
+                  {"s", DataType::kString},
+                  {"x", DataType::kDouble}});
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t k = static_cast<int64_t>(rng.Uniform(key_cardinality));
+    b.AddRow({Value::Int(k), Value::String("s" + std::to_string(k % 7)),
+              Value::Double(rng.NextDouble())});
+  }
+  return b.Build();
+}
+
+// Canonical multiset comparison.
+void ExpectSameRows(Table a, Table b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  a.SortLexicographic();
+  b.SortLexicographic();
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.row(i)[c].Compare(b.row(i)[c]), 0)
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+// ----------------------------------------------------------- Partitioning --
+
+TEST(HashPartitionTest, PartitionsAreDisjointAndComplete) {
+  Table t = RandomTable(500, 40, 1);
+  auto parts = *HashPartition(t, {"k"}, 7);
+  size_t total = 0;
+  for (const Table& p : parts) total += p.num_rows();
+  EXPECT_EQ(total, t.num_rows());
+}
+
+TEST(HashPartitionTest, SameKeySamePartition) {
+  Table t = RandomTable(500, 10, 2);
+  auto parts = *HashPartition(t, {"k"}, 5);
+  // Every key must appear in exactly one partition.
+  std::map<int64_t, std::set<size_t>> where;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    for (const Row& r : parts[p].rows()) {
+      where[r[0].int_value()].insert(p);
+    }
+  }
+  for (const auto& [k, ps] : where) EXPECT_EQ(ps.size(), 1u) << "key " << k;
+}
+
+TEST(HashPartitionTest, ZeroPartitionsRejected) {
+  EXPECT_FALSE(HashPartition(RandomTable(5, 2, 3), {"k"}, 0).ok());
+}
+
+TEST(RoundRobinPartitionTest, CoversAllRows) {
+  Table t = RandomTable(103, 5, 4);
+  auto parts = RoundRobinPartition(t, 8);
+  size_t total = 0;
+  for (const Table& p : parts) total += p.num_rows();
+  EXPECT_EQ(total, 103u);
+  EXPECT_EQ(*ConcatTables(parts)->GetValue(0, "k"),
+            *t.GetValue(0, "k"));  // order preserved
+}
+
+// ------------------------------------------ Parallel == serial properties --
+
+struct ParallelCase {
+  size_t partitions;
+  JoinStrategy strategy;
+};
+
+class ParallelJoinTest
+    : public ::testing::TestWithParam<std::tuple<size_t, JoinStrategy>> {};
+
+TEST_P(ParallelJoinTest, MatchesSerialHashJoin) {
+  auto [partitions, strategy] = GetParam();
+  ThreadPool pool(4);
+  ExecContext ctx{&pool, partitions, nullptr, "test"};
+  Table left = RandomTable(400, 30, 5);
+  Table right = RandomTable(300, 30, 6);
+  Table serial = *HashJoin(left, right, {"k"}, {"k"});
+  Table parallel = *ParallelHashJoin(ctx, left, right, {"k"}, {"k"},
+                                     JoinType::kInner, strategy);
+  ExpectSameRows(serial, parallel);
+}
+
+TEST_P(ParallelJoinTest, LeftOuterMatchesSerial) {
+  auto [partitions, strategy] = GetParam();
+  if (strategy == JoinStrategy::kReplicated) {
+    // Left-outer works with both strategies; exercised for both.
+  }
+  ThreadPool pool(4);
+  ExecContext ctx{&pool, partitions, nullptr, "test"};
+  Table left = RandomTable(200, 60, 7);   // many unmatched keys
+  Table right = RandomTable(50, 60, 8);
+  Table serial = *HashJoin(left, right, {"k"}, {"k"}, JoinType::kLeftOuter);
+  Table parallel = *ParallelHashJoin(ctx, left, right, {"k"}, {"k"},
+                                     JoinType::kLeftOuter, strategy);
+  ExpectSameRows(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ParallelJoinTest,
+    ::testing::Combine(::testing::Values(1, 2, 8, 17),
+                       ::testing::Values(JoinStrategy::kReplicated,
+                                         JoinStrategy::kPartitioned)));
+
+class ParallelAggTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelAggTest, MatchesSerialAggregate) {
+  ThreadPool pool(4);
+  ExecContext ctx{&pool, GetParam(), nullptr, "test"};
+  Table t = RandomTable(1000, 25, 9);
+  std::vector<AggSpec> aggs = {CountStar("n"), SumOf(Col("x"), "sx"),
+                               MaxOf(Col("x"), "mx"),
+                               ArgMaxOf(Col("x"), Col("s"), "best")};
+  Table serial = *HashAggregate(t, {"k"}, aggs);
+  Table parallel = *ParallelHashAggregate(ctx, t, {"k"}, aggs);
+  ExpectSameRows(serial, parallel);
+}
+
+TEST_P(ParallelAggTest, FilterAndProjectMatchSerial) {
+  ThreadPool pool(4);
+  ExecContext ctx{&pool, GetParam(), nullptr, "test"};
+  Table t = RandomTable(777, 25, 10);
+  ExprPtr pred = Gt(Col("x"), LitDouble(0.5));
+  ExpectSameRows(*Filter(t, pred), *ParallelFilter(ctx, t, pred));
+  std::vector<ProjectedColumn> cols = {{Col("k"), "k"},
+                                       {Mul(Col("x"), LitDouble(2)), "x2"}};
+  ExpectSameRows(*Project(t, cols), *ParallelProject(ctx, t, cols));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, ParallelAggTest,
+                         ::testing::Values(1, 3, 8, 16));
+
+TEST(ParallelTest, MeterRecordsRows) {
+  ThreadPool pool(2);
+  ResourceMeter meter;
+  ExecContext ctx{&pool, 4, &meter, "stage_x"};
+  Table t = RandomTable(100, 5, 11);
+  ASSERT_TRUE(ParallelFilter(ctx, t, Gt(Col("x"), LitDouble(-1))).ok());
+  EXPECT_EQ(meter.Get("stage_x").rows_read, 100u);
+  EXPECT_EQ(meter.Get("stage_x").rows_written, 100u);
+}
+
+// ----------------------------------------------------------------- Plans --
+
+TEST(CatalogTest, RegisterGetDrop) {
+  Catalog cat;
+  cat.Register("t", RandomTable(5, 2, 12));
+  EXPECT_TRUE(cat.Contains("t"));
+  EXPECT_EQ((*cat.Get("t"))->num_rows(), 5u);
+  EXPECT_FALSE(cat.Get("missing").ok());
+  cat.Drop("t");
+  EXPECT_FALSE(cat.Contains("t"));
+  EXPECT_TRUE(cat.Names().empty());
+}
+
+TEST(PlanTest, ScanFilterProjectPipeline) {
+  Catalog cat;
+  cat.Register("t", RandomTable(100, 10, 13));
+  Plan plan = Plan::Scan("t")
+                  .Where(Eq(Col("k"), LitInt(3)))
+                  .Select({{Col("x"), "x"}});
+  Executor exec;
+  Table out = *exec.Execute(plan, cat);
+  const Table& source = **cat.Get("t");
+  Table expected = *Project(*Filter(source, Eq(Col("k"), LitInt(3))),
+                            {{Col("x"), "x"}});
+  EXPECT_EQ(out.num_rows(), expected.num_rows());
+}
+
+TEST(PlanTest, JoinAggregateOrderLimit) {
+  Catalog cat;
+  cat.Register("l", RandomTable(200, 20, 14));
+  cat.Register("r", RandomTable(100, 20, 15));
+  Plan plan = Plan::Scan("l")
+                  .Join(Plan::Scan("r"), {"k"}, {"k"})
+                  .GroupBy({"k"}, {CountStar("n")})
+                  .OrderBy({"n", "k"}, {false, true})
+                  .Take(5);
+  Executor exec;
+  Table out = *exec.Execute(plan, cat);
+  EXPECT_LE(out.num_rows(), 5u);
+  // Counts are non-increasing.
+  for (size_t i = 1; i < out.num_rows(); ++i) {
+    EXPECT_GE(out.row(i - 1)[1].int_value(), out.row(i)[1].int_value());
+  }
+}
+
+TEST(PlanTest, ParallelExecutorMatchesSerial) {
+  Catalog cat;
+  cat.Register("l", RandomTable(300, 12, 16));
+  cat.Register("r", RandomTable(200, 12, 17));
+  Plan plan = Plan::Scan("l")
+                  .Join(Plan::Scan("r"), {"k"}, {"k"})
+                  .Where(Gt(Col("x"), LitDouble(0.2)))
+                  .GroupBy({"k"}, {CountStar("n"), SumOf(Col("x"), "sx")});
+  Executor serial;
+  ThreadPool pool(4);
+  ExecutorOptions par_options;
+  par_options.pool = &pool;
+  par_options.num_partitions = 6;
+  Executor parallel(par_options);
+  ExpectSameRows(*serial.Execute(plan, cat), *parallel.Execute(plan, cat));
+}
+
+TEST(PlanTest, ValuesDistinctUnion) {
+  TableBuilder b({{"a", DataType::kInt64}});
+  b.AddRow({Value::Int(1)});
+  b.AddRow({Value::Int(1)});
+  Plan values = Plan::Values(b.Build());
+  Plan plan = values.Distinct().Union(values);
+  Executor exec;
+  Catalog cat;
+  Table out = *exec.Execute(plan, cat);
+  EXPECT_EQ(out.num_rows(), 3u);  // 1 distinct + 2 original
+}
+
+TEST(PlanTest, ExplainRendersTree) {
+  Plan plan = Plan::Scan("graph")
+                  .Join(Plan::Scan("communities"), {"query1"}, {"query"})
+                  .Where(Gt(Col("distance"), LitDouble(0)))
+                  .GroupBy({"query2"}, {CountStar("n")});
+  std::string text = plan.Explain();
+  EXPECT_NE(text.find("Scan(graph)"), std::string::npos);
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("Aggregate"), std::string::npos);
+}
+
+TEST(PlanTest, MissingTableSurfacesNotFound) {
+  Executor exec;
+  Catalog cat;
+  EXPECT_TRUE(exec.Execute(Plan::Scan("ghost"), cat).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace esharp::sql

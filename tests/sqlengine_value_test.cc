@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "sqlengine/schema.h"
+#include "sqlengine/table.h"
+#include "sqlengine/value.h"
+
+namespace esharp::sql {
+namespace {
+
+// ----------------------------------------------------------------- Value --
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), DataType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(-3).int_value(), -3);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(5).Compare(Value::Int(5)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+}
+
+TEST(ValueTest, NumericFamilyComparesAcrossIntAndDouble) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.1).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, CrossTypeRankOrder) {
+  // NULL < BOOL < numeric < STRING.
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::String("")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::String("abc").Hash(), Value::String("abd").Hash());
+}
+
+TEST(ValueTest, AsDoubleCoercion) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Bool(true).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(0.5).AsDouble(), 0.5);
+  EXPECT_FALSE(Value::String("4").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("q").ToString(), "q");
+}
+
+TEST(ValueTest, SizeBytes) {
+  EXPECT_EQ(Value::Int(1).SizeBytes(), 8u);
+  EXPECT_EQ(Value::String("abcd").SizeBytes(), 12u);
+}
+
+// ---------------------------------------------------------------- Schema --
+
+TEST(SchemaTest, IndexOfAndContains) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(*s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.IndexOf("c").ok());
+  EXPECT_TRUE(s.Contains("a"));
+  EXPECT_FALSE(s.Contains("c"));
+}
+
+TEST(SchemaTest, ConcatPrefixesClashes) {
+  Schema left({{"id", DataType::kInt64}, {"x", DataType::kDouble}});
+  Schema right({{"id", DataType::kInt64}, {"y", DataType::kString}});
+  Schema joined = Schema::Concat(left, right, "r_");
+  EXPECT_EQ(joined.num_columns(), 4u);
+  EXPECT_EQ(joined.column(2).name, "r_id");
+  EXPECT_EQ(joined.column(3).name, "y");
+}
+
+TEST(SchemaTest, ToStringAndEquality) {
+  Schema s({{"a", DataType::kInt64}});
+  EXPECT_EQ(s.ToString(), "a:INT64");
+  EXPECT_TRUE(s == Schema({{"a", DataType::kInt64}}));
+  EXPECT_FALSE(s == Schema({{"a", DataType::kDouble}}));
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, AppendRowChecksArity) {
+  Table t(Schema({{"a", DataType::kInt64}, {"b", DataType::kString}}));
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::String("x")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(1)}).IsInvalidArgument());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, GetValueByName) {
+  TableBuilder b({{"q", DataType::kString}, {"n", DataType::kInt64}});
+  b.AddRow({Value::String("nfl"), Value::Int(9)});
+  Table t = b.Build();
+  EXPECT_EQ(t.GetValue(0, "n")->int_value(), 9);
+  EXPECT_FALSE(t.GetValue(0, "zz").ok());
+  EXPECT_FALSE(t.GetValue(5, "n").ok());
+}
+
+TEST(TableTest, SortLexicographicCanonicalizes) {
+  TableBuilder b({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  b.AddRow({Value::Int(2), Value::Int(1)});
+  b.AddRow({Value::Int(1), Value::Int(9)});
+  b.AddRow({Value::Int(1), Value::Int(2)});
+  Table t = b.Build();
+  t.SortLexicographic();
+  EXPECT_EQ(t.row(0)[0].int_value(), 1);
+  EXPECT_EQ(t.row(0)[1].int_value(), 2);
+  EXPECT_EQ(t.row(2)[0].int_value(), 2);
+}
+
+TEST(TableTest, SizeBytesSumsValues) {
+  TableBuilder b({{"a", DataType::kInt64}});
+  b.AddRow({Value::Int(1)});
+  b.AddRow({Value::Int(2)});
+  EXPECT_EQ(b.Build().SizeBytes(), 16u);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  TableBuilder b({{"a", DataType::kInt64}});
+  for (int i = 0; i < 30; ++i) b.AddRow({Value::Int(i)});
+  std::string rendered = b.Build().ToString(5);
+  EXPECT_NE(rendered.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esharp::sql

@@ -1,0 +1,210 @@
+// Tests for the crowdsourcing task protocol (§6.2.1) and for persistence
+// (store serialization, file IO, phrase-fallback matching).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/file_io.h"
+#include "community/store.h"
+#include "esharp/esharp.h"
+#include "eval/tasks.h"
+
+namespace esharp {
+namespace {
+
+std::vector<expert::RankedExpert> MakeList(
+    std::initializer_list<microblog::UserId> ids) {
+  std::vector<expert::RankedExpert> out;
+  double score = 10;
+  for (microblog::UserId id : ids) {
+    expert::RankedExpert e;
+    e.user = id;
+    e.score = score;
+    score -= 1;
+    out.push_back(e);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ Interleave --
+
+TEST(InterleaveTest, ContainsBothListsWithoutDuplicates) {
+  Rng rng(1);
+  auto merged = eval::TeamDraftInterleave(MakeList({1, 2, 3}),
+                                          MakeList({3, 4, 5}), 15, &rng);
+  std::set<microblog::UserId> unique(merged.begin(), merged.end());
+  EXPECT_EQ(unique.size(), merged.size());
+  EXPECT_EQ(unique, (std::set<microblog::UserId>{1, 2, 3, 4, 5}));
+}
+
+TEST(InterleaveTest, RespectsPerListCap) {
+  Rng rng(2);
+  auto merged = eval::TeamDraftInterleave(
+      MakeList({1, 2, 3, 4, 5, 6}), MakeList({11, 12, 13, 14, 15, 16}), 2,
+      &rng);
+  EXPECT_EQ(merged.size(), 4u);
+}
+
+TEST(InterleaveTest, HandlesEmptySides) {
+  Rng rng(3);
+  auto merged = eval::TeamDraftInterleave(MakeList({}), MakeList({7, 8}), 15,
+                                          &rng);
+  EXPECT_EQ(merged.size(), 2u);
+  auto both_empty =
+      eval::TeamDraftInterleave(MakeList({}), MakeList({}), 15, &rng);
+  EXPECT_TRUE(both_empty.empty());
+}
+
+TEST(InterleaveTest, TopResultsDraftEarly) {
+  // The head of each list must appear in the first two positions.
+  Rng rng(4);
+  auto merged = eval::TeamDraftInterleave(MakeList({1, 2, 3}),
+                                          MakeList({9, 8, 7}), 15, &rng);
+  std::set<microblog::UserId> head = {merged[0], merged[1]};
+  EXPECT_TRUE(head.count(1));
+  EXPECT_TRUE(head.count(9));
+}
+
+// ----------------------------------------------------------------- Tasks --
+
+TEST(BuildCrowdTasksTest, ChunksAreBoundedAndCoverEverything) {
+  eval::TaskBuildOptions options;
+  options.chunk_size = 6;
+  auto tasks = eval::BuildCrowdTasks(
+      "49ers", MakeList({1, 2, 3, 4, 5, 6, 7}),
+      MakeList({11, 12, 13, 14, 15, 16, 17}), options);
+  std::unordered_set<microblog::UserId> seen;
+  for (const eval::CrowdTask& t : tasks) {
+    EXPECT_LE(t.accounts.size(), 6u);
+    EXPECT_EQ(t.query, "49ers");
+    for (microblog::UserId u : t.accounts) {
+      EXPECT_TRUE(seen.insert(u).second) << "account duplicated across tasks";
+    }
+  }
+  EXPECT_EQ(seen.size(), 14u);
+}
+
+TEST(BuildCrowdTasksTest, DeterministicForSeed) {
+  auto a = eval::BuildCrowdTasks("q", MakeList({1, 2, 3}), MakeList({4, 5}));
+  auto b = eval::BuildCrowdTasks("q", MakeList({1, 2, 3}), MakeList({4, 5}));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].accounts, b[i].accounts);
+  }
+}
+
+// ------------------------------------------------------------ WorkerPool --
+
+TEST(WorkerPoolTest, ScreeningRemovesMostSpammers) {
+  eval::WorkerPool::PoolOptions options;
+  options.num_workers = 200;
+  options.spammer_rate = 0.3;
+  options.seed = 21;
+  eval::WorkerPool pool(options);
+
+  Rng rng(22);
+  auto passed = pool.ScreenWorkers(/*gold_questions=*/5, /*max_wrong=*/1,
+                                   &rng);
+  size_t spammers_passed = 0, honest_passed = 0;
+  for (size_t id : passed) {
+    if (pool.workers()[id].spammer) {
+      ++spammers_passed;
+    } else {
+      ++honest_passed;
+    }
+  }
+  size_t spammers_total = 0;
+  for (const auto& w : pool.workers()) spammers_total += w.spammer;
+  ASSERT_GT(spammers_total, 20u);
+  // The gate passes most honest workers and rejects most spammers.
+  EXPECT_GT(honest_passed, (options.num_workers - spammers_total) / 2);
+  EXPECT_LT(static_cast<double>(spammers_passed),
+            0.5 * static_cast<double>(spammers_total));
+}
+
+// ---------------------------------------------------------- Persistence ---
+
+community::CommunityStore SmallStore() {
+  graph::Graph g;
+  g.AddVertex("49ers");
+  g.AddVertex("49ers draft");
+  g.AddVertex("nfl");
+  (void)g.AddEdge(0, 1, 0.9);
+  (void)g.AddEdge(1, 2, 0.2);
+  g.Finalize();
+  return community::CommunityStore::Build(g, {0, 0, 2});
+}
+
+TEST(StorePersistenceTest, TsvRoundTrip) {
+  community::CommunityStore store = SmallStore();
+  std::string tsv = store.SerializeTsv();
+  community::CommunityStore parsed = *community::CommunityStore::ParseTsv(tsv);
+  EXPECT_EQ(parsed.num_communities(), store.num_communities());
+  EXPECT_EQ((*parsed.Find("49ers"))->terms, (*store.Find("49ers"))->terms);
+  // Inter-community weights survive (ClosestCommunities still works).
+  auto closest = parsed.ClosestCommunities(0, 1);
+  ASSERT_EQ(closest.size(), 1u);
+  EXPECT_DOUBLE_EQ(closest[0].second, 0.2);
+}
+
+TEST(StorePersistenceTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(community::CommunityStore::ParseTsv("x\t1\ty").ok());
+  EXPECT_FALSE(community::CommunityStore::ParseTsv("t\tnotanumber\tterm").ok());
+  EXPECT_FALSE(community::CommunityStore::ParseTsv("w\t1\t2").ok());
+}
+
+TEST(FileIoTest, WriteReadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/esharp_file_io_test.tsv";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\tworld\n").ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_EQ(*ReadFileToString(path), "hello\tworld\n");
+  EXPECT_FALSE(ReadFileToString(path + ".missing").ok());
+  EXPECT_FALSE(FileExists(path + ".missing"));
+}
+
+TEST(FileIoTest, StoreSurvivesDisk) {
+  community::CommunityStore store = SmallStore();
+  std::string path = ::testing::TempDir() + "/esharp_store_test.tsv";
+  ASSERT_TRUE(WriteStringToFile(path, store.SerializeTsv()).ok());
+  community::CommunityStore loaded =
+      *community::CommunityStore::ParseTsv(*ReadFileToString(path));
+  EXPECT_EQ(loaded.num_communities(), store.num_communities());
+}
+
+// ------------------------------------------------------ Phrase fallback ---
+
+TEST(PhraseFallbackTest, FindPhraseMatchesOrderedSubsequence) {
+  community::CommunityStore store = SmallStore();
+  // "draft" appears inside "49ers draft": phrase match finds it.
+  auto found = store.FindPhrase("draft");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->terms[0], "49ers");
+  // Out-of-order phrases do not match.
+  EXPECT_FALSE(store.FindPhrase("draft 49ers").ok());
+  EXPECT_FALSE(store.FindPhrase("").ok());
+}
+
+TEST(PhraseFallbackTest, ESharpUsesFallbackOnlyWhenConfigured) {
+  community::CommunityStore store = SmallStore();
+  microblog::TweetCorpus corpus;
+  microblog::UserProfile u;
+  u.id = 0;
+  corpus.AddUser(u);
+  corpus.AddTweet(0, "49ers draft talk", {}, 1);
+
+  core::ESharpOptions exact;
+  core::ESharp conservative(&store, &corpus, exact);
+  EXPECT_FALSE(conservative.Expand("draft").matched);
+
+  core::ESharpOptions fallback;
+  fallback.match_mode = core::MatchMode::kPhraseFallback;
+  core::ESharp extended(&store, &corpus, fallback);
+  core::QueryExpansion expansion = extended.Expand("draft");
+  EXPECT_TRUE(expansion.matched);
+  EXPECT_GT(expansion.terms.size(), 1u);
+}
+
+}  // namespace
+}  // namespace esharp
