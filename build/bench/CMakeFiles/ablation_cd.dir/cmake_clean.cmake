@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cd.dir/ablation_cd.cc.o"
+  "CMakeFiles/ablation_cd.dir/ablation_cd.cc.o.d"
+  "ablation_cd"
+  "ablation_cd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_joins.dir/ablation_joins.cc.o"
+  "CMakeFiles/ablation_joins.dir/ablation_joins.cc.o.d"
+  "ablation_joins"
+  "ablation_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_paradigms.dir/ablation_paradigms.cc.o"
+  "CMakeFiles/ablation_paradigms.dir/ablation_paradigms.cc.o.d"
+  "ablation_paradigms"
+  "ablation_paradigms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_paradigms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

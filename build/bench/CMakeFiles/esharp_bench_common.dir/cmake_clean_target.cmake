@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libesharp_bench_common.a"
+)

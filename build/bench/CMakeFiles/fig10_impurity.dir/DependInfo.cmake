@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_impurity.cc" "bench/CMakeFiles/fig10_impurity.dir/fig10_impurity.cc.o" "gcc" "bench/CMakeFiles/fig10_impurity.dir/fig10_impurity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/esharp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/esharp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/esharp/CMakeFiles/esharp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/expert/CMakeFiles/esharp_expert.dir/DependInfo.cmake"
+  "/root/repo/build/src/microblog/CMakeFiles/esharp_microblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/qna/CMakeFiles/esharp_qna.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/esharp_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/esharp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/querylog/CMakeFiles/esharp_querylog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlengine/CMakeFiles/esharp_sqlengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esharp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

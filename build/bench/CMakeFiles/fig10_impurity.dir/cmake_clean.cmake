@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_impurity.dir/fig10_impurity.cc.o"
+  "CMakeFiles/fig10_impurity.dir/fig10_impurity.cc.o.d"
+  "fig10_impurity"
+  "fig10_impurity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_impurity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

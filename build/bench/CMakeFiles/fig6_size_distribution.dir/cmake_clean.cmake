@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_size_distribution.dir/fig6_size_distribution.cc.o"
+  "CMakeFiles/fig6_size_distribution.dir/fig6_size_distribution.cc.o.d"
+  "fig6_size_distribution"
+  "fig6_size_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_size_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

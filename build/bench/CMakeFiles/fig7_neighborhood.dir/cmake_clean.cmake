@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_neighborhood.dir/fig7_neighborhood.cc.o"
+  "CMakeFiles/fig7_neighborhood.dir/fig7_neighborhood.cc.o.d"
+  "fig7_neighborhood"
+  "fig7_neighborhood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_neighborhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_experts_per_query.dir/fig8_experts_per_query.cc.o"
+  "CMakeFiles/fig8_experts_per_query.dir/fig8_experts_per_query.cc.o.d"
+  "fig8_experts_per_query"
+  "fig8_experts_per_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_experts_per_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_zscore_tradeoff.dir/fig9_zscore_tradeoff.cc.o"
+  "CMakeFiles/fig9_zscore_tradeoff.dir/fig9_zscore_tradeoff.cc.o.d"
+  "fig9_zscore_tradeoff"
+  "fig9_zscore_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_zscore_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

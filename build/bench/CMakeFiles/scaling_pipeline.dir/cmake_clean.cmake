@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_pipeline.dir/scaling_pipeline.cc.o"
+  "CMakeFiles/scaling_pipeline.dir/scaling_pipeline.cc.o.d"
+  "scaling_pipeline"
+  "scaling_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

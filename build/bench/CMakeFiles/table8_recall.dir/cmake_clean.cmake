@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_recall.dir/table8_recall.cc.o"
+  "CMakeFiles/table8_recall.dir/table8_recall.cc.o.d"
+  "table8_recall"
+  "table8_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_resources.dir/table9_resources.cc.o"
+  "CMakeFiles/table9_resources.dir/table9_resources.cc.o.d"
+  "table9_resources"
+  "table9_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables2to7_examples.dir/tables2to7_examples.cc.o"
+  "CMakeFiles/tables2to7_examples.dir/tables2to7_examples.cc.o.d"
+  "tables2to7_examples"
+  "tables2to7_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables2to7_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tables2to7_examples.
+# This may be replaced when dependencies are built.

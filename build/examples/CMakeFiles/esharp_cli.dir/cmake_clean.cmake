@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_cli.dir/esharp_cli.cpp.o"
+  "CMakeFiles/esharp_cli.dir/esharp_cli.cpp.o.d"
+  "esharp_cli"
+  "esharp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qna_experts.dir/qna_experts.cpp.o"
+  "CMakeFiles/qna_experts.dir/qna_experts.cpp.o.d"
+  "qna_experts"
+  "qna_experts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qna_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

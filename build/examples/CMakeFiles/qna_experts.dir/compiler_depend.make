@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qna_experts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sports_experts.dir/sports_experts.cpp.o"
+  "CMakeFiles/sports_experts.dir/sports_experts.cpp.o.d"
+  "sports_experts"
+  "sports_experts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sports_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_community_detection.dir/sql_community_detection.cpp.o"
+  "CMakeFiles/sql_community_detection.dir/sql_community_detection.cpp.o.d"
+  "sql_community_detection"
+  "sql_community_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_community_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_explorer.dir/topic_explorer.cpp.o"
+  "CMakeFiles/topic_explorer.dir/topic_explorer.cpp.o.d"
+  "topic_explorer"
+  "topic_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

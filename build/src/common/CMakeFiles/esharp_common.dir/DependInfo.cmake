@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/file_io.cc" "src/common/CMakeFiles/esharp_common.dir/file_io.cc.o" "gcc" "src/common/CMakeFiles/esharp_common.dir/file_io.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/esharp_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/esharp_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/sparse_vector.cc" "src/common/CMakeFiles/esharp_common.dir/sparse_vector.cc.o" "gcc" "src/common/CMakeFiles/esharp_common.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/esharp_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/esharp_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/esharp_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/esharp_common.dir/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/esharp_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/esharp_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/esharp_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/esharp_common.dir/thread_pool.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/common/CMakeFiles/esharp_common.dir/timer.cc.o" "gcc" "src/common/CMakeFiles/esharp_common.dir/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

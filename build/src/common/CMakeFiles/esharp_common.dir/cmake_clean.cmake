@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_common.dir/file_io.cc.o"
+  "CMakeFiles/esharp_common.dir/file_io.cc.o.d"
+  "CMakeFiles/esharp_common.dir/rng.cc.o"
+  "CMakeFiles/esharp_common.dir/rng.cc.o.d"
+  "CMakeFiles/esharp_common.dir/sparse_vector.cc.o"
+  "CMakeFiles/esharp_common.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/esharp_common.dir/stats.cc.o"
+  "CMakeFiles/esharp_common.dir/stats.cc.o.d"
+  "CMakeFiles/esharp_common.dir/status.cc.o"
+  "CMakeFiles/esharp_common.dir/status.cc.o.d"
+  "CMakeFiles/esharp_common.dir/strings.cc.o"
+  "CMakeFiles/esharp_common.dir/strings.cc.o.d"
+  "CMakeFiles/esharp_common.dir/thread_pool.cc.o"
+  "CMakeFiles/esharp_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/esharp_common.dir/timer.cc.o"
+  "CMakeFiles/esharp_common.dir/timer.cc.o.d"
+  "libesharp_common.a"
+  "libesharp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/community/label_propagation.cc" "src/community/CMakeFiles/esharp_community.dir/label_propagation.cc.o" "gcc" "src/community/CMakeFiles/esharp_community.dir/label_propagation.cc.o.d"
+  "/root/repo/src/community/louvain.cc" "src/community/CMakeFiles/esharp_community.dir/louvain.cc.o" "gcc" "src/community/CMakeFiles/esharp_community.dir/louvain.cc.o.d"
+  "/root/repo/src/community/modularity.cc" "src/community/CMakeFiles/esharp_community.dir/modularity.cc.o" "gcc" "src/community/CMakeFiles/esharp_community.dir/modularity.cc.o.d"
+  "/root/repo/src/community/newman.cc" "src/community/CMakeFiles/esharp_community.dir/newman.cc.o" "gcc" "src/community/CMakeFiles/esharp_community.dir/newman.cc.o.d"
+  "/root/repo/src/community/parallel_cd.cc" "src/community/CMakeFiles/esharp_community.dir/parallel_cd.cc.o" "gcc" "src/community/CMakeFiles/esharp_community.dir/parallel_cd.cc.o.d"
+  "/root/repo/src/community/sql_cd.cc" "src/community/CMakeFiles/esharp_community.dir/sql_cd.cc.o" "gcc" "src/community/CMakeFiles/esharp_community.dir/sql_cd.cc.o.d"
+  "/root/repo/src/community/sql_cd_text.cc" "src/community/CMakeFiles/esharp_community.dir/sql_cd_text.cc.o" "gcc" "src/community/CMakeFiles/esharp_community.dir/sql_cd_text.cc.o.d"
+  "/root/repo/src/community/store.cc" "src/community/CMakeFiles/esharp_community.dir/store.cc.o" "gcc" "src/community/CMakeFiles/esharp_community.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esharp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/esharp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlengine/CMakeFiles/esharp_sqlengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/querylog/CMakeFiles/esharp_querylog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

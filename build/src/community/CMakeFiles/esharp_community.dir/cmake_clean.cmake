@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_community.dir/label_propagation.cc.o"
+  "CMakeFiles/esharp_community.dir/label_propagation.cc.o.d"
+  "CMakeFiles/esharp_community.dir/louvain.cc.o"
+  "CMakeFiles/esharp_community.dir/louvain.cc.o.d"
+  "CMakeFiles/esharp_community.dir/modularity.cc.o"
+  "CMakeFiles/esharp_community.dir/modularity.cc.o.d"
+  "CMakeFiles/esharp_community.dir/newman.cc.o"
+  "CMakeFiles/esharp_community.dir/newman.cc.o.d"
+  "CMakeFiles/esharp_community.dir/parallel_cd.cc.o"
+  "CMakeFiles/esharp_community.dir/parallel_cd.cc.o.d"
+  "CMakeFiles/esharp_community.dir/sql_cd.cc.o"
+  "CMakeFiles/esharp_community.dir/sql_cd.cc.o.d"
+  "CMakeFiles/esharp_community.dir/sql_cd_text.cc.o"
+  "CMakeFiles/esharp_community.dir/sql_cd_text.cc.o.d"
+  "CMakeFiles/esharp_community.dir/store.cc.o"
+  "CMakeFiles/esharp_community.dir/store.cc.o.d"
+  "libesharp_community.a"
+  "libesharp_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

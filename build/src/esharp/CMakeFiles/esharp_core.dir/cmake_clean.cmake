@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_core.dir/esharp.cc.o"
+  "CMakeFiles/esharp_core.dir/esharp.cc.o.d"
+  "CMakeFiles/esharp_core.dir/pipeline.cc.o"
+  "CMakeFiles/esharp_core.dir/pipeline.cc.o.d"
+  "libesharp_core.a"
+  "libesharp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

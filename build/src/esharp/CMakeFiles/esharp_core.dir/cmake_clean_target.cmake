@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesharp_core.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_eval.dir/crowd.cc.o"
+  "CMakeFiles/esharp_eval.dir/crowd.cc.o.d"
+  "CMakeFiles/esharp_eval.dir/harness.cc.o"
+  "CMakeFiles/esharp_eval.dir/harness.cc.o.d"
+  "CMakeFiles/esharp_eval.dir/metrics.cc.o"
+  "CMakeFiles/esharp_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/esharp_eval.dir/query_sets.cc.o"
+  "CMakeFiles/esharp_eval.dir/query_sets.cc.o.d"
+  "CMakeFiles/esharp_eval.dir/tasks.cc.o"
+  "CMakeFiles/esharp_eval.dir/tasks.cc.o.d"
+  "libesharp_eval.a"
+  "libesharp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

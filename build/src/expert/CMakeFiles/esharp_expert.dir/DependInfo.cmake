@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expert/cluster_filter.cc" "src/expert/CMakeFiles/esharp_expert.dir/cluster_filter.cc.o" "gcc" "src/expert/CMakeFiles/esharp_expert.dir/cluster_filter.cc.o.d"
+  "/root/repo/src/expert/detector.cc" "src/expert/CMakeFiles/esharp_expert.dir/detector.cc.o" "gcc" "src/expert/CMakeFiles/esharp_expert.dir/detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esharp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/microblog/CMakeFiles/esharp_microblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/querylog/CMakeFiles/esharp_querylog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlengine/CMakeFiles/esharp_sqlengine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

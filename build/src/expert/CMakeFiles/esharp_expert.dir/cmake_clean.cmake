@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_expert.dir/cluster_filter.cc.o"
+  "CMakeFiles/esharp_expert.dir/cluster_filter.cc.o.d"
+  "CMakeFiles/esharp_expert.dir/detector.cc.o"
+  "CMakeFiles/esharp_expert.dir/detector.cc.o.d"
+  "libesharp_expert.a"
+  "libesharp_expert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_expert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for esharp_expert.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_graph.dir/builder.cc.o"
+  "CMakeFiles/esharp_graph.dir/builder.cc.o.d"
+  "CMakeFiles/esharp_graph.dir/graph.cc.o"
+  "CMakeFiles/esharp_graph.dir/graph.cc.o.d"
+  "libesharp_graph.a"
+  "libesharp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

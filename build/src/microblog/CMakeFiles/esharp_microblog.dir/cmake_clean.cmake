@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_microblog.dir/corpus.cc.o"
+  "CMakeFiles/esharp_microblog.dir/corpus.cc.o.d"
+  "CMakeFiles/esharp_microblog.dir/generator.cc.o"
+  "CMakeFiles/esharp_microblog.dir/generator.cc.o.d"
+  "libesharp_microblog.a"
+  "libesharp_microblog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_microblog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

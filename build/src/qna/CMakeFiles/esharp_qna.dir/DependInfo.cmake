@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qna/corpus.cc" "src/qna/CMakeFiles/esharp_qna.dir/corpus.cc.o" "gcc" "src/qna/CMakeFiles/esharp_qna.dir/corpus.cc.o.d"
+  "/root/repo/src/qna/detector.cc" "src/qna/CMakeFiles/esharp_qna.dir/detector.cc.o" "gcc" "src/qna/CMakeFiles/esharp_qna.dir/detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esharp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/querylog/CMakeFiles/esharp_querylog.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/esharp_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/esharp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlengine/CMakeFiles/esharp_sqlengine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

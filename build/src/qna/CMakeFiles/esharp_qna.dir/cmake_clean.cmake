@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_qna.dir/corpus.cc.o"
+  "CMakeFiles/esharp_qna.dir/corpus.cc.o.d"
+  "CMakeFiles/esharp_qna.dir/detector.cc.o"
+  "CMakeFiles/esharp_qna.dir/detector.cc.o.d"
+  "libesharp_qna.a"
+  "libesharp_qna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_qna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

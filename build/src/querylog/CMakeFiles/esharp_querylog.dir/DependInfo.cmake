@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/querylog/generator.cc" "src/querylog/CMakeFiles/esharp_querylog.dir/generator.cc.o" "gcc" "src/querylog/CMakeFiles/esharp_querylog.dir/generator.cc.o.d"
+  "/root/repo/src/querylog/log.cc" "src/querylog/CMakeFiles/esharp_querylog.dir/log.cc.o" "gcc" "src/querylog/CMakeFiles/esharp_querylog.dir/log.cc.o.d"
+  "/root/repo/src/querylog/universe.cc" "src/querylog/CMakeFiles/esharp_querylog.dir/universe.cc.o" "gcc" "src/querylog/CMakeFiles/esharp_querylog.dir/universe.cc.o.d"
+  "/root/repo/src/querylog/variants.cc" "src/querylog/CMakeFiles/esharp_querylog.dir/variants.cc.o" "gcc" "src/querylog/CMakeFiles/esharp_querylog.dir/variants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esharp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlengine/CMakeFiles/esharp_sqlengine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

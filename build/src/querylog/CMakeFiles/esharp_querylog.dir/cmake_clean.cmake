@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_querylog.dir/generator.cc.o"
+  "CMakeFiles/esharp_querylog.dir/generator.cc.o.d"
+  "CMakeFiles/esharp_querylog.dir/log.cc.o"
+  "CMakeFiles/esharp_querylog.dir/log.cc.o.d"
+  "CMakeFiles/esharp_querylog.dir/universe.cc.o"
+  "CMakeFiles/esharp_querylog.dir/universe.cc.o.d"
+  "CMakeFiles/esharp_querylog.dir/variants.cc.o"
+  "CMakeFiles/esharp_querylog.dir/variants.cc.o.d"
+  "libesharp_querylog.a"
+  "libesharp_querylog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_querylog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

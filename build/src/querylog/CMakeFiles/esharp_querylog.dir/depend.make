@@ -1,0 +1,2 @@
+# Empty dependencies file for esharp_querylog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlengine/aggregates.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/aggregates.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/aggregates.cc.o.d"
+  "/root/repo/src/sqlengine/catalog.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/catalog.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/catalog.cc.o.d"
+  "/root/repo/src/sqlengine/expression.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/expression.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/expression.cc.o.d"
+  "/root/repo/src/sqlengine/operators.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/operators.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/operators.cc.o.d"
+  "/root/repo/src/sqlengine/parallel.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/parallel.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/parallel.cc.o.d"
+  "/root/repo/src/sqlengine/parser.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/parser.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/parser.cc.o.d"
+  "/root/repo/src/sqlengine/plan.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/plan.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/plan.cc.o.d"
+  "/root/repo/src/sqlengine/schema.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/schema.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/schema.cc.o.d"
+  "/root/repo/src/sqlengine/table.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/table.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/table.cc.o.d"
+  "/root/repo/src/sqlengine/value.cc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/value.cc.o" "gcc" "src/sqlengine/CMakeFiles/esharp_sqlengine.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esharp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

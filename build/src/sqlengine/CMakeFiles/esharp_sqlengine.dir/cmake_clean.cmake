@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_sqlengine.dir/aggregates.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/aggregates.cc.o.d"
+  "CMakeFiles/esharp_sqlengine.dir/catalog.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/catalog.cc.o.d"
+  "CMakeFiles/esharp_sqlengine.dir/expression.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/expression.cc.o.d"
+  "CMakeFiles/esharp_sqlengine.dir/operators.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/operators.cc.o.d"
+  "CMakeFiles/esharp_sqlengine.dir/parallel.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/parallel.cc.o.d"
+  "CMakeFiles/esharp_sqlengine.dir/parser.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/parser.cc.o.d"
+  "CMakeFiles/esharp_sqlengine.dir/plan.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/plan.cc.o.d"
+  "CMakeFiles/esharp_sqlengine.dir/schema.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/schema.cc.o.d"
+  "CMakeFiles/esharp_sqlengine.dir/table.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/table.cc.o.d"
+  "CMakeFiles/esharp_sqlengine.dir/value.cc.o"
+  "CMakeFiles/esharp_sqlengine.dir/value.cc.o.d"
+  "libesharp_sqlengine.a"
+  "libesharp_sqlengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_sqlengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

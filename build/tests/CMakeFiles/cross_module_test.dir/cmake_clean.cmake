@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_module_test.dir/cross_module_test.cc.o"
+  "CMakeFiles/cross_module_test.dir/cross_module_test.cc.o.d"
+  "cross_module_test"
+  "cross_module_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

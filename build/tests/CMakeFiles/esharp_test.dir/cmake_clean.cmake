@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharp_test.dir/esharp_test.cc.o"
+  "CMakeFiles/esharp_test.dir/esharp_test.cc.o.d"
+  "esharp_test"
+  "esharp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

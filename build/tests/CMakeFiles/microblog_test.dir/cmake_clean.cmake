@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microblog_test.dir/microblog_test.cc.o"
+  "CMakeFiles/microblog_test.dir/microblog_test.cc.o.d"
+  "microblog_test"
+  "microblog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microblog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

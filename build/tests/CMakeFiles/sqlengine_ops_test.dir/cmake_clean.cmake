@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlengine_ops_test.dir/sqlengine_ops_test.cc.o"
+  "CMakeFiles/sqlengine_ops_test.dir/sqlengine_ops_test.cc.o.d"
+  "sqlengine_ops_test"
+  "sqlengine_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlengine_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlengine_parallel_test.dir/sqlengine_parallel_test.cc.o"
+  "CMakeFiles/sqlengine_parallel_test.dir/sqlengine_parallel_test.cc.o.d"
+  "sqlengine_parallel_test"
+  "sqlengine_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlengine_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlengine_parser_test.dir/sqlengine_parser_test.cc.o"
+  "CMakeFiles/sqlengine_parser_test.dir/sqlengine_parser_test.cc.o.d"
+  "sqlengine_parser_test"
+  "sqlengine_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlengine_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlengine_value_test.dir/sqlengine_value_test.cc.o"
+  "CMakeFiles/sqlengine_value_test.dir/sqlengine_value_test.cc.o.d"
+  "sqlengine_value_test"
+  "sqlengine_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlengine_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
