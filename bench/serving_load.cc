@@ -1,0 +1,208 @@
+// Load generator for the serving layer: replays Zipf-distributed query
+// workloads from the synthetic query log against ServingEngine and prints a
+// throughput/latency table.
+//
+// Two client models:
+//   * closed-loop: T client threads, each issuing its next query as soon as
+//     the previous one returns — measures saturated throughput;
+//   * open-loop: queries submitted at a fixed offered rate regardless of
+//     completion — measures behavior under a traffic level you pick,
+//     including shedding once the offered rate exceeds capacity.
+//
+// Each workload runs twice against the same engine: a cold pass (cache
+// freshly invalidated) and a warm pass (cache populated by the cold pass).
+// On a Zipf workload the warm pass must show a clear speedup: the head of
+// the distribution dominates and is served from the cache.
+//
+// Usage: serving_load [closed_threads] [queries_per_thread] [open_qps]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "serving/engine.h"
+
+namespace {
+
+using namespace esharp;
+
+/// The query universe of the workload: every distinct query that survived
+/// the log's min-count filter, Zipf-ranked by total search count — replaying
+/// the real popularity skew the log generator produced.
+std::vector<std::string> WorkloadQueries(const querylog::QueryLog& log) {
+  std::vector<const querylog::QueryInfo*> infos;
+  infos.reserve(log.num_queries());
+  for (const querylog::QueryInfo& q : log.queries()) infos.push_back(&q);
+  std::sort(infos.begin(), infos.end(),
+            [](const querylog::QueryInfo* a, const querylog::QueryInfo* b) {
+              if (a->total_count != b->total_count)
+                return a->total_count > b->total_count;
+              return a->id < b->id;
+            });
+  std::vector<std::string> queries;
+  queries.reserve(infos.size());
+  for (const querylog::QueryInfo* q : infos) queries.push_back(q->text);
+  return queries;
+}
+
+struct RunResult {
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  double wall_seconds = 0;
+  double qps = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double hit_rate = 0;
+};
+
+RunResult Summarize(serving::ServingEngine& engine, uint64_t issued,
+                    double wall_seconds) {
+  serving::MetricsReport m = engine.metrics().Report();
+  RunResult r;
+  r.issued = issued;
+  r.ok = m.completed;
+  r.shed = m.shed;
+  r.errors = m.errors + m.timeouts;
+  r.wall_seconds = wall_seconds;
+  r.qps = wall_seconds > 0 ? static_cast<double>(m.completed) / wall_seconds
+                           : 0;
+  r.p50_ms = m.p50_ms;
+  r.p95_ms = m.p95_ms;
+  r.p99_ms = m.p99_ms;
+  r.hit_rate = m.cache_hit_rate;
+  return r;
+}
+
+/// Closed loop: `threads` clients, each issuing `per_thread` Zipf-sampled
+/// queries back-to-back through the synchronous path.
+RunResult RunClosedLoop(serving::ServingEngine& engine,
+                        const std::vector<std::string>& queries,
+                        const ZipfSampler& zipf, size_t threads,
+                        size_t per_thread, uint64_t seed) {
+  engine.mutable_metrics()->Reset();
+  Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(seed + t);
+      for (size_t i = 0; i < per_thread; ++i) {
+        serving::QueryRequest request;
+        request.query = queries[zipf.Sample(&rng)];
+        (void)engine.Query(std::move(request));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  return Summarize(engine, threads * per_thread, wall.ElapsedSeconds());
+}
+
+/// Open loop: submit asynchronously at `offered_qps`, never waiting for
+/// completions; the admission queue sheds what the engine cannot absorb.
+RunResult RunOpenLoop(serving::ServingEngine& engine,
+                      const std::vector<std::string>& queries,
+                      const ZipfSampler& zipf, double offered_qps,
+                      size_t total, uint64_t seed) {
+  engine.mutable_metrics()->Reset();
+  Rng rng(seed);
+  std::vector<std::future<Result<serving::QueryResponse>>> futures;
+  futures.reserve(total);
+  Timer wall;
+  double interval_s = 1.0 / offered_qps;
+  for (size_t i = 0; i < total; ++i) {
+    serving::QueryRequest request;
+    request.query = queries[zipf.Sample(&rng)];
+    futures.push_back(engine.SubmitQuery(std::move(request)));
+    double next_at = static_cast<double>(i + 1) * interval_s;
+    double sleep_s = next_at - wall.ElapsedSeconds();
+    if (sleep_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    }
+  }
+  for (auto& f : futures) (void)f.get();
+  return Summarize(engine, total, wall.ElapsedSeconds());
+}
+
+void PrintRow(const char* label, const RunResult& r) {
+  std::printf("%-22s %8llu %8llu %6llu %9.1f %9.3f %9.3f %9.3f %7.1f%%\n",
+              label, static_cast<unsigned long long>(r.issued),
+              static_cast<unsigned long long>(r.ok),
+              static_cast<unsigned long long>(r.shed), r.qps, r.p50_ms,
+              r.p95_ms, r.p99_ms, 100.0 * r.hit_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t closed_threads = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  size_t per_thread = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 250;
+  double open_qps = argc > 3 ? std::strtod(argv[3], nullptr) : 200.0;
+
+  bench::PrintHeader("Serving layer: Zipf workload replay");
+  bench::WorldOptions world_options;
+  world_options.scale = bench::WorldScale::kSmall;
+  auto world = bench::BuildWorld(world_options);
+
+  std::vector<std::string> queries = WorkloadQueries(world->generated.log);
+  if (queries.empty()) {
+    std::fprintf(stderr, "FATAL: empty workload\n");
+    return 1;
+  }
+  // Web query popularity is famously Zipfian; s=1.05 matches the log
+  // generator's own domain skew.
+  ZipfSampler zipf(queries.size(), 1.05);
+
+  serving::SnapshotManager manager(&world->corpus);
+  manager.Publish(std::make_shared<const community::CommunityStore>(
+      world->artifacts.store));
+
+  serving::ServingOptions serving_options;
+  serving_options.num_threads = world_options.threads;
+  serving_options.max_in_flight = 256;
+  serving_options.cache.ttl_seconds = 3600;  // TTL out of the way; this
+                                             // bench isolates cache effects
+  serving::ServingEngine engine(&manager, serving_options);
+
+  std::printf("workload: %zu distinct queries, zipf s=1.05\n",
+              queries.size());
+  std::printf("engine: %zu workers, %zu max in flight, cache %zux%zu\n\n",
+              serving_options.num_threads, serving_options.max_in_flight,
+              engine.options().cache.shards,
+              engine.options().cache.capacity_per_shard);
+  std::printf("%-22s %8s %8s %6s %9s %9s %9s %9s %8s\n", "run", "issued",
+              "ok", "shed", "qps", "p50ms", "p95ms", "p99ms", "hit");
+
+  // Closed loop, cold then warm: same engine, cache invalidated between
+  // nothing — the first pass fills the cache, the second replays over it.
+  engine.InvalidateCache();
+  RunResult closed_cold = RunClosedLoop(engine, queries, zipf,
+                                        closed_threads, per_thread, 71);
+  PrintRow("closed-loop cold", closed_cold);
+  RunResult closed_warm = RunClosedLoop(engine, queries, zipf,
+                                        closed_threads, per_thread, 72);
+  PrintRow("closed-loop warm", closed_warm);
+
+  // Open loop at the requested offered rate, cold then warm.
+  size_t open_total = closed_threads * per_thread;
+  engine.InvalidateCache();
+  RunResult open_cold =
+      RunOpenLoop(engine, queries, zipf, open_qps, open_total, 73);
+  PrintRow("open-loop cold", open_cold);
+  RunResult open_warm =
+      RunOpenLoop(engine, queries, zipf, open_qps, open_total, 74);
+  PrintRow("open-loop warm", open_warm);
+
+  double speedup = closed_warm.qps > 0 && closed_cold.qps > 0
+                       ? closed_warm.qps / closed_cold.qps
+                       : 0;
+  std::printf("\nwarm/cold closed-loop throughput: %.2fx\n", speedup);
+  std::printf("\nengine metrics after the final run:\n%s",
+              engine.metrics().ToTable().c_str());
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Serving demo: the e# online stage as a live, concurrent service.
+//
+//  1. Build a world (universe, query log, tweet corpus) and run the offline
+//     pipeline — week 1's artifacts.
+//  2. Publish them to a SnapshotManager and start a ServingEngine.
+//  3. Fire mixed traffic at the engine from client threads: repeated hot
+//     queries (cache hits), scattered tail queries (misses), an unknown
+//     query (baseline degradation).
+//  4. Mid-traffic, run the weekly refresh (warm-started offline pipeline,
+//     §6.3) and hot-swap the store under the live load.
+//  5. Print the serving metrics dashboard.
+//
+// Build and run:
+//   cmake -B build && cmake --build build -j
+//   ./build/examples/serving_demo
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "esharp/pipeline.h"
+#include "microblog/generator.h"
+#include "querylog/generator.h"
+#include "serving/engine.h"
+
+using namespace esharp;
+
+int main() {
+  // ---- 1. Week 1: simulate inputs and run the offline pipeline ------------
+  querylog::UniverseOptions universe_options;
+  universe_options.num_categories = 3;
+  universe_options.domains_per_category = 12;
+  universe_options.seed = 11;
+  auto universe = querylog::TopicUniverse::Generate(universe_options);
+  if (!universe.ok()) return 1;
+
+  querylog::GeneratorOptions log_options;
+  log_options.seed = 12;
+  log_options.head_impressions = 30000;
+  auto week1 = GenerateQueryLog(*universe, log_options);
+  if (!week1.ok()) return 1;
+
+  core::OfflineOptions offline_options;
+  offline_options.extraction.min_similarity = 0.15;
+  auto artifacts = RunOfflinePipeline(week1->log, offline_options);
+  if (!artifacts.ok()) return 1;
+
+  microblog::CorpusOptions corpus_options;
+  corpus_options.seed = 13;
+  corpus_options.casual_users = 300;
+  auto corpus = GenerateCorpus(*universe, corpus_options);
+  if (!corpus.ok()) return 1;
+
+  std::printf("offline week 1: %zu queries -> %zu communities\n",
+              artifacts->similarity_graph.num_vertices(),
+              artifacts->store.num_communities());
+
+  // ---- 2. Publish week 1 and start serving --------------------------------
+  serving::SnapshotManager manager(&*corpus);
+  uint64_t v1 = manager.Publish(std::make_shared<const community::CommunityStore>(
+      artifacts->store));
+  std::printf("published snapshot v%llu\n\n",
+              static_cast<unsigned long long>(v1));
+
+  serving::ServingOptions serving_options;
+  serving_options.num_threads = 4;
+  serving_options.max_in_flight = 128;
+  serving::ServingEngine engine(&manager, serving_options);
+
+  // ---- 3. Mixed traffic from client threads -------------------------------
+  // Hot queries: the head terms of the first few domains (cache-friendly).
+  // Cold queries: one term per remaining domain (mostly misses). Plus an
+  // unknown query that degrades to the plain baseline.
+  std::vector<std::string> hot, cold;
+  for (size_t d = 0; d < universe->domains().size(); ++d) {
+    const querylog::TopicDomain& dom = universe->domain(d);
+    (d < 4 ? hot : cold).push_back(dom.terms[0]);
+  }
+
+  auto client = [&engine](const std::vector<std::string>& queries,
+                          size_t rounds) {
+    for (size_t r = 0; r < rounds; ++r) {
+      for (const std::string& q : queries) {
+        auto response = engine.Query({q});
+        (void)response;
+      }
+    }
+  };
+
+  std::thread hot_client(client, hot, 25);
+  std::thread cold_client(client, cold, 5);
+  std::thread misc_client([&engine] {
+    for (int i = 0; i < 20; ++i) {
+      (void)engine.Query({"completely unknown query zz"});
+    }
+  });
+
+  // ---- 4. The weekly refresh hot-swaps mid-traffic ------------------------
+  // Week 2 re-runs the offline pipeline warm-started from week 1's
+  // communities (§6.3) and republishes — while the clients above keep
+  // querying. Readers in flight finish against week 1; new requests see
+  // week 2; stale cache entries are invalidated by version.
+  log_options.seed = 14;  // next week's log differs
+  auto week2 = GenerateQueryLog(*universe, log_options);
+  if (!week2.ok()) return 1;
+  offline_options.previous_store = &artifacts->store;
+  auto refreshed = RunOfflinePipeline(week2->log, offline_options);
+  if (!refreshed.ok()) return 1;
+  uint64_t v2 = manager.Publish(std::make_shared<const community::CommunityStore>(
+      refreshed->store));
+  std::printf("hot-swapped to snapshot v%llu mid-traffic (%zu communities)\n",
+              static_cast<unsigned long long>(v2),
+              refreshed->store.num_communities());
+
+  hot_client.join();
+  cold_client.join();
+  misc_client.join();
+
+  // A post-swap query answers from the new generation.
+  auto post = engine.Query({hot[0], /*deadline_ms=*/-1, /*bypass_cache=*/true});
+  if (post.ok()) {
+    std::printf("post-swap query '%s': %zu experts from snapshot v%llu\n\n",
+                hot[0].c_str(), post->experts.size(),
+                static_cast<unsigned long long>(post->snapshot_version));
+  }
+
+  // ---- 5. The dashboard ---------------------------------------------------
+  std::printf("serving metrics:\n%s", engine.metrics().ToTable().c_str());
+  serving::CacheStats cache = engine.cache_stats();
+  std::printf("cache: %llu hits, %llu misses, %llu invalidated/expired\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.expirations));
+  return 0;
+}

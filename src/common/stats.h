@@ -2,6 +2,7 @@
 #define ESHARP_COMMON_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace esharp {
@@ -38,6 +39,53 @@ class OnlineStats {
   size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+};
+
+/// \brief Fixed-footprint latency histogram with geometric buckets.
+///
+/// Observations (in seconds) land in one of 128 buckets whose bounds grow
+/// geometrically from 1 microsecond to ~100 seconds, giving ~16% relative
+/// resolution across the whole range — the usual trade for serving-side
+/// p50/p95/p99 accounting where exact samples would be too much state.
+/// Not thread-safe; callers that record from many threads shard or lock
+/// (see serving/metrics.h).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one observation, clamped into the bucket range.
+  void Add(double seconds);
+
+  /// Number of observations recorded.
+  size_t count() const { return n_; }
+
+  /// Arithmetic mean in seconds (0 when empty).
+  double Mean() const;
+
+  /// Largest observation in seconds (0 when empty).
+  double Max() const { return max_; }
+
+  /// Approximate p-th percentile (p in [0, 100]) in seconds: the upper
+  /// bound of the bucket where the cumulative count crosses p% (0 when
+  /// empty). Error is bounded by the bucket width (~16%).
+  double Percentile(double p) const;
+
+  /// Adds another histogram's observations into this one.
+  void Merge(const LatencyHistogram& other);
+
+  /// Resets to empty.
+  void Reset();
+
+ private:
+  static constexpr size_t kNumBuckets = 128;
+  /// Upper bound of bucket i in seconds.
+  static double BucketUpperBound(size_t i);
+  static size_t BucketIndex(double seconds);
+
+  std::vector<uint64_t> buckets_;
+  size_t n_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// \brief Mean of a vector (0 when empty).

@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kFailedPrecondition:
       return "Failed precondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,10 @@ enum class StatusCode : int {
   kInternal = 6,
   kNotImplemented = 7,
   kFailedPrecondition = 8,
+  /// The service is overloaded and shed the request; safe to retry later.
+  kUnavailable = 9,
+  /// The request's deadline elapsed before the work completed.
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Invalid argument").
@@ -80,6 +84,14 @@ class Status {
   static Status FailedPrecondition(Args&&... args) {
     return Make(StatusCode::kFailedPrecondition, std::forward<Args>(args)...);
   }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
+  }
 
   /// Returns true iff the operation succeeded.
   bool ok() const { return rep_ == nullptr; }
@@ -102,6 +114,10 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// Renders "OK" or "<code name>: <message>".

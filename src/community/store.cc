@@ -48,6 +48,11 @@ Result<const Community*> CommunityStore::Find(const std::string& term) const {
   return &communities_[it->second];
 }
 
+Result<Community> CommunityStore::FindCopy(const std::string& term) const {
+  ESHARP_ASSIGN_OR_RETURN(const Community* found, Find(term));
+  return *found;
+}
+
 SizeHistogram CommunityStore::ComputeSizeHistogram() const {
   SizeHistogram h;
   for (const Community& c : communities_) {

@@ -47,7 +47,19 @@ class CommunityStore {
 
   /// Exact-match lookup of the community containing `term` (lower-cased
   /// internally). NotFound if the term was never seen in the log.
+  ///
+  /// Lifetime: the returned pointer aliases this store's internal storage
+  /// and is valid only while the store itself is alive and unmodified. In
+  /// particular, code that serves queries against a store that can be
+  /// hot-swapped by the weekly refresh (see serving/snapshot.h) must either
+  /// hold the snapshot's shared_ptr for as long as it dereferences the
+  /// pointer, or use FindCopy, which has no lifetime coupling.
   Result<const Community*> Find(const std::string& term) const;
+
+  /// Snapshot-safe variant of Find: returns the community by value, so the
+  /// result outlives any subsequent store swap or destruction. This is what
+  /// the serving layer hands out across API boundaries.
+  Result<Community> FindCopy(const std::string& term) const;
 
   /// Fig. 6: distribution of community sizes.
   SizeHistogram ComputeSizeHistogram() const;

@@ -1,0 +1,112 @@
+#include "serving/cache.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/hash.h"
+
+namespace esharp::serving {
+
+namespace {
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+ShardedResultCache::ShardedResultCache(CacheOptions options)
+    : options_(options) {
+  size_t num_shards = RoundUpPowerOfTwo(std::max<size_t>(1, options_.shards));
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedResultCache::Shard& ShardedResultCache::ShardFor(
+    const std::string& key) {
+  return *shards_[Fnv1a64(key) & shard_mask_];
+}
+
+std::optional<CachedResult> ShardedResultCache::Get(const std::string& key,
+                                                    double now_seconds,
+                                                    uint64_t current_version) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  bool expired = now_seconds >= entry.expires_at;
+  bool stale = entry.value.snapshot_version != current_version;
+  if (expired || stale) {
+    shard.lru.erase(entry.lru_it);
+    shard.map.erase(it);
+    expirations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // Touch: move to the front of the LRU list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_it);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return entry.value;
+}
+
+void ShardedResultCache::Put(const std::string& key, CachedResult value,
+                             double now_seconds) {
+  double expires_at = options_.ttl_seconds > 0
+                          ? now_seconds + options_.ttl_seconds
+                          : std::numeric_limits<double>::infinity();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second.value = std::move(value);
+    it->second.expires_at = expires_at;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return;
+  }
+  size_t capacity = std::max<size_t>(1, options_.capacity_per_shard);
+  while (shard.map.size() >= capacity && !shard.lru.empty()) {
+    shard.map.erase(shard.lru.back());
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(key);
+  shard.map.emplace(key,
+                    Entry{std::move(value), expires_at, shard.lru.begin()});
+}
+
+void ShardedResultCache::InvalidateAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    size_t dropped = shard->map.size();
+    shard->map.clear();
+    shard->lru.clear();
+    expirations_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+}
+
+size_t ShardedResultCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+CacheStats ShardedResultCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.expirations = expirations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace esharp::serving

@@ -1,0 +1,252 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace esharp::serving {
+
+ServingEngine::ServingEngine(SnapshotManager* snapshots,
+                             ServingOptions options)
+    : snapshots_(snapshots),
+      options_(options),
+      owned_pool_(options.pool == nullptr
+                      ? std::make_unique<ThreadPool>(options.num_threads)
+                      : nullptr),
+      pool_(options.pool != nullptr ? options.pool : owned_pool_.get()),
+      cache_(options.cache),
+      last_seen_version_(snapshots->version()) {}
+
+ServingEngine::~ServingEngine() = default;
+
+bool ServingEngine::TryAdmit() {
+  size_t admitted = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (admitted >= options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.RecordShed();
+    return false;
+  }
+  return true;
+}
+
+std::future<Result<QueryResponse>> ServingEngine::SubmitQuery(
+    QueryRequest request) {
+  std::promise<Result<QueryResponse>> promise;
+  std::future<Result<QueryResponse>> future = promise.get_future();
+  if (!TryAdmit()) {
+    promise.set_value(Status::Unavailable(
+        "overloaded: ", options_.max_in_flight, " requests in flight"));
+    return future;
+  }
+  auto shared_promise =
+      std::make_shared<std::promise<Result<QueryResponse>>>(
+          std::move(promise));
+  Timer queue_timer;
+  double deadline_ms = EffectiveDeadline(request);
+  pool_->Submit([this, shared_promise, queue_timer, deadline_ms,
+                 request = std::move(request)]() mutable {
+    Result<QueryResponse> result = Execute(request, queue_timer, deadline_ms);
+    // Release the admission slot before fulfilling the future, so a caller
+    // that observed completion also observes the slot as free.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    shared_promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+Result<QueryResponse> ServingEngine::Query(QueryRequest request) {
+  if (!TryAdmit()) {
+    return Status::Unavailable("overloaded: ", options_.max_in_flight,
+                               " requests in flight");
+  }
+  Timer queue_timer;
+  Result<QueryResponse> result =
+      Execute(request, queue_timer, EffectiveDeadline(request));
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  return result;
+}
+
+Result<community::Community> ServingEngine::LookupDomain(
+    const std::string& term) const {
+  std::shared_ptr<const ServingSnapshot> snapshot = snapshots_->Acquire();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("no snapshot published yet");
+  }
+  // FindCopy: the returned Community is detached from the store, so the
+  // caller may hold it across any number of hot swaps.
+  return snapshot->store().FindCopy(term);
+}
+
+void ServingEngine::MaybeInvalidateOnSwap(uint64_t current_version) {
+  uint64_t seen = last_seen_version_.load(std::memory_order_acquire);
+  if (seen == current_version) return;
+  // One thread wins the CAS and performs the eager sweep; per-entry
+  // version checks in Get() cover any race window.
+  if (last_seen_version_.compare_exchange_strong(seen, current_version,
+                                                 std::memory_order_acq_rel)) {
+    cache_.InvalidateAll();
+  }
+}
+
+Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
+                                             const Timer& queue_timer,
+                                             double deadline_ms) {
+  if (request.query.empty()) {
+    metrics_.RecordError();
+    return Status::InvalidArgument("empty query");
+  }
+  uint64_t version = snapshots_->version();
+  MaybeInvalidateOnSwap(version);
+
+  // Cache keys use the same normalization as the store lookup (§5).
+  std::string key = ToLowerAscii(request.query);
+  bool use_cache = options_.enable_cache && !request.bypass_cache;
+  if (use_cache) {
+    std::optional<CachedResult> cached =
+        cache_.Get(key, clock_.ElapsedSeconds(), version);
+    if (cached.has_value()) {
+      QueryResponse response;
+      response.experts = std::move(cached->experts);
+      response.snapshot_version = cached->snapshot_version;
+      response.from_cache = true;
+      response.total_ms = queue_timer.ElapsedMillis();
+      metrics_.RecordRequest(queue_timer.ElapsedSeconds(), response.stages,
+                             /*cache_hit=*/true, /*deduplicated=*/false);
+      return response;
+    }
+  }
+
+  if (deadline_ms > 0 && queue_timer.ElapsedMillis() > deadline_ms) {
+    metrics_.RecordTimeout();
+    return Status::DeadlineExceeded("deadline of ", deadline_ms,
+                                    " ms elapsed in queue");
+  }
+
+  std::shared_ptr<const ServingSnapshot> snapshot = snapshots_->Acquire();
+  if (snapshot == nullptr) {
+    metrics_.RecordError();
+    return Status::FailedPrecondition("no snapshot published yet");
+  }
+
+  if (!options_.enable_single_flight || request.bypass_cache) {
+    return ExecuteUncached(key, request, queue_timer, deadline_ms, snapshot);
+  }
+
+  // Single-flight: the first request for a key becomes the leader and runs
+  // the detector; identical concurrent requests wait for its result.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+
+  if (leader) {
+    Result<QueryResponse> result =
+        ExecuteUncached(key, request, queue_timer, deadline_ms, snapshot);
+    {
+      std::lock_guard<std::mutex> lock(flights_mu_);
+      flights_.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->result = result;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    return result;
+  }
+
+  // Follower: wait for the leader. Followers share the leader's outcome
+  // (including its error, mirroring the usual single-flight contract), but
+  // report their own end-to-end latency and honor their own deadline.
+  std::unique_lock<std::mutex> lock(flight->mu);
+  if (deadline_ms > 0) {
+    double remaining_ms =
+        std::max(0.0, deadline_ms - queue_timer.ElapsedMillis());
+    bool done = flight->cv.wait_for(
+        lock, std::chrono::duration<double, std::milli>(remaining_ms),
+        [&flight] { return flight->done; });
+    if (!done) {
+      metrics_.RecordTimeout();
+      return Status::DeadlineExceeded("deadline of ", deadline_ms,
+                                      " ms elapsed waiting for leader");
+    }
+  } else {
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+  }
+  Result<QueryResponse> result = flight->result;
+  lock.unlock();
+  if (!result.ok()) return result;
+  QueryResponse response = result.MoveValueUnsafe();
+  response.deduplicated = true;
+  response.stages = StageTimings{};
+  response.total_ms = queue_timer.ElapsedMillis();
+  metrics_.RecordRequest(queue_timer.ElapsedSeconds(), response.stages,
+                         /*cache_hit=*/false, /*deduplicated=*/true);
+  return response;
+}
+
+Result<QueryResponse> ServingEngine::ExecuteUncached(
+    const std::string& key, const QueryRequest& request,
+    const Timer& queue_timer, double deadline_ms,
+    const std::shared_ptr<const ServingSnapshot>& snapshot) {
+  if (options_.execution_hook) options_.execution_hook(key);
+  const core::ESharp& esharp = snapshot->esharp();
+  QueryResponse response;
+  response.snapshot_version = snapshot->version();
+
+  // Stage 1: expansion (§5 — the paper's < 100 ms stage).
+  Timer stage_timer;
+  core::QueryExpansion expansion = esharp.Expand(request.query);
+  response.stages.expand_ms = stage_timer.ElapsedMillis();
+
+  // Stage 2: candidate collection, once per expansion term, with a
+  // deadline check between terms so a hot domain cannot blow the budget.
+  stage_timer.Reset();
+  std::vector<std::vector<expert::CandidateEvidence>> pools;
+  pools.reserve(expansion.terms.size());
+  for (const std::string& term : expansion.terms) {
+    if (deadline_ms > 0 && queue_timer.ElapsedMillis() > deadline_ms) {
+      metrics_.RecordTimeout();
+      return Status::DeadlineExceeded("deadline of ", deadline_ms,
+                                      " ms elapsed during detection");
+    }
+    pools.push_back(esharp.detector().CollectCandidates(term));
+  }
+  std::vector<expert::CandidateEvidence> merged =
+      expert::MergeEvidence(pools);
+  response.stages.detect_ms = stage_timer.ElapsedMillis();
+
+  // Stage 3: ranking (z-scored features over the union pool).
+  stage_timer.Reset();
+  Result<std::vector<expert::RankedExpert>> ranked =
+      esharp.detector().RankCandidates(merged);
+  if (!ranked.ok()) {
+    metrics_.RecordError();
+    return ranked.status();
+  }
+  response.experts = ranked.MoveValueUnsafe();
+  response.stages.rank_ms = stage_timer.ElapsedMillis();
+  response.total_ms = queue_timer.ElapsedMillis();
+
+  if (options_.enable_cache && !request.bypass_cache) {
+    cache_.Put(key, CachedResult{response.experts, response.snapshot_version},
+               clock_.ElapsedSeconds());
+  }
+  metrics_.RecordRequest(queue_timer.ElapsedSeconds(), response.stages,
+                         /*cache_hit=*/false, /*deduplicated=*/false);
+  return response;
+}
+
+}  // namespace esharp::serving

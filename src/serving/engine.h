@@ -1,0 +1,179 @@
+#ifndef ESHARP_SERVING_ENGINE_H_
+#define ESHARP_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "serving/cache.h"
+#include "serving/metrics.h"
+#include "serving/snapshot.h"
+
+namespace esharp::serving {
+
+/// \brief Configuration of the query-serving engine.
+struct ServingOptions {
+  /// Worker threads when the engine owns its pool (pool == nullptr).
+  size_t num_threads = 4;
+  /// Existing pool to dispatch onto instead of owning one. Must outlive
+  /// the engine. This is how serving shares workers with the offline
+  /// pipeline in a single process.
+  ThreadPool* pool = nullptr;
+  /// Admission bound: maximum requests in flight (queued + executing).
+  /// Beyond it, requests are shed with Status::Unavailable instead of
+  /// queuing without bound — an overloaded service must fail fast, not
+  /// collapse under its own backlog.
+  size_t max_in_flight = 64;
+  /// Default per-request deadline in milliseconds; <= 0 means none.
+  /// Measured from submission, so queue wait counts against it.
+  double default_deadline_ms = 0;
+  /// Result cache; set enable_cache = false to force every request through
+  /// the detector (benchmarking, tests).
+  bool enable_cache = true;
+  CacheOptions cache;
+  /// Collapse concurrent identical queries into one detector execution
+  /// (the followers wait for the leader's result).
+  bool enable_single_flight = true;
+  /// Instrumentation seam: invoked with the cache key at the start of every
+  /// uncached execution, on the executing thread. Tests use it to pin a
+  /// leader in place and prove single-flight behavior; benches can inject
+  /// artificial stage latency or faults. Must be thread-safe.
+  std::function<void(const std::string& key)> execution_hook;
+};
+
+/// \brief One query to serve.
+struct QueryRequest {
+  std::string query;
+  /// Overrides ServingOptions::default_deadline_ms when >= 0.
+  double deadline_ms = -1;
+  /// Skips cache lookup AND population for this request.
+  bool bypass_cache = false;
+};
+
+/// \brief One served answer, with provenance.
+struct QueryResponse {
+  std::vector<expert::RankedExpert> experts;
+  /// Generation of the community store that produced the answer.
+  uint64_t snapshot_version = 0;
+  /// True when the answer came straight from the result cache.
+  bool from_cache = false;
+  /// True when this request waited on an identical in-flight one.
+  bool deduplicated = false;
+  /// Per-stage breakdown (zero for cache hits and deduplicated waits).
+  StageTimings stages;
+  /// End-to-end latency, including queue wait, in milliseconds.
+  double total_ms = 0;
+};
+
+/// \brief The online query service: ESharp behind admission control, a
+/// result cache, single-flight collapsing and hot-swappable snapshots.
+///
+/// The paper's online stage is a low-latency service over a weekly
+/// refreshed index (§6.3); this engine is that stage made concurrent.
+/// Request lifecycle:
+///
+///   Submit -> admission check (shed when over max_in_flight)
+///          -> cache probe (lower-cased key, TTL + snapshot-version check)
+///          -> single-flight: followers wait for an identical leader
+///          -> acquire snapshot (lock-free), then expand / collect / rank
+///             with deadline checks between stages
+///          -> populate cache, record metrics
+///
+/// All public methods are thread-safe. The engine never blocks a swap:
+/// SnapshotManager::Publish is wait-free with respect to readers, and
+/// requests already executing finish against the generation they acquired.
+class ServingEngine {
+ public:
+  /// `snapshots` must outlive the engine and should already have a
+  /// published generation (requests fail FailedPrecondition otherwise).
+  explicit ServingEngine(SnapshotManager* snapshots,
+                         ServingOptions options = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Asynchronous entry point: admission control runs inline (so shedding
+  /// is immediate and cheap), the rest runs on the worker pool.
+  std::future<Result<QueryResponse>> SubmitQuery(QueryRequest request);
+
+  /// Synchronous entry point: same pipeline, executed on the caller's
+  /// thread (closed-loop clients and tests).
+  Result<QueryResponse> Query(QueryRequest request);
+
+  /// Snapshot-safe domain lookup (returns the community by value; see
+  /// CommunityStore::FindCopy). NotFound when the term matches nothing.
+  Result<community::Community> LookupDomain(const std::string& term) const;
+
+  /// Drops every cached result (also happens lazily on snapshot swaps).
+  void InvalidateCache() { cache_.InvalidateAll(); }
+
+  const ServingMetrics& metrics() const { return metrics_; }
+  ServingMetrics* mutable_metrics() { return &metrics_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  size_t cache_size() const { return cache_.size(); }
+  const ServingOptions& options() const { return options_; }
+
+  /// Requests currently admitted and not yet finished.
+  size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Shared state of one single-flight group: the leader publishes its
+  /// result here and wakes the followers.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<QueryResponse> result = Status::Internal("flight not finished");
+  };
+
+  /// Admission: returns false (and records the shed) when over capacity.
+  bool TryAdmit();
+
+  /// Full pipeline for one admitted request. `queue_timer` started at
+  /// submission; deadline_ms <= 0 means no deadline.
+  Result<QueryResponse> Execute(const QueryRequest& request,
+                                const Timer& queue_timer, double deadline_ms);
+
+  /// The detector work proper, against one pinned snapshot.
+  Result<QueryResponse> ExecuteUncached(
+      const std::string& key, const QueryRequest& request,
+      const Timer& queue_timer, double deadline_ms,
+      const std::shared_ptr<const ServingSnapshot>& snapshot);
+
+  /// Drops stale cache entries when the snapshot generation moved.
+  void MaybeInvalidateOnSwap(uint64_t current_version);
+
+  double EffectiveDeadline(const QueryRequest& request) const {
+    return request.deadline_ms >= 0 ? request.deadline_ms
+                                    : options_.default_deadline_ms;
+  }
+
+  SnapshotManager* snapshots_;
+  ServingOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;  // owned_pool_.get() or options_.pool
+  ShardedResultCache cache_;
+  ServingMetrics metrics_;
+  Timer clock_;  // monotonic time base for cache TTLs
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<uint64_t> last_seen_version_{0};
+
+  std::mutex flights_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace esharp::serving
+
+#endif  // ESHARP_SERVING_ENGINE_H_

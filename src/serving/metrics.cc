@@ -1,0 +1,87 @@
+#include "serving/metrics.h"
+
+#include "common/strings.h"
+
+namespace esharp::serving {
+
+void ServingMetrics::RecordRequest(double total_seconds,
+                                   const StageTimings& stages, bool cache_hit,
+                                   bool deduplicated) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (deduplicated) deduplicated_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  total_.Add(total_seconds);
+  if (!cache_hit && !deduplicated) {
+    expand_.Add(stages.expand_ms / 1e3);
+    detect_.Add(stages.detect_ms / 1e3);
+    rank_.Add(stages.rank_ms / 1e3);
+  }
+}
+
+MetricsReport ServingMetrics::Report() const {
+  MetricsReport r;
+  r.completed = completed_.load(std::memory_order_relaxed);
+  r.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  r.deduplicated = deduplicated_.load(std::memory_order_relaxed);
+  r.shed = shed_.load(std::memory_order_relaxed);
+  r.timeouts = timeouts_.load(std::memory_order_relaxed);
+  r.errors = errors_.load(std::memory_order_relaxed);
+  r.uptime_seconds = uptime_.ElapsedSeconds();
+  r.qps = r.uptime_seconds > 0
+              ? static_cast<double>(r.completed) / r.uptime_seconds
+              : 0.0;
+  r.cache_hit_rate = r.completed > 0 ? static_cast<double>(r.cache_hits) /
+                                           static_cast<double>(r.completed)
+                                     : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  r.p50_ms = total_.Percentile(50) * 1e3;
+  r.p95_ms = total_.Percentile(95) * 1e3;
+  r.p99_ms = total_.Percentile(99) * 1e3;
+  r.max_ms = total_.Max() * 1e3;
+  r.mean_expand_ms = expand_.Mean() * 1e3;
+  r.mean_detect_ms = detect_.Mean() * 1e3;
+  r.mean_rank_ms = rank_.Mean() * 1e3;
+  return r;
+}
+
+std::string ServingMetrics::ToTable() const {
+  MetricsReport r = Report();
+  std::string out;
+  out += StrFormat("requests completed   %10llu  (%.1f qps over %.1fs)\n",
+                   static_cast<unsigned long long>(r.completed), r.qps,
+                   r.uptime_seconds);
+  out += StrFormat("cache hits           %10llu  (%.1f%% hit rate)\n",
+                   static_cast<unsigned long long>(r.cache_hits),
+                   100.0 * r.cache_hit_rate);
+  out += StrFormat("deduplicated         %10llu\n",
+                   static_cast<unsigned long long>(r.deduplicated));
+  out += StrFormat("shed / timeouts      %10llu / %llu\n",
+                   static_cast<unsigned long long>(r.shed),
+                   static_cast<unsigned long long>(r.timeouts));
+  out += StrFormat("errors               %10llu\n",
+                   static_cast<unsigned long long>(r.errors));
+  out += StrFormat("latency p50/p95/p99  %7.2f / %.2f / %.2f ms (max %.2f)\n",
+                   r.p50_ms, r.p95_ms, r.p99_ms, r.max_ms);
+  out += StrFormat("stage means          expand %.3f ms, detect %.3f ms, "
+                   "rank %.3f ms\n",
+                   r.mean_expand_ms, r.mean_detect_ms, r.mean_rank_ms);
+  return out;
+}
+
+void ServingMetrics::Reset() {
+  completed_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  deduplicated_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
+  timeouts_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  total_.Reset();
+  expand_.Reset();
+  detect_.Reset();
+  rank_.Reset();
+  uptime_.Reset();
+}
+
+}  // namespace esharp::serving

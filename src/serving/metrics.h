@@ -1,0 +1,96 @@
+#ifndef ESHARP_SERVING_METRICS_H_
+#define ESHARP_SERVING_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/stats.h"
+#include "common/timer.h"
+
+namespace esharp::serving {
+
+/// \brief Wall time spent in each stage of one served request, in
+/// milliseconds. Mirrors the paper's online split: Expansion (< 100 ms)
+/// and Detection (< 1 s), with detection further split into candidate
+/// collection and ranking.
+struct StageTimings {
+  double expand_ms = 0;
+  double detect_ms = 0;
+  double rank_ms = 0;
+};
+
+/// \brief Point-in-time view of the serving counters.
+struct MetricsReport {
+  uint64_t completed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t deduplicated = 0;  // single-flight followers
+  uint64_t shed = 0;
+  uint64_t timeouts = 0;
+  uint64_t errors = 0;
+  double uptime_seconds = 0;
+  double qps = 0;  // completed / uptime
+  double cache_hit_rate = 0;
+  // Total request latency percentiles, milliseconds.
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  // Per-stage mean latencies over executed (non-cached) requests, ms.
+  double mean_expand_ms = 0;
+  double mean_detect_ms = 0;
+  double mean_rank_ms = 0;
+};
+
+/// \brief Thread-safe accounting for the serving engine: request counters
+/// on atomics, latency distributions on mutex-guarded LatencyHistograms.
+///
+/// The histogram lock is uncontended relative to the detector work a
+/// request does (candidate collection scans tweet indexes), so a single
+/// mutex is fine; the counters stay lock-free for the shed path, which
+/// must stay cheap precisely when the system is overloaded.
+class ServingMetrics {
+ public:
+  /// Records one completed request. `stages` applies only when the request
+  /// actually executed (cache hits carry zero stage time).
+  void RecordRequest(double total_seconds, const StageTimings& stages,
+                     bool cache_hit, bool deduplicated);
+
+  /// Records a request rejected by admission control.
+  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records a request abandoned because its deadline elapsed.
+  void RecordTimeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records a request that failed inside the detector.
+  void RecordError() { errors_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Snapshot of every counter and distribution.
+  MetricsReport Report() const;
+
+  /// Renders a human-readable dashboard block.
+  std::string ToTable() const;
+
+  /// Clears counters and histograms (bench runs reuse one engine).
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> deduplicated_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> errors_{0};
+
+  mutable std::mutex mu_;
+  LatencyHistogram total_;    // seconds, all completed requests
+  LatencyHistogram expand_;   // seconds, executed requests only
+  LatencyHistogram detect_;
+  LatencyHistogram rank_;
+  Timer uptime_;
+};
+
+}  // namespace esharp::serving
+
+#endif  // ESHARP_SERVING_METRICS_H_

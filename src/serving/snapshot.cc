@@ -1,0 +1,30 @@
+#include "serving/snapshot.h"
+
+namespace esharp::serving {
+
+uint64_t SnapshotManager::Publish(
+    std::shared_ptr<const community::CommunityStore> store,
+    core::ESharpOptions options) {
+  uint64_t version = next_version_.fetch_add(1, std::memory_order_relaxed);
+  auto snapshot = std::make_shared<const ServingSnapshot>(
+      version, std::move(store), corpus_, options);
+  current_.store(std::move(snapshot), std::memory_order_release);
+  // version_ trails the pointer: once a reader observes version N it can
+  // Acquire() a snapshot at least that new (possibly newer, never older).
+  uint64_t seen = version_.load(std::memory_order_relaxed);
+  while (seen < version &&
+         !version_.compare_exchange_weak(seen, version,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+  }
+  return version;
+}
+
+uint64_t SnapshotManager::Publish(community::CommunityStore store,
+                                  core::ESharpOptions options) {
+  return Publish(std::make_shared<const community::CommunityStore>(
+                     std::move(store)),
+                 options);
+}
+
+}  // namespace esharp::serving

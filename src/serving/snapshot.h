@@ -1,0 +1,99 @@
+#ifndef ESHARP_SERVING_SNAPSHOT_H_
+#define ESHARP_SERVING_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "community/store.h"
+#include "esharp/esharp.h"
+#include "microblog/corpus.h"
+
+namespace esharp::serving {
+
+/// \brief One immutable generation of serving artifacts: a community store
+/// plus an ESharp facade bound to it.
+///
+/// The paper's offline stage "runs weekly" (§6.3) and republishes the
+/// community collection; the online stage must keep answering queries while
+/// that happens. A snapshot freezes one week's artifacts: the store is held
+/// by shared_ptr so in-flight requests that acquired the snapshot keep it
+/// (and every `const Community*` into it) alive even after the manager has
+/// moved on to a newer generation.
+class ServingSnapshot {
+ public:
+  ServingSnapshot(uint64_t version,
+                  std::shared_ptr<const community::CommunityStore> store,
+                  const microblog::TweetCorpus* corpus,
+                  core::ESharpOptions options)
+      : version_(version),
+        store_(std::move(store)),
+        esharp_(store_.get(), corpus, options) {}
+
+  ServingSnapshot(const ServingSnapshot&) = delete;
+  ServingSnapshot& operator=(const ServingSnapshot&) = delete;
+
+  /// Monotonically increasing generation number (1 for the first publish).
+  uint64_t version() const { return version_; }
+
+  /// The store this generation serves from.
+  const community::CommunityStore& store() const { return *store_; }
+
+  /// ESharp facade over this generation's store. Safe to use from any
+  /// number of threads concurrently: both the store and the detector are
+  /// read-only after construction.
+  const core::ESharp& esharp() const { return esharp_; }
+
+ private:
+  const uint64_t version_;
+  const std::shared_ptr<const community::CommunityStore> store_;
+  const core::ESharp esharp_;
+};
+
+/// \brief RCU-style holder of the current serving snapshot.
+///
+/// Readers call Acquire() — a single atomic shared_ptr load, no mutex — and
+/// work against the returned generation for the rest of their request.
+/// Writers (the weekly refresh) call Publish(), which atomically installs a
+/// new generation; old generations are reclaimed when the last in-flight
+/// reader drops its reference. This is the reproduction's stand-in for
+/// re-indexing the collection in SQL Server under live traffic (§6.3).
+class SnapshotManager {
+ public:
+  /// The corpus is shared across generations (only the community store is
+  /// refreshed weekly) and must outlive the manager.
+  explicit SnapshotManager(const microblog::TweetCorpus* corpus)
+      : corpus_(corpus) {}
+
+  /// Atomically installs a new generation built from `store` and returns
+  /// its version number. Thread-safe against concurrent Acquire() and
+  /// Publish() calls.
+  uint64_t Publish(std::shared_ptr<const community::CommunityStore> store,
+                   core::ESharpOptions options = {});
+
+  /// Convenience overload: takes ownership of a store by value (the common
+  /// hand-off from RunOfflinePipeline artifacts).
+  uint64_t Publish(community::CommunityStore store,
+                   core::ESharpOptions options = {});
+
+  /// Returns the current generation, or nullptr before the first Publish.
+  /// Lock-free on the fast path; the returned shared_ptr pins the
+  /// generation for the caller's lifetime.
+  std::shared_ptr<const ServingSnapshot> Acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the current generation (0 before the first Publish).
+  /// Cheap enough to poll per-request for cache invalidation.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+ private:
+  const microblog::TweetCorpus* corpus_;
+  std::atomic<uint64_t> version_{0};
+  std::atomic<uint64_t> next_version_{1};
+  std::atomic<std::shared_ptr<const ServingSnapshot>> current_{nullptr};
+};
+
+}  // namespace esharp::serving
+
+#endif  // ESHARP_SERVING_SNAPSHOT_H_

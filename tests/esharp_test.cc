@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "esharp/esharp.h"
 #include "esharp/pipeline.h"
 #include "microblog/generator.h"
@@ -158,6 +160,70 @@ TEST_F(ESharpTest, ESharpNeverReturnsFewerCandidatesThanBaseline) {
   // Expansion must actually help on a meaningful share of queries.
   EXPECT_GT(static_cast<double>(esharp_wins) / static_cast<double>(queries),
             0.2);
+}
+
+TEST_F(ESharpTest, PhraseFallbackExpandsThroughFindExperts) {
+  // End-to-end kPhraseFallback coverage: build a store where the queried
+  // term exists only embedded inside a longer phrase ("<head> fan guide"),
+  // next to a real sibling term. Exact match must miss; the phrase
+  // fallback must land in the community and surface the sibling's experts
+  // through FindExperts.
+  // Pick an ordered pair of same-domain terms (queried, partner) where the
+  // partner contributes at least one candidate the queried term alone does
+  // not reach, so the expansion gain is certain.
+  expert::ExpertDetector probe(corpus_);
+  std::string head, sibling;
+  for (const querylog::TopicDomain& d : universe_->domains()) {
+    for (size_t a = 0; a < d.terms.size() && head.empty(); ++a) {
+      std::set<microblog::UserId> a_users;
+      for (const auto& c : probe.CollectCandidates(d.terms[a])) {
+        a_users.insert(c.user);
+      }
+      for (size_t b = 0; b < d.terms.size(); ++b) {
+        if (b == a) continue;
+        for (const auto& c : probe.CollectCandidates(d.terms[b])) {
+          if (a_users.count(c.user) == 0) {
+            head = d.terms[a];
+            sibling = d.terms[b];
+            break;
+          }
+        }
+        if (!head.empty()) break;
+      }
+    }
+    if (!head.empty()) break;
+  }
+  ASSERT_FALSE(head.empty()) << "no term pair with an expansion gain";
+  std::string tsv = "t\t0\t" + head + " fan guide\nt\t0\t" + sibling + "\n";
+  auto store = community::CommunityStore::ParseTsv(tsv);
+  ASSERT_TRUE(store.ok());
+
+  ESharpOptions fallback_options;
+  fallback_options.match_mode = MatchMode::kPhraseFallback;
+  fallback_options.detector.min_z_score = -1e9;
+  fallback_options.detector.max_experts = 100000;
+  ESharp with_fallback(&*store, corpus_, fallback_options);
+
+  ESharpOptions exact_options = fallback_options;
+  exact_options.match_mode = MatchMode::kExactOnly;
+  ESharp exact_only(&*store, corpus_, exact_options);
+
+  // Exact-only misses the store entirely and degrades to the baseline...
+  QueryExpansion exact = exact_only.Expand(head);
+  EXPECT_FALSE(exact.matched);
+  EXPECT_EQ(exact.terms.size(), 1u);
+  // ...while the phrase fallback matches the community and pulls in both
+  // the phrase term and the sibling.
+  QueryExpansion phrase = with_fallback.Expand(head);
+  EXPECT_TRUE(phrase.matched);
+  EXPECT_GE(phrase.terms.size(), 3u);
+
+  auto baseline = *exact_only.FindExperts(head);
+  auto expanded = *with_fallback.FindExperts(head);
+  // The union over the expanded pool can only grow the candidate set, and
+  // the sibling is a canonical term of a domain with tweet traffic, so the
+  // fallback must actually surface additional experts.
+  EXPECT_GT(expanded.size(), baseline.size());
 }
 
 TEST_F(ESharpTest, ExpandedSearchFindsSiblingTermExperts) {

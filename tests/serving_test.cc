@@ -1,0 +1,554 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "esharp/pipeline.h"
+#include "microblog/generator.h"
+#include "querylog/generator.h"
+#include "serving/cache.h"
+#include "serving/engine.h"
+#include "serving/metrics.h"
+#include "serving/snapshot.h"
+
+namespace esharp::serving {
+namespace {
+
+// ------------------------------------------------------- LatencyHistogram --
+
+TEST(LatencyHistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketObservations) {
+  LatencyHistogram h;
+  // 99 observations at 1ms, one at 1s: p50 ~ 1ms, p99+ reaches toward 1s.
+  for (int i = 0; i < 99; ++i) h.Add(1e-3);
+  h.Add(1.0);
+  EXPECT_EQ(h.count(), 100u);
+  // Geometric buckets guarantee ~16% relative error bounds.
+  EXPECT_GT(h.Percentile(50), 0.5e-3);
+  EXPECT_LT(h.Percentile(50), 2e-3);
+  EXPECT_GT(h.Percentile(100), 0.5);
+  EXPECT_NEAR(h.Max(), 1.0, 1e-12);
+  EXPECT_NEAR(h.Mean(), (99 * 1e-3 + 1.0) / 100.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, PercentileIsMonotoneInP) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(1e-5 * i);
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedStream) {
+  LatencyHistogram a, b, both;
+  for (int i = 0; i < 50; ++i) {
+    a.Add(2e-4);
+    both.Add(2e-4);
+  }
+  for (int i = 0; i < 50; ++i) {
+    b.Add(3e-2);
+    both.Add(3e-2);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.Percentile(50), both.Percentile(50));
+  EXPECT_EQ(a.Percentile(95), both.Percentile(95));
+  EXPECT_NEAR(a.Mean(), both.Mean(), 1e-12);
+}
+
+TEST(LatencyHistogramTest, OutOfRangeValuesClampIntoEndBuckets) {
+  LatencyHistogram h;
+  h.Add(1e-9);   // below the 1us floor
+  h.Add(1e6);    // above the 100s ceiling
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.Percentile(100), 10.0);
+}
+
+// ----------------------------------------------------- ShardedResultCache --
+
+CachedResult MakeResult(double score, uint64_t version) {
+  CachedResult r;
+  expert::RankedExpert e;
+  e.user = 7;
+  e.score = score;
+  r.experts.push_back(e);
+  r.snapshot_version = version;
+  return r;
+}
+
+TEST(ShardedResultCacheTest, PutThenGetHits) {
+  ShardedResultCache cache;
+  cache.Put("tennis", MakeResult(1.5, 1), /*now=*/0.0);
+  auto hit = cache.Get("tennis", /*now=*/1.0, /*current_version=*/1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->experts.size(), 1u);
+  EXPECT_DOUBLE_EQ(hit->experts[0].score, 1.5);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_FALSE(cache.Get("golf", 1.0, 1).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ShardedResultCacheTest, TtlExpiresEntries) {
+  CacheOptions options;
+  options.ttl_seconds = 10.0;
+  ShardedResultCache cache(options);
+  cache.Put("tennis", MakeResult(1.5, 1), /*now=*/0.0);
+  EXPECT_TRUE(cache.Get("tennis", /*now=*/9.9, 1).has_value());
+  EXPECT_FALSE(cache.Get("tennis", /*now=*/10.1, 1).has_value());
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  // The expired entry is gone, not just hidden.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedResultCacheTest, SnapshotVersionMismatchIsAMiss) {
+  ShardedResultCache cache;
+  cache.Put("tennis", MakeResult(1.5, /*version=*/1), /*now=*/0.0);
+  EXPECT_TRUE(cache.Get("tennis", 0.0, /*current_version=*/1).has_value());
+  // After a hot swap the stored generation no longer matches.
+  EXPECT_FALSE(cache.Get("tennis", 0.0, /*current_version=*/2).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedResultCacheTest, LruEvictsOldestWithinShard) {
+  CacheOptions options;
+  options.shards = 1;  // single shard makes eviction order deterministic
+  options.capacity_per_shard = 2;
+  options.ttl_seconds = 0;  // disabled
+  ShardedResultCache cache(options);
+  cache.Put("a", MakeResult(1, 1), 0.0);
+  cache.Put("b", MakeResult(2, 1), 0.0);
+  // Touch "a" so "b" becomes the LRU tail.
+  EXPECT_TRUE(cache.Get("a", 0.0, 1).has_value());
+  cache.Put("c", MakeResult(3, 1), 0.0);
+  EXPECT_TRUE(cache.Get("a", 0.0, 1).has_value());
+  EXPECT_FALSE(cache.Get("b", 0.0, 1).has_value());
+  EXPECT_TRUE(cache.Get("c", 0.0, 1).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedResultCacheTest, InvalidateAllDropsEverything) {
+  ShardedResultCache cache;
+  cache.Put("a", MakeResult(1, 1), 0.0);
+  cache.Put("b", MakeResult(2, 1), 0.0);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a", 0.0, 1).has_value());
+}
+
+// -------------------------------------------------------- Serving fixture --
+
+// One small world shared by every engine test (the offline pipeline is the
+// expensive part; build it once).
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    querylog::UniverseOptions uo;
+    uo.num_categories = 2;
+    uo.domains_per_category = 8;
+    uo.seed = 501;
+    universe_ = new querylog::TopicUniverse(
+        *querylog::TopicUniverse::Generate(uo));
+
+    querylog::GeneratorOptions go;
+    go.seed = 502;
+    go.head_impressions = 20000;
+    generated_ = new querylog::GeneratedLog(*GenerateQueryLog(*universe_, go));
+
+    core::OfflineOptions offline;
+    offline.extraction.min_similarity = 0.15;
+    artifacts_ = new core::OfflineArtifacts(
+        *RunOfflinePipeline(generated_->log, offline));
+
+    microblog::CorpusOptions co;
+    co.seed = 503;
+    co.casual_users = 200;
+    co.spam_users = 20;
+    corpus_ = new microblog::TweetCorpus(*GenerateCorpus(*universe_, co));
+
+    // A query the baseline detector demonstrably answers, for the
+    // no-empty-result assertions below.
+    core::ESharp probe(&artifacts_->store, corpus_);
+    for (const querylog::TopicDomain& dom : universe_->domains()) {
+      auto experts = probe.FindExperts(dom.terms[0]);
+      if (experts.ok() && !experts->empty()) {
+        answered_query_ = new std::string(dom.terms[0]);
+        break;
+      }
+    }
+    ASSERT_NE(answered_query_, nullptr)
+        << "no domain head term with experts in the test world";
+  }
+
+  static void TearDownTestSuite() {
+    delete universe_;
+    delete generated_;
+    delete artifacts_;
+    delete corpus_;
+    delete answered_query_;
+    answered_query_ = nullptr;
+  }
+
+  /// Fresh manager with the world's store published as generation 1.
+  std::unique_ptr<SnapshotManager> NewManager() {
+    auto manager = std::make_unique<SnapshotManager>(corpus_);
+    manager->Publish(std::make_shared<const community::CommunityStore>(
+        artifacts_->store));
+    return manager;
+  }
+
+  static querylog::TopicUniverse* universe_;
+  static querylog::GeneratedLog* generated_;
+  static core::OfflineArtifacts* artifacts_;
+  static microblog::TweetCorpus* corpus_;
+  static std::string* answered_query_;
+};
+
+querylog::TopicUniverse* ServingTest::universe_ = nullptr;
+querylog::GeneratedLog* ServingTest::generated_ = nullptr;
+core::OfflineArtifacts* ServingTest::artifacts_ = nullptr;
+microblog::TweetCorpus* ServingTest::corpus_ = nullptr;
+std::string* ServingTest::answered_query_ = nullptr;
+
+// -------------------------------------------------------- SnapshotManager --
+
+TEST_F(ServingTest, PublishBumpsVersionAndAcquireSeesIt) {
+  SnapshotManager manager(corpus_);
+  EXPECT_EQ(manager.version(), 0u);
+  EXPECT_EQ(manager.Acquire(), nullptr);
+  uint64_t v1 = manager.Publish(artifacts_->store);
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(manager.version(), 1u);
+  auto snap = manager.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), 1u);
+  EXPECT_EQ(snap->store().num_communities(),
+            artifacts_->store.num_communities());
+  uint64_t v2 = manager.Publish(artifacts_->store);
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(manager.Acquire()->version(), 2u);
+}
+
+TEST_F(ServingTest, AcquiredSnapshotSurvivesSwap) {
+  SnapshotManager manager(corpus_);
+  manager.Publish(artifacts_->store);
+  auto pinned = manager.Acquire();
+  // Swap twice; the pinned generation must stay fully usable (its store
+  // pointer and every Community* into it remain alive).
+  manager.Publish(artifacts_->store);
+  manager.Publish(artifacts_->store);
+  EXPECT_EQ(pinned->version(), 1u);
+  auto found = pinned->store().Find(*answered_query_);
+  ASSERT_TRUE(found.ok());
+  EXPECT_FALSE((*found)->terms.empty());
+}
+
+TEST_F(ServingTest, FindCopyDetachesFromStoreLifetime) {
+  community::Community copy;
+  {
+    community::CommunityStore store = artifacts_->store;
+    auto found = store.FindCopy(*answered_query_);
+    ASSERT_TRUE(found.ok());
+    copy = *found;
+  }  // store destroyed
+  EXPECT_FALSE(copy.terms.empty());
+  EXPECT_TRUE(artifacts_->store.FindCopy("no such term zz").status()
+                  .IsNotFound());
+}
+
+// ---------------------------------------------------------- ServingEngine --
+
+TEST_F(ServingTest, ServesSameExpertsAsDirectESharp) {
+  auto manager = NewManager();
+  ServingOptions options;
+  options.num_threads = 2;
+  ServingEngine engine(manager.get(), options);
+
+  core::ESharp direct(&artifacts_->store, corpus_);
+  auto expected = direct.FindExperts(*answered_query_);
+  ASSERT_TRUE(expected.ok());
+
+  auto response = engine.Query({*answered_query_});
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->from_cache);
+  EXPECT_EQ(response->snapshot_version, 1u);
+  ASSERT_EQ(response->experts.size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ(response->experts[i].user, (*expected)[i].user);
+    EXPECT_DOUBLE_EQ(response->experts[i].score, (*expected)[i].score);
+  }
+}
+
+TEST_F(ServingTest, QueryBeforeFirstPublishFailsPrecondition) {
+  SnapshotManager manager(corpus_);
+  ServingEngine engine(&manager);
+  EXPECT_TRUE(engine.Query({"tennis"}).status().IsFailedPrecondition());
+  EXPECT_TRUE(engine.LookupDomain("tennis").status().IsFailedPrecondition());
+}
+
+TEST_F(ServingTest, EmptyQueryIsInvalid) {
+  auto manager = NewManager();
+  ServingEngine engine(manager.get());
+  EXPECT_TRUE(engine.Query({""}).status().IsInvalidArgument());
+}
+
+TEST_F(ServingTest, SecondIdenticalQueryHitsCache) {
+  auto manager = NewManager();
+  ServingEngine engine(manager.get());
+  auto first = engine.Query({*answered_query_});
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+
+  auto second = engine.Query({*answered_query_});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(second->experts.size(), first->experts.size());
+  EXPECT_GE(engine.cache_stats().hits, 1u);
+
+  // Case-insensitive: "Tennis" and "tennis" share an entry (§5 lower-cases).
+  std::string upper = *answered_query_;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  auto third = engine.Query({upper});
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->from_cache);
+
+  // bypass_cache forces a fresh execution.
+  auto fourth = engine.Query({*answered_query_, /*deadline_ms=*/-1,
+                              /*bypass_cache=*/true});
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_FALSE(fourth->from_cache);
+}
+
+TEST_F(ServingTest, SwapInvalidatesCachedResults) {
+  auto manager = NewManager();
+  ServingEngine engine(manager.get());
+  ASSERT_TRUE(engine.Query({*answered_query_}).ok());
+  ASSERT_TRUE(engine.Query({*answered_query_})->from_cache);
+
+  manager->Publish(artifacts_->store);  // hot swap to generation 2
+  auto after = engine.Query({*answered_query_});
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->from_cache);  // stale entry dropped
+  EXPECT_EQ(after->snapshot_version, 2u);
+}
+
+TEST_F(ServingTest, OverloadShedsWithUnavailable) {
+  auto manager = NewManager();
+  ServingOptions options;
+  options.max_in_flight = 0;  // admit nothing: every request sheds
+  ServingEngine engine(manager.get(), options);
+  auto r = engine.Query({*answered_query_});
+  EXPECT_TRUE(r.status().IsUnavailable());
+  auto fut = engine.SubmitQuery({*answered_query_});
+  EXPECT_TRUE(fut.get().status().IsUnavailable());
+  EXPECT_EQ(engine.metrics().Report().shed, 2u);
+  EXPECT_EQ(engine.metrics().Report().completed, 0u);
+}
+
+TEST_F(ServingTest, TinyDeadlineTimesOut) {
+  auto manager = NewManager();
+  ServingOptions options;
+  options.enable_cache = false;  // force execution past the deadline check
+  ServingEngine engine(manager.get(), options);
+  QueryRequest request;
+  request.query = *answered_query_;
+  request.deadline_ms = 1e-6;  // elapses before the first checkpoint
+  auto r = engine.Query(request);
+  EXPECT_TRUE(r.status().IsDeadlineExceeded());
+  EXPECT_GE(engine.metrics().Report().timeouts, 1u);
+  // And without a deadline the same query succeeds.
+  EXPECT_TRUE(engine.Query({*answered_query_}).ok());
+}
+
+TEST_F(ServingTest, SubmitQueryRunsOnPoolAndCompletes) {
+  auto manager = NewManager();
+  ServingOptions options;
+  options.num_threads = 2;
+  ServingEngine engine(manager.get(), options);
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(engine.SubmitQuery({*answered_query_}));
+  }
+  size_t ok = 0;
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->experts.empty());
+    ++ok;
+  }
+  EXPECT_EQ(ok, 8u);
+  EXPECT_EQ(engine.in_flight(), 0u);
+  MetricsReport report = engine.metrics().Report();
+  EXPECT_EQ(report.completed, 8u);
+  // With the cache on, identical queries collapse: exactly one execution's
+  // worth of stage time, the rest served from cache or deduplicated.
+  EXPECT_GE(report.cache_hits + report.deduplicated, 7u);
+}
+
+TEST_F(ServingTest, SingleFlightCollapsesConcurrentIdenticalQueries) {
+  auto manager = NewManager();
+  std::atomic<int> leaders_entered{0};
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+
+  ServingOptions options;
+  options.enable_cache = false;  // leave single-flight as the only collapse
+  options.num_threads = 4;
+  options.max_in_flight = 64;
+  // Pin the leader inside its execution until the test releases it, so the
+  // followers deterministically find its flight in progress.
+  options.execution_hook = [&](const std::string&) {
+    leaders_entered.fetch_add(1);
+    release_future.wait();
+  };
+  ServingEngine engine(manager.get(), options);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  futures.push_back(engine.SubmitQuery({*answered_query_}));
+  while (leaders_entered.load() == 0) std::this_thread::yield();
+  // The leader is now parked inside ExecuteUncached; these three become
+  // followers (the cache is off, so they cannot be absorbed any other way).
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(engine.SubmitQuery({*answered_query_}));
+  }
+  // Give the followers time to reach the flight table, then unblock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.set_value();
+
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->experts.empty());
+  }
+  MetricsReport report = engine.metrics().Report();
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(report.deduplicated, 3u);
+  // Exactly one execution ran the detector.
+  EXPECT_EQ(leaders_entered.load(), 1);
+}
+
+// ------------------------------------------------- hot swap under load ----
+
+// The acceptance-criterion test: N reader threads hammer the engine while
+// the store is hot-swapped M times. No crash (TSan-clean), no empty answer
+// for a query the baseline answers, and post-swap queries reflect the new
+// store.
+TEST_F(ServingTest, HotSwapUnderConcurrentLoad) {
+  // store2 = store1 plus a sentinel term spliced into community 0, so the
+  // two generations are distinguishable through the serving API.
+  const std::string sentinel = "swapsentinelzz";
+  auto parsed = community::CommunityStore::ParseTsv(
+      artifacts_->store.SerializeTsv() + "t\t0\t" + sentinel + "\n");
+  ASSERT_TRUE(parsed.ok());
+  auto store1 =
+      std::make_shared<const community::CommunityStore>(artifacts_->store);
+  auto store2 =
+      std::make_shared<const community::CommunityStore>(parsed.MoveValueUnsafe());
+
+  SnapshotManager manager(corpus_);
+  manager.Publish(store1);
+
+  ServingOptions options;
+  options.num_threads = 2;
+  options.max_in_flight = 1 << 20;  // no shedding in this test
+  ServingEngine engine(&manager, options);
+  ASSERT_TRUE(engine.LookupDomain(sentinel).status().IsNotFound());
+
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 30;
+  constexpr int kSwaps = 6;
+  std::atomic<bool> start{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> empty_answers{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        // Mix cached and uncached traffic on the known-answerable query.
+        QueryRequest request;
+        request.query = *answered_query_;
+        request.bypass_cache = (i + t) % 3 == 0;
+        auto r = engine.Query(request);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+        } else if (r->experts.empty()) {
+          empty_answers.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::thread swapper([&] {
+    while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (int s = 0; s < kSwaps; ++s) {
+      manager.Publish(s % 2 == 0 ? store2 : store1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    manager.Publish(store2);  // final generation carries the sentinel
+  });
+
+  start.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  swapper.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(empty_answers.load(), 0);
+
+  // Post-swap: the serving path sees the new store.
+  uint64_t final_version = manager.version();
+  EXPECT_EQ(final_version, 1u + kSwaps + 1u);
+  auto domain = engine.LookupDomain(sentinel);
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+  QueryRequest fresh;
+  fresh.query = *answered_query_;
+  fresh.bypass_cache = true;
+  auto post = engine.Query(fresh);
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->snapshot_version, final_version);
+  EXPECT_FALSE(post->experts.empty());
+}
+
+// Swapping also under SubmitQuery (async) traffic, exercising the queue.
+TEST_F(ServingTest, AsyncTrafficAcrossASwapAllCompletes) {
+  auto manager = NewManager();
+  ServingOptions options;
+  options.num_threads = 2;
+  options.max_in_flight = 1 << 20;
+  ServingEngine engine(manager.get(), options);
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int i = 0; i < 20; ++i) {
+    QueryRequest request;
+    request.query = *answered_query_;
+    request.bypass_cache = i % 2 == 0;
+    futures.push_back(engine.SubmitQuery(std::move(request)));
+    if (i == 10) manager->Publish(artifacts_->store);
+  }
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->experts.empty());
+    EXPECT_GE(r->snapshot_version, 1u);
+    EXPECT_LE(r->snapshot_version, 2u);
+  }
+  EXPECT_EQ(engine.metrics().Report().completed, 20u);
+}
+
+}  // namespace
+}  // namespace esharp::serving
