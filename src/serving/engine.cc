@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/strings.h"
@@ -20,7 +21,18 @@ ServingEngine::ServingEngine(SnapshotManager* snapshots,
       cache_(options.cache),
       last_seen_version_(snapshots->version()) {}
 
-ServingEngine::~ServingEngine() = default;
+ServingEngine::~ServingEngine() {
+  // Drain before any member is destroyed. Destroying the owned pool runs
+  // its remaining queued tasks and joins the workers; queued work on an
+  // external pool cannot be cancelled, so additionally wait for every
+  // admitted request to release its admission slot — the release is the
+  // last access a worker task makes to this engine's members, so once
+  // in_flight_ reads zero no task can touch cache_, metrics_ or flights_.
+  owned_pool_.reset();
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
 
 bool ServingEngine::TryAdmit() {
   size_t admitted = in_flight_.fetch_add(1, std::memory_order_acq_rel);
@@ -82,7 +94,9 @@ Result<community::Community> ServingEngine::LookupDomain(
 
 void ServingEngine::MaybeInvalidateOnSwap(uint64_t current_version) {
   uint64_t seen = last_seen_version_.load(std::memory_order_acquire);
-  if (seen == current_version) return;
+  // `seen > current_version` means this request pinned an older generation
+  // than one already swept for; never move the high-water mark backwards.
+  if (seen >= current_version) return;
   // One thread wins the CAS and performs the eager sweep; per-entry
   // version checks in Get() cover any race window.
   if (last_seen_version_.compare_exchange_strong(seen, current_version,
@@ -98,7 +112,17 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
     metrics_.RecordError();
     return Status::InvalidArgument("empty query");
   }
-  uint64_t version = snapshots_->version();
+  // Pin the serving generation before touching the cache, so validation,
+  // execution and provenance all agree on one version. Reading the version
+  // counter separately would open a window where a swap completing between
+  // the read and the probe serves one cached answer computed against the
+  // just-replaced generation.
+  std::shared_ptr<const ServingSnapshot> snapshot = snapshots_->Acquire();
+  if (snapshot == nullptr) {
+    metrics_.RecordError();
+    return Status::FailedPrecondition("no snapshot published yet");
+  }
+  uint64_t version = snapshot->version();
   MaybeInvalidateOnSwap(version);
 
   // Cache keys use the same normalization as the store lookup (§5).
@@ -123,12 +147,6 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
     metrics_.RecordTimeout();
     return Status::DeadlineExceeded("deadline of ", deadline_ms,
                                     " ms elapsed in queue");
-  }
-
-  std::shared_ptr<const ServingSnapshot> snapshot = snapshots_->Acquire();
-  if (snapshot == nullptr) {
-    metrics_.RecordError();
-    return Status::FailedPrecondition("no snapshot published yet");
   }
 
   if (!options_.enable_single_flight || request.bypass_cache) {
@@ -187,7 +205,17 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
   }
   Result<QueryResponse> result = flight->result;
   lock.unlock();
-  if (!result.ok()) return result;
+  if (!result.ok()) {
+    // An inherited leader failure is still this request's outcome; record
+    // it so the timeout/error counters stay consistent across the
+    // leader/follower split instead of undercounting deduplicated failures.
+    if (result.status().IsDeadlineExceeded()) {
+      metrics_.RecordTimeout();
+    } else {
+      metrics_.RecordError();
+    }
+    return result;
+  }
   QueryResponse response = result.MoveValueUnsafe();
   response.deduplicated = true;
   response.stages = StageTimings{};

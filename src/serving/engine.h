@@ -25,8 +25,10 @@ struct ServingOptions {
   /// Worker threads when the engine owns its pool (pool == nullptr).
   size_t num_threads = 4;
   /// Existing pool to dispatch onto instead of owning one. Must outlive
-  /// the engine. This is how serving shares workers with the offline
-  /// pipeline in a single process.
+  /// the engine; the engine's destructor waits for its own admitted
+  /// requests to finish, so no extra draining is required of the caller.
+  /// This is how serving shares workers with the offline pipeline in a
+  /// single process.
   ThreadPool* pool = nullptr;
   /// Admission bound: maximum requests in flight (queued + executing).
   /// Beyond it, requests are shed with Status::Unavailable instead of
@@ -82,10 +84,13 @@ struct QueryResponse {
 /// Request lifecycle:
 ///
 ///   Submit -> admission check (shed when over max_in_flight)
-///          -> cache probe (lower-cased key, TTL + snapshot-version check)
+///          -> acquire snapshot (lock-free), pinning one generation for
+///             the whole request
+///          -> cache probe (lower-cased key, TTL check, entry version
+///             validated against the pinned generation)
 ///          -> single-flight: followers wait for an identical leader
-///          -> acquire snapshot (lock-free), then expand / collect / rank
-///             with deadline checks between stages
+///          -> expand / collect / rank against the pinned snapshot, with
+///             deadline checks between stages
 ///          -> populate cache, record metrics
 ///
 /// All public methods are thread-safe. The engine never blocks a swap:
@@ -97,6 +102,12 @@ class ServingEngine {
   /// published generation (requests fail FailedPrecondition otherwise).
   explicit ServingEngine(SnapshotManager* snapshots,
                          ServingOptions options = {});
+
+  /// Blocks until no admitted request can still touch the engine: the
+  /// owned pool (if any) is drained and joined, then the destructor waits
+  /// for the in-flight count to hit zero, which covers requests queued on
+  /// an external pool. Submitting new requests concurrently with
+  /// destruction is undefined behavior, as for any object.
   ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;

@@ -5,18 +5,19 @@ namespace esharp::serving {
 uint64_t SnapshotManager::Publish(
     std::shared_ptr<const community::CommunityStore> store,
     core::ESharpOptions options) {
-  uint64_t version = next_version_.fetch_add(1, std::memory_order_relaxed);
+  // Publishes serialize so the pointer and the counter advance together:
+  // two unserialized publishers could otherwise install snapshots out of
+  // version order, leaving current_ a generation behind version_ — readers
+  // would then judge every cache entry stale until the next publish.
+  // Acquire() never takes this lock.
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  uint64_t version = next_version_++;
   auto snapshot = std::make_shared<const ServingSnapshot>(
       version, std::move(store), corpus_, options);
   current_.store(std::move(snapshot), std::memory_order_release);
   // version_ trails the pointer: once a reader observes version N it can
   // Acquire() a snapshot at least that new (possibly newer, never older).
-  uint64_t seen = version_.load(std::memory_order_relaxed);
-  while (seen < version &&
-         !version_.compare_exchange_weak(seen, version,
-                                         std::memory_order_release,
-                                         std::memory_order_relaxed)) {
-  }
+  version_.store(version, std::memory_order_release);
   return version;
 }
 

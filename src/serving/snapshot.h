@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "community/store.h"
 #include "esharp/esharp.h"
@@ -67,7 +68,8 @@ class SnapshotManager {
 
   /// Atomically installs a new generation built from `store` and returns
   /// its version number. Thread-safe against concurrent Acquire() and
-  /// Publish() calls.
+  /// Publish() calls; concurrent publishes serialize on a mutex so
+  /// generations are installed in version order (readers stay lock-free).
   uint64_t Publish(std::shared_ptr<const community::CommunityStore> store,
                    core::ESharpOptions options = {});
 
@@ -89,8 +91,9 @@ class SnapshotManager {
 
  private:
   const microblog::TweetCorpus* corpus_;
+  std::mutex publish_mu_;
+  uint64_t next_version_ = 1;  // guarded by publish_mu_
   std::atomic<uint64_t> version_{0};
-  std::atomic<uint64_t> next_version_{1};
   std::atomic<std::shared_ptr<const ServingSnapshot>> current_{nullptr};
 };
 

@@ -550,5 +550,102 @@ TEST_F(ServingTest, AsyncTrafficAcrossASwapAllCompletes) {
   EXPECT_EQ(engine.metrics().Report().completed, 20u);
 }
 
+// ----------------------------------------------- concurrent publishing ----
+
+// Regression: unserialized publishers could install snapshots out of
+// version order (last writer wins on the pointer), leaving the acquirable
+// generation behind version() — which made every cache entry look stale
+// until the next publish. After racing publishers join, the pointer and
+// the counter must agree on the newest generation.
+TEST_F(ServingTest, ConcurrentPublishesInstallNewestGeneration) {
+  SnapshotManager manager(corpus_);
+  auto store =
+      std::make_shared<const community::CommunityStore>(artifacts_->store);
+  constexpr int kPublishers = 4;
+  constexpr int kPerThread = 8;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> publishers;
+  publishers.reserve(kPublishers);
+  for (int t = 0; t < kPublishers; ++t) {
+    publishers.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) manager.Publish(store);
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& th : publishers) th.join();
+
+  EXPECT_EQ(manager.version(), uint64_t{kPublishers * kPerThread});
+  auto snap = manager.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), manager.version());
+}
+
+// ----------------------------------------------- destruction draining -----
+
+// Regression: destroying the engine while submitted requests were still
+// queued or executing let worker lambdas touch already-destroyed members
+// (cache_, metrics_, flights_). The destructor must not return until no
+// admitted request can reach the engine again — and every future handed
+// out by SubmitQuery must already be fulfilled when it does.
+TEST_F(ServingTest, DestructionDrainsPendingAsyncWorkOnOwnedPool) {
+  auto manager = NewManager();
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  {
+    ServingOptions options;
+    options.num_threads = 2;
+    options.max_in_flight = 1 << 20;
+    options.enable_cache = false;  // every request runs the detector
+    options.execution_hook = [](const std::string&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    ServingEngine engine(manager.get(), options);
+    for (int i = 0; i < 16; ++i) {
+      QueryRequest request;
+      request.query = *answered_query_;
+      request.bypass_cache = true;  // defeat single-flight: all execute
+      futures.push_back(engine.SubmitQuery(std::move(request)));
+    }
+    // Engine destroyed here, with most requests still queued on its pool.
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "destructor returned before a submitted request completed";
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
+// Same contract when the pool is external: the engine cannot join it, so
+// the destructor waits for its own admitted requests to release their
+// slots instead. The pool outlives the engine, as the options require.
+TEST_F(ServingTest, DestructionDrainsPendingAsyncWorkOnExternalPool) {
+  auto manager = NewManager();
+  ThreadPool pool(2);
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  {
+    ServingOptions options;
+    options.pool = &pool;
+    options.max_in_flight = 1 << 20;
+    options.enable_cache = false;
+    options.execution_hook = [](const std::string&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    ServingEngine engine(manager.get(), options);
+    for (int i = 0; i < 16; ++i) {
+      QueryRequest request;
+      request.query = *answered_query_;
+      request.bypass_cache = true;
+      futures.push_back(engine.SubmitQuery(std::move(request)));
+    }
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "destructor returned before a submitted request completed";
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
 }  // namespace
 }  // namespace esharp::serving
