@@ -1,0 +1,130 @@
+// Observability overhead: what instrumentation costs when it is on.
+//
+// Two levels:
+//  * tight-loop ns/op of the primitives (counter increment, gauge set,
+//    span start+end against a real tracer and against a null tracer);
+//  * end-to-end ServingEngine::Execute throughput with no tracer attached —
+//    the configuration production runs in, where every ESHARP_SPAN compiles
+//    to an inert-span construction.
+//
+// The acceptance budget is < 2% Execute overhead versus the stripped
+// baseline. To measure it, run this binary from a normal build and from a
+// -DESHARP_OBS_OFF=ON build (the header prints which mode the binary is)
+// and compare the uncached-execute qps lines:
+//
+//   cmake -B build             && cmake --build build -j && ./build/bench/micro_obs
+//   cmake -B build-off -DESHARP_OBS_OFF=ON && cmake --build build-off -j \
+//     && ./build-off/bench/micro_obs
+//
+// Usage: micro_obs [uncached_queries] [tight_loop_iters]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "obs/obs.h"
+#include "serving/engine.h"
+
+namespace {
+
+using namespace esharp;
+
+double NsPerOp(double seconds, size_t iters) {
+  return iters > 0 ? seconds * 1e9 / static_cast<double>(iters) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t queries = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5000;
+  size_t iters = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2000000;
+
+  bench::PrintHeader("Observability overhead");
+  std::printf("build mode: ESHARP_OBS_ENABLED=%d\n\n", ESHARP_OBS_ENABLED);
+
+  // ---- Primitive costs ----------------------------------------------------
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("micro.counter");
+  obs::Gauge* gauge = registry.GetGauge("micro.gauge");
+  obs::Histogram* hist = registry.GetHistogram("micro.hist");
+
+  Timer t;
+  for (size_t i = 0; i < iters; ++i) counter->Increment();
+  double counter_s = t.ElapsedSeconds();
+
+  t.Reset();
+  for (size_t i = 0; i < iters; ++i) gauge->Set(static_cast<double>(i));
+  double gauge_s = t.ElapsedSeconds();
+
+  size_t hist_iters = iters / 10;
+  t.Reset();
+  for (size_t i = 0; i < hist_iters; ++i) hist->Observe(1e-4);
+  double hist_s = t.ElapsedSeconds();
+
+  // Span against a live tracer (periodically drained so the event vector
+  // does not grow unboundedly), then against a null tracer — the inert
+  // path every instrumented function pays when tracing is not requested.
+  obs::Tracer tracer;
+  size_t span_iters = iters / 20;
+  t.Reset();
+  for (size_t i = 0; i < span_iters; ++i) {
+    ESHARP_SPAN(s, &tracer, "micro", nullptr);
+    if ((i & 0xFFF) == 0xFFF) tracer.Reset();
+  }
+  double span_s = t.ElapsedSeconds();
+
+  t.Reset();
+  for (size_t i = 0; i < iters; ++i) {
+    ESHARP_SPAN(s, static_cast<obs::Tracer*>(nullptr), "micro", nullptr);
+  }
+  double inert_span_s = t.ElapsedSeconds();
+
+  std::printf("%-34s %8.1f ns/op\n", "counter increment (sharded)",
+              NsPerOp(counter_s, iters));
+  std::printf("%-34s %8.1f ns/op\n", "gauge set", NsPerOp(gauge_s, iters));
+  std::printf("%-34s %8.1f ns/op\n", "histogram observe",
+              NsPerOp(hist_s, hist_iters));
+  std::printf("%-34s %8.1f ns/op\n", "span start+end (live tracer)",
+              NsPerOp(span_s, span_iters));
+  std::printf("%-34s %8.1f ns/op\n", "span start+end (null tracer)",
+              NsPerOp(inert_span_s, iters));
+
+  // ---- ServingEngine::Execute, uncached, no tracer attached ---------------
+  bench::WorldOptions world_options;
+  world_options.scale = bench::WorldScale::kSmall;
+  auto world = bench::BuildWorld(world_options);
+
+  std::vector<std::string> workload;
+  for (const querylog::QueryInfo& q : world->generated.log.queries()) {
+    workload.push_back(q.text);
+  }
+  if (workload.empty()) {
+    ESHARP_LOG(ERROR) << "empty workload";
+    return 1;
+  }
+
+  serving::SnapshotManager manager(&world->corpus);
+  manager.Publish(std::make_shared<const community::CommunityStore>(
+      world->artifacts.store));
+  serving::ServingOptions serving_options;
+  serving_options.num_threads = 1;
+  serving::ServingEngine engine(&manager, serving_options);
+
+  Rng rng(99);
+  t.Reset();
+  for (size_t i = 0; i < queries; ++i) {
+    serving::QueryRequest request;
+    request.query = workload[rng.Uniform(workload.size())];
+    request.bypass_cache = true;  // force the full expand/detect/rank path
+    (void)engine.Query(std::move(request));
+  }
+  double exec_s = t.ElapsedSeconds();
+  std::printf("\n%-34s %8.1f qps  (%zu uncached queries, %.3f s)\n",
+              "uncached Execute throughput", queries / exec_s, queries,
+              exec_s);
+  std::printf("compare this line across a normal and a -DESHARP_OBS_OFF=ON "
+              "build;\nthe instrumented build must stay within 2%%.\n");
+  return 0;
+}

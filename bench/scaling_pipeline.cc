@@ -4,10 +4,21 @@
 // simulated world size and the worker count, printing per-stage wall time
 // so the scaling behavior (extraction ~linear in click records, clustering
 // ~linear in edges x iterations; workers help both) is visible.
+//
+// Usage: scaling_pipeline [--json=PATH]
+//
+// Every sweep point is also published as bench.pipeline.* gauges
+// (labelled {workers=...,domains=...}) into a bench-local MetricsRegistry
+// and written as a JSON snapshot (default BENCH_pipeline.json; schema in
+// EXPERIMENTS.md).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "common/strings.h"
 #include "esharp/pipeline.h"
+#include "obs/obs.h"
 #include "querylog/generator.h"
 
 using namespace esharp;
@@ -49,9 +60,30 @@ Row RunOne(size_t domains_per_category, size_t threads) {
   return row;
 }
 
+/// Publishes one sweep point as bench.pipeline.<field>{workers=,domains=}.
+void PublishRow(obs::MetricsRegistry& registry, size_t threads,
+                const Row& row) {
+  const obs::Labels point{{"workers", StrFormat("%zu", threads)},
+                          {"domains", StrFormat("%zu", row.domains)}};
+  registry.GetGauge("bench.pipeline.queries", point)
+      ->Set(static_cast<double>(row.queries));
+  registry.GetGauge("bench.pipeline.edges", point)
+      ->Set(static_cast<double>(row.edges));
+  registry.GetGauge("bench.pipeline.extraction_seconds", point)
+      ->Set(row.extraction_s);
+  registry.GetGauge("bench.pipeline.clustering_seconds", point)
+      ->Set(row.clustering_s);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  obs::MetricsRegistry registry;
   std::printf("\n=== Scaling: offline pipeline vs world size ===\n");
   std::printf("%-10s %-9s %-9s %-9s %-14s %-14s\n", "Workers", "Domains",
               "Queries", "Edges", "Extraction(s)", "Clustering(s)");
@@ -61,11 +93,20 @@ int main() {
       std::printf("%-10zu %-9zu %-9zu %-9zu %-14.3f %-14.3f\n", threads,
                   row.domains, row.queries, row.edges, row.extraction_s,
                   row.clustering_s);
+      PublishRow(registry, threads, row);
     }
   }
   std::printf(
       "\nShape to check: both stages grow roughly linearly with the world.\n"
       "On multi-core machines the worker pool cuts extraction wall time;\n"
       "clustering's native backend is bookkeeping-bound at this scale.\n");
+
+  Status written = registry.WriteJsonFile(json_path);
+  if (!written.ok()) {
+    ESHARP_LOG(WARN) << "could not write " << json_path << ": "
+                     << written.ToString();
+  } else {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -15,16 +15,25 @@
 // the distribution dominates and is served from the cache.
 //
 // Usage: serving_load [closed_threads] [queries_per_thread] [open_qps]
+//                     [--json=PATH]
+//
+// Every run's results are also published as bench.serving.* gauges
+// (labelled {run="closed_cold"|...}) into a bench-local MetricsRegistry
+// and written as a JSON snapshot (default BENCH_serving.json; schema in
+// EXPERIMENTS.md), so runs diff mechanically across commits.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 #include "serving/engine.h"
 
 namespace {
@@ -137,12 +146,44 @@ void PrintRow(const char* label, const RunResult& r) {
               r.p95_ms, r.p99_ms, 100.0 * r.hit_rate);
 }
 
+/// Publishes one run's results into the bench-local registry as
+/// bench.serving.<field>{run="<label>"} gauges.
+void PublishRun(obs::MetricsRegistry& registry, const char* label,
+                const RunResult& r) {
+  const obs::Labels run{{"run", label}};
+  registry.GetGauge("bench.serving.issued", run)
+      ->Set(static_cast<double>(r.issued));
+  registry.GetGauge("bench.serving.ok", run)->Set(static_cast<double>(r.ok));
+  registry.GetGauge("bench.serving.shed", run)
+      ->Set(static_cast<double>(r.shed));
+  registry.GetGauge("bench.serving.errors", run)
+      ->Set(static_cast<double>(r.errors));
+  registry.GetGauge("bench.serving.wall_seconds", run)->Set(r.wall_seconds);
+  registry.GetGauge("bench.serving.qps", run)->Set(r.qps);
+  registry.GetGauge("bench.serving.p50_ms", run)->Set(r.p50_ms);
+  registry.GetGauge("bench.serving.p95_ms", run)->Set(r.p95_ms);
+  registry.GetGauge("bench.serving.p99_ms", run)->Set(r.p99_ms);
+  registry.GetGauge("bench.serving.hit_rate", run)->Set(r.hit_rate);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t closed_threads = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
-  size_t per_thread = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 250;
-  double open_qps = argc > 3 ? std::strtod(argv[3], nullptr) : 200.0;
+  std::string json_path = "BENCH_serving.json";
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  size_t closed_threads =
+      positional.size() > 0 ? std::strtoul(positional[0], nullptr, 10) : 4;
+  size_t per_thread =
+      positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 250;
+  double open_qps =
+      positional.size() > 2 ? std::strtod(positional[2], nullptr) : 200.0;
 
   bench::PrintHeader("Serving layer: Zipf workload replay");
   bench::WorldOptions world_options;
@@ -151,7 +192,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> queries = WorkloadQueries(world->generated.log);
   if (queries.empty()) {
-    std::fprintf(stderr, "FATAL: empty workload\n");
+    ESHARP_LOG(ERROR) << "empty workload: no query survived the log's "
+                         "min-count filter";
     return 1;
   }
   // Web query popularity is famously Zipfian; s=1.05 matches the log
@@ -204,5 +246,26 @@ int main(int argc, char** argv) {
   std::printf("\nwarm/cold closed-loop throughput: %.2fx\n", speedup);
   std::printf("\nengine metrics after the final run:\n%s",
               engine.metrics().ToTable().c_str());
+
+  // Machine-readable snapshot: a bench-local registry (so the engine's own
+  // global serving.* instruments do not leak into the file).
+  obs::MetricsRegistry registry;
+  registry.GetGauge("bench.serving.workload_queries")
+      ->Set(static_cast<double>(queries.size()));
+  registry.GetGauge("bench.serving.closed_threads")
+      ->Set(static_cast<double>(closed_threads));
+  registry.GetGauge("bench.serving.offered_qps")->Set(open_qps);
+  registry.GetGauge("bench.serving.warm_cold_speedup")->Set(speedup);
+  PublishRun(registry, "closed_cold", closed_cold);
+  PublishRun(registry, "closed_warm", closed_warm);
+  PublishRun(registry, "open_cold", open_cold);
+  PublishRun(registry, "open_warm", open_warm);
+  Status written = registry.WriteJsonFile(json_path);
+  if (!written.ok()) {
+    ESHARP_LOG(WARN) << "could not write " << json_path << ": "
+                     << written.ToString();
+  } else {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -8,24 +8,46 @@
 //     query (baseline degradation).
 //  4. Mid-traffic, run the weekly refresh (warm-started offline pipeline,
 //     §6.3) and hot-swap the store under the live load.
-//  5. Print the serving metrics dashboard.
+//  5. Print the serving metrics dashboard, the whole-process metrics
+//     registry, and an EXPLAIN ANALYZE tree for one SQL-backend clustering
+//     iteration.
 //
 // Build and run:
 //   cmake -B build && cmake --build build -j
-//   ./build/examples/serving_demo
+//   ./build/examples/serving_demo --metrics_json=/tmp/m.json --trace=/tmp/trace.json
+//
+// --metrics_json writes a JSON snapshot of every metric in the process;
+// --trace writes a Chrome about:tracing / Perfetto-loadable trace covering
+// both the served requests (request -> admission/cache/expand/detect/rank)
+// and the weekly refresh (offline_pipeline -> extract/cluster/index with
+// per-iteration modularity annotations).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "esharp/pipeline.h"
 #include "microblog/generator.h"
+#include "obs/obs.h"
 #include "querylog/generator.h"
 #include "serving/engine.h"
 
 using namespace esharp;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_json_path, trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics_json=", 15) == 0) {
+      metrics_json_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    }
+  }
+
+  obs::Tracer tracer;
+
   // ---- 1. Week 1: simulate inputs and run the offline pipeline ------------
   querylog::UniverseOptions universe_options;
   universe_options.num_categories = 3;
@@ -42,6 +64,7 @@ int main() {
 
   core::OfflineOptions offline_options;
   offline_options.extraction.min_similarity = 0.15;
+  offline_options.tracer = &tracer;
   auto artifacts = RunOfflinePipeline(week1->log, offline_options);
   if (!artifacts.ok()) return 1;
 
@@ -65,6 +88,7 @@ int main() {
   serving::ServingOptions serving_options;
   serving_options.num_threads = 4;
   serving_options.max_in_flight = 128;
+  serving_options.tracer = &tracer;
   serving::ServingEngine engine(&manager, serving_options);
 
   // ---- 3. Mixed traffic from client threads -------------------------------
@@ -99,7 +123,9 @@ int main() {
   // Week 2 re-runs the offline pipeline warm-started from week 1's
   // communities (§6.3) and republishes — while the clients above keep
   // querying. Readers in flight finish against week 1; new requests see
-  // week 2; stale cache entries are invalidated by version.
+  // week 2; stale cache entries are invalidated by version. The refresh
+  // shares the demo's tracer, so the trace file shows the offline job
+  // overlapping the served requests.
   log_options.seed = 14;  // next week's log differs
   auto week2 = GenerateQueryLog(*universe, log_options);
   if (!week2.ok()) return 1;
@@ -124,12 +150,41 @@ int main() {
                 static_cast<unsigned long long>(post->snapshot_version));
   }
 
-  // ---- 5. The dashboard ---------------------------------------------------
+  // ---- 5. The dashboards --------------------------------------------------
   std::printf("serving metrics:\n%s", engine.metrics().ToTable().c_str());
   serving::CacheStats cache = engine.cache_stats();
-  std::printf("cache: %llu hits, %llu misses, %llu invalidated/expired\n",
+  std::printf("cache: %llu hits, %llu misses, %llu invalidated/expired\n\n",
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses),
               static_cast<unsigned long long>(cache.expirations));
+
+  // EXPLAIN ANALYZE: rerun clustering through the SQL engine backend with
+  // profiling on — the per-operator tree of Fig. 4's main statement, with
+  // exact row counts (the paper's deployment story made diagnosable).
+  core::OfflineOptions sql_options;
+  sql_options.extraction.min_similarity = 0.15;
+  sql_options.backend = core::ClusteringBackend::kSqlEngine;
+  sql_options.max_iterations = 3;
+  sql::ExplainStats explain;
+  sql_options.explain = &explain;
+  auto sql_run = RunOfflinePipeline(week1->log, sql_options);
+  if (sql_run.ok() && explain.NodeCount() > 0) {
+    std::printf("EXPLAIN ANALYZE (SQL backend, clustering iteration 0):\n%s\n",
+                explain.ToString().c_str());
+  }
+
+  // One pane of glass: every instrument in the process, Prometheus-style.
+  std::printf("process metrics registry:\n%s", obs::DumpAll().c_str());
+
+  if (!metrics_json_path.empty()) {
+    Status s = obs::MetricsRegistry::Global().WriteJsonFile(metrics_json_path);
+    std::printf("%s\n", s.ok() ? ("wrote " + metrics_json_path).c_str()
+                               : s.ToString().c_str());
+  }
+  if (!trace_path.empty()) {
+    Status s = tracer.WriteChromeJsonFile(trace_path);
+    std::printf("%s\n", s.ok() ? ("wrote " + trace_path).c_str()
+                               : s.ToString().c_str());
+  }
   return 0;
 }

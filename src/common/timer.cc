@@ -4,73 +4,6 @@
 
 namespace esharp {
 
-ResourceMeter::StageStats& ResourceMeter::GetOrCreate(
-    const std::string& stage) {
-  auto it = stages_.find(stage);
-  if (it == stages_.end()) {
-    order_.push_back(stage);
-    it = stages_.emplace(stage, StageStats{}).first;
-  }
-  return it->second;
-}
-
-void ResourceMeter::Record(const std::string& stage, const StageStats& stats) {
-  StageStats& s = GetOrCreate(stage);
-  s.seconds += stats.seconds;
-  s.bytes_read += stats.bytes_read;
-  s.bytes_written += stats.bytes_written;
-  s.rows_read += stats.rows_read;
-  s.rows_written += stats.rows_written;
-  s.parallelism = stats.parallelism;
-}
-
-void ResourceMeter::AddTime(const std::string& stage, double seconds) {
-  GetOrCreate(stage).seconds += seconds;
-}
-
-void ResourceMeter::AddIO(const std::string& stage, uint64_t bytes_read,
-                          uint64_t bytes_written) {
-  StageStats& s = GetOrCreate(stage);
-  s.bytes_read += bytes_read;
-  s.bytes_written += bytes_written;
-}
-
-void ResourceMeter::AddRows(const std::string& stage, uint64_t rows_read,
-                            uint64_t rows_written) {
-  StageStats& s = GetOrCreate(stage);
-  s.rows_read += rows_read;
-  s.rows_written += rows_written;
-}
-
-void ResourceMeter::SetParallelism(const std::string& stage,
-                                   size_t parallelism) {
-  GetOrCreate(stage).parallelism = parallelism;
-}
-
-ResourceMeter::StageStats ResourceMeter::Get(const std::string& stage) const {
-  auto it = stages_.find(stage);
-  if (it == stages_.end()) return StageStats{};
-  return it->second;
-}
-
-std::vector<std::string> ResourceMeter::StageNames() const { return order_; }
-
-std::string ResourceMeter::ToTable() const {
-  std::string out =
-      StrFormat("%-12s %8s %12s %12s %12s %12s %12s\n", "Step", "Workers",
-                "Runtime", "Read", "Write", "RowsIn", "RowsOut");
-  for (const std::string& name : order_) {
-    const StageStats& s = stages_.at(name);
-    out += StrFormat("%-12s %8zu %10.3fs %12s %12s %12llu %12llu\n",
-                     name.c_str(), s.parallelism, s.seconds,
-                     HumanBytes(s.bytes_read).c_str(),
-                     HumanBytes(s.bytes_written).c_str(),
-                     static_cast<unsigned long long>(s.rows_read),
-                     static_cast<unsigned long long>(s.rows_written));
-  }
-  return out;
-}
-
 std::string HumanBytes(uint64_t bytes) {
   const char* units[] = {"B", "KB", "MB", "GB", "TB"};
   double v = static_cast<double>(bytes);

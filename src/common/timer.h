@@ -3,9 +3,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <map>
 #include <string>
-#include <vector>
+
+// ResourceMeter lived here before the observability subsystem; it now sits
+// in src/obs (where it mirrors into the metrics registry) and this include
+// keeps the many `#include "common/timer.h"` call sites working unchanged.
+#include "obs/resource_meter.h"
 
 namespace esharp {
 
@@ -28,54 +31,6 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
-};
-
-/// \brief Per-stage resource accounting for the pipeline (Table 9).
-///
-/// Each offline/online stage records wall time, bytes read, bytes written and
-/// the degree of parallelism used (our stand-in for the paper's VM counts).
-class ResourceMeter {
- public:
-  struct StageStats {
-    double seconds = 0;
-    uint64_t bytes_read = 0;
-    uint64_t bytes_written = 0;
-    uint64_t rows_read = 0;
-    uint64_t rows_written = 0;
-    size_t parallelism = 1;
-  };
-
-  /// Accumulates stats for a named stage (creates it on first use).
-  void Record(const std::string& stage, const StageStats& stats);
-
-  /// Adds elapsed time to a stage.
-  void AddTime(const std::string& stage, double seconds);
-
-  /// Adds IO volume to a stage.
-  void AddIO(const std::string& stage, uint64_t bytes_read,
-             uint64_t bytes_written);
-
-  /// Adds row counts to a stage.
-  void AddRows(const std::string& stage, uint64_t rows_read,
-               uint64_t rows_written);
-
-  /// Sets the parallelism used by a stage.
-  void SetParallelism(const std::string& stage, size_t parallelism);
-
-  /// Stats for one stage (default-constructed if absent).
-  StageStats Get(const std::string& stage) const;
-
-  /// Stage names in insertion order.
-  std::vector<std::string> StageNames() const;
-
-  /// Renders a Table 9-style report.
-  std::string ToTable() const;
-
- private:
-  StageStats& GetOrCreate(const std::string& stage);
-
-  std::vector<std::string> order_;
-  std::map<std::string, StageStats> stages_;
 };
 
 /// \brief Pretty-prints a byte count ("1.4 GB", "94 MB", ...).

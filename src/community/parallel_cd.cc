@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/obs.h"
+
 namespace esharp::community {
 
 std::vector<std::pair<CommunityId, CommunityId>> BestMergeTargets(
@@ -112,9 +114,13 @@ Result<DetectionResult> DetectCommunitiesParallel(
   result.modularity_per_iteration.push_back(partition.TotalModularity(ctx));
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ESHARP_SPAN(iter_span, options.tracer, "iteration", options.trace_parent);
+    ESHARP_SPAN_ANNOTATE(iter_span, "iteration",
+                         static_cast<int64_t>(iter));
     std::vector<std::pair<CommunityId, CommunityId>> moves = BestMergeTargets(
         partition, ctx, options.pool, options.num_partitions);
     if (moves.empty()) {
+      ESHARP_SPAN_ANNOTATE(iter_span, "converged", "true");
       result.converged = true;
       break;
     }
@@ -124,6 +130,10 @@ Result<DetectionResult> DetectCommunitiesParallel(
     ++result.iterations;
     result.communities_per_iteration.push_back(partition.NumCommunities());
     result.modularity_per_iteration.push_back(partition.TotalModularity(ctx));
+    ESHARP_SPAN_ANNOTATE(iter_span, "communities",
+                         static_cast<int64_t>(partition.NumCommunities()));
+    ESHARP_SPAN_ANNOTATE(iter_span, "modularity",
+                         result.modularity_per_iteration.back());
   }
 
   result.assignment.resize(g.num_vertices());

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "community/modularity.h"
 #include "graph/graph.h"
+#include "obs/trace.h"
 
 namespace esharp::community {
 
@@ -41,6 +42,10 @@ struct ParallelCdOptions {
   /// The weekly refresh uses last week's communities here, cutting the
   /// number of merge iterations the fresh run needs.
   const std::vector<CommunityId>* warm_start = nullptr;
+  /// Optional tracing: each merge iteration becomes an "iteration" span
+  /// (annotated with community count and modularity) under `trace_parent`.
+  obs::Tracer* tracer = nullptr;
+  const obs::Span* trace_parent = nullptr;
 };
 
 /// \brief The paper's parallel modularity-maximization heuristic, native

@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "common/timer.h"
+#include "obs/obs.h"
 #include "sqlengine/catalog.h"
 
 namespace esharp::community {
@@ -141,6 +142,8 @@ Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     using namespace sqlns;
+    ESHARP_SPAN(iter_span, options.tracer, "iteration", options.trace_parent);
+    ESHARP_SPAN_ANNOTATE(iter_span, "iteration", static_cast<int64_t>(iter));
 
     // --- Step 0: map both edge endpoints to communities. -----------------
     // select c1.comm_name comm1, c2.comm_name comm2, distance
@@ -185,8 +188,14 @@ Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
     // Every community renames itself LEAST(self, chosen target); vertices
     // follow their community. Left-outer join keeps communities without a
     // positive-gain neighbor.
-    ESHARP_ASSIGN_OR_RETURN(Table partitions_table,
-                            executor.Execute(partitions, catalog));
+    // The first iteration's execution of the statement doubles as the
+    // EXPLAIN ANALYZE sample when the caller asked for one.
+    Result<Table> partitions_result =
+        (iter == 0 && options.explain != nullptr)
+            ? executor.Execute(partitions, catalog, options.explain)
+            : executor.Execute(partitions, catalog);
+    ESHARP_RETURN_NOT_OK(partitions_result.status());
+    Table partitions_table = std::move(partitions_result).ValueOrDie();
     Plan renamed =
         Plan::Scan("communities")
             .Join(Plan::Values(partitions_table), {"comm_name"}, {"comm1"},
@@ -217,6 +226,7 @@ Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
     catalog.Register("communities", std::move(new_communities));
 
     if (!changed) {
+      ESHARP_SPAN_ANNOTATE(iter_span, "converged", "true");
       result.converged = true;
       break;
     }
@@ -225,6 +235,9 @@ Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
     result.communities_per_iteration.push_back(count);
     ESHARP_ASSIGN_OR_RETURN(double mod, total_modularity());
     result.modularity_per_iteration.push_back(mod);
+    ESHARP_SPAN_ANNOTATE(iter_span, "communities",
+                         static_cast<int64_t>(count));
+    ESHARP_SPAN_ANNOTATE(iter_span, "modularity", mod);
   }
 
   // Decode the final communities table into the dense assignment vector.

@@ -17,6 +17,15 @@ struct SqlCdOptions {
   size_t num_partitions = 8;
   sql::JoinStrategy join_strategy = sql::JoinStrategy::kReplicated;
   ResourceMeter* meter = nullptr;
+  /// Optional tracing: each rename iteration becomes an "iteration" span
+  /// (annotated with community count and modularity) under `trace_parent`.
+  obs::Tracer* tracer = nullptr;
+  const obs::Span* trace_parent = nullptr;
+  /// When set, the first iteration's main plan (the Fig. 4 "partitions"
+  /// statement: join graph to communities, aggregate weights, ModulGain
+  /// filter, argmax) is profiled into this EXPLAIN ANALYZE tree with exact
+  /// per-operator row counts.
+  sql::ExplainStats* explain = nullptr;
 };
 
 /// \brief The paper's SQL-based modularity maximization (Fig. 4), executed

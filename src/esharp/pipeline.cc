@@ -4,6 +4,7 @@
 
 #include "community/parallel_cd.h"
 #include "community/sql_cd.h"
+#include "obs/obs.h"
 
 namespace esharp::core {
 
@@ -34,12 +35,26 @@ std::vector<community::CommunityId> WarmStartFromStore(
 
 Result<OfflineArtifacts> RunOfflinePipeline(const querylog::QueryLog& log,
                                             const OfflineOptions& options) {
+  ESHARP_SPAN(job_span, options.tracer, "offline_pipeline",
+              options.trace_parent);
+  ESHARP_SPAN_ANNOTATE(job_span, "warm_start",
+                       options.previous_store != nullptr ? "true" : "false");
+  ESHARP_SPAN_ANNOTATE(
+      job_span, "backend",
+      options.backend == ClusteringBackend::kSqlEngine ? "sql" : "parallel");
+
   // ---- Extraction (§4.1): click vectors -> similarity graph. -------------
   graph::SimilarityGraphOptions extraction = options.extraction;
   extraction.pool = options.pool;
   extraction.num_partitions = options.num_partitions;
   extraction.meter = options.meter;
+  ESHARP_SPAN(extract_span, options.tracer, "extract", &job_span);
   ESHARP_ASSIGN_OR_RETURN(graph::Graph g, BuildSimilarityGraph(log, extraction));
+  ESHARP_SPAN_ANNOTATE(extract_span, "vertices",
+                       static_cast<int64_t>(g.num_vertices()));
+  ESHARP_SPAN_ANNOTATE(extract_span, "edges",
+                       static_cast<int64_t>(g.num_edges()));
+  extract_span.End();
 
   if (g.num_vertices() == 0) {
     return Status::FailedPrecondition(
@@ -47,6 +62,7 @@ Result<OfflineArtifacts> RunOfflinePipeline(const querylog::QueryLog& log,
   }
 
   // ---- Clustering (§4.2): modularity maximization. ------------------------
+  ESHARP_SPAN(cluster_span, options.tracer, "cluster", &job_span);
   community::DetectionResult detection;
   std::vector<community::CommunityId> warm_start;
   switch (options.backend) {
@@ -56,6 +72,8 @@ Result<OfflineArtifacts> RunOfflinePipeline(const querylog::QueryLog& log,
       cd.pool = options.pool;
       cd.num_partitions = options.num_partitions;
       cd.meter = options.meter;
+      cd.tracer = options.tracer;
+      cd.trace_parent = &cluster_span;
       if (options.previous_store != nullptr) {
         warm_start = WarmStartFromStore(g, *options.previous_store);
         cd.warm_start = &warm_start;
@@ -70,15 +88,29 @@ Result<OfflineArtifacts> RunOfflinePipeline(const querylog::QueryLog& log,
       cd.pool = options.pool;
       cd.num_partitions = options.num_partitions;
       cd.meter = options.meter;
+      cd.tracer = options.tracer;
+      cd.trace_parent = &cluster_span;
+      cd.explain = options.explain;
       ESHARP_ASSIGN_OR_RETURN(detection, DetectCommunitiesSql(g, cd));
       break;
     }
   }
+  ESHARP_SPAN_ANNOTATE(cluster_span, "iterations",
+                       static_cast<int64_t>(detection.iterations));
+  if (!detection.modularity_per_iteration.empty()) {
+    ESHARP_SPAN_ANNOTATE(cluster_span, "modularity",
+                         detection.modularity_per_iteration.back());
+  }
+  cluster_span.End();
 
   OfflineArtifacts artifacts;
   artifacts.communities_per_iteration = detection.communities_per_iteration;
   artifacts.modularity_per_iteration = detection.modularity_per_iteration;
+  ESHARP_SPAN(index_span, options.tracer, "index", &job_span);
   artifacts.store = community::CommunityStore::Build(g, detection.assignment);
+  ESHARP_SPAN_ANNOTATE(index_span, "communities",
+                       static_cast<int64_t>(artifacts.store.num_communities()));
+  index_span.End();
   artifacts.similarity_graph = std::move(g);
   return artifacts;
 }

@@ -8,7 +8,9 @@
 #include "common/timer.h"
 #include "community/store.h"
 #include "graph/builder.h"
+#include "obs/trace.h"
 #include "querylog/log.h"
+#include "sqlengine/explain.h"
 
 namespace esharp::core {
 
@@ -38,6 +40,15 @@ struct OfflineOptions {
   /// queries still present start in their previous community, new queries
   /// start as singletons. Only honored by the native backend.
   const community::CommunityStore* previous_store = nullptr;
+  /// Optional tracing of the whole job: an "offline_pipeline" span under
+  /// `trace_parent` with "extract" / "cluster" / "index" children; the
+  /// clustering backend adds per-iteration spans with modularity
+  /// annotations.
+  obs::Tracer* tracer = nullptr;
+  const obs::Span* trace_parent = nullptr;
+  /// When set (kSqlEngine backend only), the first clustering iteration's
+  /// main plan is profiled into this EXPLAIN ANALYZE tree.
+  sql::ExplainStats* explain = nullptr;
 };
 
 /// \brief Everything the offline stage produces.

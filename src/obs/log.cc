@@ -1,0 +1,106 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <string_view>
+
+#include "common/strings.h"
+
+namespace esharp::obs {
+
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink sink;
+  return sink;
+}
+
+std::atomic<int>& MinLevelSlot() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kINFO)};
+  return level;
+}
+
+/// "src/serving/engine.cc" -> "serving"; "tests/obs_test.cc" -> "tests".
+/// The tag names the subsystem, not the file — grep-friendly and stable
+/// across renames inside a directory.
+std::string_view SubsystemTag(std::string_view path) {
+  size_t src = path.rfind("src/");
+  if (src != std::string_view::npos) {
+    std::string_view rest = path.substr(src + 4);
+    size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) return rest.substr(0, slash);
+  }
+  for (std::string_view top : {"bench/", "tests/", "examples/", "tools/"}) {
+    size_t at = path.rfind(top);
+    if (at != std::string_view::npos) return top.substr(0, top.size() - 1);
+  }
+  size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+std::string Timestamp() {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  return StrFormat("%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ", tm.tm_year + 1900,
+                   tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                   tm.tm_sec, ts.tv_nsec / 1000000);
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDEBUG: return "DEBUG";
+    case LogLevel::kINFO: return "INFO";
+    case LogLevel::kWARN: return "WARN";
+    case LogLevel::kERROR: return "ERROR";
+  }
+  return "?";
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelSlot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      MinLevelSlot().load(std::memory_order_relaxed));
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) <
+      MinLevelSlot().load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::string_view tag = SubsystemTag(file_);
+  std::string line = StrFormat(
+      "%s %-5s [%.*s] %s (%s:%d)", Timestamp().c_str(), LogLevelName(level_),
+      static_cast<int>(tag.size()), tag.data(), stream_.str().c_str(), file_,
+      line_);
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(level_, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace esharp::obs

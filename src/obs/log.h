@@ -1,0 +1,55 @@
+#ifndef ESHARP_OBS_LOG_H_
+#define ESHARP_OBS_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace esharp::obs {
+
+enum class LogLevel { kDEBUG = 0, kINFO = 1, kWARN = 2, kERROR = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// \brief Where finished log lines go. Receives the fully formatted line
+/// (no trailing newline) plus the parsed pieces for structured sinks.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Replaces the process log sink. Pass nullptr to restore the default
+/// (stderr). Thread-safe; returns nothing — tests capture via a lambda.
+void SetLogSink(LogSink sink);
+
+/// Lines below `level` are dropped before formatting. Default kINFO.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// \brief One log statement: streams into an ostringstream, emits on
+/// destruction. Use via ESHARP_LOG(WARN) << "..."; not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace esharp::obs
+
+/// ESHARP_LOG(WARN) << "snapshot stale for " << secs << "s";
+/// The token paste (kWARN etc.) keeps DEBUG/ERROR usable even when some
+/// header defines them as macros.
+#define ESHARP_LOG(severity)                                        \
+  ::esharp::obs::LogMessage(::esharp::obs::LogLevel::k##severity, \
+                            __FILE__, __LINE__)                     \
+      .stream()
+
+#endif  // ESHARP_OBS_LOG_H_

@@ -1,0 +1,249 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/file_io.h"
+#include "common/strings.h"
+
+namespace esharp::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names
+/// ("serving.completed") map dots and dashes to underscores.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}`, empty string for no labels; extras appended inside
+/// the braces (the quantile label of histogram samples).
+std::string PromLabels(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += SanitizeMetricName(k) + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Doubles rendered with enough digits to round-trip typical values; JSON
+/// has no infinity/nan, clamp those to 0 (they never occur in practice).
+std::string JsonNumber(double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  std::string s = StrFormat("%.12g", v);
+  return s;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+template <typename T>
+T* MetricsRegistry::GetOrCreate(std::map<std::string, Entry<T>>& family,
+                                const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = name + PromLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = family.find(key);
+  if (it == family.end()) {
+    Entry<T> entry;
+    entry.name = name;
+    entry.labels = std::move(labels);
+    entry.instrument = std::make_unique<T>();
+    it = family.emplace(std::move(key), std::move(entry)).first;
+  }
+  return it->second.instrument.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  return GetOrCreate(counters_, name, labels);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  return GetOrCreate(gauges_, name, labels);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels) {
+  return GetOrCreate(histograms_, name, labels);
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_type_line;
+  auto type_line = [&](const std::string& name, const char* type) {
+    std::string line = "# TYPE " + SanitizeMetricName(name) + " " + type + "\n";
+    // Families are map-ordered, so equal names are adjacent; emit the TYPE
+    // header once per family.
+    if (line != last_type_line) {
+      out += line;
+      last_type_line = line;
+    }
+  };
+  for (const auto& [key, e] : counters_) {
+    type_line(e.name, "counter");
+    out += SanitizeMetricName(e.name) + PromLabels(e.labels) + " " +
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 e.instrument->Value())) +
+           "\n";
+  }
+  for (const auto& [key, e] : gauges_) {
+    type_line(e.name, "gauge");
+    out += SanitizeMetricName(e.name) + PromLabels(e.labels) + " " +
+           StrFormat("%.12g", e.instrument->Value()) + "\n";
+  }
+  for (const auto& [key, e] : histograms_) {
+    type_line(e.name, "summary");
+    HistogramSnapshot s = e.instrument->Snapshot();
+    std::string base = SanitizeMetricName(e.name);
+    out += base + PromLabels(e.labels, "quantile=\"0.5\"") + " " +
+           StrFormat("%.12g", s.p50) + "\n";
+    out += base + PromLabels(e.labels, "quantile=\"0.95\"") + " " +
+           StrFormat("%.12g", s.p95) + "\n";
+    out += base + PromLabels(e.labels, "quantile=\"0.99\"") + " " +
+           StrFormat("%.12g", s.p99) + "\n";
+    out += base + "_count" + PromLabels(e.labels) + " " +
+           StrFormat("%llu", static_cast<unsigned long long>(s.count)) + "\n";
+    out += base + "_sum" + PromLabels(e.labels) + " " +
+           StrFormat("%.12g", s.mean * static_cast<double>(s.count)) + "\n";
+    out += base + "_max" + PromLabels(e.labels) + " " +
+           StrFormat("%.12g", s.max) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, e] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + JsonEscape(e.name) +
+           "\",\"labels\":" + JsonLabels(e.labels) + ",\"value\":" +
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(e.instrument->Value())) +
+           "}";
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& [key, e] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + JsonEscape(e.name) +
+           "\",\"labels\":" + JsonLabels(e.labels) +
+           ",\"value\":" + JsonNumber(e.instrument->Value()) + "}";
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& [key, e] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    HistogramSnapshot s = e.instrument->Snapshot();
+    out += "    {\"name\":\"" + JsonEscape(e.name) +
+           "\",\"labels\":" + JsonLabels(e.labels) +
+           ",\"count\":" + StrFormat("%llu", static_cast<unsigned long long>(
+                                                 s.count)) +
+           ",\"mean\":" + JsonNumber(s.mean) + ",\"max\":" + JsonNumber(s.max) +
+           ",\"p50\":" + JsonNumber(s.p50) + ",\"p95\":" + JsonNumber(s.p95) +
+           ",\"p99\":" + JsonNumber(s.p99) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  return WriteStringToFile(path, ExportJson());
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, e] : counters_) e.instrument->Reset();
+  for (auto& [key, e] : gauges_) e.instrument->Reset();
+  for (auto& [key, e] : histograms_) e.instrument->Reset();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string DumpAll() { return MetricsRegistry::Global().ExportPrometheus(); }
+
+double NowSeconds() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+}  // namespace esharp::obs

@@ -1,0 +1,217 @@
+#ifndef ESHARP_OBS_METRICS_H_
+#define ESHARP_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace esharp::obs {
+
+/// \brief Metric labels: a small set of key/value dimensions
+/// (`{"stage","extract"}`). Kept sorted by key inside the registry so two
+/// call sites with the same labels in different order share one instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonic counter, sharded across cache lines so concurrent
+/// writers on the hot serving path never contend on one atomic. Reads sum
+/// the shards (eventually consistent between increments, exact at rest).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kNumShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  /// Each thread sticks to one shard (round-robin assignment on first use),
+  /// so increments are uncontended as long as threads <= shards.
+  static size_t ShardIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+    return index;
+  }
+  std::array<Shard, kNumShards> shards_;
+};
+
+/// \brief Last-writer-wins double value (queue depths, stage seconds,
+/// bench results).
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    uint64_t observed = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(observed,
+                                        Encode(Decode(observed) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const {
+    return Decode(bits_.load(std::memory_order_relaxed));
+  }
+
+  void Reset() { Set(0.0); }
+
+ private:
+  static uint64_t Encode(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double Decode(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// \brief Point-in-time view of a histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double mean = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// \brief Thread-safe latency distribution: `common/stats.h`
+/// LatencyHistogram behind a mutex. The lock is held for a few bucket
+/// increments; callers that cannot afford even that shard externally.
+class Histogram {
+ public:
+  void Observe(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Add(seconds);
+  }
+
+  HistogramSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    HistogramSnapshot s;
+    s.count = hist_.count();
+    s.mean = hist_.Mean();
+    s.max = hist_.Max();
+    s.p50 = hist_.Percentile(50);
+    s.p95 = hist_.Percentile(95);
+    s.p99 = hist_.Percentile(99);
+    return s;
+  }
+
+  double Percentile(double p) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.Percentile(p);
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram hist_;
+};
+
+/// \brief Process-wide registry of named instruments.
+///
+/// `Get*` interns an instrument under (name, labels) and returns a stable
+/// pointer: instruments are never deleted, so callers cache the pointer
+/// once and record lock-free afterwards. All methods are thread-safe.
+///
+/// Two exporters ship with the registry: Prometheus text exposition
+/// (`ExportPrometheus`) and a JSON snapshot (`ExportJson` /
+/// `WriteJsonFile`) whose schema is documented in EXPERIMENTS.md.
+class MetricsRegistry {
+ public:
+  /// The process-wide instance almost every caller wants. Separate
+  /// instances exist for tests and for bench runs that export their own
+  /// snapshot files.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  /// Prometheus text exposition: counters/gauges as single samples,
+  /// histograms as summary-style quantile samples plus _count/_sum-like
+  /// mean and max samples. Metric names are sanitized ('.' and '-' map to
+  /// '_'); label values are escaped.
+  std::string ExportPrometheus() const;
+
+  /// JSON snapshot:
+  ///   {"counters":[{"name":...,"labels":{...},"value":N}, ...],
+  ///    "gauges":[...same, value double...],
+  ///    "histograms":[{"name":...,"labels":{...},"count":N,"mean":..,
+  ///                   "max":..,"p50":..,"p95":..,"p99":..}, ...]}
+  std::string ExportJson() const;
+
+  /// Writes ExportJson() to `path`.
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every instrument (pointers stay valid). Tests and bench loops.
+  void ResetAll();
+
+  /// Number of registered instruments (all kinds).
+  size_t size() const;
+
+ private:
+  /// Key = name + rendered sorted labels; value keeps the parsed pieces
+  /// for the exporters.
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> instrument;
+  };
+
+  template <typename T>
+  T* GetOrCreate(std::map<std::string, Entry<T>>& family,
+                 const std::string& name, Labels labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+/// \brief Renders the whole global registry as one human-readable (and
+/// Prometheus-scrapable) block: the single pane of glass over the offline
+/// pipeline, SQL engine and serving layer.
+std::string DumpAll();
+
+/// \brief Seconds since a fixed process-local epoch (steady clock). The
+/// shared time base of metrics windows and trace timestamps.
+double NowSeconds();
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_METRICS_H_

@@ -1,0 +1,52 @@
+#ifndef ESHARP_OBS_OBS_H_
+#define ESHARP_OBS_OBS_H_
+
+/// \file Umbrella header for the observability subsystem: the metrics
+/// registry, tracing, and leveled logging, plus the macros instrumented
+/// code uses. Building with -DESHARP_OBS_OFF=ON compiles the span/metric
+/// macros below to no-ops (the registry, tracer and logger classes stay
+/// available — only inline call sites disappear).
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if defined(ESHARP_OBS_OFF)
+#define ESHARP_OBS_ENABLED 0
+#else
+#define ESHARP_OBS_ENABLED 1
+#endif
+
+#if ESHARP_OBS_ENABLED
+
+/// Declares `var` as a span on `tracer` (null-tolerant) parented under
+/// `parent` (a `const Span*`, may be null). Ends at scope exit.
+#define ESHARP_SPAN(var, tracer, name, parent) \
+  ::esharp::obs::Span var =                    \
+      ::esharp::obs::StartSpan((tracer), (name), (parent))
+
+/// Annotates a span declared with ESHARP_SPAN.
+#define ESHARP_SPAN_ANNOTATE(span, key, value) (span).Annotate((key), (value))
+
+/// Bumps a cached `obs::Counter*` (null-tolerant).
+#define ESHARP_COUNTER_ADD(counter, delta)                  \
+  do {                                                      \
+    if ((counter) != nullptr) (counter)->Increment(delta);  \
+  } while (0)
+
+#else  // ESHARP_OBS_ENABLED
+
+#define ESHARP_SPAN(var, tracer, name, parent) \
+  [[maybe_unused]] ::esharp::obs::Span var
+#define ESHARP_SPAN_ANNOTATE(span, key, value) \
+  do {                                         \
+    (void)sizeof((span));                      \
+  } while (0)
+#define ESHARP_COUNTER_ADD(counter, delta) \
+  do {                                     \
+    (void)sizeof((counter));               \
+  } while (0)
+
+#endif  // ESHARP_OBS_ENABLED
+
+#endif  // ESHARP_OBS_OBS_H_

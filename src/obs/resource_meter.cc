@@ -1,0 +1,126 @@
+#include "obs/resource_meter.h"
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "obs/obs.h"
+
+namespace esharp {
+
+ResourceMeter::ResourceMeter(const ResourceMeter& other) { *this = other; }
+
+ResourceMeter& ResourceMeter::operator=(const ResourceMeter& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  order_ = other.order_;
+  stages_ = other.stages_;
+  return *this;
+}
+
+ResourceMeter::StageEntry& ResourceMeter::GetOrCreate(
+    const std::string& stage) {
+  auto it = stages_.find(stage);
+  if (it == stages_.end()) {
+    order_.push_back(stage);
+    StageEntry entry;
+#if ESHARP_OBS_ENABLED
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    obs::Labels labels{{"stage", stage}};
+    entry.g_seconds = registry.GetGauge("resource.seconds", labels);
+    entry.g_bytes_read = registry.GetGauge("resource.bytes_read", labels);
+    entry.g_bytes_written =
+        registry.GetGauge("resource.bytes_written", labels);
+    entry.g_rows_read = registry.GetGauge("resource.rows_read", labels);
+    entry.g_rows_written = registry.GetGauge("resource.rows_written", labels);
+    entry.g_parallelism = registry.GetGauge("resource.parallelism", labels);
+#endif
+    it = stages_.emplace(stage, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+void ResourceMeter::Publish(const StageEntry& entry) {
+  if (entry.g_seconds == nullptr) return;
+  const StageStats& s = entry.stats;
+  entry.g_seconds->Set(s.seconds);
+  entry.g_bytes_read->Set(static_cast<double>(s.bytes_read));
+  entry.g_bytes_written->Set(static_cast<double>(s.bytes_written));
+  entry.g_rows_read->Set(static_cast<double>(s.rows_read));
+  entry.g_rows_written->Set(static_cast<double>(s.rows_written));
+  entry.g_parallelism->Set(static_cast<double>(s.parallelism));
+}
+
+void ResourceMeter::Record(const std::string& stage, const StageStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageEntry& e = GetOrCreate(stage);
+  e.stats.seconds += stats.seconds;
+  e.stats.bytes_read += stats.bytes_read;
+  e.stats.bytes_written += stats.bytes_written;
+  e.stats.rows_read += stats.rows_read;
+  e.stats.rows_written += stats.rows_written;
+  e.stats.parallelism = stats.parallelism;
+  Publish(e);
+}
+
+void ResourceMeter::AddTime(const std::string& stage, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageEntry& e = GetOrCreate(stage);
+  e.stats.seconds += seconds;
+  Publish(e);
+}
+
+void ResourceMeter::AddIO(const std::string& stage, uint64_t bytes_read,
+                          uint64_t bytes_written) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageEntry& e = GetOrCreate(stage);
+  e.stats.bytes_read += bytes_read;
+  e.stats.bytes_written += bytes_written;
+  Publish(e);
+}
+
+void ResourceMeter::AddRows(const std::string& stage, uint64_t rows_read,
+                            uint64_t rows_written) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageEntry& e = GetOrCreate(stage);
+  e.stats.rows_read += rows_read;
+  e.stats.rows_written += rows_written;
+  Publish(e);
+}
+
+void ResourceMeter::SetParallelism(const std::string& stage,
+                                   size_t parallelism) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageEntry& e = GetOrCreate(stage);
+  e.stats.parallelism = parallelism;
+  Publish(e);
+}
+
+ResourceMeter::StageStats ResourceMeter::Get(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stages_.find(stage);
+  if (it == stages_.end()) return StageStats{};
+  return it->second.stats;
+}
+
+std::vector<std::string> ResourceMeter::StageNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_;
+}
+
+std::string ResourceMeter::ToTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      StrFormat("%-12s %8s %12s %12s %12s %12s %12s\n", "Step", "Workers",
+                "Runtime", "Read", "Write", "RowsIn", "RowsOut");
+  for (const std::string& name : order_) {
+    const StageStats& s = stages_.at(name).stats;
+    out += StrFormat("%-12s %8zu %10.3fs %12s %12s %12llu %12llu\n",
+                     name.c_str(), s.parallelism, s.seconds,
+                     HumanBytes(s.bytes_read).c_str(),
+                     HumanBytes(s.bytes_written).c_str(),
+                     static_cast<unsigned long long>(s.rows_read),
+                     static_cast<unsigned long long>(s.rows_written));
+  }
+  return out;
+}
+
+}  // namespace esharp

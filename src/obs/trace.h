@@ -1,0 +1,135 @@
+#ifndef ESHARP_OBS_TRACE_H_
+#define ESHARP_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace esharp::obs {
+
+class Tracer;
+
+/// \brief One finished span, as stored by the Tracer and rendered to the
+/// Chrome trace. Timestamps are microseconds on the obs::NowSeconds() time
+/// base; `tid` is a small dense id assigned per OS thread.
+struct TraceEvent {
+  std::string name;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root.
+  double start_us = 0;
+  double dur_us = 0;
+  uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// \brief RAII timing span. Created via Tracer::StartSpan (or the
+/// StartSpan free function, which tolerates a null tracer and hands back an
+/// inert span). The span records itself into the tracer when it ends —
+/// either explicitly via End() or on destruction. Movable, not copyable.
+///
+/// A span is used from one thread at a time; passing `&span` as the parent
+/// of spans started on other threads is fine (only the id is read).
+class Span {
+ public:
+  Span() = default;  ///< Inert span: Annotate/End are no-ops.
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value annotation (rendered under "args" in the trace).
+  void Annotate(const std::string& key, const std::string& value);
+  void Annotate(const std::string& key, double value);
+  void Annotate(const std::string& key, int64_t value);
+
+  /// Stops the clock and records the event. Idempotent.
+  void End();
+
+  /// Unique id within the tracer (0 for an inert span).
+  uint64_t id() const { return id_; }
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::string name, uint64_t id, uint64_t parent_id,
+       double start_us)
+      : tracer_(tracer),
+        name_(std::move(name)),
+        id_(id),
+        parent_id_(parent_id),
+        start_us_(start_us) {}
+
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  double start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// \brief Collects spans for one request or one offline job and renders
+/// them as Chrome `about:tracing` / Perfetto-loadable JSON. Thread-safe:
+/// spans may start, end and annotate concurrently from pool workers.
+class Tracer {
+ public:
+  /// Starts a span now. `parent` may be null (root span) or a span from
+  /// any thread; only its id is captured.
+  Span StartSpan(const std::string& name, const Span* parent = nullptr);
+
+  /// Starts a span whose clock began at `start_seconds` (NowSeconds()
+  /// time base). Used to open the "request" span retroactively at submit
+  /// time once the worker picks the request up.
+  Span StartSpanAt(const std::string& name, const Span* parent,
+                   double start_seconds);
+
+  /// Records an already-finished interval as a span (e.g. queue wait
+  /// measured by a Timer). Returns the new span's id.
+  uint64_t RecordSpan(
+      const std::string& name, const Span* parent, double start_seconds,
+      double end_seconds,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Snapshot of all finished spans so far (tests, custom renderers).
+  std::vector<TraceEvent> Events() const;
+
+  /// Chrome trace JSON: {"displayTimeUnit":"ms","traceEvents":[...]}
+  /// with complete ("ph":"X") events. Loads in chrome://tracing and
+  /// https://ui.perfetto.dev.
+  std::string ExportChromeJson() const;
+
+  /// Writes ExportChromeJson() to `path`.
+  Status WriteChromeJsonFile(const std::string& path) const;
+
+  /// Drops all recorded events (span ids keep advancing).
+  void Reset();
+
+  size_t size() const;
+
+ private:
+  friend class Span;
+  void Record(TraceEvent event);
+  uint32_t CurrentTid();
+
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, uint32_t> tids_;
+};
+
+/// \brief Null-tolerant span start: returns an inert span when `tracer` is
+/// null, so instrumented code needs no branches.
+Span StartSpan(Tracer* tracer, const std::string& name,
+               const Span* parent = nullptr);
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_TRACE_H_

@@ -39,6 +39,14 @@ bool ServingEngine::TryAdmit() {
   if (admitted >= options_.max_in_flight) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     metrics_.RecordShed();
+#if ESHARP_OBS_ENABLED
+    if (options_.tracer != nullptr) {
+      // Zero-length event: the request never got a span of its own.
+      double now = obs::NowSeconds();
+      options_.tracer->RecordSpan("shed", /*parent=*/nullptr, now, now,
+                                  {{"outcome", "shed"}});
+    }
+#endif
     return false;
   }
   return true;
@@ -108,8 +116,23 @@ void ServingEngine::MaybeInvalidateOnSwap(uint64_t current_version) {
 Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
                                              const Timer& queue_timer,
                                              double deadline_ms) {
+  // The "request" span opens retroactively at submission time, so the
+  // trace shows queue wait; "admission" covers exactly that wait as an
+  // already-finished child interval. The span records itself on every
+  // return path below (RAII), tagged with an "outcome" annotation.
+  obs::Span request_span;
+#if ESHARP_OBS_ENABLED
+  if (options_.tracer != nullptr) {
+    double now = obs::NowSeconds();
+    double submitted = now - queue_timer.ElapsedSeconds();
+    request_span =
+        options_.tracer->StartSpanAt("request", /*parent=*/nullptr, submitted);
+    options_.tracer->RecordSpan("admission", &request_span, submitted, now);
+  }
+#endif
   if (request.query.empty()) {
     metrics_.RecordError();
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", "invalid");
     return Status::InvalidArgument("empty query");
   }
   // Pin the serving generation before touching the cache, so validation,
@@ -120,6 +143,7 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
   std::shared_ptr<const ServingSnapshot> snapshot = snapshots_->Acquire();
   if (snapshot == nullptr) {
     metrics_.RecordError();
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", "error");
     return Status::FailedPrecondition("no snapshot published yet");
   }
   uint64_t version = snapshot->version();
@@ -128,10 +152,13 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
   // Cache keys use the same normalization as the store lookup (§5).
   std::string key = ToLowerAscii(request.query);
   bool use_cache = options_.enable_cache && !request.bypass_cache;
+  ESHARP_SPAN(cache_span, options_.tracer, "cache", &request_span);
   if (use_cache) {
     std::optional<CachedResult> cached =
         cache_.Get(key, clock_.ElapsedSeconds(), version);
     if (cached.has_value()) {
+      ESHARP_SPAN_ANNOTATE(cache_span, "outcome", "hit");
+      cache_span.End();
       QueryResponse response;
       response.experts = std::move(cached->experts);
       response.snapshot_version = cached->snapshot_version;
@@ -139,18 +166,31 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
       response.total_ms = queue_timer.ElapsedMillis();
       metrics_.RecordRequest(queue_timer.ElapsedSeconds(), response.stages,
                              /*cache_hit=*/true, /*deduplicated=*/false);
+      ESHARP_SPAN_ANNOTATE(request_span, "outcome", "cache_hit");
       return response;
     }
+    ESHARP_SPAN_ANNOTATE(cache_span, "outcome", "miss");
+  } else {
+    ESHARP_SPAN_ANNOTATE(cache_span, "outcome",
+                         request.bypass_cache ? "bypass" : "off");
   }
+  cache_span.End();
 
   if (deadline_ms > 0 && queue_timer.ElapsedMillis() > deadline_ms) {
     metrics_.RecordTimeout();
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", "timeout");
     return Status::DeadlineExceeded("deadline of ", deadline_ms,
                                     " ms elapsed in queue");
   }
 
   if (!options_.enable_single_flight || request.bypass_cache) {
-    return ExecuteUncached(key, request, queue_timer, deadline_ms, snapshot);
+    Result<QueryResponse> result = ExecuteUncached(
+        key, request, queue_timer, deadline_ms, snapshot, &request_span);
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome",
+                         result.ok() ? "ok"
+                         : result.status().IsDeadlineExceeded() ? "timeout"
+                                                                : "error");
+    return result;
   }
 
   // Single-flight: the first request for a key becomes the leader and runs
@@ -170,8 +210,8 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
   }
 
   if (leader) {
-    Result<QueryResponse> result =
-        ExecuteUncached(key, request, queue_timer, deadline_ms, snapshot);
+    Result<QueryResponse> result = ExecuteUncached(
+        key, request, queue_timer, deadline_ms, snapshot, &request_span);
     {
       std::lock_guard<std::mutex> lock(flights_mu_);
       flights_.erase(key);
@@ -182,12 +222,17 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
       flight->done = true;
     }
     flight->cv.notify_all();
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome",
+                         result.ok() ? "ok"
+                         : result.status().IsDeadlineExceeded() ? "timeout"
+                                                                : "error");
     return result;
   }
 
   // Follower: wait for the leader. Followers share the leader's outcome
   // (including its error, mirroring the usual single-flight contract), but
   // report their own end-to-end latency and honor their own deadline.
+  ESHARP_SPAN(wait_span, options_.tracer, "flight_wait", &request_span);
   std::unique_lock<std::mutex> lock(flight->mu);
   if (deadline_ms > 0) {
     double remaining_ms =
@@ -197,12 +242,14 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
         [&flight] { return flight->done; });
     if (!done) {
       metrics_.RecordTimeout();
+      ESHARP_SPAN_ANNOTATE(request_span, "outcome", "timeout");
       return Status::DeadlineExceeded("deadline of ", deadline_ms,
                                       " ms elapsed waiting for leader");
     }
   } else {
     flight->cv.wait(lock, [&flight] { return flight->done; });
   }
+  wait_span.End();
   Result<QueryResponse> result = flight->result;
   lock.unlock();
   if (!result.ok()) {
@@ -211,8 +258,10 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
     // leader/follower split instead of undercounting deduplicated failures.
     if (result.status().IsDeadlineExceeded()) {
       metrics_.RecordTimeout();
+      ESHARP_SPAN_ANNOTATE(request_span, "outcome", "timeout");
     } else {
       metrics_.RecordError();
+      ESHARP_SPAN_ANNOTATE(request_span, "outcome", "error");
     }
     return result;
   }
@@ -222,13 +271,15 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
   response.total_ms = queue_timer.ElapsedMillis();
   metrics_.RecordRequest(queue_timer.ElapsedSeconds(), response.stages,
                          /*cache_hit=*/false, /*deduplicated=*/true);
+  ESHARP_SPAN_ANNOTATE(request_span, "outcome", "deduplicated");
   return response;
 }
 
 Result<QueryResponse> ServingEngine::ExecuteUncached(
     const std::string& key, const QueryRequest& request,
     const Timer& queue_timer, double deadline_ms,
-    const std::shared_ptr<const ServingSnapshot>& snapshot) {
+    const std::shared_ptr<const ServingSnapshot>& snapshot,
+    const obs::Span* trace_parent) {
   if (options_.execution_hook) options_.execution_hook(key);
   const core::ESharp& esharp = snapshot->esharp();
   QueryResponse response;
@@ -236,17 +287,23 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
 
   // Stage 1: expansion (§5 — the paper's < 100 ms stage).
   Timer stage_timer;
+  ESHARP_SPAN(expand_span, options_.tracer, "expand", trace_parent);
   core::QueryExpansion expansion = esharp.Expand(request.query);
+  ESHARP_SPAN_ANNOTATE(expand_span, "terms",
+                       static_cast<int64_t>(expansion.terms.size()));
+  expand_span.End();
   response.stages.expand_ms = stage_timer.ElapsedMillis();
 
   // Stage 2: candidate collection, once per expansion term, with a
   // deadline check between terms so a hot domain cannot blow the budget.
   stage_timer.Reset();
+  ESHARP_SPAN(detect_span, options_.tracer, "detect", trace_parent);
   std::vector<std::vector<expert::CandidateEvidence>> pools;
   pools.reserve(expansion.terms.size());
   for (const std::string& term : expansion.terms) {
     if (deadline_ms > 0 && queue_timer.ElapsedMillis() > deadline_ms) {
       metrics_.RecordTimeout();
+      ESHARP_SPAN_ANNOTATE(detect_span, "outcome", "timeout");
       return Status::DeadlineExceeded("deadline of ", deadline_ms,
                                       " ms elapsed during detection");
     }
@@ -254,17 +311,25 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
   }
   std::vector<expert::CandidateEvidence> merged =
       expert::MergeEvidence(pools);
+  ESHARP_SPAN_ANNOTATE(detect_span, "candidates",
+                       static_cast<int64_t>(merged.size()));
+  detect_span.End();
   response.stages.detect_ms = stage_timer.ElapsedMillis();
 
   // Stage 3: ranking (z-scored features over the union pool).
   stage_timer.Reset();
+  ESHARP_SPAN(rank_span, options_.tracer, "rank", trace_parent);
   Result<std::vector<expert::RankedExpert>> ranked =
       esharp.detector().RankCandidates(merged);
   if (!ranked.ok()) {
     metrics_.RecordError();
+    ESHARP_SPAN_ANNOTATE(rank_span, "outcome", "error");
     return ranked.status();
   }
   response.experts = ranked.MoveValueUnsafe();
+  ESHARP_SPAN_ANNOTATE(rank_span, "experts",
+                       static_cast<int64_t>(response.experts.size()));
+  rank_span.End();
   response.stages.rank_ms = stage_timer.ElapsedMillis();
   response.total_ms = queue_timer.ElapsedMillis();
 

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/obs.h"
 #include "serving/cache.h"
 #include "serving/metrics.h"
 #include "serving/snapshot.h"
@@ -50,6 +51,14 @@ struct ServingOptions {
   /// leader in place and prove single-flight behavior; benches can inject
   /// artificial stage latency or faults. Must be thread-safe.
   std::function<void(const std::string& key)> execution_hook;
+  /// Optional request tracing. Each served request becomes a "request" span
+  /// (opened retroactively at submission time, so queue wait is visible)
+  /// with an "admission" child covering the queue, a "cache" child
+  /// annotated with the probe outcome, and — when the detector actually
+  /// runs — "expand" / "detect" / "rank" children. Single-flight followers
+  /// get a "flight_wait" child instead; shed requests appear as
+  /// zero-length "shed" events. Must outlive the engine.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// \brief One query to serve.
@@ -157,11 +166,13 @@ class ServingEngine {
   Result<QueryResponse> Execute(const QueryRequest& request,
                                 const Timer& queue_timer, double deadline_ms);
 
-  /// The detector work proper, against one pinned snapshot.
+  /// The detector work proper, against one pinned snapshot. `trace_parent`
+  /// is the enclosing "request" span (inert when tracing is off).
   Result<QueryResponse> ExecuteUncached(
       const std::string& key, const QueryRequest& request,
       const Timer& queue_timer, double deadline_ms,
-      const std::shared_ptr<const ServingSnapshot>& snapshot);
+      const std::shared_ptr<const ServingSnapshot>& snapshot,
+      const obs::Span* trace_parent);
 
   /// Drops stale cache entries when the snapshot generation moved.
   void MaybeInvalidateOnSwap(uint64_t current_version);

@@ -1,56 +1,134 @@
 #include "serving/metrics.h"
 
+#include <atomic>
+#include <cmath>
+
 #include "common/strings.h"
 
 namespace esharp::serving {
 
+namespace {
+
+/// Time constant of the windowed rate: a burst that stops decays to ~37%
+/// in one tau, so the window tracks "the last ten seconds or so".
+constexpr double kRateTauSeconds = 10.0;
+
+/// Distinguishes several engines in one process: the registry interns
+/// instruments by (name, labels), so each ServingMetrics instance needs
+/// its own label value to avoid merging another engine's traffic.
+std::string NextEngineLabel() {
+  static std::atomic<uint64_t> next{0};
+  return StrFormat("%llu", static_cast<unsigned long long>(
+                               next.fetch_add(1, std::memory_order_relaxed)));
+}
+
+}  // namespace
+
+ServingMetrics::ServingMetrics() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const obs::Labels engine{{"engine", NextEngineLabel()}};
+  auto stage_labels = [&engine](const char* stage) {
+    obs::Labels labels = engine;
+    labels.emplace_back("stage", stage);
+    return labels;
+  };
+  completed_ = registry.GetCounter("serving.completed", engine);
+  cache_hits_ = registry.GetCounter("serving.cache_hits", engine);
+  deduplicated_ = registry.GetCounter("serving.deduplicated", engine);
+  shed_ = registry.GetCounter("serving.shed", engine);
+  timeouts_ = registry.GetCounter("serving.timeouts", engine);
+  errors_ = registry.GetCounter("serving.errors", engine);
+  total_ = registry.GetHistogram("serving.latency_seconds", engine);
+  expand_ = registry.GetHistogram("serving.stage_seconds",
+                                  stage_labels("expand"));
+  detect_ = registry.GetHistogram("serving.stage_seconds",
+                                  stage_labels("detect"));
+  rank_ = registry.GetHistogram("serving.stage_seconds", stage_labels("rank"));
+  start_time_ = obs::NowSeconds();
+  last_event_time_ = start_time_;
+}
+
+double ServingMetrics::Now() const {
+  // Callers hold mu_ (clock_ is mutable state).
+  return clock_ ? clock_() : obs::NowSeconds();
+}
+
+void ServingMetrics::SetClockForTest(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+  start_time_ = Now();
+  last_event_time_ = start_time_;
+  ewma_events_ = 0;
+}
+
 void ServingMetrics::RecordRequest(double total_seconds,
                                    const StageTimings& stages, bool cache_hit,
                                    bool deduplicated) {
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
-  if (deduplicated) deduplicated_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  total_.Add(total_seconds);
+  completed_->Increment();
+  if (cache_hit) cache_hits_->Increment();
+  if (deduplicated) deduplicated_->Increment();
+  total_->Observe(total_seconds);
   if (!cache_hit && !deduplicated) {
-    expand_.Add(stages.expand_ms / 1e3);
-    detect_.Add(stages.detect_ms / 1e3);
-    rank_.Add(stages.rank_ms / 1e3);
+    expand_->Observe(stages.expand_ms / 1e3);
+    detect_->Observe(stages.detect_ms / 1e3);
+    rank_->Observe(stages.rank_ms / 1e3);
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  double now = Now();
+  double dt = now - last_event_time_;
+  if (dt > 0) ewma_events_ *= std::exp(-dt / kRateTauSeconds);
+  ewma_events_ += 1.0;
+  last_event_time_ = now;
 }
 
 MetricsReport ServingMetrics::Report() const {
   MetricsReport r;
-  r.completed = completed_.load(std::memory_order_relaxed);
-  r.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  r.deduplicated = deduplicated_.load(std::memory_order_relaxed);
-  r.shed = shed_.load(std::memory_order_relaxed);
-  r.timeouts = timeouts_.load(std::memory_order_relaxed);
-  r.errors = errors_.load(std::memory_order_relaxed);
-  r.uptime_seconds = uptime_.ElapsedSeconds();
+  r.completed = completed_->Value();
+  r.cache_hits = cache_hits_->Value();
+  r.deduplicated = deduplicated_->Value();
+  r.shed = shed_->Value();
+  r.timeouts = timeouts_->Value();
+  r.errors = errors_->Value();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    double now = Now();
+    r.uptime_seconds = now - start_time_;
+    r.window_tau_seconds = kRateTauSeconds;
+    // Decay the accumulated mass to "now", then normalize. The plain EWMA
+    // estimate is mass / tau; the (1 - e^{-age/tau}) factor corrects the
+    // early-life bias (with only age << tau seconds observed, the window
+    // has had no time to fill, so divide by the fraction that could fill).
+    double age = now - start_time_;
+    double mass = ewma_events_;
+    double dt = now - last_event_time_;
+    if (dt > 0) mass *= std::exp(-dt / kRateTauSeconds);
+    double fill = 1.0 - std::exp(-age / kRateTauSeconds);
+    if (fill > 1e-12) r.window_qps = mass / (kRateTauSeconds * fill);
+  }
   r.qps = r.uptime_seconds > 0
               ? static_cast<double>(r.completed) / r.uptime_seconds
               : 0.0;
   r.cache_hit_rate = r.completed > 0 ? static_cast<double>(r.cache_hits) /
                                            static_cast<double>(r.completed)
                                      : 0.0;
-  std::lock_guard<std::mutex> lock(mu_);
-  r.p50_ms = total_.Percentile(50) * 1e3;
-  r.p95_ms = total_.Percentile(95) * 1e3;
-  r.p99_ms = total_.Percentile(99) * 1e3;
-  r.max_ms = total_.Max() * 1e3;
-  r.mean_expand_ms = expand_.Mean() * 1e3;
-  r.mean_detect_ms = detect_.Mean() * 1e3;
-  r.mean_rank_ms = rank_.Mean() * 1e3;
+  obs::HistogramSnapshot total = total_->Snapshot();
+  r.p50_ms = total.p50 * 1e3;
+  r.p95_ms = total.p95 * 1e3;
+  r.p99_ms = total.p99 * 1e3;
+  r.max_ms = total.max * 1e3;
+  r.mean_expand_ms = expand_->Snapshot().mean * 1e3;
+  r.mean_detect_ms = detect_->Snapshot().mean * 1e3;
+  r.mean_rank_ms = rank_->Snapshot().mean * 1e3;
   return r;
 }
 
 std::string ServingMetrics::ToTable() const {
   MetricsReport r = Report();
   std::string out;
-  out += StrFormat("requests completed   %10llu  (%.1f qps over %.1fs)\n",
+  out += StrFormat("requests completed   %10llu  (%.1f qps over %.1fs, "
+                   "%.1f qps last ~%.0fs)\n",
                    static_cast<unsigned long long>(r.completed), r.qps,
-                   r.uptime_seconds);
+                   r.uptime_seconds, r.window_qps, r.window_tau_seconds);
   out += StrFormat("cache hits           %10llu  (%.1f%% hit rate)\n",
                    static_cast<unsigned long long>(r.cache_hits),
                    100.0 * r.cache_hit_rate);
@@ -70,18 +148,20 @@ std::string ServingMetrics::ToTable() const {
 }
 
 void ServingMetrics::Reset() {
-  completed_.store(0, std::memory_order_relaxed);
-  cache_hits_.store(0, std::memory_order_relaxed);
-  deduplicated_.store(0, std::memory_order_relaxed);
-  shed_.store(0, std::memory_order_relaxed);
-  timeouts_.store(0, std::memory_order_relaxed);
-  errors_.store(0, std::memory_order_relaxed);
+  completed_->Reset();
+  cache_hits_->Reset();
+  deduplicated_->Reset();
+  shed_->Reset();
+  timeouts_->Reset();
+  errors_->Reset();
+  total_->Reset();
+  expand_->Reset();
+  detect_->Reset();
+  rank_->Reset();
   std::lock_guard<std::mutex> lock(mu_);
-  total_.Reset();
-  expand_.Reset();
-  detect_.Reset();
-  rank_.Reset();
-  uptime_.Reset();
+  start_time_ = Now();
+  last_event_time_ = start_time_;
+  ewma_events_ = 0;
 }
 
 }  // namespace esharp::serving

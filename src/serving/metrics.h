@@ -1,13 +1,12 @@
 #ifndef ESHARP_SERVING_METRICS_H_
 #define ESHARP_SERVING_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
-#include "common/stats.h"
-#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace esharp::serving {
 
@@ -30,7 +29,12 @@ struct MetricsReport {
   uint64_t timeouts = 0;
   uint64_t errors = 0;
   double uptime_seconds = 0;
-  double qps = 0;  // completed / uptime
+  double qps = 0;  // completed / uptime (lifetime average)
+  /// Exponentially-decayed recent rate (time constant window_tau_seconds).
+  /// Unlike `qps`, this recovers after idle periods: a steady 100 qps burst
+  /// reads ~100 here even if the engine sat idle for an hour before.
+  double window_qps = 0;
+  double window_tau_seconds = 0;
   double cache_hit_rate = 0;
   // Total request latency percentiles, milliseconds.
   double p50_ms = 0;
@@ -43,28 +47,33 @@ struct MetricsReport {
   double mean_rank_ms = 0;
 };
 
-/// \brief Thread-safe accounting for the serving engine: request counters
-/// on atomics, latency distributions on mutex-guarded LatencyHistograms.
+/// \brief Thread-safe accounting for the serving engine, now a thin view
+/// over instruments owned by the global obs::MetricsRegistry: counters as
+/// sharded lock-free obs::Counter, latency distributions as registry
+/// histograms. Each ServingMetrics instance gets an {"engine":"<n>"} label
+/// so several engines in one process stay distinguishable, and everything
+/// recorded here shows up in obs::DumpAll() / the JSON exporter alongside
+/// the offline pipeline's resource gauges.
 ///
-/// The histogram lock is uncontended relative to the detector work a
-/// request does (candidate collection scans tweet indexes), so a single
-/// mutex is fine; the counters stay lock-free for the shed path, which
-/// must stay cheap precisely when the system is overloaded.
+/// The shed path stays lock-free (sharded counter increment), which must
+/// stay cheap precisely when the system is overloaded.
 class ServingMetrics {
  public:
+  ServingMetrics();
+
   /// Records one completed request. `stages` applies only when the request
   /// actually executed (cache hits carry zero stage time).
   void RecordRequest(double total_seconds, const StageTimings& stages,
                      bool cache_hit, bool deduplicated);
 
   /// Records a request rejected by admission control.
-  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordShed() { shed_->Increment(); }
 
   /// Records a request abandoned because its deadline elapsed.
-  void RecordTimeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordTimeout() { timeouts_->Increment(); }
 
   /// Records a request that failed inside the detector.
-  void RecordError() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordError() { errors_->Increment(); }
 
   /// Snapshot of every counter and distribution.
   MetricsReport Report() const;
@@ -72,23 +81,36 @@ class ServingMetrics {
   /// Renders a human-readable dashboard block.
   std::string ToTable() const;
 
-  /// Clears counters and histograms (bench runs reuse one engine).
+  /// Clears counters, histograms and the rate window (bench runs reuse one
+  /// engine). Registry instrument pointers stay valid.
   void Reset();
 
- private:
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> deduplicated_{0};
-  std::atomic<uint64_t> shed_{0};
-  std::atomic<uint64_t> timeouts_{0};
-  std::atomic<uint64_t> errors_{0};
+  /// Test seam: replaces the clock used for uptime and the windowed rate.
+  /// Pass nullptr to restore the default (obs::NowSeconds). Must return a
+  /// monotonically non-decreasing seconds value.
+  void SetClockForTest(std::function<double()> clock);
 
+ private:
+  double Now() const;
+
+  // Registry-owned instruments (never deleted; safe to cache).
+  obs::Counter* completed_;
+  obs::Counter* cache_hits_;
+  obs::Counter* deduplicated_;
+  obs::Counter* shed_;
+  obs::Counter* timeouts_;
+  obs::Counter* errors_;
+  obs::Histogram* total_;   // seconds, all completed requests
+  obs::Histogram* expand_;  // seconds, executed requests only
+  obs::Histogram* detect_;
+  obs::Histogram* rank_;
+
+  // Windowed-rate state (EWMA of request arrivals, time constant kTau).
   mutable std::mutex mu_;
-  LatencyHistogram total_;    // seconds, all completed requests
-  LatencyHistogram expand_;   // seconds, executed requests only
-  LatencyHistogram detect_;
-  LatencyHistogram rank_;
-  Timer uptime_;
+  std::function<double()> clock_;  // null = obs::NowSeconds
+  double start_time_ = 0;
+  double ewma_events_ = 0;
+  double last_event_time_ = 0;
 };
 
 }  // namespace esharp::serving

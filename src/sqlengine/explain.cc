@@ -1,0 +1,47 @@
+#include "sqlengine/explain.h"
+
+#include "common/strings.h"
+
+namespace esharp::sql {
+
+ExplainStats* ExplainStats::AddChild() {
+  children.push_back(std::make_unique<ExplainStats>());
+  return children.back().get();
+}
+
+void ExplainStats::Clear() {
+  op.clear();
+  rows_in = 0;
+  rows_out = 0;
+  batches = 1;
+  wall_ms = 0;
+  children.clear();
+}
+
+size_t ExplainStats::NodeCount() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->NodeCount();
+  return n;
+}
+
+namespace {
+void Render(const ExplainStats& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(StrFormat(
+      "%s  (rows_in=%llu rows_out=%llu batches=%zu time=%.3f ms)\n",
+      node.op.c_str(), static_cast<unsigned long long>(node.rows_in),
+      static_cast<unsigned long long>(node.rows_out), node.batches,
+      node.wall_ms));
+  for (const auto& child : node.children) {
+    Render(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string ExplainStats::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+}  // namespace esharp::sql

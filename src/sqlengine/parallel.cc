@@ -3,6 +3,8 @@
 #include <atomic>
 #include <mutex>
 
+#include "sqlengine/explain.h"
+
 namespace esharp::sql {
 
 namespace {
@@ -27,8 +29,18 @@ Status RunPartitioned(const ExecContext& ctx, size_t n,
   return first_error;
 }
 
-void MeterRows(const ExecContext& ctx, uint64_t in, uint64_t out) {
+// Exact operator accounting, always on the coordinating thread after the
+// partitions have joined: Table 9 row totals into the meter, and the
+// EXPLAIN ANALYZE profile (rows in/out plus how many partition batches ran)
+// into the plan node's ExplainStats.
+void MeterRows(const ExecContext& ctx, uint64_t in, uint64_t out,
+               size_t batches = 1) {
   if (ctx.meter != nullptr) ctx.meter->AddRows(ctx.stage, in, out);
+  if (ctx.stats != nullptr) {
+    ctx.stats->rows_in += in;
+    ctx.stats->rows_out += out;
+    ctx.stats->batches = batches;
+  }
 }
 
 }  // namespace
@@ -104,7 +116,7 @@ Result<Table> ParallelHashJoin(const ExecContext& ctx, const Table& left,
     return Status::OK();
   }));
   ESHARP_ASSIGN_OR_RETURN(Table out, ConcatTables(results));
-  MeterRows(ctx, left.num_rows() + right.num_rows(), out.num_rows());
+  MeterRows(ctx, left.num_rows() + right.num_rows(), out.num_rows(), p);
   return out;
 }
 
@@ -120,7 +132,7 @@ Result<Table> ParallelHashAggregate(const ExecContext& ctx, const Table& t,
     // which re-aggregate correctly when SUM is applied to partial SUMs etc.
     // To stay fully general we simply run the kernel single-threaded here.
     ESHARP_ASSIGN_OR_RETURN(Table out, HashAggregate(t, group_keys, aggs));
-    MeterRows(ctx, t.num_rows(), out.num_rows());
+    MeterRows(ctx, t.num_rows(), out.num_rows());  // single batch
     return out;
   }
   for (const AggSpec& a : aggs) {
@@ -148,7 +160,7 @@ Result<Table> ParallelHashAggregate(const ExecContext& ctx, const Table& t,
   for (const Table& part : results) {
     for (const Row& r : part.rows()) out.AppendRowUnchecked(r);
   }
-  MeterRows(ctx, t.num_rows(), out.num_rows());
+  MeterRows(ctx, t.num_rows(), out.num_rows(), p);
   return out;
 }
 
@@ -165,7 +177,7 @@ Result<Table> ParallelFilter(const ExecContext& ctx, const Table& t,
     return Status::OK();
   }));
   ESHARP_ASSIGN_OR_RETURN(Table out, ConcatTables(results));
-  MeterRows(ctx, t.num_rows(), out.num_rows());
+  MeterRows(ctx, t.num_rows(), out.num_rows(), p);
   return out;
 }
 
@@ -193,7 +205,7 @@ Result<Table> ParallelProject(const ExecContext& ctx, const Table& t,
   for (const Table& part : results) {
     for (const Row& r : part.rows()) out.AppendRowUnchecked(r);
   }
-  MeterRows(ctx, t.num_rows(), out.num_rows());
+  MeterRows(ctx, t.num_rows(), out.num_rows(), p);
   return out;
 }
 

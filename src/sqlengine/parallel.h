@@ -10,6 +10,8 @@
 
 namespace esharp::sql {
 
+struct ExplainStats;
+
 /// \brief Execution context shared by the parallel operators.
 ///
 /// `num_partitions` plays the role of the paper's VM count: every parallel
@@ -21,6 +23,10 @@ struct ExecContext {
   ResourceMeter* meter = nullptr;
   /// Stage name under which meter stats are recorded.
   std::string stage = "sql";
+  /// Per-operator profile for this plan node (EXPLAIN ANALYZE); parallel
+  /// kernels record exact rows in/out and the partition batch count here.
+  /// Owned by the Execute(plan, catalog, stats) caller; may be null.
+  ExplainStats* stats = nullptr;
 };
 
 /// \brief Strategy for the parallel join, mirroring §4.2.3 of the paper.

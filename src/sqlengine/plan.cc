@@ -1,6 +1,7 @@
 #include "sqlengine/plan.h"
 
 #include "common/strings.h"
+#include "common/timer.h"
 
 namespace esharp::sql {
 
@@ -92,20 +93,14 @@ Plan Plan::As(std::string alias) const {
   return Plan(node);
 }
 
-namespace {
-void ExplainNode(const PlanNode& node, int depth, std::string* out) {
-  out->append(static_cast<size_t>(depth) * 2, ' ');
+std::string DescribeNode(const PlanNode& node) {
   switch (node.kind) {
     case PlanNode::Kind::kScan:
-      out->append("Scan(" + node.table_name + ")\n");
-      break;
+      return "Scan(" + node.table_name + ")";
     case PlanNode::Kind::kValues:
-      out->append(StrFormat("Values(%zu rows)\n",
-                            node.literal_table->num_rows()));
-      break;
+      return StrFormat("Values(%zu rows)", node.literal_table->num_rows());
     case PlanNode::Kind::kFilter:
-      out->append("Filter(" + node.predicate->ToString() + ")\n");
-      break;
+      return "Filter(" + node.predicate->ToString() + ")";
     case PlanNode::Kind::kProject: {
       std::string cols;
       for (size_t i = 0; i < node.projections.size(); ++i) {
@@ -113,32 +108,32 @@ void ExplainNode(const PlanNode& node, int depth, std::string* out) {
         cols += node.projections[i].expr->ToString() + " AS " +
                 node.projections[i].name;
       }
-      out->append("Project(" + cols + ")\n");
-      break;
+      return "Project(" + cols + ")";
     }
     case PlanNode::Kind::kJoin:
-      out->append("HashJoin(" + Join(node.left_keys, ",") + " = " +
-                  Join(node.right_keys, ",") + ")\n");
-      break;
+      return "HashJoin(" + Join(node.left_keys, ",") + " = " +
+             Join(node.right_keys, ",") + ")";
     case PlanNode::Kind::kAggregate:
-      out->append("Aggregate(by " + Join(node.group_keys, ",") + ")\n");
-      break;
+      return "Aggregate(by " + Join(node.group_keys, ",") + ")";
     case PlanNode::Kind::kDistinct:
-      out->append("Distinct\n");
-      break;
+      return "Distinct";
     case PlanNode::Kind::kSort:
-      out->append("Sort(" + Join(node.sort_keys, ",") + ")\n");
-      break;
+      return "Sort(" + Join(node.sort_keys, ",") + ")";
     case PlanNode::Kind::kLimit:
-      out->append(StrFormat("Limit(%zu)\n", node.limit));
-      break;
+      return StrFormat("Limit(%zu)", node.limit);
     case PlanNode::Kind::kUnionAll:
-      out->append("UnionAll\n");
-      break;
+      return "UnionAll";
     case PlanNode::Kind::kAlias:
-      out->append("Alias(" + node.alias + ")\n");
-      break;
+      return "Alias(" + node.alias + ")";
   }
+  return "?";
+}
+
+namespace {
+void ExplainNode(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(DescribeNode(node));
+  out->push_back('\n');
   for (const auto& child : node.children) {
     ExplainNode(*child, depth + 1, out);
   }
@@ -152,73 +147,158 @@ std::string Plan::Explain() const {
 }
 
 Result<Table> Executor::Execute(const Plan& plan, const Catalog& catalog) const {
-  return ExecuteNode(*plan.root(), catalog);
+  return ExecuteNode(*plan.root(), catalog, nullptr);
 }
 
+Result<Table> Executor::Execute(const Plan& plan, const Catalog& catalog,
+                                ExplainStats* stats) const {
+  if (stats != nullptr) stats->Clear();
+  return ExecuteNode(*plan.root(), catalog, stats);
+}
+
+namespace {
+
+/// Profiles one operator: label and inclusive wall time always; exact
+/// rows in/out for the serial kernels (the parallel kernels in parallel.cc
+/// account rows and batch counts themselves through ExecContext::stats, so
+/// Finish leaves already-recorded rows alone).
+class NodeProfile {
+ public:
+  NodeProfile(ExplainStats* stats, const PlanNode& node) : stats_(stats) {
+    if (stats_ != nullptr) stats_->op = DescribeNode(node);
+  }
+
+  ExplainStats* child() {
+    return stats_ != nullptr ? stats_->AddChild() : nullptr;
+  }
+
+  void RecordRows(uint64_t rows_in, uint64_t rows_out) {
+    if (stats_ == nullptr) return;
+    stats_->rows_in = rows_in;
+    stats_->rows_out = rows_out;
+  }
+
+  Result<Table> Finish(Result<Table> result) {
+    if (stats_ != nullptr) {
+      stats_->wall_ms = timer_.ElapsedMillis();
+      if (result.ok() && stats_->rows_in == 0 && stats_->rows_out == 0) {
+        stats_->rows_out = result.ValueOrDie().num_rows();
+      }
+    }
+    return result;
+  }
+
+ private:
+  ExplainStats* stats_;
+  Timer timer_;
+};
+
+}  // namespace
+
 Result<Table> Executor::ExecuteNode(const PlanNode& node,
-                                    const Catalog& catalog) const {
+                                    const Catalog& catalog,
+                                    ExplainStats* stats) const {
+  NodeProfile profile(stats, node);
   ExecContext ctx{options_.pool, options_.num_partitions, options_.meter,
-                  options_.stage};
+                  options_.stage, stats};
   switch (node.kind) {
     case PlanNode::Kind::kScan: {
       ESHARP_ASSIGN_OR_RETURN(const Table* t, catalog.Get(node.table_name));
-      return *t;
+      profile.RecordRows(t->num_rows(), t->num_rows());
+      return profile.Finish(*t);
     }
     case PlanNode::Kind::kValues:
-      return *node.literal_table;
+      profile.RecordRows(node.literal_table->num_rows(),
+                         node.literal_table->num_rows());
+      return profile.Finish(*node.literal_table);
     case PlanNode::Kind::kFilter: {
-      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      ESHARP_ASSIGN_OR_RETURN(
+          Table in, ExecuteNode(*node.children[0], catalog, profile.child()));
       if (options_.pool != nullptr) {
-        return ParallelFilter(ctx, in, node.predicate);
+        return profile.Finish(ParallelFilter(ctx, in, node.predicate));
       }
-      return Filter(in, node.predicate);
+      Result<Table> out = Filter(in, node.predicate);
+      if (out.ok()) profile.RecordRows(in.num_rows(), out.ValueOrDie().num_rows());
+      return profile.Finish(std::move(out));
     }
     case PlanNode::Kind::kProject: {
-      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      ESHARP_ASSIGN_OR_RETURN(
+          Table in, ExecuteNode(*node.children[0], catalog, profile.child()));
       if (options_.pool != nullptr) {
-        return ParallelProject(ctx, in, node.projections);
+        return profile.Finish(ParallelProject(ctx, in, node.projections));
       }
-      return Project(in, node.projections);
+      Result<Table> out = Project(in, node.projections);
+      if (out.ok()) profile.RecordRows(in.num_rows(), out.ValueOrDie().num_rows());
+      return profile.Finish(std::move(out));
     }
     case PlanNode::Kind::kJoin: {
-      ESHARP_ASSIGN_OR_RETURN(Table left, ExecuteNode(*node.children[0], catalog));
-      ESHARP_ASSIGN_OR_RETURN(Table right,
-                              ExecuteNode(*node.children[1], catalog));
+      ESHARP_ASSIGN_OR_RETURN(
+          Table left, ExecuteNode(*node.children[0], catalog, profile.child()));
+      ESHARP_ASSIGN_OR_RETURN(
+          Table right,
+          ExecuteNode(*node.children[1], catalog, profile.child()));
       if (options_.pool != nullptr) {
-        return ParallelHashJoin(ctx, left, right, node.left_keys,
-                                node.right_keys, node.join_type,
-                                options_.join_strategy);
+        return profile.Finish(ParallelHashJoin(ctx, left, right,
+                                               node.left_keys, node.right_keys,
+                                               node.join_type,
+                                               options_.join_strategy));
       }
-      return HashJoin(left, right, node.left_keys, node.right_keys,
-                      node.join_type);
+      Result<Table> out = HashJoin(left, right, node.left_keys,
+                                   node.right_keys, node.join_type);
+      if (out.ok()) {
+        profile.RecordRows(left.num_rows() + right.num_rows(),
+                           out.ValueOrDie().num_rows());
+      }
+      return profile.Finish(std::move(out));
     }
     case PlanNode::Kind::kAggregate: {
-      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      ESHARP_ASSIGN_OR_RETURN(
+          Table in, ExecuteNode(*node.children[0], catalog, profile.child()));
       if (options_.pool != nullptr) {
-        return ParallelHashAggregate(ctx, in, node.group_keys, node.aggregates);
+        return profile.Finish(
+            ParallelHashAggregate(ctx, in, node.group_keys, node.aggregates));
       }
-      return HashAggregate(in, node.group_keys, node.aggregates);
+      Result<Table> out = HashAggregate(in, node.group_keys, node.aggregates);
+      if (out.ok()) profile.RecordRows(in.num_rows(), out.ValueOrDie().num_rows());
+      return profile.Finish(std::move(out));
     }
     case PlanNode::Kind::kDistinct: {
-      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
-      return sql::Distinct(in);
+      ESHARP_ASSIGN_OR_RETURN(
+          Table in, ExecuteNode(*node.children[0], catalog, profile.child()));
+      Result<Table> out = sql::Distinct(in);
+      if (out.ok()) profile.RecordRows(in.num_rows(), out.ValueOrDie().num_rows());
+      return profile.Finish(std::move(out));
     }
     case PlanNode::Kind::kSort: {
-      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
-      return SortBy(in, node.sort_keys, node.sort_ascending);
+      ESHARP_ASSIGN_OR_RETURN(
+          Table in, ExecuteNode(*node.children[0], catalog, profile.child()));
+      Result<Table> out = SortBy(in, node.sort_keys, node.sort_ascending);
+      if (out.ok()) profile.RecordRows(in.num_rows(), out.ValueOrDie().num_rows());
+      return profile.Finish(std::move(out));
     }
     case PlanNode::Kind::kLimit: {
-      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
-      return sql::Limit(in, node.limit);
+      ESHARP_ASSIGN_OR_RETURN(
+          Table in, ExecuteNode(*node.children[0], catalog, profile.child()));
+      Result<Table> out = sql::Limit(in, node.limit);
+      if (out.ok()) profile.RecordRows(in.num_rows(), out.ValueOrDie().num_rows());
+      return profile.Finish(std::move(out));
     }
     case PlanNode::Kind::kUnionAll: {
-      ESHARP_ASSIGN_OR_RETURN(Table left, ExecuteNode(*node.children[0], catalog));
-      ESHARP_ASSIGN_OR_RETURN(Table right,
-                              ExecuteNode(*node.children[1], catalog));
-      return UnionAll(left, right);
+      ESHARP_ASSIGN_OR_RETURN(
+          Table left, ExecuteNode(*node.children[0], catalog, profile.child()));
+      ESHARP_ASSIGN_OR_RETURN(
+          Table right,
+          ExecuteNode(*node.children[1], catalog, profile.child()));
+      Result<Table> out = UnionAll(left, right);
+      if (out.ok()) {
+        profile.RecordRows(left.num_rows() + right.num_rows(),
+                           out.ValueOrDie().num_rows());
+      }
+      return profile.Finish(std::move(out));
     }
     case PlanNode::Kind::kAlias: {
-      ESHARP_ASSIGN_OR_RETURN(Table in, ExecuteNode(*node.children[0], catalog));
+      ESHARP_ASSIGN_OR_RETURN(
+          Table in, ExecuteNode(*node.children[0], catalog, profile.child()));
       Schema renamed;
       for (const Column& c : in.schema().columns()) {
         // Strip any previous qualifier, then apply the new one.
@@ -227,7 +307,8 @@ Result<Table> Executor::ExecuteNode(const PlanNode& node,
             dot == std::string::npos ? c.name : c.name.substr(dot + 1);
         renamed.AddColumn({node.alias + "." + base, c.type});
       }
-      return Table(renamed, in.rows());
+      profile.RecordRows(in.num_rows(), in.num_rows());
+      return profile.Finish(Table(renamed, in.rows()));
     }
   }
   return Status::Internal("unhandled plan node kind");

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "sqlengine/catalog.h"
+#include "sqlengine/explain.h"
 #include "sqlengine/parallel.h"
 
 namespace esharp::sql {
@@ -117,13 +118,25 @@ class Executor {
   /// Executes a plan, materializing its result.
   Result<Table> Execute(const Plan& plan, const Catalog& catalog) const;
 
+  /// Executes a plan while profiling every operator into `stats`
+  /// (EXPLAIN ANALYZE): exact rows in/out, partition batch counts, and
+  /// inclusive wall time, one ExplainStats node per plan node. `stats` is
+  /// cleared first; `stats->ToString()` renders the report.
+  Result<Table> Execute(const Plan& plan, const Catalog& catalog,
+                        ExplainStats* stats) const;
+
   const ExecutorOptions& options() const { return options_; }
 
  private:
-  Result<Table> ExecuteNode(const PlanNode& node, const Catalog& catalog) const;
+  Result<Table> ExecuteNode(const PlanNode& node, const Catalog& catalog,
+                            ExplainStats* stats) const;
 
   ExecutorOptions options_;
 };
+
+/// \brief One-line operator label shared by EXPLAIN and EXPLAIN ANALYZE,
+/// e.g. "HashJoin(a = b)".
+std::string DescribeNode(const PlanNode& node);
 
 }  // namespace esharp::sql
 

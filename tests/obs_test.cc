@@ -1,0 +1,368 @@
+// Tests of the observability subsystem: metrics registry (concurrency,
+// interning, exporters), tracing (nesting, retroactive spans, Chrome JSON),
+// leveled logging (capture sink, level filter, subsystem tag) and the
+// ResourceMeter -> registry mirror.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/file_io.h"
+#include "obs/obs.h"
+#include "obs/resource_meter.h"
+
+namespace esharp::obs {
+namespace {
+
+// ---- Counter / Gauge ------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (size_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, IncrementWithDelta) {
+  Counter counter;
+  counter.Increment(5);
+  counter.Increment(7);
+  EXPECT_EQ(counter.Value(), 12u);
+}
+
+TEST(GaugeTest, SetAndConcurrentAddAreExact) {
+  Gauge gauge;
+  gauge.Set(41.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 41.5);
+  gauge.Set(0);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (size_t i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Add is a CAS loop, so no increments are lost.
+  EXPECT_DOUBLE_EQ(gauge.Value(), static_cast<double>(kThreads * kPerThread));
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+TEST(HistogramTest, PercentilesAreOrderedAndSane) {
+  Histogram hist;
+  // 1..1000 ms as seconds: p50 ~ 0.5 s, p99 ~ 1 s.
+  for (int i = 1; i <= 1000; ++i) hist.Observe(i / 1000.0);
+  HistogramSnapshot s = hist.Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  // Percentiles report bucket upper bounds (~16% relative resolution), so
+  // p99 may slightly exceed the exact max.
+  EXPECT_LE(s.p99, s.max * 1.2);
+  EXPECT_NEAR(s.p50, 0.5, 0.1);
+  EXPECT_GT(s.p99, 0.9);
+  EXPECT_NEAR(s.mean, 0.5005, 0.05);
+  EXPECT_NEAR(s.max, 1.0, 0.01);
+  hist.Reset();
+  EXPECT_EQ(hist.Snapshot().count, 0u);
+}
+
+// ---- Registry -------------------------------------------------------------
+
+TEST(MetricsRegistryTest, InternsByNameAndSortedLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("reg.c", {{"x", "1"}, {"y", "2"}});
+  Counter* b = registry.GetCounter("reg.c", {{"y", "2"}, {"x", "1"}});
+  Counter* c = registry.GetCounter("reg.c", {{"x", "1"}});
+  Counter* d = registry.GetCounter("reg.c");
+  EXPECT_EQ(a, b);  // label order does not matter
+  EXPECT_NE(a, c);
+  EXPECT_NE(c, d);
+  EXPECT_EQ(registry.size(), 3u);
+  // Different kinds never alias, even under one name.
+  Gauge* g = registry.GetGauge("reg.c");
+  EXPECT_NE(static_cast<void*>(g), static_cast<void*>(d));
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetOrCreateReturnsOnePointer) {
+  MetricsRegistry registry;
+  constexpr size_t kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* c = registry.GetCounter("race.c", {{"k", "v"}});
+      for (int i = 0; i < 1000; ++i) c->Increment();
+      seen[t] = c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->Value(), kThreads * 1000u);
+}
+
+TEST(MetricsRegistryTest, JsonExportRoundTripsValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.requests", {{"stage", "extract"}})->Increment(7);
+  registry.GetGauge("test.depth")->Set(2.5);
+  Histogram* h = registry.GetHistogram("test.latency");
+  h->Observe(0.25);
+  h->Observe(0.25);
+  std::string json = registry.ExportJson();
+  // The serialization is deterministic (map-ordered, %.12g numbers), so the
+  // round trip is checked against the exact encoded forms.
+  EXPECT_NE(json.find("\"counters\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"name\":\"test.requests\",\"labels\":{\"stage\":"
+                      "\"extract\"},\"value\":7}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"name\":\"test.depth\",\"labels\":{},\"value\":2.5}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"test.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  // Structural sanity: braces and brackets balance.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistryTest, WriteJsonFileRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("file.counter")->Increment(3);
+  std::string path = ::testing::TempDir() + "/obs_metrics.json";
+  ASSERT_TRUE(registry.WriteJsonFile(path).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, registry.ExportJson());
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("prom.requests", {{"stage", "rank"}})->Increment(4);
+  registry.GetGauge("prom-gauge.depth")->Set(1.5);
+  registry.GetHistogram("prom.latency")->Observe(0.5);
+  std::string text = registry.ExportPrometheus();
+  // Names sanitize ('.'/'-' -> '_'), one # TYPE line per family.
+  EXPECT_NE(text.find("# TYPE prom_requests counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("prom_requests{stage=\"rank\"} 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE prom_gauge_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("prom_latency{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("prom_latency_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("reset.c");
+  c->Increment(9);
+  registry.GetHistogram("reset.h")->Observe(1.0);
+  registry.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("reset.h")->Snapshot().count, 0u);
+  EXPECT_EQ(registry.GetCounter("reset.c"), c);
+}
+
+TEST(MetricsRegistryTest, DumpAllCoversGlobalRegistry) {
+  MetricsRegistry::Global().GetCounter("obs_test.dump_marker")->Increment();
+  EXPECT_NE(DumpAll().find("obs_test_dump_marker"), std::string::npos);
+}
+
+// ---- Tracing --------------------------------------------------------------
+
+TEST(TracerTest, SpanNestingRecordsParentIdsAndContainment) {
+  Tracer tracer;
+  uint64_t parent_id, child_id;
+  {
+    Span parent = tracer.StartSpan("parent");
+    parent_id = parent.id();
+    {
+      Span child = tracer.StartSpan("child", &parent);
+      child_id = child.id();
+      EXPECT_NE(child_id, parent_id);
+    }
+  }
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // The child ends (and records) first.
+  EXPECT_EQ(events[0].name, "child");
+  EXPECT_EQ(events[0].id, child_id);
+  EXPECT_EQ(events[0].parent_id, parent_id);
+  EXPECT_EQ(events[1].name, "parent");
+  EXPECT_EQ(events[1].parent_id, 0u);
+  // Containment: the child interval lies inside the parent interval.
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].start_us + events[0].dur_us,
+            events[1].start_us + events[1].dur_us + 1.0);
+}
+
+TEST(TracerTest, CrossThreadChildKeepsParentLink) {
+  Tracer tracer;
+  Span parent = tracer.StartSpan("parent");
+  std::thread worker([&tracer, &parent] {
+    Span child = tracer.StartSpan("child", &parent);
+    child.Annotate("worker", "true");
+  });
+  worker.join();
+  parent.End();
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].parent_id, parent.id());
+  // Distinct threads get distinct dense tids.
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TracerTest, AnnotationsAndRetroactiveSpans) {
+  Tracer tracer;
+  double t0 = NowSeconds() - 0.010;
+  Span request = tracer.StartSpanAt("request", nullptr, t0);
+  uint64_t admission =
+      tracer.RecordSpan("admission", &request, t0, t0 + 0.005,
+                        {{"outcome", "admitted"}});
+  EXPECT_GT(admission, 0u);
+  request.Annotate("outcome", "ok");
+  request.Annotate("experts", static_cast<int64_t>(10));
+  request.End();
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& adm = events[0];
+  EXPECT_EQ(adm.name, "admission");
+  EXPECT_EQ(adm.parent_id, request.id());
+  EXPECT_NEAR(adm.dur_us, 5000.0, 100.0);
+  const TraceEvent& req = events[1];
+  EXPECT_GE(req.dur_us, 9000.0);  // opened ~10ms in the past
+  ASSERT_FALSE(req.args.empty());
+  EXPECT_EQ(req.args[0].first, "outcome");
+  EXPECT_EQ(req.args[0].second, "ok");
+}
+
+TEST(TracerTest, ChromeJsonIsLoadableShape) {
+  Tracer tracer;
+  {
+    Span parent = tracer.StartSpan("job");
+    Span child = tracer.StartSpan("step", &parent);
+    child.Annotate("k", "v");
+  }
+  std::string json = tracer.ExportChromeJson();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"job\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"step\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\":\"v\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  tracer.Reset();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, InertSpansAreHarmless) {
+  Span inert;  // default-constructed
+  inert.Annotate("k", "v");
+  inert.End();
+  EXPECT_FALSE(inert.active());
+  EXPECT_EQ(inert.id(), 0u);
+  // The null-tolerant free function mirrors the macro's disabled path.
+  Span from_null = StartSpan(nullptr, "nope");
+  EXPECT_FALSE(from_null.active());
+}
+
+// ---- Logging --------------------------------------------------------------
+
+TEST(LogTest, CapturedSinkSeesFormattedLine) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  ESHARP_LOG(WARN) << "disk almost full: " << 93 << "%";
+  SetLogSink(nullptr);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWARN);
+  EXPECT_NE(captured[0].second.find("WARN"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("disk almost full: 93%"),
+            std::string::npos);
+  // Subsystem tag parsed from the path: this file lives under tests/.
+  EXPECT_NE(captured[0].second.find("[tests]"), std::string::npos)
+      << captured[0].second;
+  EXPECT_NE(captured[0].second.find("obs_test.cc"), std::string::npos);
+}
+
+TEST(LogTest, MinLevelFiltersBelow) {
+  std::vector<std::string> captured;
+  SetLogSink([&captured](LogLevel, const std::string& line) {
+    captured.push_back(line);
+  });
+  SetMinLogLevel(LogLevel::kERROR);
+  ESHARP_LOG(INFO) << "dropped";
+  ESHARP_LOG(WARN) << "dropped too";
+  ESHARP_LOG(ERROR) << "kept";
+  SetMinLogLevel(LogLevel::kINFO);
+  SetLogSink(nullptr);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].find("kept"), std::string::npos);
+}
+
+// ---- ResourceMeter mirror -------------------------------------------------
+
+TEST(ResourceMeterTest, MirrorsStageTotalsIntoGlobalRegistry) {
+  ResourceMeter meter;
+  meter.AddTime("ObsTestStage", 1.5);
+  meter.AddIO("ObsTestStage", 100, 40);
+  meter.AddRows("ObsTestStage", 7, 3);
+  meter.SetParallelism("ObsTestStage", 8);
+  ResourceMeter::StageStats stats = meter.Get("ObsTestStage");
+  EXPECT_DOUBLE_EQ(stats.seconds, 1.5);
+  EXPECT_EQ(stats.bytes_read, 100u);
+  EXPECT_EQ(stats.rows_written, 3u);
+  EXPECT_EQ(stats.parallelism, 8u);
+#if ESHARP_OBS_ENABLED
+  MetricsRegistry& global = MetricsRegistry::Global();
+  const Labels stage{{"stage", "ObsTestStage"}};
+  EXPECT_DOUBLE_EQ(global.GetGauge("resource.seconds", stage)->Value(), 1.5);
+  EXPECT_DOUBLE_EQ(global.GetGauge("resource.bytes_read", stage)->Value(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(global.GetGauge("resource.rows_written", stage)->Value(),
+                   3.0);
+  EXPECT_DOUBLE_EQ(global.GetGauge("resource.parallelism", stage)->Value(),
+                   8.0);
+#endif
+}
+
+TEST(ResourceMeterTest, CopyIsIndependent) {
+  ResourceMeter meter;
+  meter.AddTime("CopyStage", 1.0);
+  ResourceMeter copy = meter;
+  copy.AddTime("CopyStage", 2.0);
+  EXPECT_DOUBLE_EQ(meter.Get("CopyStage").seconds, 1.0);
+  EXPECT_DOUBLE_EQ(copy.Get("CopyStage").seconds, 3.0);
+}
+
+}  // namespace
+}  // namespace esharp::obs

@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "esharp/pipeline.h"
 #include "microblog/generator.h"
+#include "obs/obs.h"
 #include "querylog/generator.h"
 #include "serving/cache.h"
 #include "serving/engine.h"
@@ -645,6 +646,135 @@ TEST_F(ServingTest, DestructionDrainsPendingAsyncWorkOnExternalPool) {
     auto r = f.get();
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
+}
+
+// ---------------------------------------------------------- Observability --
+
+#if ESHARP_OBS_ENABLED
+TEST_F(ServingTest, TraceCoversAllStagesOfAServedRequest) {
+  auto manager = NewManager();
+  obs::Tracer tracer;
+  ServingOptions options;
+  options.num_threads = 1;
+  options.tracer = &tracer;
+  ServingEngine engine(manager.get(), options);
+  auto response = engine.Query({*answered_query_});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  std::vector<obs::TraceEvent> events = tracer.Events();
+  const obs::TraceEvent* request = nullptr;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "request") request = &e;
+  }
+  ASSERT_NE(request, nullptr) << "no request span recorded";
+  EXPECT_EQ(request->parent_id, 0u);
+
+  // The full uncached pipeline: admission -> cache -> expand -> detect ->
+  // rank, every stage a child of the request span.
+  for (const char* stage :
+       {"admission", "cache", "expand", "detect", "rank"}) {
+    const obs::TraceEvent* found = nullptr;
+    for (const obs::TraceEvent& e : events) {
+      if (e.name == stage) found = &e;
+    }
+    ASSERT_NE(found, nullptr) << "missing stage span: " << stage;
+    EXPECT_EQ(found->parent_id, request->id)
+        << stage << " span not parented under the request span";
+  }
+  auto arg = [](const obs::TraceEvent& e, const std::string& key) {
+    for (const auto& [k, v] : e.args) {
+      if (k == key) return v;
+    }
+    return std::string();
+  };
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "cache") EXPECT_EQ(arg(e, "outcome"), "miss");
+    if (e.name == "request") EXPECT_EQ(arg(e, "outcome"), "ok");
+  }
+
+  // A repeat of the same query is served from the cache: a new request
+  // span with a cache-hit outcome and no detector stages.
+  size_t before = events.size();
+  ASSERT_TRUE(engine.Query({*answered_query_}).ok());
+  events = tracer.Events();
+  size_t expands = 0;
+  std::string hit_outcome;
+  for (size_t i = before; i < events.size(); ++i) {
+    if (events[i].name == "expand") ++expands;
+    if (events[i].name == "cache") hit_outcome = arg(events[i], "outcome");
+  }
+  EXPECT_EQ(expands, 0u);
+  EXPECT_EQ(hit_outcome, "hit");
+}
+
+TEST_F(ServingTest, ShedRequestsLeaveATraceEvent) {
+  auto manager = NewManager();
+  obs::Tracer tracer;
+  ServingOptions options;
+  options.num_threads = 1;
+  options.max_in_flight = 0;  // everything sheds
+  options.tracer = &tracer;
+  ServingEngine engine(manager.get(), options);
+  auto response = engine.Query({*answered_query_});
+  EXPECT_FALSE(response.ok());
+  std::vector<obs::TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "shed");
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 0.0);
+}
+#endif  // ESHARP_OBS_ENABLED
+
+TEST(ServingMetricsTest, WindowedQpsRecoversAfterIdleUnlikeLifetimeQps) {
+  ServingMetrics metrics;
+  double now = 0;
+  metrics.SetClockForTest([&now] { return now; });
+  StageTimings stages;
+
+  // Phase 1: 10 qps for 10 seconds.
+  for (int i = 0; i < 100; ++i) {
+    now = i * 0.1;
+    metrics.RecordRequest(0.01, stages, /*cache_hit=*/false,
+                          /*deduplicated=*/false);
+  }
+  MetricsReport warm = metrics.Report();
+  EXPECT_NEAR(warm.window_qps, 10.0, 2.5);
+
+  // Long idle: the windowed rate decays to ~0; the lifetime average barely
+  // moves and keeps overstating the current load.
+  now = 1000;
+  MetricsReport idle = metrics.Report();
+  EXPECT_LT(idle.window_qps, 0.05);
+
+  // Phase 2: a burst after the idle period. The lifetime qps is diluted by
+  // the idle time (this was the Report() understatement bug); the windowed
+  // rate tracks the recent burst instead.
+  for (int i = 0; i < 100; ++i) {
+    now = 1000 + i * 0.01;
+    metrics.RecordRequest(0.01, stages, /*cache_hit=*/false,
+                          /*deduplicated=*/false);
+  }
+  MetricsReport burst = metrics.Report();
+  EXPECT_LT(burst.qps, 1.0);  // 200 requests over ~1001 s
+  EXPECT_GT(burst.window_qps, 5.0 * burst.qps);
+  EXPECT_GT(burst.window_qps, 2.0);
+  metrics.SetClockForTest(nullptr);
+}
+
+TEST(ServingMetricsTest, WindowedQpsEarlyLifeIsNotUnderestimated) {
+  ServingMetrics metrics;
+  double now = 0;
+  metrics.SetClockForTest([&now] { return now; });
+  StageTimings stages;
+  // 20 qps for one second — much shorter than the window's time constant.
+  // The warm-up fill correction must keep the estimate near the true rate
+  // instead of diluting it across the whole (mostly unobserved) window.
+  for (int i = 0; i < 20; ++i) {
+    now = i * 0.05;
+    metrics.RecordRequest(0.01, stages, false, false);
+  }
+  MetricsReport r = metrics.Report();
+  EXPECT_NEAR(r.window_qps, 20.0, 5.0);
+  metrics.SetClockForTest(nullptr);
 }
 
 }  // namespace
