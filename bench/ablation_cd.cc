@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "community/newman.h"
 #include "community/parallel_cd.h"
@@ -118,7 +119,19 @@ void PrintQualityTable() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintQualityTable();
+  // --smoke (used by the `bench`-labelled ctest smoke runs) skips the
+  // quality table, which runs all three detectors at the largest size.
+  bool smoke = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!smoke) PrintQualityTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -55,8 +55,18 @@ Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
   DetectionResult result;
 
   sqlns::Catalog catalog;
-  catalog.Register("graph", BuildGraphTable(g));
-  catalog.Register("communities", BuildInitialCommunities(g));
+  {
+    // Pre-convert the base tables so every per-iteration scan is a
+    // copy-free columnar handoff instead of a row→column conversion.
+    sqlns::Table graph_table = BuildGraphTable(g);
+    sqlns::Table communities_table = BuildInitialCommunities(g);
+    if (options.use_columnar) {
+      (void)graph_table.EnsureColumnar();
+      (void)communities_table.EnsureColumnar();
+    }
+    catalog.Register("graph", std::move(graph_table));
+    catalog.Register("communities", std::move(communities_table));
+  }
 
   sqlns::ExecutorOptions exec_options;
   exec_options.pool = options.pool;
@@ -64,6 +74,7 @@ Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
   exec_options.join_strategy = options.join_strategy;
   exec_options.meter = options.meter;
   exec_options.stage = "Clustering";
+  exec_options.use_columnar = options.use_columnar;
   sqlns::Executor executor(exec_options);
 
   const double total_weight = g.TotalWeight();
@@ -119,11 +130,32 @@ Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
     ESHARP_ASSIGN_OR_RETURN(size_t c1, t.schema().IndexOf("comm1"));
     ESHARP_ASSIGN_OR_RETURN(size_t c2, t.schema().IndexOf("comm2"));
     ESHARP_ASSIGN_OR_RETURN(size_t cw, t.schema().IndexOf("w"));
-    for (const Row& r : t.rows()) {
-      double w = r[cw].double_value();
-      degree[r[c1].string_value()] += w;
-      if (r[c1].string_value() == r[c2].string_value()) {
-        internal[r[c1].string_value()] += w / 2.0;
+    bool accumulated = false;
+    if (options.use_columnar && t.columnar() != nullptr) {
+      // Read the typed columns directly instead of materializing rows.
+      const ColumnTable& ct = *t.columnar();
+      const ColumnVec& v1 = ct.col(c1);
+      const ColumnVec& v2 = ct.col(c2);
+      const ColumnVec& vw = ct.col(cw);
+      if (v1.type == DataType::kString && v2.type == DataType::kString &&
+          vw.type == DataType::kDouble && !v1.nulls.AnyNull() &&
+          !v2.nulls.AnyNull() && !vw.nulls.AnyNull()) {
+        for (size_t i = 0; i < ct.num_rows(); ++i) {
+          const double w = vw.doubles[i];
+          const std::string& s1 = v1.dict->at(v1.str_ids[i]);
+          degree[s1] += w;
+          if (s1 == v2.dict->at(v2.str_ids[i])) internal[s1] += w / 2.0;
+        }
+        accumulated = true;
+      }
+    }
+    if (!accumulated) {
+      for (const Row& r : t.rows()) {
+        double w = r[cw].double_value();
+        degree[r[c1].string_value()] += w;
+        if (r[c1].string_value() == r[c2].string_value()) {
+          internal[r[c1].string_value()] += w / 2.0;
+        }
       }
     }
     double mod = 0;
@@ -210,15 +242,38 @@ Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
     // Convergence: did any membership change?
     ESHARP_ASSIGN_OR_RETURN(const Table* old_communities,
                             catalog.Get("communities"));
-    Table sorted_old = *old_communities;
-    Table sorted_new = new_communities;
-    sorted_old.SortLexicographic();
-    sorted_new.SortLexicographic();
-    bool changed = sorted_old.num_rows() != sorted_new.num_rows();
-    if (!changed) {
-      for (size_t i = 0; i < sorted_old.num_rows() && !changed; ++i) {
-        for (size_t c = 0; c < sorted_old.num_columns() && !changed; ++c) {
-          changed = sorted_old.row(i)[c].Compare(sorted_new.row(i)[c]) != 0;
+    bool changed = false;
+    bool compared = false;
+    if (options.use_columnar) {
+      // Multiset equality over the columnar payloads: no table copies, no
+      // row materialization, no sort.
+      Result<std::shared_ptr<const ColumnTable>> oc =
+          old_communities->EnsureColumnar();
+      Result<std::shared_ptr<const ColumnTable>> nc =
+          new_communities.EnsureColumnar();
+      if (oc.ok() && nc.ok()) {
+        changed = !ColumnTablesEqualAsMultisets(**oc, **nc);
+        compared = true;
+      } else {
+        if (!oc.ok() && !IsColumnarUnsupported(oc.status())) {
+          return oc.status();
+        }
+        if (!nc.ok() && !IsColumnarUnsupported(nc.status())) {
+          return nc.status();
+        }
+      }
+    }
+    if (!compared) {
+      Table sorted_old = *old_communities;
+      Table sorted_new = new_communities;
+      sorted_old.SortLexicographic();
+      sorted_new.SortLexicographic();
+      changed = sorted_old.num_rows() != sorted_new.num_rows();
+      if (!changed) {
+        for (size_t i = 0; i < sorted_old.num_rows() && !changed; ++i) {
+          for (size_t c = 0; c < sorted_old.num_columns() && !changed; ++c) {
+            changed = sorted_old.row(i)[c].Compare(sorted_new.row(i)[c]) != 0;
+          }
         }
       }
     }

@@ -136,6 +136,7 @@ Result<DetectionResult> DetectCommunitiesSqlText(const graph::Graph& g,
   exec_options.join_strategy = options.join_strategy;
   exec_options.meter = options.meter;
   exec_options.stage = "Clustering";
+  exec_options.use_columnar = options.use_columnar;
 
   auto run = [&](const char* sql) {
     return sqlns::ExecuteSql(sql, catalog, registry, exec_options);

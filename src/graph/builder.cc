@@ -2,11 +2,32 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/timer.h"
 
 namespace esharp::graph {
+
+namespace {
+
+// True iff two ascending dimension lists share an element (two-pointer scan).
+bool HaveCommonDim(const std::vector<uint32_t>& a,
+                   const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<Graph> BuildSimilarityGraph(const querylog::QueryLog& log,
                                    const SimilarityGraphOptions& options) {
@@ -21,10 +42,36 @@ Result<Graph> BuildSimilarityGraph(const querylog::QueryLog& log,
   std::vector<SparseVector> vectors = filtered.BuildClickVectors();
   const size_t n = filtered.num_queries();
 
-  // Inverted index: URL -> query ids that clicked it.
-  std::unordered_map<uint32_t, std::vector<uint32_t>> url_to_queries;
-  for (const querylog::ClickRecord& r : filtered.records()) {
-    url_to_queries[r.url_id].push_back(r.query_id);
+  // Inverted index carrying click values: URL -> (query id, clicks), in
+  // ascending query-id order. Candidate generation and dot-product
+  // accumulation are fused over this index: scanning q's URLs in ascending
+  // order appends each candidate's contributions in exactly the order of
+  // SparseVector::Dot's sorted merge, so the accumulated dot is bit-identical
+  // to the unfused rewalk of both vectors.
+  std::unordered_map<uint32_t, std::vector<std::pair<uint32_t, double>>>
+      postings;
+  for (size_t q = 0; q < n; ++q) {
+    for (const auto& [url, clicks] : vectors[q].entries()) {
+      postings[url].emplace_back(static_cast<uint32_t>(q), clicks);
+    }
+  }
+
+  // L2 norms once per query; the unfused path recomputed both per pair.
+  std::vector<double> norm(n);
+  for (size_t q = 0; q < n; ++q) norm[q] = vectors[q].Norm();
+
+  // Hub URLs (fanout above the cap) never generate candidates, but their
+  // clicks still count in the cosine. hub_dims[q] lists q's hub URLs
+  // (ascending); the rare pair that shares one falls back to the full
+  // sorted-merge dot instead of the accumulated one.
+  std::vector<std::vector<uint32_t>> hub_dims(n);
+  for (size_t q = 0; q < n; ++q) {
+    for (const auto& [url, clicks] : vectors[q].entries()) {
+      (void)clicks;
+      if (postings.at(url).size() > options.max_url_fanout) {
+        hub_dims[q].push_back(url);
+      }
+    }
   }
 
   Graph g;
@@ -32,7 +79,7 @@ Result<Graph> BuildSimilarityGraph(const querylog::QueryLog& log,
     g.AddVertex(filtered.query(static_cast<uint32_t>(q)).text);
   }
 
-  // Candidate generation + cosine scoring, parallel over query ids. Each
+  // Fused candidate generation + scoring, parallel over query ids. Each
   // worker emits (u, v, w) with u < v; workers own disjoint u ranges so no
   // pair is emitted twice.
   const size_t parts =
@@ -44,21 +91,42 @@ Result<Graph> BuildSimilarityGraph(const querylog::QueryLog& log,
     size_t begin = part * per;
     size_t end = std::min(n, begin + per);
     std::vector<Edge>& out = edge_chunks[part];
-    std::unordered_set<uint32_t> candidates;
+    std::unordered_map<uint32_t, double> dot;  // candidate -> partial dot
+    std::vector<uint32_t> candidates;
     for (size_t q = begin; q < end; ++q) {
-      candidates.clear();
-      for (const auto& [url, clicks] :
-           vectors[q].entries()) {
-        (void)clicks;
-        auto it = url_to_queries.find(url);
-        if (it == url_to_queries.end()) continue;
-        if (it->second.size() > options.max_url_fanout) continue;
-        for (uint32_t other : it->second) {
-          if (other > q) candidates.insert(other);
+      dot.clear();
+      for (const auto& [url, clicks] : vectors[q].entries()) {
+        const auto& plist = postings.at(url);
+        if (plist.size() > options.max_url_fanout) continue;
+        // Postings are ascending by query id; only ids > q matter.
+        auto lo = std::upper_bound(
+            plist.begin(), plist.end(), static_cast<uint32_t>(q),
+            [](uint32_t a, const std::pair<uint32_t, double>& b) {
+              return a < b.first;
+            });
+        for (auto p = lo; p != plist.end(); ++p) {
+          dot[p->first] += clicks * p->second;
         }
       }
+      // Deterministic emission order (the pair space is fixed, so sorting
+      // candidates makes the edge list independent of hash-map order).
+      candidates.clear();
+      candidates.reserve(dot.size());
+      for (const auto& [other, d] : dot) {
+        (void)d;
+        candidates.push_back(other);
+      }
+      std::sort(candidates.begin(), candidates.end());
       for (uint32_t other : candidates) {
-        double sim = vectors[q].Cosine(vectors[other]);
+        double d = dot[other];
+        if (!hub_dims[q].empty() && !hub_dims[other].empty() &&
+            HaveCommonDim(hub_dims[q], hub_dims[other])) {
+          // A shared hub URL contributes to the dot but was skipped above.
+          d = vectors[q].Dot(vectors[other]);
+        }
+        double sim = (norm[q] == 0.0 || norm[other] == 0.0)
+                         ? 0.0
+                         : d / (norm[q] * norm[other]);
         if (sim >= options.min_similarity) {
           out.push_back(Edge{static_cast<VertexId>(q),
                              static_cast<VertexId>(other), sim});

@@ -1,0 +1,97 @@
+#ifndef ESHARP_SQLENGINE_COLUMNAR_H_
+#define ESHARP_SQLENGINE_COLUMNAR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sqlengine/column.h"
+#include "sqlengine/operators.h"
+
+namespace esharp::sql {
+
+/// \name Vectorized operator kernels
+///
+/// Column-at-a-time counterparts of the row kernels in operators.h, used by
+/// the parallel wrappers in parallel.cc on the clustering hot path. Every
+/// kernel produces exactly the same multiset of rows (and the same
+/// partition routing) as its row-store reference implementation; the
+/// randomized suite in tests/sqlengine_columnar_test.cc holds them to that.
+///
+/// Kernels return kNotImplemented (IsColumnarUnsupported) when the input
+/// has no columnar equivalent — mixed-type columns — in which case the
+/// caller falls back to the row kernel. Genuine errors (mistyped
+/// predicates, division by zero, unknown keys) use the same codes and
+/// messages as the row kernels.
+/// @{
+
+/// Filter via a selection vector: evaluates `pred` column-at-a-time into a
+/// BOOL column, collects the indexes of true rows, and gathers them.
+Result<ColumnTable> ColumnarFilter(const ColumnTable& t, const ExprPtr& pred);
+
+/// Projection: evaluates every expression column-at-a-time. Output column
+/// types are the evaluated column types (kNull for empty inputs), matching
+/// the row kernel's first-row inference on type-stable expressions.
+Result<ColumnTable> ColumnarProject(const ColumnTable& t,
+                                    const std::vector<ProjectedColumn>& cols);
+
+/// \brief Reusable build-side index for the columnar hash join: per-row key
+/// hashes plus a bucket chain. Built once and probed by many workers
+/// concurrently (read-only), so the replicated-join strategy indexes the
+/// build side one time instead of once per partition.
+struct ColumnarJoinIndex {
+  std::vector<size_t> key_idx;
+  std::vector<uint64_t> hashes;
+  /// heads[h % mask+1] -> first row with that hash bucket, chained via next.
+  std::vector<uint32_t> heads;  // power-of-two bucket table, kEmpty sentinel
+  std::vector<uint32_t> next;
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  static Result<ColumnarJoinIndex> Build(const ColumnTable& t,
+                                         const std::vector<std::string>& keys);
+};
+
+/// Hash join of `left` against an indexed build side. `out_schema` must be
+/// Schema::Concat(left.schema(), build.schema(), "r_").
+Result<ColumnTable> ColumnarHashJoinProbe(const ColumnTable& left,
+                                          const std::vector<std::string>& left_keys,
+                                          const ColumnTable& build,
+                                          const ColumnarJoinIndex& index,
+                                          JoinType type);
+
+/// Self-contained join (builds the index internally); reference entry point.
+Result<ColumnTable> ColumnarHashJoin(const ColumnTable& left,
+                                     const ColumnTable& right,
+                                     const std::vector<std::string>& left_keys,
+                                     const std::vector<std::string>& right_keys,
+                                     JoinType type = JoinType::kInner);
+
+/// GROUP BY over precomputed per-row key hashes; aggregates accumulate into
+/// typed arrays column-at-a-time. Groups appear in first-seen order like
+/// the row kernel. Aggregate expressions must be pre-bound by the caller
+/// when sharing across threads (same contract as the row kernels).
+Result<ColumnTable> ColumnarHashAggregate(const ColumnTable& t,
+                                          const std::vector<std::string>& group_keys,
+                                          const std::vector<AggSpec>& aggs);
+
+/// Hash partitioning by scattering column slices: routes every row to the
+/// same partition as the row-store HashPartition (identical hash), but
+/// copies typed payload cells instead of Rows; dictionaries are shared.
+Result<std::vector<ColumnTable>> ColumnarHashPartition(
+    const ColumnTable& t, const std::vector<std::string>& keys,
+    size_t num_partitions);
+
+/// Contiguous-range split, identical chunking to RoundRobinPartition.
+std::vector<ColumnTable> ColumnarRoundRobinPartition(const ColumnTable& t,
+                                                     size_t num_partitions);
+
+/// Concatenates partitions. Columns whose dictionaries are pointer-equal
+/// share them copy-free; otherwise ids are remapped through a merged
+/// dictionary. Empty partitions (with kNull column types) adopt the
+/// canonical non-empty schema like the row path.
+Result<ColumnTable> ColumnarConcat(const std::vector<ColumnTable>& parts);
+
+/// @}
+
+}  // namespace esharp::sql
+
+#endif  // ESHARP_SQLENGINE_COLUMNAR_H_

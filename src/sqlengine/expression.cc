@@ -31,6 +31,17 @@ class ColumnExpr final : public Expr {
     return row[index_];
   }
 
+  Result<ColumnVec> EvalColumn(const ColumnTable& table) const override {
+    if (!bound_) {
+      return Status::FailedPrecondition("column '", name_, "' not bound");
+    }
+    if (index_ >= table.num_columns()) {
+      return Status::Internal("bound index ", index_, " out of row arity ",
+                              table.num_columns());
+    }
+    return table.col(index_);
+  }
+
   std::string ToString() const override { return name_; }
 
  private:
@@ -87,6 +98,17 @@ class FlexibleColumnExpr final : public Expr {
     return row[index_];
   }
 
+  Result<ColumnVec> EvalColumn(const ColumnTable& table) const override {
+    if (!bound_) {
+      return Status::FailedPrecondition("column '", name_, "' not bound");
+    }
+    if (index_ >= table.num_columns()) {
+      return Status::Internal("bound index ", index_, " out of row arity ",
+                              table.num_columns());
+    }
+    return table.col(index_);
+  }
+
   std::string ToString() const override { return name_; }
 
  private:
@@ -102,6 +124,36 @@ class LiteralExpr final : public Expr {
 
   Status Bind(const Schema&) const override { return Status::OK(); }
   Result<Value> Eval(const Row&) const override { return value_; }
+
+  Result<ColumnVec> EvalColumn(const ColumnTable& table) const override {
+    // Broadcast the constant across the batch.
+    const size_t n = table.num_rows();
+    ColumnVec c;
+    c.type = value_.type();
+    switch (c.type) {
+      case DataType::kNull:
+        c.null_length = n;
+        break;
+      case DataType::kBool:
+        c.bools.assign(n, value_.bool_value() ? 1 : 0);
+        break;
+      case DataType::kInt64:
+        c.ints.assign(n, value_.int_value());
+        break;
+      case DataType::kDouble:
+        c.doubles.assign(n, value_.double_value());
+        break;
+      case DataType::kString: {
+        auto dict = std::make_shared<StringDict>();
+        uint32_t id = dict->Intern(value_.string_value());
+        c.str_ids.assign(n, id);
+        c.dict = std::move(dict);
+        break;
+      }
+    }
+    return c;
+  }
+
   std::string ToString() const override { return value_.ToString(); }
 
  private:
@@ -175,6 +227,164 @@ class BinaryExprNode final : public Expr {
     }
   }
 
+  Result<ColumnVec> EvalColumn(const ColumnTable& table) const override {
+    ESHARP_ASSIGN_OR_RETURN(ColumnVec l, left_->EvalColumn(table));
+    ESHARP_ASSIGN_OR_RETURN(ColumnVec r, right_->EvalColumn(table));
+    const size_t n = table.num_rows();
+
+    if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+      // Both operand columns are evaluated in full (no short-circuit; see
+      // the header note) and must be all-BOOL, matching the row path's
+      // per-value type check.
+      for (const ColumnVec* side : {&l, &r}) {
+        if (n == 0) break;
+        if (side->type != DataType::kBool || side->nulls.AnyNull()) {
+          size_t bad = 0;
+          if (side->type == DataType::kBool) {
+            while (bad < n && !side->nulls.IsNull(bad)) ++bad;
+          }
+          return Status::InvalidArgument("AND/OR operand is not BOOL: ",
+                                         side->ValueAt(bad).ToString());
+        }
+      }
+      ColumnVec out;
+      out.type = DataType::kBool;
+      out.bools.resize(n);
+      if (op_ == BinaryOp::kAnd) {
+        for (size_t i = 0; i < n; ++i) out.bools[i] = l.bools[i] & r.bools[i];
+      } else {
+        for (size_t i = 0; i < n; ++i) out.bools[i] = l.bools[i] | r.bools[i];
+      }
+      return out;
+    }
+
+    switch (op_) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        ColumnVec out;
+        out.type = DataType::kBool;
+        out.bools.resize(n);
+        const auto cmp_to_bool = [op = op_](int c) -> uint8_t {
+          switch (op) {
+            case BinaryOp::kEq: return c == 0;
+            case BinaryOp::kNe: return c != 0;
+            case BinaryOp::kLt: return c < 0;
+            case BinaryOp::kLe: return c <= 0;
+            case BinaryOp::kGt: return c > 0;
+            default: return c >= 0;  // kGe
+          }
+        };
+        const bool no_nulls = !l.nulls.AnyNull() && !r.nulls.AnyNull();
+        if (no_nulls && l.type == DataType::kInt64 &&
+            r.type == DataType::kInt64) {
+          const int64_t* a = l.ints.data();
+          const int64_t* b = r.ints.data();
+          for (size_t i = 0; i < n; ++i) {
+            out.bools[i] = cmp_to_bool(a[i] == b[i] ? 0 : (a[i] < b[i] ? -1 : 1));
+          }
+        } else if (no_nulls && l.type == DataType::kDouble &&
+                   r.type == DataType::kDouble) {
+          const double* a = l.doubles.data();
+          const double* b = r.doubles.data();
+          for (size_t i = 0; i < n; ++i) {
+            out.bools[i] = cmp_to_bool(a[i] == b[i] ? 0 : (a[i] < b[i] ? -1 : 1));
+          }
+        } else if (no_nulls && l.type == DataType::kString &&
+                   r.type == DataType::kString && l.dict == r.dict &&
+                   (op_ == BinaryOp::kEq || op_ == BinaryOp::kNe)) {
+          // Interned ids decide equality without touching the bytes.
+          for (size_t i = 0; i < n; ++i) {
+            out.bools[i] = cmp_to_bool(l.str_ids[i] == r.str_ids[i] ? 0 : 1);
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            out.bools[i] = cmp_to_bool(CompareCells(l, i, r, i));
+          }
+        }
+        return out;
+      }
+      default:
+        break;
+    }
+
+    // Arithmetic. Coercion failures mirror the row path's evaluation order:
+    // the left operand's error is what row 0 would have produced.
+    if (n == 0) {
+      ColumnVec out;
+      out.type = (l.type == DataType::kInt64 && r.type == DataType::kInt64 &&
+                  op_ != BinaryOp::kDiv)
+                     ? DataType::kInt64
+                     : DataType::kDouble;
+      return out;
+    }
+    const auto coercible = [](DataType ty) {
+      return ty == DataType::kBool || ty == DataType::kInt64 ||
+             ty == DataType::kDouble;
+    };
+    for (const ColumnVec* side : {&l, &r}) {
+      if (!coercible(side->type)) {
+        return Status::InvalidArgument("cannot coerce ",
+                                       DataTypeToString(side->type),
+                                       " to double");
+      }
+    }
+    if (l.nulls.AnyNull() || r.nulls.AnyNull()) {
+      return Status::InvalidArgument("cannot coerce NULL to double");
+    }
+    if (l.type == DataType::kInt64 && r.type == DataType::kInt64 &&
+        op_ != BinaryOp::kDiv) {
+      ColumnVec out;
+      out.type = DataType::kInt64;
+      out.ints.resize(n);
+      const int64_t* a = l.ints.data();
+      const int64_t* b = r.ints.data();
+      switch (op_) {
+        case BinaryOp::kAdd:
+          for (size_t i = 0; i < n; ++i) out.ints[i] = a[i] + b[i];
+          break;
+        case BinaryOp::kSub:
+          for (size_t i = 0; i < n; ++i) out.ints[i] = a[i] - b[i];
+          break;
+        case BinaryOp::kMul:
+          for (size_t i = 0; i < n; ++i) out.ints[i] = a[i] * b[i];
+          break;
+        default:
+          return Status::Internal("unhandled binary op");
+      }
+      return out;
+    }
+    const auto cell_as_double = [](const ColumnVec& c, size_t i) -> double {
+      switch (c.type) {
+        case DataType::kBool: return c.bools[i] ? 1.0 : 0.0;
+        case DataType::kInt64: return static_cast<double>(c.ints[i]);
+        default: return c.doubles[i];
+      }
+    };
+    ColumnVec out;
+    out.type = DataType::kDouble;
+    out.doubles.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double a = cell_as_double(l, i);
+      const double b = cell_as_double(r, i);
+      switch (op_) {
+        case BinaryOp::kAdd: out.doubles[i] = a + b; break;
+        case BinaryOp::kSub: out.doubles[i] = a - b; break;
+        case BinaryOp::kMul: out.doubles[i] = a * b; break;
+        case BinaryOp::kDiv:
+          if (b == 0.0) return Status::InvalidArgument("division by zero");
+          out.doubles[i] = a / b;
+          break;
+        default:
+          return Status::Internal("unhandled binary op");
+      }
+    }
+    return out;
+  }
+
   std::string ToString() const override {
     static const char* names[] = {"+", "-", "*", "/", "=", "!=", "<", "<=",
                                   ">", ">=", "AND", "OR"};
@@ -213,6 +423,50 @@ class UnaryExprNode final : public Expr {
     return Status::Internal("unhandled unary op");
   }
 
+  Result<ColumnVec> EvalColumn(const ColumnTable& table) const override {
+    ESHARP_ASSIGN_OR_RETURN(ColumnVec v, operand_->EvalColumn(table));
+    const size_t n = table.num_rows();
+    if (op_ == UnaryOp::kNot) {
+      if (n > 0 && (v.type != DataType::kBool || v.nulls.AnyNull())) {
+        return Status::InvalidArgument("NOT operand is not BOOL");
+      }
+      ColumnVec out;
+      out.type = DataType::kBool;
+      out.bools.resize(n);
+      for (size_t i = 0; i < n; ++i) out.bools[i] = v.bools[i] ? 0 : 1;
+      return out;
+    }
+    // kNeg
+    if (v.type == DataType::kInt64 && !v.nulls.AnyNull()) {
+      ColumnVec out;
+      out.type = DataType::kInt64;
+      out.ints.resize(n);
+      for (size_t i = 0; i < n; ++i) out.ints[i] = -v.ints[i];
+      return out;
+    }
+    if (n == 0) {
+      ColumnVec out;
+      out.type = DataType::kDouble;
+      return out;
+    }
+    if (v.type == DataType::kString || v.type == DataType::kNull) {
+      return Status::InvalidArgument("cannot coerce ",
+                                     DataTypeToString(v.type), " to double");
+    }
+    if (v.nulls.AnyNull()) {
+      return Status::InvalidArgument("cannot coerce NULL to double");
+    }
+    ColumnVec out;
+    out.type = DataType::kDouble;
+    out.doubles.resize(n);
+    if (v.type == DataType::kBool) {
+      for (size_t i = 0; i < n; ++i) out.doubles[i] = v.bools[i] ? -1.0 : -0.0;
+    } else {
+      for (size_t i = 0; i < n; ++i) out.doubles[i] = -v.doubles[i];
+    }
+    return out;
+  }
+
   std::string ToString() const override {
     return (op_ == UnaryOp::kNot ? "NOT " : "-") + operand_->ToString();
   }
@@ -243,6 +497,28 @@ class UdfExpr final : public Expr {
     return fn_(vals);
   }
 
+  Result<ColumnVec> EvalColumn(const ColumnTable& table) const override {
+    // Arguments evaluate column-at-a-time; the scalar function itself runs
+    // per row (UDFs are opaque).
+    std::vector<ColumnVec> arg_cols;
+    arg_cols.reserve(args_.size());
+    for (const ExprPtr& a : args_) {
+      ESHARP_ASSIGN_OR_RETURN(ColumnVec c, a->EvalColumn(table));
+      arg_cols.push_back(std::move(c));
+    }
+    const size_t n = table.num_rows();
+    ColumnBuilder builder(n);
+    std::vector<Value> vals(args_.size());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t k = 0; k < arg_cols.size(); ++k) {
+        vals[k] = arg_cols[k].ValueAt(i);
+      }
+      ESHARP_ASSIGN_OR_RETURN(Value v, fn_(vals));
+      ESHARP_RETURN_NOT_OK(builder.Append(v));
+    }
+    return builder.Finish();
+  }
+
   std::string ToString() const override {
     std::string out = name_ + "(";
     for (size_t i = 0; i < args_.size(); ++i) {
@@ -259,6 +535,17 @@ class UdfExpr final : public Expr {
 };
 
 }  // namespace
+
+Result<ColumnVec> Expr::EvalColumn(const ColumnTable& table) const {
+  // Reference fallback: evaluate row-at-a-time and rebuild a typed column.
+  const size_t n = table.num_rows();
+  ColumnBuilder builder(n);
+  for (size_t i = 0; i < n; ++i) {
+    ESHARP_ASSIGN_OR_RETURN(Value v, Eval(table.MaterializeRow(i)));
+    ESHARP_RETURN_NOT_OK(builder.Append(v));
+  }
+  return builder.Finish();
+}
 
 ExprPtr Col(std::string name) {
   return std::make_shared<ColumnExpr>(std::move(name));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "sqlengine/column.h"
 #include "sqlengine/schema.h"
 #include "sqlengine/table.h"
 
@@ -49,6 +50,18 @@ class Expr {
 
   /// Evaluates against a row of the schema passed to Bind().
   virtual Result<Value> Eval(const Row& row) const = 0;
+
+  /// Evaluates column-at-a-time against a table whose schema was passed to
+  /// Bind(), producing one value per row. The base implementation walks rows
+  /// through Eval() (correct for any expression); the concrete nodes
+  /// override it with vectorized loops. Returns kNotImplemented when the
+  /// result stream has no single-typed column representation, in which case
+  /// callers fall back to the row kernels. Note that AND/OR do not
+  /// short-circuit column-at-a-time: both operand columns are evaluated and
+  /// type-checked in full, so a predicate relying on short-circuiting to
+  /// hide a typing error on skipped rows errors here instead (well-typed
+  /// queries — everything the pipeline generates — are unaffected).
+  virtual Result<ColumnVec> EvalColumn(const ColumnTable& table) const;
 
   /// Debug rendering ("(a + 1) > b").
   virtual std::string ToString() const = 0;

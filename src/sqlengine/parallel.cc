@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "sqlengine/columnar.h"
 #include "sqlengine/explain.h"
 
 namespace esharp::sql {
@@ -41,6 +42,134 @@ void MeterRows(const ExecContext& ctx, uint64_t in, uint64_t out,
     ctx.stats->rows_out += out;
     ctx.stats->batches = batches;
   }
+}
+
+// Wraps a finished columnar result without materializing rows.
+Table WrapColumnar(ColumnTable out) {
+  return Table::FromColumnar(
+      std::make_shared<const ColumnTable>(std::move(out)));
+}
+
+// ---------------------------------------------------------------------------
+// Columnar drivers. Each mirrors its row-store wrapper below: identical
+// partition routing (bit-identical key hashes), identical batch counts and
+// rows in/out for EXPLAIN ANALYZE, and the same error surface. They return
+// kNotImplemented when the input has no columnar form (mixed-type columns),
+// in which case the public wrapper falls back to the row kernels.
+// ---------------------------------------------------------------------------
+
+Result<Table> ColumnarParallelFilter(const ExecContext& ctx, const Table& t,
+                                     const ExprPtr& pred) {
+  ESHARP_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnTable> ct,
+                          t.EnsureColumnar());
+  // Pre-bind on the coordinator; workers' Bind calls become no-ops.
+  ESHARP_RETURN_NOT_OK(pred->Bind(t.schema()));
+  const size_t p = std::max<size_t>(1, ctx.num_partitions);
+  std::vector<ColumnTable> parts = ColumnarRoundRobinPartition(*ct, p);
+  std::vector<ColumnTable> results(p);
+  ESHARP_RETURN_NOT_OK(RunPartitioned(ctx, p, [&](size_t i) -> Status {
+    ESHARP_ASSIGN_OR_RETURN(results[i], ColumnarFilter(parts[i], pred));
+    return Status::OK();
+  }));
+  ESHARP_ASSIGN_OR_RETURN(ColumnTable out, ColumnarConcat(results));
+  MeterRows(ctx, t.num_rows(), out.num_rows(), p);
+  return WrapColumnar(std::move(out));
+}
+
+Result<Table> ColumnarParallelProject(const ExecContext& ctx, const Table& t,
+                                      const std::vector<ProjectedColumn>& cols) {
+  ESHARP_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnTable> ct,
+                          t.EnsureColumnar());
+  for (const ProjectedColumn& c : cols) {
+    ESHARP_RETURN_NOT_OK(c.expr->Bind(t.schema()));
+  }
+  const size_t p = std::max<size_t>(1, ctx.num_partitions);
+  std::vector<ColumnTable> parts = ColumnarRoundRobinPartition(*ct, p);
+  std::vector<ColumnTable> results(p);
+  ESHARP_RETURN_NOT_OK(RunPartitioned(ctx, p, [&](size_t i) -> Status {
+    ESHARP_ASSIGN_OR_RETURN(results[i], ColumnarProject(parts[i], cols));
+    return Status::OK();
+  }));
+  ESHARP_ASSIGN_OR_RETURN(ColumnTable out, ColumnarConcat(results));
+  MeterRows(ctx, t.num_rows(), out.num_rows(), p);
+  return WrapColumnar(std::move(out));
+}
+
+Result<Table> ColumnarParallelHashJoin(const ExecContext& ctx,
+                                       const Table& left, const Table& right,
+                                       const std::vector<std::string>& left_keys,
+                                       const std::vector<std::string>& right_keys,
+                                       JoinType type, JoinStrategy strategy) {
+  if (left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument("join key arity mismatch: ",
+                                   left_keys.size(), " vs ",
+                                   right_keys.size());
+  }
+  ESHARP_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnTable> lct,
+                          left.EnsureColumnar());
+  ESHARP_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnTable> rct,
+                          right.EnsureColumnar());
+  const size_t p = std::max<size_t>(1, ctx.num_partitions);
+  std::vector<ColumnTable> results(p);
+  if (strategy == JoinStrategy::kReplicated) {
+    // Key win over the row path: the build side is hashed and indexed ONCE
+    // on the coordinator; every worker probes the shared read-only index
+    // instead of rebuilding its own hash table.
+    ESHARP_ASSIGN_OR_RETURN(ColumnarJoinIndex index,
+                            ColumnarJoinIndex::Build(*rct, right_keys));
+    std::vector<ColumnTable> lparts = ColumnarRoundRobinPartition(*lct, p);
+    ESHARP_RETURN_NOT_OK(RunPartitioned(ctx, p, [&](size_t i) -> Status {
+      ESHARP_ASSIGN_OR_RETURN(
+          results[i],
+          ColumnarHashJoinProbe(lparts[i], left_keys, *rct, index, type));
+      return Status::OK();
+    }));
+  } else {
+    ESHARP_ASSIGN_OR_RETURN(std::vector<ColumnTable> lparts,
+                            ColumnarHashPartition(*lct, left_keys, p));
+    ESHARP_ASSIGN_OR_RETURN(std::vector<ColumnTable> rparts,
+                            ColumnarHashPartition(*rct, right_keys, p));
+    ESHARP_RETURN_NOT_OK(RunPartitioned(ctx, p, [&](size_t i) -> Status {
+      ESHARP_ASSIGN_OR_RETURN(
+          results[i],
+          ColumnarHashJoin(lparts[i], rparts[i], left_keys, right_keys, type));
+      return Status::OK();
+    }));
+  }
+  ESHARP_ASSIGN_OR_RETURN(ColumnTable out, ColumnarConcat(results));
+  MeterRows(ctx, left.num_rows() + right.num_rows(), out.num_rows(), p);
+  return WrapColumnar(std::move(out));
+}
+
+Result<Table> ColumnarParallelHashAggregate(
+    const ExecContext& ctx, const Table& t,
+    const std::vector<std::string>& group_keys,
+    const std::vector<AggSpec>& aggs) {
+  ESHARP_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnTable> ct,
+                          t.EnsureColumnar());
+  if (group_keys.empty()) {
+    // Single global batch, like the row wrapper.
+    ESHARP_ASSIGN_OR_RETURN(ColumnTable out,
+                            ColumnarHashAggregate(*ct, group_keys, aggs));
+    MeterRows(ctx, t.num_rows(), out.num_rows());
+    return WrapColumnar(std::move(out));
+  }
+  for (const AggSpec& a : aggs) {
+    if (a.arg) ESHARP_RETURN_NOT_OK(a.arg->Bind(t.schema()));
+    if (a.output) ESHARP_RETURN_NOT_OK(a.output->Bind(t.schema()));
+  }
+  const size_t p = std::max<size_t>(1, ctx.num_partitions);
+  ESHARP_ASSIGN_OR_RETURN(std::vector<ColumnTable> parts,
+                          ColumnarHashPartition(*ct, group_keys, p));
+  std::vector<ColumnTable> results(p);
+  ESHARP_RETURN_NOT_OK(RunPartitioned(ctx, p, [&](size_t i) -> Status {
+    ESHARP_ASSIGN_OR_RETURN(results[i],
+                            ColumnarHashAggregate(parts[i], group_keys, aggs));
+    return Status::OK();
+  }));
+  ESHARP_ASSIGN_OR_RETURN(ColumnTable out, ColumnarConcat(results));
+  MeterRows(ctx, t.num_rows(), out.num_rows(), p);
+  return WrapColumnar(std::move(out));
 }
 
 }  // namespace
@@ -97,10 +226,21 @@ Result<Table> ParallelHashJoin(const ExecContext& ctx, const Table& left,
                                const std::vector<std::string>& left_keys,
                                const std::vector<std::string>& right_keys,
                                JoinType type, JoinStrategy strategy) {
+  if (ctx.use_columnar) {
+    Result<Table> columnar = ColumnarParallelHashJoin(
+        ctx, left, right, left_keys, right_keys, type, strategy);
+    if (columnar.ok() || !IsColumnarUnsupported(columnar.status())) {
+      return columnar;
+    }
+  }
   const size_t p = std::max<size_t>(1, ctx.num_partitions);
   std::vector<Table> left_parts, right_parts;
   if (strategy == JoinStrategy::kReplicated) {
     // Probe side split arbitrarily; build side replicated to every worker.
+    // Touch the build side's rows on the coordinator first: lazy columnar
+    // tables materialize on first access, which must not race across the
+    // workers that share `right`.
+    (void)right.rows();
     left_parts = RoundRobinPartition(left, p);
   } else {
     ESHARP_ASSIGN_OR_RETURN(left_parts, HashPartition(left, left_keys, p));
@@ -123,6 +263,13 @@ Result<Table> ParallelHashJoin(const ExecContext& ctx, const Table& left,
 Result<Table> ParallelHashAggregate(const ExecContext& ctx, const Table& t,
                                     const std::vector<std::string>& group_keys,
                                     const std::vector<AggSpec>& aggs) {
+  if (ctx.use_columnar) {
+    Result<Table> columnar =
+        ColumnarParallelHashAggregate(ctx, t, group_keys, aggs);
+    if (columnar.ok() || !IsColumnarUnsupported(columnar.status())) {
+      return columnar;
+    }
+  }
   const size_t p = std::max<size_t>(1, ctx.num_partitions);
   if (group_keys.empty()) {
     // Two-phase: local partial aggregation over arbitrary chunks, then a
@@ -166,6 +313,12 @@ Result<Table> ParallelHashAggregate(const ExecContext& ctx, const Table& t,
 
 Result<Table> ParallelFilter(const ExecContext& ctx, const Table& t,
                              const ExprPtr& pred) {
+  if (ctx.use_columnar) {
+    Result<Table> columnar = ColumnarParallelFilter(ctx, t, pred);
+    if (columnar.ok() || !IsColumnarUnsupported(columnar.status())) {
+      return columnar;
+    }
+  }
   // Pre-bind against the shared schema so workers' Bind calls are no-ops
   // (expression binding caches are not thread-safe to populate).
   ESHARP_RETURN_NOT_OK(pred->Bind(t.schema()));
@@ -183,6 +336,12 @@ Result<Table> ParallelFilter(const ExecContext& ctx, const Table& t,
 
 Result<Table> ParallelProject(const ExecContext& ctx, const Table& t,
                               const std::vector<ProjectedColumn>& cols) {
+  if (ctx.use_columnar) {
+    Result<Table> columnar = ColumnarParallelProject(ctx, t, cols);
+    if (columnar.ok() || !IsColumnarUnsupported(columnar.status())) {
+      return columnar;
+    }
+  }
   for (const ProjectedColumn& c : cols) {
     ESHARP_RETURN_NOT_OK(c.expr->Bind(t.schema()));
   }

@@ -27,6 +27,12 @@ struct ExecContext {
   /// kernels record exact rows in/out and the partition batch count here.
   /// Owned by the Execute(plan, catalog, stats) caller; may be null.
   ExplainStats* stats = nullptr;
+  /// Execute with the vectorized columnar kernels (typed column batches,
+  /// selection vectors, copy-free partitioning). Row counts, partition
+  /// routing, and batch counts are identical to the row path; operators
+  /// whose input has no columnar form (mixed-type columns) fall back to the
+  /// row kernels automatically.
+  bool use_columnar = true;
 };
 
 /// \brief Strategy for the parallel join, mirroring §4.2.3 of the paper.

@@ -199,17 +199,36 @@ Result<Table> Executor::ExecuteNode(const PlanNode& node,
                                     const Catalog& catalog,
                                     ExplainStats* stats) const {
   NodeProfile profile(stats, node);
-  ExecContext ctx{options_.pool, options_.num_partitions, options_.meter,
-                  options_.stage, stats};
+  ExecContext ctx{options_.pool,  options_.num_partitions,
+                  options_.meter, options_.stage,
+                  stats,          options_.use_columnar};
   switch (node.kind) {
     case PlanNode::Kind::kScan: {
       ESHARP_ASSIGN_OR_RETURN(const Table* t, catalog.Get(node.table_name));
       profile.RecordRows(t->num_rows(), t->num_rows());
+      // Columnar execution scans copy-free: the cached columnar payload is
+      // shared instead of deep-copying every row. The conversion happens
+      // once per catalog table and is reused across queries/iterations.
+      if (options_.use_columnar) {
+        Result<std::shared_ptr<const ColumnTable>> ct = t->EnsureColumnar();
+        if (ct.ok()) {
+          return profile.Finish(Table::FromColumnar(*ct));
+        }
+        if (!IsColumnarUnsupported(ct.status())) return ct.status();
+      }
       return profile.Finish(*t);
     }
     case PlanNode::Kind::kValues:
       profile.RecordRows(node.literal_table->num_rows(),
                          node.literal_table->num_rows());
+      if (options_.use_columnar) {
+        Result<std::shared_ptr<const ColumnTable>> ct =
+            node.literal_table->EnsureColumnar();
+        if (ct.ok()) {
+          return profile.Finish(Table::FromColumnar(*ct));
+        }
+        if (!IsColumnarUnsupported(ct.status())) return ct.status();
+      }
       return profile.Finish(*node.literal_table);
     case PlanNode::Kind::kFilter: {
       ESHARP_ASSIGN_OR_RETURN(
@@ -308,6 +327,13 @@ Result<Table> Executor::ExecuteNode(const PlanNode& node,
         renamed.AddColumn({node.alias + "." + base, c.type});
       }
       profile.RecordRows(in.num_rows(), in.num_rows());
+      if (options_.use_columnar && in.columnar() != nullptr) {
+        // Rename on the columnar payload: copies typed vectors, not Values.
+        ColumnTable renamed_ct = *in.columnar();
+        renamed_ct.mutable_schema() = renamed;
+        return profile.Finish(Table::FromColumnar(
+            std::make_shared<const ColumnTable>(std::move(renamed_ct))));
+      }
       return profile.Finish(Table(renamed, in.rows()));
     }
   }

@@ -108,6 +108,11 @@ struct ExecutorOptions {
   /// Optional resource accounting.
   ResourceMeter* meter = nullptr;
   std::string stage = "sql";
+  /// Parallel operators execute on the vectorized columnar kernels (typed
+  /// column batches, selection vectors, copy-free partitioning); the row
+  /// kernels remain as reference and as the automatic fallback for inputs
+  /// with no columnar form. Results are identical either way.
+  bool use_columnar = true;
 };
 
 /// \brief Evaluates plans against a catalog.

@@ -7,34 +7,63 @@
 
 namespace esharp::sql {
 
+Table Table::FromColumnar(std::shared_ptr<const ColumnTable> columnar) {
+  Table t(columnar->schema());
+  t.columnar_ = std::move(columnar);
+  t.rows_valid_ = false;
+  return t;
+}
+
+void Table::MaterializeFromColumnar() const {
+  rows_ = columnar_->MaterializeRows();
+  rows_valid_ = true;
+}
+
+Result<std::shared_ptr<const ColumnTable>> Table::EnsureColumnar() const {
+  if (columnar_ != nullptr) return columnar_;
+  // Invariant: a null payload implies rows_ is valid.
+  ESHARP_ASSIGN_OR_RETURN(ColumnTable ct, ColumnTable::FromTable(*this));
+  columnar_ = std::make_shared<const ColumnTable>(std::move(ct));
+  return columnar_;
+}
+
 Status Table::AppendRow(Row row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument("row arity ", row.size(),
                                    " does not match schema arity ",
                                    schema_.num_columns());
   }
-  rows_.push_back(std::move(row));
+  AppendRowUnchecked(std::move(row));
   return Status::OK();
 }
 
 Result<Value> Table::GetValue(size_t row_index,
                               const std::string& column) const {
-  if (row_index >= rows_.size()) {
-    return Status::OutOfRange("row ", row_index, " >= ", rows_.size());
+  if (row_index >= num_rows()) {
+    return Status::OutOfRange("row ", row_index, " >= ", num_rows());
   }
   ESHARP_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
-  return rows_[row_index][col];
+  return row(row_index)[col];
 }
 
 uint64_t Table::SizeBytes() const {
+  if (size_cache_valid_) return size_bytes_cache_;
   uint64_t total = 0;
-  for (const Row& r : rows_) {
-    for (const Value& v : r) total += v.SizeBytes();
+  if (!rows_valid_) {
+    // ColumnTable::SizeBytes uses the same per-cell accounting.
+    total = columnar_->SizeBytes();
+  } else {
+    for (const Row& r : rows_) {
+      for (const Value& v : r) total += v.SizeBytes();
+    }
   }
+  size_bytes_cache_ = total;
+  size_cache_valid_ = true;
   return total;
 }
 
 std::string Table::ToString(size_t max_rows) const {
+  EnsureRows();
   // Compute column widths over the rendered prefix.
   size_t shown = std::min(max_rows, rows_.size());
   std::vector<size_t> widths(schema_.num_columns());
@@ -69,6 +98,8 @@ std::string Table::ToString(size_t max_rows) const {
 }
 
 void Table::SortLexicographic() {
+  EnsureRows();
+  columnar_.reset();  // payload row order no longer matches
   std::sort(rows_.begin(), rows_.end(), [](const Row& a, const Row& b) {
     for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
       int c = a[i].Compare(b[i]);

@@ -43,34 +43,38 @@ int TypeRank(DataType t) {
 }  // namespace
 
 int Value::Compare(const Value& other) const {
-  int ra = TypeRank(type()), rb = TypeRank(other.type());
+  // Fetch both types once; every branch below works off the locals instead
+  // of re-dispatching on the variant.
+  const DataType ta = type(), tb = other.type();
+  const int ra = TypeRank(ta), rb = TypeRank(tb);
   if (ra != rb) return ra < rb ? -1 : 1;
-  switch (type()) {
+  switch (ta) {
     case DataType::kNull:
       return 0;
     case DataType::kBool: {
-      bool a = bool_value(), b = other.bool_value();
+      const bool a = bool_value(), b = other.bool_value();
       return a == b ? 0 : (a < b ? -1 : 1);
     }
     case DataType::kInt64:
     case DataType::kDouble: {
       // Numeric family: compare as doubles, but keep exact int comparison
       // when both sides are ints.
-      if (type() == DataType::kInt64 && other.type() == DataType::kInt64) {
-        int64_t a = int_value(), b = other.int_value();
+      if (ta == DataType::kInt64 && tb == DataType::kInt64) {
+        const int64_t a = int_value(), b = other.int_value();
         return a == b ? 0 : (a < b ? -1 : 1);
       }
-      double a = type() == DataType::kInt64 ? static_cast<double>(int_value())
-                                            : double_value();
-      double b = other.type() == DataType::kInt64
-                     ? static_cast<double>(other.int_value())
-                     : other.double_value();
+      const double a =
+          ta == DataType::kInt64 ? static_cast<double>(int_value())
+                                 : double_value();
+      const double b = tb == DataType::kInt64
+                           ? static_cast<double>(other.int_value())
+                           : other.double_value();
       return a == b ? 0 : (a < b ? -1 : 1);
     }
-    case DataType::kString:
-      return string_value().compare(other.string_value()) < 0
-                 ? -1
-                 : (string_value() == other.string_value() ? 0 : 1);
+    case DataType::kString: {
+      const int c = string_value().compare(other.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
   }
   return 0;
 }

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/sparse_vector.h"
 #include "graph/builder.h"
 #include "graph/graph.h"
 #include "querylog/generator.h"
@@ -168,6 +173,54 @@ TEST_F(BuilderTest, MeterRecordsExtractionStage) {
   ASSERT_TRUE(BuildSimilarityGraph(log_->log, options).ok());
   EXPECT_GT(meter.Get("Extraction").bytes_read, 0u);
   EXPECT_GT(meter.Get("Extraction").rows_written, 0u);
+}
+
+TEST_F(BuilderTest, FusedScoringMatchesUnfusedReference) {
+  // The builder fuses candidate generation with dot-product accumulation
+  // during the inverted-index scan. This reference re-implements the
+  // unfused two-pass shape (candidates first, then Cosine per pair, which
+  // rewalks both vectors) and must produce the identical edge set with
+  // bitwise-identical weights.
+  SimilarityGraphOptions options;
+  options.min_similarity = 0.15;
+  options.max_url_fanout = 32;  // small cap so hub URLs exercise the fix-up
+  Graph g = *BuildSimilarityGraph(log_->log, options);
+
+  querylog::QueryLog filtered =
+      log_->log.FilterByMinCount(options.min_query_count);
+  std::vector<SparseVector> vectors = filtered.BuildClickVectors();
+  const size_t n = filtered.num_queries();
+  std::unordered_map<uint32_t, std::vector<uint32_t>> url_to_queries;
+  for (const querylog::ClickRecord& r : filtered.records()) {
+    url_to_queries[r.url_id].push_back(r.query_id);
+  }
+  std::vector<std::tuple<VertexId, VertexId, double>> expected;
+  for (size_t q = 0; q < n; ++q) {
+    std::unordered_set<uint32_t> candidates;
+    for (const auto& [url, clicks] : vectors[q].entries()) {
+      (void)clicks;
+      auto it = url_to_queries.find(url);
+      if (it == url_to_queries.end()) continue;
+      if (it->second.size() > options.max_url_fanout) continue;
+      for (uint32_t other : it->second) {
+        if (other > q) candidates.insert(other);
+      }
+    }
+    for (uint32_t other : candidates) {
+      double sim = vectors[q].Cosine(vectors[other]);
+      if (sim >= options.min_similarity) {
+        expected.emplace_back(static_cast<VertexId>(q),
+                              static_cast<VertexId>(other), sim);
+      }
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+
+  std::vector<std::tuple<VertexId, VertexId, double>> actual;
+  for (const Edge& e : g.edges()) actual.emplace_back(e.u, e.v, e.weight);
+  std::sort(actual.begin(), actual.end());
+  ASSERT_FALSE(actual.empty());
+  EXPECT_EQ(expected, actual);
 }
 
 TEST(BuilderOptionsTest, InvalidSimilarityRejected) {

@@ -319,6 +319,72 @@ TEST(ExplainAnalyzeTest, RowCountsAreExactUnderParallelExecution) {
   EXPECT_EQ(stats.NodeCount(), 3u);
 }
 
+TEST(ExplainAnalyzeTest, RowCountsIdenticalAcrossRowAndColumnarPaths) {
+  // The columnar kernels hash keys bit-identically to the row kernels, so
+  // partition routing — and with it every exact rows_in/rows_out/batches
+  // figure — must match between the two execution paths.
+  Catalog cat;
+  cat.Register("t", DeterministicTable());
+  Plan plan = Plan::Scan("t")
+                  .Where(Gt(Col("x"), LitDouble(0)))
+                  .GroupBy({"k"}, {CountStar("n")});
+
+  ThreadPool pool(4);
+  ExecutorOptions options;
+  options.pool = &pool;
+  options.num_partitions = 6;
+
+  options.use_columnar = true;
+  ExplainStats columnar;
+  Table cout_table = *Executor(options).Execute(plan, cat, &columnar);
+
+  options.use_columnar = false;
+  ExplainStats rowwise;
+  Table rout_table = *Executor(options).Execute(plan, cat, &rowwise);
+
+  EXPECT_EQ(cout_table.num_rows(), rout_table.num_rows());
+  ASSERT_EQ(columnar.NodeCount(), rowwise.NodeCount());
+  const ExplainStats& cfilter = *columnar.children[0];
+  const ExplainStats& rfilter = *rowwise.children[0];
+  EXPECT_EQ(columnar.rows_in, rowwise.rows_in);
+  EXPECT_EQ(columnar.rows_out, rowwise.rows_out);
+  EXPECT_EQ(columnar.batches, rowwise.batches);
+  EXPECT_EQ(cfilter.rows_in, rfilter.rows_in);
+  EXPECT_EQ(cfilter.rows_out, rfilter.rows_out);
+  EXPECT_EQ(cfilter.batches, rfilter.batches);
+  // And the absolute numbers are the known exact cardinalities.
+  EXPECT_EQ(cfilter.rows_in, 100u);
+  EXPECT_EQ(cfilter.rows_out, 40u);
+  EXPECT_EQ(cfilter.batches, 6u);
+  EXPECT_EQ(columnar.rows_out, 10u);
+}
+
+TEST(ExplainAnalyzeTest, JoinCountsIdenticalAcrossRowAndColumnarPaths) {
+  Catalog cat;
+  cat.Register("l", RandomTable(300, 12, 23));
+  cat.Register("r", RandomTable(200, 12, 24));
+  Plan plan = Plan::Scan("l").Join(Plan::Scan("r"), {"k"}, {"k"});
+  ThreadPool pool(4);
+  ExecutorOptions options;
+  options.pool = &pool;
+  options.num_partitions = 5;
+  options.join_strategy = JoinStrategy::kPartitioned;
+
+  options.use_columnar = true;
+  ExplainStats columnar;
+  Table ctab = *Executor(options).Execute(plan, cat, &columnar);
+  options.use_columnar = false;
+  ExplainStats rowwise;
+  Table rtab = *Executor(options).Execute(plan, cat, &rowwise);
+
+  EXPECT_EQ(ctab.num_rows(), rtab.num_rows());
+  EXPECT_EQ(columnar.rows_in, rowwise.rows_in);
+  EXPECT_EQ(columnar.rows_out, rowwise.rows_out);
+  EXPECT_EQ(columnar.batches, rowwise.batches);
+  EXPECT_EQ(columnar.rows_in, 500u);
+  EXPECT_EQ(columnar.batches, 5u);
+}
+
 TEST(ExplainAnalyzeTest, JoinRecordsBothInputs) {
   Catalog cat;
   cat.Register("l", RandomTable(300, 12, 21));
