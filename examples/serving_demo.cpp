@@ -21,28 +21,49 @@
 // both the served requests (request -> admission/cache/expand/detect/rank)
 // and the weekly refresh (offline_pipeline -> extract/cluster/index with
 // per-iteration modularity annotations).
+//
+// --port=N starts the embedded debugz server alongside the traffic (0 picks
+// an ephemeral port) and self-scrapes /metrics and /readyz mid-swap to show
+// the endpoints answering concurrently with serving. --serve_seconds=S keeps
+// the process (and a trickle of traffic) alive afterwards so you can curl:
+//   ./build/examples/serving_demo --port=8080 --serve_seconds=60 &
+//   curl localhost:8080/statusz
+//   curl localhost:8080/metrics
+//   curl localhost:8080/tracez
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "esharp/pipeline.h"
 #include "microblog/generator.h"
+#include "obs/debugz.h"
 #include "obs/obs.h"
+#include "obs/slo.h"
 #include "querylog/generator.h"
 #include "serving/engine.h"
+#include "serving/introspect.h"
 
 using namespace esharp;
 
 int main(int argc, char** argv) {
   std::string metrics_json_path, trace_path;
+  int port = -1;  // < 0: debugz server disabled
+  double serve_seconds = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics_json=", 15) == 0) {
       metrics_json_path = argv[i] + 15;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--serve_seconds=", 16) == 0) {
+      serve_seconds = std::atof(argv[i] + 16);
     }
   }
 
@@ -91,6 +112,38 @@ int main(int argc, char** argv) {
   serving_options.tracer = &tracer;
   serving::ServingEngine engine(&manager, serving_options);
 
+  // ---- 2b. The debugz server, watching the engine it shares a process with.
+  // Declared after the engine so they tear down in the safe order: the
+  // watchdog and server capture `&engine` and must stop first.
+  std::unique_ptr<obs::SloWatchdog> watchdog;
+  std::unique_ptr<obs::DebugServer> server;
+  if (port >= 0) {
+    watchdog = std::make_unique<obs::SloWatchdog>();
+    for (obs::SloObjective& objective :
+         serving::DefaultServingObjectives(&engine)) {
+      watchdog->AddObjective(std::move(objective));
+    }
+    watchdog->Start(/*period_seconds=*/0.5);
+
+    obs::DebugServerOptions server_options;
+    server_options.port = port;
+    server = std::make_unique<obs::DebugServer>(server_options);
+    serving::ServingIntrospectionOptions wiring;
+    wiring.build_info = "serving_demo (e# reproduction)";
+    wiring.tracer = &tracer;
+    wiring.watchdog = watchdog.get();
+    serving::MountServingEndpoints(server.get(), &engine, wiring);
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::printf("debugz: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("debugz serving on http://127.0.0.1:%d — try:\n", server->port());
+    std::printf("  curl localhost:%d/statusz\n", server->port());
+    std::printf("  curl localhost:%d/metrics\n", server->port());
+    std::printf("  curl localhost:%d/tracez\n\n", server->port());
+  }
+
   // ---- 3. Mixed traffic from client threads -------------------------------
   // Hot queries: the head terms of the first few domains (cache-friendly).
   // Cold queries: one term per remaining domain (mostly misses). Plus an
@@ -137,6 +190,19 @@ int main(int argc, char** argv) {
   std::printf("hot-swapped to snapshot v%llu mid-traffic (%zu communities)\n",
               static_cast<unsigned long long>(v2),
               refreshed->store.num_communities());
+
+  // Self-scrape while the clients are still firing: the debug endpoints
+  // answer concurrently with live traffic and the swap we just did.
+  if (server != nullptr) {
+    auto metrics = obs::HttpGet("127.0.0.1", server->port(), "/metrics");
+    auto ready = obs::HttpGet("127.0.0.1", server->port(), "/readyz");
+    if (metrics.ok() && ready.ok()) {
+      std::printf(
+          "mid-traffic self-scrape: /metrics %d (%zu bytes), /readyz %d (%s)\n",
+          metrics->status, metrics->body.size(), ready->status,
+          ready->body.substr(0, ready->body.find('\n')).c_str());
+    }
+  }
 
   hot_client.join();
   cold_client.join();
@@ -185,6 +251,22 @@ int main(int argc, char** argv) {
     Status s = tracer.WriteChromeJsonFile(trace_path);
     std::printf("%s\n", s.ok() ? ("wrote " + trace_path).c_str()
                                : s.ToString().c_str());
+  }
+
+  // ---- 6. Linger for curl -------------------------------------------------
+  // With --serve_seconds the process stays up, trickling one query per 100ms
+  // so /tracez, /statusz and the SLO table have live data to show.
+  if (server != nullptr && serve_seconds > 0) {
+    std::printf("serving debug endpoints for %.0fs (ctrl-c to stop early)\n",
+                serve_seconds);
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(serve_seconds));
+    size_t i = 0;
+    while (std::chrono::steady_clock::now() < until) {
+      (void)engine.Query({hot[i++ % hot.size()]});
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
   }
   return 0;
 }

@@ -35,6 +35,10 @@ std::vector<community::CommunityId> WarmStartFromStore(
 
 Result<OfflineArtifacts> RunOfflinePipeline(const querylog::QueryLog& log,
                                             const OfflineOptions& options) {
+  // /progressz registration: an error return unwinds through the handle and
+  // marks the job "aborted"; the happy path finishes it "ok" below.
+  std::unique_ptr<obs::JobProgressRegistry::Job> job =
+      obs::JobProgressRegistry::Global().Start("offline_pipeline");
   ESHARP_SPAN(job_span, options.tracer, "offline_pipeline",
               options.trace_parent);
   ESHARP_SPAN_ANNOTATE(job_span, "warm_start",
@@ -48,6 +52,8 @@ Result<OfflineArtifacts> RunOfflinePipeline(const querylog::QueryLog& log,
   extraction.pool = options.pool;
   extraction.num_partitions = options.num_partitions;
   extraction.meter = options.meter;
+  job->SetStage("extract");
+  job->SetFraction(0.0);
   ESHARP_SPAN(extract_span, options.tracer, "extract", &job_span);
   ESHARP_ASSIGN_OR_RETURN(graph::Graph g, BuildSimilarityGraph(log, extraction));
   ESHARP_SPAN_ANNOTATE(extract_span, "vertices",
@@ -62,6 +68,8 @@ Result<OfflineArtifacts> RunOfflinePipeline(const querylog::QueryLog& log,
   }
 
   // ---- Clustering (§4.2): modularity maximization. ------------------------
+  job->SetStage("cluster");
+  job->SetFraction(0.3);
   ESHARP_SPAN(cluster_span, options.tracer, "cluster", &job_span);
   community::DetectionResult detection;
   std::vector<community::CommunityId> warm_start;
@@ -107,12 +115,16 @@ Result<OfflineArtifacts> RunOfflinePipeline(const querylog::QueryLog& log,
   OfflineArtifacts artifacts;
   artifacts.communities_per_iteration = detection.communities_per_iteration;
   artifacts.modularity_per_iteration = detection.modularity_per_iteration;
+  job->SetStage("index");
+  job->SetFraction(0.9);
   ESHARP_SPAN(index_span, options.tracer, "index", &job_span);
   artifacts.store = community::CommunityStore::Build(g, detection.assignment);
   ESHARP_SPAN_ANNOTATE(index_span, "communities",
                        static_cast<int64_t>(artifacts.store.num_communities()));
   index_span.End();
   artifacts.similarity_graph = std::move(g);
+  job->SetFraction(1.0);
+  job->Finish("ok");
   return artifacts;
 }
 

@@ -1,0 +1,203 @@
+#ifndef ESHARP_OBS_DEBUGZ_H_
+#define ESHARP_OBS_DEBUGZ_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace esharp::obs {
+
+/// \brief One parsed HTTP request, as handed to a Handler. Only the pieces
+/// debug endpoints need: method, path, and decoded query parameters.
+struct HttpRequest {
+  std::string method;  ///< "GET" (the only method the server accepts).
+  std::string path;    ///< "/tracez" — no query string.
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// First value of `key`, or `fallback`.
+  std::string Param(const std::string& key,
+                    const std::string& fallback = "") const;
+};
+
+/// \brief One response. Handlers fill body/content_type and optionally the
+/// status; the server adds the framing headers.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// \brief What one HttpGet returned.
+struct HttpResponseData {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// \brief Minimal blocking HTTP/1.1 GET client for tests and benches that
+/// scrape a DebugServer (no external dependency, IPv4 only).
+Result<HttpResponseData> HttpGet(const std::string& host, int port,
+                                 const std::string& path,
+                                 double timeout_seconds = 5.0);
+
+struct DebugServerOptions {
+  /// TCP port; 0 picks an ephemeral one (read it back via port()).
+  int port = 0;
+  /// Bind address. The default only accepts local connections — a debug
+  /// server exposes internals and should not face the open network.
+  std::string bind_address = "127.0.0.1";
+  /// Worker threads serving parsed connections (the accept loop is its own
+  /// thread).
+  size_t num_workers = 2;
+  /// Connections in flight (queued + executing) beyond which new ones are
+  /// answered 503 inline — scrapes must never pile up behind a slow
+  /// handler and starve the process they are observing.
+  size_t max_in_flight = 8;
+  /// Per-connection socket read/write timeout.
+  double io_timeout_seconds = 5.0;
+};
+
+/// \brief Dependency-free embedded HTTP/1.1 server: a blocking accept loop
+/// plus a bounded common::ThreadPool of workers. Built for statusz-style
+/// debug endpoints: GET only, one request per connection, bounded request
+/// size, every handler response sent with Connection: close.
+///
+/// Lifecycle: construct, Handle() your endpoints, Start(), Stop() (also in
+/// the destructor). Handlers run on worker threads concurrently with
+/// Handle() registrations and must be thread-safe. Serving stats are
+/// published as debugz.* instruments in the global MetricsRegistry.
+class DebugServer {
+ public:
+  explicit DebugServer(DebugServerOptions options = {});
+  ~DebugServer();
+
+  DebugServer(const DebugServer&) = delete;
+  DebugServer& operator=(const DebugServer&) = delete;
+
+  /// Registers `handler` for exact `path` matches (replaces any previous
+  /// one). Thread-safe; may be called before or after Start().
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds, listens and spawns the accept loop. IOError when the port is
+  /// taken.
+  Status Start();
+
+  /// Stops accepting, drains workers and joins. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves option port 0 to the ephemeral pick); 0
+  /// before Start().
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Registered paths, sorted (the "/" index page).
+  std::vector<std::string> paths() const;
+
+  const DebugServerOptions& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request);
+
+  DebugServerOptions options_;
+  mutable std::mutex handlers_mu_;
+  std::map<std::string, HttpHandler> handlers_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::atomic<size_t> connections_in_flight_{0};
+
+  // Cached global-registry instruments.
+  Counter* requests_ = nullptr;
+  Counter* shed_ = nullptr;
+  Counter* errors_ = nullptr;
+  Histogram* handler_seconds_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// The statusz endpoint family.
+
+/// \brief One liveness/readiness verdict.
+struct ProbeResult {
+  bool ok = true;
+  std::string detail;
+};
+using Probe = std::function<ProbeResult()>;
+
+/// \brief Rows of the /tracez "active requests" table.
+struct ActiveEntry {
+  uint64_t id = 0;
+  std::string name;   ///< e.g. the query text.
+  std::string stage;  ///< "expand", "detect", ...
+  double elapsed_ms = 0;
+};
+
+/// \brief Rows of the /tracez "recent samples" table, one finished request.
+struct SampleEntry {
+  std::string name;
+  std::string outcome;
+  double total_ms = 0;
+  double age_seconds = 0;  ///< Since the request finished.
+  std::string detail;      ///< Free-form ("expand 0.2ms detect 1.1ms ...").
+};
+
+/// \brief Sources behind the standard endpoints. Null members disable the
+/// corresponding endpoint (or fall back to the process-wide instance where
+/// one exists).
+struct StatuszOptions {
+  MetricsRegistry* registry = nullptr;        ///< null = Global().
+  EventLog* events = nullptr;                 ///< null = EventLog::Global().
+  JobProgressRegistry* progress = nullptr;    ///< null = Global().
+  Tracer* tracer = nullptr;                   ///< /tracez?format=json source.
+  SloWatchdog* watchdog = nullptr;            ///< /statusz SLO table, /readyz.
+  std::string build_info;                     ///< /statusz header line.
+  /// Named readiness probes: /readyz is 200 only when every probe (and the
+  /// watchdog, when set) passes. Liveness (/healthz) is implicit: the
+  /// process answered.
+  std::vector<std::pair<std::string, Probe>> readiness;
+  /// Extra /statusz overview lines (snapshot version, qps/p99, ...).
+  std::function<std::string()> overview;
+  /// /tracez live tables; null leaves the sections empty.
+  std::function<std::vector<ActiveEntry>()> active_requests;
+  std::function<std::vector<SampleEntry>()> request_samples;
+};
+
+/// \brief Mounts the standard endpoint family on `server`:
+///   /metrics    Prometheus text exposition of the registry
+///   /varz       JSON snapshot of the registry
+///   /healthz    liveness (always 200 while the server answers)
+///   /readyz     readiness (503 + failing probe names until all pass)
+///   /statusz    overview: build info, uptime, probes, SLO burn, links
+///   /tracez     active requests + latency-bucketed samples (HTML;
+///               ?format=json streams the tracer's Chrome JSON)
+///   /eventz     the bounded structured event log (HTML; ?format=json)
+///   /progressz  job progress (HTML; ?format=json)
+/// plus an index page at /.
+void MountStatusz(DebugServer* server, StatuszOptions options);
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_DEBUGZ_H_

@@ -1,0 +1,75 @@
+#ifndef ESHARP_OBS_EVENT_LOG_H_
+#define ESHARP_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace esharp::obs {
+
+/// \brief One structured operational event: a snapshot swap, an SLO breach,
+/// a pipeline stage transition. Unlike a log line, an event keeps its
+/// key/value fields parsed, so /eventz can render them as columns and the
+/// JSON export stays machine-readable.
+struct Event {
+  double time_seconds = 0;  ///< obs::NowSeconds() time base.
+  LogLevel severity = LogLevel::kINFO;
+  std::string source;   ///< Emitting subsystem ("serving", "slo", ...).
+  std::string message;  ///< Human-readable summary.
+  std::vector<std::pair<std::string, std::string>> fields;
+  uint64_t sequence = 0;  ///< Monotonic per-log sequence number.
+};
+
+/// \brief Bounded ring buffer of operational events, the backing store of
+/// the /eventz endpoint. Thread-safe. When full, the oldest event is
+/// overwritten and `dropped()` advances — a long-lived process never grows
+/// its event storage, mirroring the Tracer's capped ring.
+class EventLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  /// The process-wide log most emitters want; separate instances exist for
+  /// tests.
+  static EventLog& Global();
+
+  explicit EventLog(size_t capacity = kDefaultCapacity);
+
+  /// Appends one event (timestamped now).
+  void Add(LogLevel severity, const std::string& source,
+           const std::string& message,
+           std::vector<std::pair<std::string, std::string>> fields = {});
+
+  /// Snapshot in chronological order (oldest first).
+  std::vector<Event> Events() const;
+
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Drops all retained events (sequence numbers keep advancing).
+  void Clear();
+
+  /// Renders the retained events as a plain-text table (newest last).
+  std::string RenderText() const;
+
+  /// Renders {"dropped":N,"events":[{...}, ...]} (oldest first).
+  std::string RenderJson() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;  // grows to capacity_, then wraps at head_
+  size_t head_ = 0;          // next overwrite position once full
+  uint64_t next_sequence_ = 1;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_EVENT_LOG_H_

@@ -7,8 +7,10 @@
 /// macros below to no-ops (the registry, tracer and logger classes stay
 /// available — only inline call sites disappear).
 
+#include "obs/event_log.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 #if defined(ESHARP_OBS_OFF)

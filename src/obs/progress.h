@@ -1,0 +1,85 @@
+#ifndef ESHARP_OBS_PROGRESS_H_
+#define ESHARP_OBS_PROGRESS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace esharp::obs {
+
+/// \brief Live progress of long-running jobs (the weekly offline pipeline,
+/// bench sweeps), the backing store of the /progressz endpoint. A job
+/// reports a coarse stage name plus an optional completion fraction; the
+/// registry keeps every active job and a bounded ring of recently finished
+/// ones. Thread-safe.
+class JobProgressRegistry {
+ public:
+  struct JobSnapshot {
+    uint64_t id = 0;
+    std::string name;
+    std::string stage;
+    double fraction = -1;  ///< [0,1]; < 0 when the job reports no fraction.
+    double started_seconds = 0;  ///< obs::NowSeconds() time base.
+    double updated_seconds = 0;
+    bool finished = false;
+    std::string outcome;  ///< "ok", "error: ...", "aborted" (dropped handle).
+  };
+
+  /// \brief RAII handle of one registered job. Updates are forwarded to the
+  /// registry; dropping the handle without Finish() marks the job
+  /// "aborted" (an error return path unwound through it).
+  class Job {
+   public:
+    ~Job();
+    Job(const Job&) = delete;
+    Job& operator=(const Job&) = delete;
+
+    void SetStage(const std::string& stage);
+    /// Clamped to [0,1].
+    void SetFraction(double fraction);
+    void Finish(const std::string& outcome = "ok");
+
+   private:
+    friend class JobProgressRegistry;
+    Job(JobProgressRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    JobProgressRegistry* registry_;
+    uint64_t id_;
+    bool finished_ = false;
+  };
+
+  /// The process-wide registry /progressz serves from.
+  static JobProgressRegistry& Global();
+
+  explicit JobProgressRegistry(size_t max_finished = 32);
+
+  /// Registers a job and returns its handle.
+  std::unique_ptr<Job> Start(const std::string& name);
+
+  /// Active jobs (start order), then recently finished ones (oldest first).
+  std::vector<JobSnapshot> Snapshot() const;
+
+  size_t num_active() const;
+
+  std::string RenderText() const;
+  std::string RenderJson() const;
+
+ private:
+  friend class Job;
+  void Update(uint64_t id, const std::string* stage, const double* fraction);
+  void Finish(uint64_t id, const std::string& outcome);
+
+  const size_t max_finished_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, JobSnapshot> active_;  // map: stable start order
+  std::deque<JobSnapshot> finished_;
+};
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_PROGRESS_H_

@@ -1,0 +1,203 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace esharp::obs {
+
+SloWatchdog::SloWatchdog() : SloWatchdog(Options()) {}
+
+SloWatchdog::SloWatchdog(Options options) : options_(std::move(options)) {
+  if (options_.recovery_fraction <= 0 || options_.recovery_fraction > 1) {
+    options_.recovery_fraction = 0.8;
+  }
+}
+
+SloWatchdog::~SloWatchdog() { Stop(); }
+
+double SloWatchdog::Now() const {
+  return options_.clock ? options_.clock() : NowSeconds();
+}
+
+void SloWatchdog::AddObjective(SloObjective objective) {
+  auto tracked = std::make_unique<Tracked>();
+  if (objective.target <= 0) objective.target = 1e-9;
+  tracked->state.name = objective.name;
+  tracked->objective = std::move(objective);
+  std::lock_guard<std::mutex> lock(mu_);
+  tracked_.push_back(std::move(tracked));
+}
+
+void SloWatchdog::AddAlertCallback(
+    std::function<void(const SloState&)> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.push_back(std::move(callback));
+}
+
+double SloWatchdog::WindowBurn(const Tracked& t, double window, double now) {
+  if (t.samples.empty()) return 0;
+  const Sample& newest = t.samples.back();
+  // Window boundary: the oldest sample not older than `window` (falling
+  // back to the oldest retained one, so a young watchdog still evaluates).
+  const Sample* boundary = &t.samples.front();
+  for (const Sample& s : t.samples) {
+    if (now - s.time <= window) {
+      boundary = &s;
+      break;
+    }
+    boundary = &s;
+  }
+  if (t.objective.kind == SloObjective::Kind::kRatio) {
+    double delta_total = newest.total - boundary->total;
+    if (delta_total <= 0) return 0;
+    double delta_bad = std::max(0.0, newest.bad - boundary->bad);
+    return (delta_bad / delta_total) / t.objective.target;
+  }
+  // kValue: mean of the readings inside the window.
+  double sum = 0;
+  size_t n = 0;
+  for (const Sample& s : t.samples) {
+    if (now - s.time <= window) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  if (n == 0) {
+    sum = newest.value;
+    n = 1;
+  }
+  return (sum / static_cast<double>(n)) / t.objective.target;
+}
+
+void SloWatchdog::Tick() {
+  double now = Now();
+  std::vector<std::pair<SloState, bool>> transitions;  // state, is_breach
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& tracked : tracked_) {
+      Tracked& t = *tracked;
+      Sample sample;
+      sample.time = now;
+      if (t.objective.kind == SloObjective::Kind::kRatio) {
+        sample.bad = t.objective.bad ? t.objective.bad() : 0;
+        sample.total = t.objective.total ? t.objective.total() : 0;
+      } else {
+        sample.value = t.objective.value ? t.objective.value() : 0;
+      }
+      t.samples.push_back(sample);
+      // Retain a little beyond the long window so its boundary sample
+      // survives between ticks.
+      double horizon = t.objective.long_window_seconds * 1.5 + 1.0;
+      while (t.samples.size() > 2 && now - t.samples.front().time > horizon) {
+        t.samples.pop_front();
+      }
+
+      t.state.short_burn =
+          WindowBurn(t, t.objective.short_window_seconds, now);
+      t.state.long_burn = WindowBurn(t, t.objective.long_window_seconds, now);
+      bool was_breached = t.state.breached;
+      if (!was_breached) {
+        // Breach: both windows burning past the threshold — fast signal
+        // confirmed by the sustained one.
+        if (t.state.short_burn >= t.objective.burn_threshold &&
+            t.state.long_burn >= t.objective.burn_threshold) {
+          t.state.breached = true;
+        }
+      } else {
+        // Recover with hysteresis: both windows clearly back under budget.
+        double recover_at =
+            t.objective.burn_threshold * options_.recovery_fraction;
+        if (t.state.short_burn < recover_at &&
+            t.state.long_burn < recover_at) {
+          t.state.breached = false;
+        }
+      }
+      if (t.state.breached != was_breached) {
+        t.state.since_seconds = now;
+        transitions.emplace_back(t.state, t.state.breached);
+      }
+    }
+  }
+  // Emit outside mu_ so callbacks and the event log can re-enter the
+  // watchdog (Snapshot from an alert handler) without deadlocking.
+  for (const auto& [state, is_breach] : transitions) {
+    EventLog* events =
+        options_.events != nullptr ? options_.events : &EventLog::Global();
+    events->Add(is_breach ? LogLevel::kERROR : LogLevel::kINFO, "slo",
+                is_breach ? "SLO breach: " + state.name
+                          : "SLO recovered: " + state.name,
+                {{"objective", state.name},
+                 {"short_burn", StrFormat("%.3f", state.short_burn)},
+                 {"long_burn", StrFormat("%.3f", state.long_burn)}});
+    std::vector<std::function<void(const SloState&)>> callbacks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      callbacks = callbacks_;
+    }
+    for (const auto& callback : callbacks) callback(state);
+  }
+}
+
+void SloWatchdog::Start(double period_seconds) {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  poll_thread_ = std::thread([this, period_seconds] {
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    while (!stop_requested_) {
+      lock.unlock();
+      Tick();
+      lock.lock();
+      stop_cv_.wait_for(
+          lock, std::chrono::duration<double>(std::max(0.01, period_seconds)),
+          [this] { return stop_requested_; });
+    }
+  });
+}
+
+void SloWatchdog::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    running_ = false;
+    to_join = std::move(poll_thread_);
+  }
+  stop_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+bool SloWatchdog::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& tracked : tracked_) {
+    if (tracked->state.breached) return false;
+  }
+  return true;
+}
+
+std::vector<SloState> SloWatchdog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SloState> out;
+  out.reserve(tracked_.size());
+  for (const auto& tracked : tracked_) out.push_back(tracked->state);
+  return out;
+}
+
+std::string SloWatchdog::RenderText() const {
+  std::vector<SloState> states = Snapshot();
+  std::string out;
+  if (states.empty()) return "no objectives registered\n";
+  for (const SloState& s : states) {
+    out += StrFormat("%-28s %-8s burn short %7.3f  long %7.3f\n",
+                     s.name.c_str(), s.breached ? "BREACH" : "ok",
+                     s.short_burn, s.long_burn);
+  }
+  return out;
+}
+
+}  // namespace esharp::obs

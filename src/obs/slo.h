@@ -1,0 +1,145 @@
+#ifndef ESHARP_OBS_SLO_H_
+#define ESHARP_OBS_SLO_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_log.h"
+
+namespace esharp::obs {
+
+/// \brief One declarative service-level objective, evaluated by the
+/// SloWatchdog over rolling windows.
+///
+/// Two shapes:
+///  * kRatio — `bad` / `total` are cumulative counters (errors vs. requests,
+///    shed vs. offered). The objective's `target` is the tolerated bad
+///    fraction (the error budget); the burn rate over a window is
+///    (delta_bad / delta_total) / target — 1.0 means burning budget exactly
+///    as fast as tolerated, 10 means ten times too fast.
+///  * kValue — `value` is an instantaneous reading (a p99 latency in
+///    seconds, a queue depth). `target` is the tolerated level; the burn
+///    rate over a window is mean(value) / target.
+struct SloObjective {
+  std::string name;
+  enum class Kind { kRatio, kValue };
+  Kind kind = Kind::kRatio;
+
+  /// kRatio sources: cumulative, monotone counts sampled at each Tick().
+  std::function<double()> bad;
+  std::function<double()> total;
+  /// kValue source: current reading sampled at each Tick().
+  std::function<double()> value;
+
+  /// Tolerated bad-fraction (kRatio) or level (kValue). Must be > 0.
+  double target = 0.01;
+
+  /// Multi-window evaluation (Google SRE burn-rate alerting): the short
+  /// window reacts fast, the long window confirms the burn is sustained —
+  /// an objective breaches only when BOTH windows exceed burn_threshold.
+  double short_window_seconds = 60;
+  double long_window_seconds = 300;
+  double burn_threshold = 1.0;
+};
+
+/// \brief Point-in-time evaluation of one objective.
+struct SloState {
+  std::string name;
+  double short_burn = 0;
+  double long_burn = 0;
+  bool breached = false;
+  /// Time of the last ok->breached or breached->ok transition
+  /// (obs::NowSeconds() base; 0 = never evaluated).
+  double since_seconds = 0;
+};
+
+/// \brief Evaluates SLO objectives over multi-window rolling burn rates and
+/// turns sustained burns into operational signals: an event in the EventLog,
+/// a registered alert callback, and a flipped `healthy()` bit that readiness
+/// probes (the /readyz endpoint) incorporate.
+///
+/// Drive it either manually — Tick() from tests with an injected clock — or
+/// with Start(period), which spawns a polling thread. Breach and recovery
+/// have hysteresis: an objective recovers only when both windows fall below
+/// burn_threshold * recovery_fraction. All methods are thread-safe.
+class SloWatchdog {
+ public:
+  struct Options {
+    /// Breach/recovery events are appended here (null = EventLog::Global()).
+    EventLog* events = nullptr;
+    /// Test seam: replaces obs::NowSeconds. Must be monotone.
+    std::function<double()> clock;
+    /// Recovery hysteresis factor in (0, 1].
+    double recovery_fraction = 0.8;
+  };
+
+  SloWatchdog();  ///< Default Options.
+  explicit SloWatchdog(Options options);
+  ~SloWatchdog();  ///< Stops the polling thread, if started.
+
+  SloWatchdog(const SloWatchdog&) = delete;
+  SloWatchdog& operator=(const SloWatchdog&) = delete;
+
+  /// Registers an objective. Objectives may be added while ticking.
+  void AddObjective(SloObjective objective);
+
+  /// Called on every breach (breached=true) and recovery (breached=false)
+  /// transition, from the ticking thread. Must be thread-safe.
+  void AddAlertCallback(std::function<void(const SloState&)> callback);
+
+  /// Samples every source and re-evaluates every objective now.
+  void Tick();
+
+  /// Spawns a thread calling Tick() every `period_seconds`. Idempotent.
+  void Start(double period_seconds = 1.0);
+
+  /// Stops and joins the polling thread. Safe when never started.
+  void Stop();
+
+  /// False while any objective is breached — the readiness signal.
+  bool healthy() const;
+
+  /// Current evaluation of every objective.
+  std::vector<SloState> Snapshot() const;
+
+  /// Plain-text table for /statusz.
+  std::string RenderText() const;
+
+ private:
+  struct Sample {
+    double time = 0;
+    double bad = 0;
+    double total = 0;
+    double value = 0;
+  };
+  struct Tracked {
+    SloObjective objective;
+    std::deque<Sample> samples;
+    SloState state;
+  };
+
+  double Now() const;
+  /// Burn rate of `t` over the trailing `window` seconds ending at `now`.
+  static double WindowBurn(const Tracked& t, double window, double now);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Tracked>> tracked_;
+  std::vector<std::function<void(const SloState&)>> callbacks_;
+
+  std::mutex thread_mu_;
+  std::thread poll_thread_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_SLO_H_

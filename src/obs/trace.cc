@@ -77,6 +77,9 @@ void Span::End() {
   tracer->Record(std::move(event));
 }
 
+Tracer::Tracer(size_t max_events)
+    : max_events_(max_events == 0 ? 1 : max_events) {}
+
 Span Tracer::StartSpan(const std::string& name, const Span* parent) {
   return StartSpanAt(name, parent, NowSeconds());
 }
@@ -107,8 +110,24 @@ uint64_t Tracer::RecordSpan(
 
 void Tracer::Record(TraceEvent event) {
   if (event.dur_us < 0) event.dur_us = 0;
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  bool overwrote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < max_events_) {
+      events_.push_back(std::move(event));
+    } else {
+      events_[head_] = std::move(event);
+      head_ = (head_ + 1) % max_events_;
+      ++dropped_;
+      overwrote = true;
+    }
+  }
+  if (overwrote) {
+    // Cached once: registry instruments are never deleted.
+    static Counter* dropped_counter =
+        MetricsRegistry::Global().GetCounter("trace.events_dropped");
+    dropped_counter->Increment();
+  }
 }
 
 uint32_t Tracer::CurrentTid() {
@@ -121,7 +140,18 @@ uint32_t Tracer::CurrentTid() {
 
 std::vector<TraceEvent> Tracer::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  // Unwrap the ring into record order (oldest first).
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 std::string Tracer::ExportChromeJson() const {
@@ -159,6 +189,8 @@ Status Tracer::WriteChromeJsonFile(const std::string& path) const {
 void Tracer::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  head_ = 0;
+  dropped_ = 0;
 }
 
 size_t Tracer::size() const {

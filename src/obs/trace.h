@@ -79,8 +79,20 @@ class Span {
 /// \brief Collects spans for one request or one offline job and renders
 /// them as Chrome `about:tracing` / Perfetto-loadable JSON. Thread-safe:
 /// spans may start, end and annotate concurrently from pool workers.
+///
+/// Storage is a capped ring: once `max_events` spans are retained the
+/// oldest is overwritten, so a long-lived per-engine tracer under sustained
+/// traffic keeps the most recent window instead of growing without bound.
+/// Overwrites advance `dropped()` and the global `trace.events_dropped`
+/// registry counter.
 class Tracer {
  public:
+  /// Default ring capacity: ~64k events, a few MB — hours of serving
+  /// traffic at trace-worthy rates, minutes at full firehose.
+  static constexpr size_t kDefaultMaxEvents = 65536;
+
+  explicit Tracer(size_t max_events = kDefaultMaxEvents);
+
   /// Starts a span now. `parent` may be null (root span) or a span from
   /// any thread; only its id is captured.
   Span StartSpan(const std::string& name, const Span* parent = nullptr);
@@ -109,19 +121,27 @@ class Tracer {
   /// Writes ExportChromeJson() to `path`.
   Status WriteChromeJsonFile(const std::string& path) const;
 
-  /// Drops all recorded events (span ids keep advancing).
+  /// Drops all recorded events and zeroes dropped() (span ids keep
+  /// advancing).
   void Reset();
 
   size_t size() const;
+  size_t max_events() const { return max_events_; }
+
+  /// Events overwritten because the ring was full (since the last Reset).
+  uint64_t dropped() const;
 
  private:
   friend class Span;
   void Record(TraceEvent event);
   uint32_t CurrentTid();
 
+  const size_t max_events_;
   std::atomic<uint64_t> next_id_{1};
   mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> events_;  // grows to max_events_, then wraps
+  size_t head_ = 0;                 // next overwrite position once full
+  uint64_t dropped_ = 0;
   std::map<std::thread::id, uint32_t> tids_;
 };
 

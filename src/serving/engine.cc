@@ -89,6 +89,144 @@ Result<QueryResponse> ServingEngine::Query(QueryRequest request) {
   return result;
 }
 
+// ---- /tracez introspection ------------------------------------------------
+
+/// Registers the request in the active registry for its whole lifetime and
+/// records a finished sample on the way out. Constructed once per admitted
+/// request in Execute(); every return path sets the outcome (defaulting to
+/// "error" so an early `return status` is never misfiled as success).
+class ServingEngine::RequestScope {
+ public:
+  RequestScope(ServingEngine* engine, const QueryRequest& request,
+               const Timer& queue_timer)
+      : engine_(engine),
+        id_(engine->next_request_id_.fetch_add(1, std::memory_order_relaxed)),
+        queue_timer_(&queue_timer) {
+    ActiveRecord record;
+    record.query = request.query;
+    // Backdate to submission so elapsed time includes queue wait, matching
+    // the "request" trace span and total_ms.
+    record.start_seconds = obs::NowSeconds() - queue_timer.ElapsedSeconds();
+    std::lock_guard<std::mutex> lock(engine_->introspect_mu_);
+    engine_->active_.emplace(id_, std::move(record));
+  }
+
+  ~RequestScope() {
+    engine_->FinishActive(id_, outcome_, queue_timer_->ElapsedMillis(),
+                          stages_, version_);
+  }
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  uint64_t id() const { return id_; }
+  void set_outcome(const char* outcome) { outcome_ = outcome; }
+  void set_version(uint64_t version) { version_ = version; }
+  void set_stages(const StageTimings& stages) { stages_ = stages; }
+
+ private:
+  ServingEngine* engine_;
+  uint64_t id_;
+  const Timer* queue_timer_;
+  const char* outcome_ = "error";
+  uint64_t version_ = 0;
+  StageTimings stages_{};
+};
+
+void ServingEngine::SetActiveStage(uint64_t id, const char* stage) {
+  std::lock_guard<std::mutex> lock(introspect_mu_);
+  auto it = active_.find(id);
+  if (it != active_.end()) it->second.stage = stage;
+}
+
+void ServingEngine::FinishActive(uint64_t id, const char* outcome,
+                                 double total_ms, const StageTimings& stages,
+                                 uint64_t snapshot_version) {
+  RequestSample sample;
+  sample.outcome = outcome;
+  sample.total_ms = total_ms;
+  sample.stages = stages;
+  sample.snapshot_version = snapshot_version;
+  sample.finished_seconds = obs::NowSeconds();
+  size_t bucket = 0;
+  while (bucket + 1 < kSampleBuckets &&
+         total_ms >= kSampleBucketUpperMs[bucket]) {
+    ++bucket;
+  }
+  std::lock_guard<std::mutex> lock(introspect_mu_);
+  auto it = active_.find(id);
+  if (it != active_.end()) {
+    sample.query = std::move(it->second.query);
+    active_.erase(it);
+  }
+  std::vector<RequestSample>& ring = samples_[bucket];
+  if (ring.size() < kSamplesPerBucket) {
+    ring.push_back(std::move(sample));
+  } else {
+    ring[sample_pos_[bucket] % kSamplesPerBucket] = std::move(sample);
+  }
+  sample_pos_[bucket] = (sample_pos_[bucket] + 1) % kSamplesPerBucket;
+}
+
+std::vector<ActiveRequestInfo> ServingEngine::ActiveRequests() const {
+  double now = obs::NowSeconds();
+  std::vector<ActiveRequestInfo> out;
+  std::lock_guard<std::mutex> lock(introspect_mu_);
+  out.reserve(active_.size());
+  for (const auto& [id, record] : active_) {
+    ActiveRequestInfo info;
+    info.id = id;
+    info.query = record.query;
+    info.stage = record.stage;
+    info.elapsed_ms = (now - record.start_seconds) * 1000.0;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<RequestSample> ServingEngine::SampledRequests() const {
+  std::vector<RequestSample> out;
+  std::lock_guard<std::mutex> lock(introspect_mu_);
+  for (size_t b = 0; b < kSampleBuckets; ++b) {
+    const std::vector<RequestSample>& ring = samples_[b];
+    // Ring order is arbitrary; emit newest-first so the page leads with
+    // what just happened in each latency band.
+    std::vector<RequestSample> bucket(ring.begin(), ring.end());
+    std::sort(bucket.begin(), bucket.end(),
+              [](const RequestSample& a, const RequestSample& b) {
+                return a.finished_seconds > b.finished_seconds;
+              });
+    for (RequestSample& sample : bucket) out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+HealthView ServingEngine::Health() const {
+  HealthView view;
+  std::shared_ptr<const ServingSnapshot> snapshot = snapshots_->Acquire();
+  if (snapshot == nullptr) {
+    view.ready = false;
+    view.detail = "no snapshot published yet";
+  } else {
+    view.ready = true;
+    view.snapshot_version = snapshot->version();
+    view.snapshot_age_seconds =
+        obs::NowSeconds() - snapshot->published_at_seconds();
+  }
+  view.in_flight = in_flight_.load(std::memory_order_relaxed);
+  view.max_in_flight = options_.max_in_flight;
+  view.queue_fill =
+      options_.max_in_flight == 0
+          ? 0
+          : static_cast<double>(view.in_flight) /
+                static_cast<double>(options_.max_in_flight);
+  MetricsReport report = metrics_.Report();
+  view.completed = report.completed;
+  view.shed = report.shed;
+  view.window_qps = report.window_qps;
+  return view;
+}
+
 Result<community::Community> ServingEngine::LookupDomain(
     const std::string& term) const {
   std::shared_ptr<const ServingSnapshot> snapshot = snapshots_->Acquire();
@@ -130,9 +268,13 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
     options_.tracer->RecordSpan("admission", &request_span, submitted, now);
   }
 #endif
+  // /tracez registration: visible in ActiveRequests() until this function
+  // returns, then retained as a latency-bucketed sample.
+  RequestScope scope(this, request, queue_timer);
   if (request.query.empty()) {
     metrics_.RecordError();
     ESHARP_SPAN_ANNOTATE(request_span, "outcome", "invalid");
+    scope.set_outcome("invalid");
     return Status::InvalidArgument("empty query");
   }
   // Pin the serving generation before touching the cache, so validation,
@@ -147,11 +289,13 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
     return Status::FailedPrecondition("no snapshot published yet");
   }
   uint64_t version = snapshot->version();
+  scope.set_version(version);
   MaybeInvalidateOnSwap(version);
 
   // Cache keys use the same normalization as the store lookup (§5).
   std::string key = ToLowerAscii(request.query);
   bool use_cache = options_.enable_cache && !request.bypass_cache;
+  SetActiveStage(scope.id(), "cache");
   ESHARP_SPAN(cache_span, options_.tracer, "cache", &request_span);
   if (use_cache) {
     std::optional<CachedResult> cached =
@@ -167,6 +311,7 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
       metrics_.RecordRequest(queue_timer.ElapsedSeconds(), response.stages,
                              /*cache_hit=*/true, /*deduplicated=*/false);
       ESHARP_SPAN_ANNOTATE(request_span, "outcome", "cache_hit");
+      scope.set_outcome("cache_hit");
       return response;
     }
     ESHARP_SPAN_ANNOTATE(cache_span, "outcome", "miss");
@@ -179,17 +324,21 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
   if (deadline_ms > 0 && queue_timer.ElapsedMillis() > deadline_ms) {
     metrics_.RecordTimeout();
     ESHARP_SPAN_ANNOTATE(request_span, "outcome", "timeout");
+    scope.set_outcome("timeout");
     return Status::DeadlineExceeded("deadline of ", deadline_ms,
                                     " ms elapsed in queue");
   }
 
   if (!options_.enable_single_flight || request.bypass_cache) {
-    Result<QueryResponse> result = ExecuteUncached(
-        key, request, queue_timer, deadline_ms, snapshot, &request_span);
-    ESHARP_SPAN_ANNOTATE(request_span, "outcome",
-                         result.ok() ? "ok"
-                         : result.status().IsDeadlineExceeded() ? "timeout"
-                                                                : "error");
+    Result<QueryResponse> result =
+        ExecuteUncached(key, request, queue_timer, deadline_ms, snapshot,
+                        &request_span, scope.id());
+    const char* outcome = result.ok() ? "ok"
+                          : result.status().IsDeadlineExceeded() ? "timeout"
+                                                                 : "error";
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", outcome);
+    scope.set_outcome(outcome);
+    if (result.ok()) scope.set_stages(result.ValueOrDie().stages);
     return result;
   }
 
@@ -210,8 +359,9 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
   }
 
   if (leader) {
-    Result<QueryResponse> result = ExecuteUncached(
-        key, request, queue_timer, deadline_ms, snapshot, &request_span);
+    Result<QueryResponse> result =
+        ExecuteUncached(key, request, queue_timer, deadline_ms, snapshot,
+                        &request_span, scope.id());
     {
       std::lock_guard<std::mutex> lock(flights_mu_);
       flights_.erase(key);
@@ -222,16 +372,19 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
       flight->done = true;
     }
     flight->cv.notify_all();
-    ESHARP_SPAN_ANNOTATE(request_span, "outcome",
-                         result.ok() ? "ok"
-                         : result.status().IsDeadlineExceeded() ? "timeout"
-                                                                : "error");
+    const char* outcome = result.ok() ? "ok"
+                          : result.status().IsDeadlineExceeded() ? "timeout"
+                                                                 : "error";
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", outcome);
+    scope.set_outcome(outcome);
+    if (result.ok()) scope.set_stages(result.ValueOrDie().stages);
     return result;
   }
 
   // Follower: wait for the leader. Followers share the leader's outcome
   // (including its error, mirroring the usual single-flight contract), but
   // report their own end-to-end latency and honor their own deadline.
+  SetActiveStage(scope.id(), "flight_wait");
   ESHARP_SPAN(wait_span, options_.tracer, "flight_wait", &request_span);
   std::unique_lock<std::mutex> lock(flight->mu);
   if (deadline_ms > 0) {
@@ -243,6 +396,7 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
     if (!done) {
       metrics_.RecordTimeout();
       ESHARP_SPAN_ANNOTATE(request_span, "outcome", "timeout");
+      scope.set_outcome("timeout");
       return Status::DeadlineExceeded("deadline of ", deadline_ms,
                                       " ms elapsed waiting for leader");
     }
@@ -259,6 +413,7 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
     if (result.status().IsDeadlineExceeded()) {
       metrics_.RecordTimeout();
       ESHARP_SPAN_ANNOTATE(request_span, "outcome", "timeout");
+      scope.set_outcome("timeout");
     } else {
       metrics_.RecordError();
       ESHARP_SPAN_ANNOTATE(request_span, "outcome", "error");
@@ -272,6 +427,7 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
   metrics_.RecordRequest(queue_timer.ElapsedSeconds(), response.stages,
                          /*cache_hit=*/false, /*deduplicated=*/true);
   ESHARP_SPAN_ANNOTATE(request_span, "outcome", "deduplicated");
+  scope.set_outcome("deduplicated");
   return response;
 }
 
@@ -279,7 +435,7 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
     const std::string& key, const QueryRequest& request,
     const Timer& queue_timer, double deadline_ms,
     const std::shared_ptr<const ServingSnapshot>& snapshot,
-    const obs::Span* trace_parent) {
+    const obs::Span* trace_parent, uint64_t request_id) {
   if (options_.execution_hook) options_.execution_hook(key);
   const core::ESharp& esharp = snapshot->esharp();
   QueryResponse response;
@@ -287,6 +443,7 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
 
   // Stage 1: expansion (§5 — the paper's < 100 ms stage).
   Timer stage_timer;
+  SetActiveStage(request_id, "expand");
   ESHARP_SPAN(expand_span, options_.tracer, "expand", trace_parent);
   core::QueryExpansion expansion = esharp.Expand(request.query);
   ESHARP_SPAN_ANNOTATE(expand_span, "terms",
@@ -297,6 +454,7 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
   // Stage 2: candidate collection, once per expansion term, with a
   // deadline check between terms so a hot domain cannot blow the budget.
   stage_timer.Reset();
+  SetActiveStage(request_id, "detect");
   ESHARP_SPAN(detect_span, options_.tracer, "detect", trace_parent);
   std::vector<std::vector<expert::CandidateEvidence>> pools;
   pools.reserve(expansion.terms.size());
@@ -318,6 +476,7 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
 
   // Stage 3: ranking (z-scored features over the union pool).
   stage_timer.Reset();
+  SetActiveStage(request_id, "rank");
   ESHARP_SPAN(rank_span, options_.tracer, "rank", trace_parent);
   Result<std::vector<expert::RankedExpert>> ranked =
       esharp.detector().RankCandidates(merged);

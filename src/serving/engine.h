@@ -1,10 +1,12 @@
 #ifndef ESHARP_SERVING_ENGINE_H_
 #define ESHARP_SERVING_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,6 +70,50 @@ struct QueryRequest {
   double deadline_ms = -1;
   /// Skips cache lookup AND population for this request.
   bool bypass_cache = false;
+};
+
+/// \brief Point-in-time health of one engine: the signals /healthz and
+/// /readyz derive from, exposed as one coherent read. `ready` is the
+/// engine's own verdict (a snapshot is published); callers layer policy on
+/// the raw signals — staleness bounds, shed-rate objectives via the SLO
+/// watchdog — without the engine hard-coding their thresholds.
+struct HealthView {
+  /// A published snapshot exists, so requests can be served at all.
+  bool ready = false;
+  std::string detail;  ///< Why not ready ("" when ready).
+  uint64_t snapshot_version = 0;
+  /// Seconds since the current generation was published (0 when none).
+  double snapshot_age_seconds = 0;
+  size_t in_flight = 0;
+  size_t max_in_flight = 0;
+  /// in_flight / max_in_flight — the admission queue's fullness in [0, 1].
+  double queue_fill = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  /// Recent request rate (ServingMetrics windowed EWMA).
+  double window_qps = 0;
+};
+
+/// \brief Live introspection record of one in-flight request (/tracez).
+struct ActiveRequestInfo {
+  uint64_t id = 0;
+  std::string query;
+  std::string stage;  ///< "admitted", "cache", "expand", "detect", "rank",
+                      ///< "flight_wait".
+  double elapsed_ms = 0;
+};
+
+/// \brief Retained sample of a recently finished request (/tracez). The
+/// engine keeps a few samples per latency bucket so the page always shows
+/// both the fast mass and the slow tail, not just whatever finished last.
+struct RequestSample {
+  std::string query;
+  std::string outcome;  ///< "ok", "cache_hit", "deduplicated", "timeout",
+                        ///< "error", "invalid".
+  double total_ms = 0;
+  StageTimings stages;
+  uint64_t snapshot_version = 0;
+  double finished_seconds = 0;  ///< obs::NowSeconds() time base.
 };
 
 /// \brief One served answer, with provenance.
@@ -148,6 +194,18 @@ class ServingEngine {
     return in_flight_.load(std::memory_order_relaxed);
   }
 
+  /// The health signals /readyz-style probes consume. Thread-safe, cheap
+  /// enough to poll per scrape (one snapshot acquire + metric reads).
+  HealthView Health() const;
+
+  /// In-flight requests with their current stage and elapsed time, for
+  /// /tracez. Ordered by request id (admission order).
+  std::vector<ActiveRequestInfo> ActiveRequests() const;
+
+  /// Recently finished requests, a few per latency bucket, newest first
+  /// within each bucket.
+  std::vector<RequestSample> SampledRequests() const;
+
  private:
   /// Shared state of one single-flight group: the leader publishes its
   /// result here and wakes the followers.
@@ -167,15 +225,31 @@ class ServingEngine {
                                 const Timer& queue_timer, double deadline_ms);
 
   /// The detector work proper, against one pinned snapshot. `trace_parent`
-  /// is the enclosing "request" span (inert when tracing is off).
+  /// is the enclosing "request" span (inert when tracing is off);
+  /// `request_id` keys the active-registry stage updates.
   Result<QueryResponse> ExecuteUncached(
       const std::string& key, const QueryRequest& request,
       const Timer& queue_timer, double deadline_ms,
       const std::shared_ptr<const ServingSnapshot>& snapshot,
-      const obs::Span* trace_parent);
+      const obs::Span* trace_parent, uint64_t request_id);
 
   /// Drops stale cache entries when the snapshot generation moved.
   void MaybeInvalidateOnSwap(uint64_t current_version);
+
+  /// RAII registration of one request in the active-request registry;
+  /// records a finished sample on destruction. Defined in engine.cc.
+  class RequestScope;
+
+  /// One active-registry entry (guarded by introspect_mu_).
+  struct ActiveRecord {
+    std::string query;
+    const char* stage = "admitted";
+    double start_seconds = 0;
+  };
+
+  void SetActiveStage(uint64_t id, const char* stage);
+  void FinishActive(uint64_t id, const char* outcome, double total_ms,
+                    const StageTimings& stages, uint64_t snapshot_version);
 
   double EffectiveDeadline(const QueryRequest& request) const {
     return request.deadline_ms >= 0 ? request.deadline_ms
@@ -194,6 +268,19 @@ class ServingEngine {
 
   std::mutex flights_mu_;
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+  // ---- /tracez introspection state ----------------------------------------
+  /// Latency-bucket boundaries of the finished-request samples, ms.
+  static constexpr double kSampleBucketUpperMs[] = {1.0, 10.0, 100.0, 1e300};
+  static constexpr size_t kSampleBuckets =
+      sizeof(kSampleBucketUpperMs) / sizeof(kSampleBucketUpperMs[0]);
+  static constexpr size_t kSamplesPerBucket = 8;
+
+  std::atomic<uint64_t> next_request_id_{1};
+  mutable std::mutex introspect_mu_;
+  std::map<uint64_t, ActiveRecord> active_;  // ordered = admission order
+  std::array<std::vector<RequestSample>, kSampleBuckets> samples_;
+  std::array<size_t, kSampleBuckets> sample_pos_{};
 };
 
 }  // namespace esharp::serving

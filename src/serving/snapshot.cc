@@ -1,5 +1,8 @@
 #include "serving/snapshot.h"
 
+#include "common/strings.h"
+#include "obs/event_log.h"
+
 namespace esharp::serving {
 
 uint64_t SnapshotManager::Publish(
@@ -18,6 +21,10 @@ uint64_t SnapshotManager::Publish(
   // version_ trails the pointer: once a reader observes version N it can
   // Acquire() a snapshot at least that new (possibly newer, never older).
   version_.store(version, std::memory_order_release);
+  obs::EventLog::Global().Add(
+      obs::LogLevel::kINFO, "serving", "snapshot published",
+      {{"version", StrFormat("%llu", static_cast<unsigned long long>(
+                                         version))}});
   return version;
 }
 

@@ -9,6 +9,7 @@
 #include "community/store.h"
 #include "esharp/esharp.h"
 #include "microblog/corpus.h"
+#include "obs/metrics.h"
 
 namespace esharp::serving {
 
@@ -29,7 +30,8 @@ class ServingSnapshot {
                   core::ESharpOptions options)
       : version_(version),
         store_(std::move(store)),
-        esharp_(store_.get(), corpus, options) {}
+        esharp_(store_.get(), corpus, options),
+        published_at_seconds_(obs::NowSeconds()) {}
 
   ServingSnapshot(const ServingSnapshot&) = delete;
   ServingSnapshot& operator=(const ServingSnapshot&) = delete;
@@ -45,10 +47,17 @@ class ServingSnapshot {
   /// read-only after construction.
   const core::ESharp& esharp() const { return esharp_; }
 
+  /// When this generation was installed (obs::NowSeconds() time base).
+  /// Readiness probes derive snapshot staleness from it: a weekly-refresh
+  /// service whose snapshot stops turning over is quietly broken even
+  /// though every request still succeeds.
+  double published_at_seconds() const { return published_at_seconds_; }
+
  private:
   const uint64_t version_;
   const std::shared_ptr<const community::CommunityStore> store_;
   const core::ESharp esharp_;
+  const double published_at_seconds_;
 };
 
 /// \brief RCU-style holder of the current serving snapshot.

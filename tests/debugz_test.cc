@@ -1,0 +1,519 @@
+// Tests of the embedded debug HTTP server and the statusz endpoint family:
+// lifecycle (ephemeral port, stop/restart), request parsing and dispatch
+// (params, 400/404/405, inline 503 shedding), every mounted endpoint's
+// content, readiness probe composition, and the SLO watchdog's multi-window
+// burn-rate state machine under a manual clock.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/debugz.h"
+#include "obs/event_log.h"
+#include "obs/progress.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace esharp::obs {
+namespace {
+
+/// Sends raw bytes to the server and returns everything it answers — for
+/// the malformed/non-GET cases HttpGet cannot produce.
+std::string RawExchange(int port, const std::string& payload) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, payload.data(), payload.size(), 0);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+// ---- Server lifecycle and dispatch ----------------------------------------
+
+TEST(DebugServerTest, StartsOnEphemeralPortServesAndStops) {
+  DebugServer server;
+  server.Handle("/ping", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = "pong\n";
+    return r;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.running());
+  int port = server.port();
+  ASSERT_GT(port, 0);
+
+  auto response = HttpGet("127.0.0.1", port, "/ping");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "pong\n");
+
+  // The index page links every registered path.
+  auto index = HttpGet("127.0.0.1", port, "/");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->status, 200);
+  EXPECT_NE(index->body.find("/ping"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  // Stop is idempotent, and the server restarts cleanly.
+  server.Stop();
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+  auto again = HttpGet("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->status, 200);
+}
+
+TEST(DebugServerTest, DecodesQueryParameters) {
+  DebugServer server;
+  server.Handle("/echo", [](const HttpRequest& request) {
+    HttpResponse r;
+    r.body = request.Param("q", "<none>") + "|" + request.Param("missing", "d");
+    return r;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto response =
+      HttpGet("127.0.0.1", server.port(), "/echo?q=a+b%21&other=1");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "a b!|d");
+}
+
+TEST(DebugServerTest, RejectsUnknownPathsNonGetAndGarbage) {
+  DebugServer server;
+  ASSERT_TRUE(server.Start().ok());
+  int port = server.port();
+
+  auto missing = HttpGet("127.0.0.1", port, "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  std::string post = RawExchange(
+      port, "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos) << post;
+
+  std::string garbage = RawExchange(port, "not-http at all\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos) << garbage;
+}
+
+TEST(DebugServerTest, ServesConcurrentClients) {
+  DebugServer server;
+  std::atomic<int> handled{0};
+  server.Handle("/work", [&handled](const HttpRequest&) {
+    handled.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse r;
+    r.body = "done\n";
+    return r;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  int port = server.port();
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 5;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([port, &ok] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto r = HttpGet("127.0.0.1", port, "/work");
+        if (r.ok() && r->status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  EXPECT_EQ(handled.load(), kClients * kPerClient);
+}
+
+TEST(DebugServerTest, ShedsInlineWhenOverloaded) {
+  DebugServerOptions options;
+  options.num_workers = 1;
+  options.max_in_flight = 1;
+  DebugServer server(options);
+  std::atomic<bool> release{false};
+  server.Handle("/slow", [&release](const HttpRequest&) {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    HttpResponse r;
+    r.body = "slow done\n";
+    return r;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  int port = server.port();
+  // Pin the single worker on the slow handler...
+  std::thread pinned([port] { (void)HttpGet("127.0.0.1", port, "/slow"); });
+  // ...then hammer until a 503 arrives: the accept loop sheds inline once
+  // the in-flight bound is hit, instead of queueing scrapes without limit.
+  bool saw_503 = false;
+  for (int i = 0; i < 200 && !saw_503; ++i) {
+    auto r = HttpGet("127.0.0.1", port, "/slow", /*timeout_seconds=*/1.0);
+    if (r.ok() && r->status == 503) saw_503 = true;
+  }
+  release.store(true, std::memory_order_release);
+  pinned.join();
+  EXPECT_TRUE(saw_503);
+}
+
+// ---- The statusz endpoint family ------------------------------------------
+
+class StatuszTest : public ::testing::Test {
+ protected:
+  void Mount(StatuszOptions options) {
+    options.registry = &registry_;
+    options.events = &events_;
+    options.progress = &progress_;
+    MountStatusz(&server_, std::move(options));
+    ASSERT_TRUE(server_.Start().ok());
+    port_ = server_.port();
+  }
+
+  HttpResponseData Get(const std::string& path) {
+    auto r = HttpGet("127.0.0.1", port_, path);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : HttpResponseData{};
+  }
+
+  MetricsRegistry registry_;
+  EventLog events_;
+  JobProgressRegistry progress_;
+  DebugServer server_;
+  int port_ = 0;
+};
+
+TEST_F(StatuszTest, MetricsAndVarzExposeTheRegistry) {
+  registry_.GetCounter("statusz.requests", {{"kind", "test"}})->Increment(5);
+  Mount({});
+  HttpResponseData metrics = Get("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(metrics.body.find("statusz_requests{kind=\"test\"} 5"),
+            std::string::npos)
+      << metrics.body;
+
+  HttpResponseData varz = Get("/varz");
+  EXPECT_EQ(varz.status, 200);
+  EXPECT_EQ(varz.content_type, "application/json");
+  EXPECT_NE(varz.body.find("\"statusz.requests\""), std::string::npos);
+}
+
+TEST_F(StatuszTest, HealthzIsLivenessReadyzIsReadiness) {
+  std::atomic<bool> ready{false};
+  StatuszOptions options;
+  options.readiness.emplace_back("snapshot", [&ready] {
+    ProbeResult r;
+    r.ok = ready.load(std::memory_order_acquire);
+    if (!r.ok) r.detail = "no snapshot published yet";
+    return r;
+  });
+  Mount(std::move(options));
+
+  // Liveness answers 200 even while readiness fails — the distinction the
+  // two endpoints exist to draw.
+  EXPECT_EQ(Get("/healthz").status, 200);
+  HttpResponseData not_ready = Get("/readyz");
+  EXPECT_EQ(not_ready.status, 503);
+  EXPECT_NE(not_ready.body.find("snapshot: no snapshot published yet"),
+            std::string::npos)
+      << not_ready.body;
+
+  ready.store(true, std::memory_order_release);
+  HttpResponseData now_ready = Get("/readyz");
+  EXPECT_EQ(now_ready.status, 200);
+  EXPECT_EQ(now_ready.body, "ready\n");
+}
+
+TEST_F(StatuszTest, EventzRendersTheLogBothWays) {
+  events_.Add(LogLevel::kINFO, "serving", "snapshot published",
+              {{"version", "7"}});
+  Mount({});
+  HttpResponseData html = Get("/eventz");
+  EXPECT_EQ(html.status, 200);
+  EXPECT_NE(html.body.find("snapshot published"), std::string::npos);
+  HttpResponseData json = Get("/eventz?format=json");
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(json.body.find("\"version\""), std::string::npos);
+  EXPECT_NE(json.body.find("snapshot published"), std::string::npos);
+}
+
+TEST_F(StatuszTest, ProgresszShowsActiveAndFinishedJobs) {
+  auto job = progress_.Start("offline_pipeline");
+  job->SetStage("cluster");
+  job->SetFraction(0.5);
+  Mount({});
+  HttpResponseData html = Get("/progressz");
+  EXPECT_NE(html.body.find("offline_pipeline"), std::string::npos);
+  EXPECT_NE(html.body.find("cluster"), std::string::npos);
+  job->Finish("ok");
+  job.reset();
+  HttpResponseData json = Get("/progressz?format=json");
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(json.body.find("\"outcome\":\"ok\""), std::string::npos)
+      << json.body;
+}
+
+TEST_F(StatuszTest, TracezRendersTablesAndChromeJson) {
+  Tracer tracer;
+  {
+    Span s = tracer.StartSpan("request");
+    s.Annotate("outcome", "ok");
+  }
+  StatuszOptions options;
+  options.tracer = &tracer;
+  options.active_requests = [] {
+    std::vector<ActiveEntry> active(1);
+    active[0].id = 42;
+    active[0].name = "barack obama";
+    active[0].stage = "detect";
+    active[0].elapsed_ms = 12.5;
+    return active;
+  };
+  options.request_samples = [] {
+    std::vector<SampleEntry> samples(1);
+    samples[0].name = "nba";
+    samples[0].outcome = "cache_hit";
+    samples[0].total_ms = 0.2;
+    return samples;
+  };
+  Mount(std::move(options));
+  HttpResponseData html = Get("/tracez");
+  EXPECT_NE(html.body.find("barack obama"), std::string::npos);
+  EXPECT_NE(html.body.find("detect"), std::string::npos);
+  EXPECT_NE(html.body.find("cache_hit"), std::string::npos);
+  HttpResponseData json = Get("/tracez?format=json");
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(json.body.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.body.find("\"name\":\"request\""), std::string::npos);
+}
+
+TEST_F(StatuszTest, StatuszAggregatesBuildInfoOverviewAndProbes) {
+  StatuszOptions options;
+  options.build_info = "esharp test build";
+  options.overview = [] { return std::string("snapshot: v3\nqps: 120\n"); };
+  options.readiness.emplace_back("always", [] { return ProbeResult{}; });
+  Mount(std::move(options));
+  HttpResponseData statusz = Get("/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("esharp test build"), std::string::npos);
+  EXPECT_NE(statusz.body.find("snapshot: v3"), std::string::npos);
+  EXPECT_NE(statusz.body.find("ready: <b>yes</b>"), std::string::npos)
+      << statusz.body;
+  // Every endpoint is linked.
+  for (const char* path : {"/metrics", "/varz", "/healthz", "/readyz",
+                           "/tracez", "/eventz", "/progressz"}) {
+    EXPECT_NE(statusz.body.find(path), std::string::npos) << path;
+  }
+}
+
+// ---- SloWatchdog ----------------------------------------------------------
+
+/// Manual-clock fixture: `now` is advanced by hand; counters are plain
+/// doubles the objectives read through lambdas.
+class SloWatchdogTest : public ::testing::Test {
+ protected:
+  SloWatchdogTest() {
+    SloWatchdog::Options options;
+    options.events = &events_;
+    options.clock = [this] { return now_; };
+    watchdog_ = std::make_unique<SloWatchdog>(std::move(options));
+  }
+
+  /// Ticks once per simulated second up to `until`.
+  void TickUntil(double until) {
+    while (now_ < until) {
+      now_ += 1.0;
+      watchdog_->Tick();
+    }
+  }
+
+  double now_ = 0;
+  double bad_ = 0;
+  double total_ = 0;
+  EventLog events_;
+  std::unique_ptr<SloWatchdog> watchdog_;
+};
+
+TEST_F(SloWatchdogTest, BreachesOnlyWhenBothWindowsBurn) {
+  SloObjective objective;
+  objective.name = "error_rate";
+  objective.kind = SloObjective::Kind::kRatio;
+  objective.bad = [this] { return bad_; };
+  objective.total = [this] { return total_; };
+  objective.target = 0.01;  // 1% error budget
+  objective.short_window_seconds = 10;
+  objective.long_window_seconds = 60;
+  watchdog_->AddObjective(std::move(objective));
+
+  std::vector<SloState> alerts;
+  watchdog_->AddAlertCallback(
+      [&alerts](const SloState& s) { alerts.push_back(s); });
+
+  // Healthy traffic: 100 req/s, no errors.
+  ASSERT_TRUE(watchdog_->healthy());
+  for (int s = 0; s < 70; ++s) {
+    total_ += 100;
+    TickUntil(now_ + 1);
+  }
+  EXPECT_TRUE(watchdog_->healthy());
+  EXPECT_TRUE(alerts.empty());
+
+  // A short error spike (3 seconds at 10%) lights the short window but not
+  // the 60s one — no alert yet. Multi-window evaluation exists exactly to
+  // suppress this blip.
+  for (int s = 0; s < 3; ++s) {
+    total_ += 100;
+    bad_ += 10;
+    TickUntil(now_ + 1);
+  }
+  std::vector<SloState> snapshot = watchdog_->Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_GE(snapshot[0].short_burn, 1.0);
+  EXPECT_LT(snapshot[0].long_burn, 1.0);
+  EXPECT_TRUE(watchdog_->healthy());
+
+  // Sustained 10% errors: the long window catches up and the objective
+  // breaches — event logged, callback fired, healthy() flips.
+  for (int s = 0; s < 60; ++s) {
+    total_ += 100;
+    bad_ += 10;
+    TickUntil(now_ + 1);
+  }
+  EXPECT_FALSE(watchdog_->healthy());
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].breached);
+  EXPECT_EQ(alerts[0].name, "error_rate");
+  bool breach_logged = false;
+  for (const Event& e : events_.Events()) {
+    if (e.message.find("SLO breach: error_rate") != std::string::npos) {
+      breach_logged = true;
+      EXPECT_EQ(e.severity, LogLevel::kERROR);
+    }
+  }
+  EXPECT_TRUE(breach_logged);
+
+  // Recovery needs BOTH windows clearly under budget (hysteresis at 0.8x):
+  // a clean short window alone is not enough while the long window still
+  // remembers the incident.
+  for (int s = 0; s < 12; ++s) {
+    total_ += 100;
+    TickUntil(now_ + 1);
+  }
+  EXPECT_FALSE(watchdog_->healthy());
+  for (int s = 0; s < 70; ++s) {
+    total_ += 100;
+    TickUntil(now_ + 1);
+  }
+  EXPECT_TRUE(watchdog_->healthy());
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_FALSE(alerts[1].breached);
+  bool recovery_logged = false;
+  for (const Event& e : events_.Events()) {
+    if (e.message.find("SLO recovered: error_rate") != std::string::npos) {
+      recovery_logged = true;
+    }
+  }
+  EXPECT_TRUE(recovery_logged);
+}
+
+TEST_F(SloWatchdogTest, ValueObjectiveBurnsOnWindowedMean) {
+  double p99_seconds = 0.1;
+  SloObjective objective;
+  objective.name = "latency_p99";
+  objective.kind = SloObjective::Kind::kValue;
+  objective.value = [&p99_seconds] { return p99_seconds; };
+  objective.target = 1.0;  // the paper's < 1 s online budget
+  objective.short_window_seconds = 5;
+  objective.long_window_seconds = 20;
+  watchdog_->AddObjective(std::move(objective));
+
+  TickUntil(30);
+  std::vector<SloState> snapshot = watchdog_->Snapshot();
+  EXPECT_NEAR(snapshot[0].short_burn, 0.1, 0.01);
+  EXPECT_TRUE(watchdog_->healthy());
+
+  p99_seconds = 2.5;  // sustained 2.5x over budget
+  TickUntil(60);
+  snapshot = watchdog_->Snapshot();
+  EXPECT_GT(snapshot[0].short_burn, 2.0);
+  EXPECT_GT(snapshot[0].long_burn, 1.0);
+  EXPECT_FALSE(watchdog_->healthy());
+}
+
+TEST_F(SloWatchdogTest, ReadyzIncorporatesWatchdogHealth) {
+  double value = 0;
+  SloObjective objective;
+  objective.name = "queue_depth";
+  objective.kind = SloObjective::Kind::kValue;
+  objective.value = [&value] { return value; };
+  objective.target = 10;
+  objective.short_window_seconds = 2;
+  objective.long_window_seconds = 4;
+  watchdog_->AddObjective(std::move(objective));
+  TickUntil(10);
+
+  DebugServer server;
+  StatuszOptions options;
+  options.watchdog = watchdog_.get();
+  MountStatusz(&server, std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  auto ready = HttpGet("127.0.0.1", server.port(), "/readyz");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->status, 200);
+
+  value = 100;  // 10x the tolerated depth, sustained
+  TickUntil(20);
+  ASSERT_FALSE(watchdog_->healthy());
+  auto not_ready = HttpGet("127.0.0.1", server.port(), "/readyz");
+  ASSERT_TRUE(not_ready.ok());
+  EXPECT_EQ(not_ready->status, 503);
+  EXPECT_NE(not_ready->body.find("slo: objective breached"),
+            std::string::npos);
+}
+
+TEST(SloWatchdogPollTest, StartSpawnsTickingThread) {
+  EventLog events;
+  SloWatchdog::Options options;
+  options.events = &events;
+  SloWatchdog watchdog(std::move(options));
+  // A reading 5x over target breaches on the very first Tick (both windows
+  // see the same single sample) — so observing the breach proves the
+  // polling thread is ticking without any manual Tick() call.
+  SloObjective objective;
+  objective.name = "poll";
+  objective.kind = SloObjective::Kind::kValue;
+  objective.value = [] { return 5.0; };
+  objective.target = 1.0;
+  watchdog.AddObjective(std::move(objective));
+  watchdog.Start(/*period_seconds=*/0.01);
+  bool breached = false;
+  for (int i = 0; i < 400 && !breached; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    breached = !watchdog.healthy();
+  }
+  EXPECT_TRUE(breached);
+  watchdog.Stop();
+  watchdog.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace esharp::obs

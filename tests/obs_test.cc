@@ -355,6 +355,159 @@ TEST(ResourceMeterTest, MirrorsStageTotalsIntoGlobalRegistry) {
 #endif
 }
 
+// ---- Tracer ring bound (regression: events_ used to grow without bound) ---
+
+TEST(TracerTest, RingCapsStorageAndCountsDrops) {
+  Counter* global_dropped =
+      MetricsRegistry::Global().GetCounter("trace.events_dropped");
+  uint64_t global_before = global_dropped->Value();
+  Tracer tracer(/*max_events=*/4);
+  EXPECT_EQ(tracer.max_events(), 4u);
+  for (int i = 0; i < 7; ++i) {
+    Span s = tracer.StartSpan("span" + std::to_string(i));
+  }
+  // Storage stays at the cap no matter how many spans were recorded.
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  EXPECT_EQ(global_dropped->Value(), global_before + 3);
+  // The survivors are the newest four, still in chronological order.
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].name, "span" + std::to_string(i + 3));
+    if (i > 0) EXPECT_GE(events[i].start_us, events[i - 1].start_us);
+  }
+  // Reset clears the ring and the per-tracer drop count.
+  tracer.Reset();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // A default-constructed tracer uses the documented large default.
+  Tracer defaulted;
+  EXPECT_EQ(defaulted.max_events(), Tracer::kDefaultMaxEvents);
+}
+
+TEST(TracerTest, RingExportsOnlyRetainedEvents) {
+  Tracer tracer(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    Span s = tracer.StartSpan(i % 2 == 0 ? "even" : "odd");
+  }
+  std::string json = tracer.ExportChromeJson();
+  // Retained: spans 3 ("odd") and 4 ("even") — exactly one of each name.
+  EXPECT_NE(json.find("\"name\":\"odd\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"even\""), std::string::npos);
+  EXPECT_EQ(tracer.Events().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+// ---- Prometheus label escaping --------------------------------------------
+
+TEST(MetricsRegistryTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  // The three characters the exposition format requires escaping: backslash,
+  // double quote, and newline.
+  registry.GetCounter("esc.c", {{"q", "say \"hi\""}})->Increment();
+  registry.GetCounter("esc.c", {{"q", "back\\slash"}})->Increment(2);
+  registry.GetCounter("esc.c", {{"q", "two\nlines"}})->Increment(3);
+  std::string text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("esc_c{q=\"say \\\"hi\\\"\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("esc_c{q=\"back\\\\slash\"} 2"), std::string::npos)
+      << text;
+  // Newlines must be escaped to the two-character sequence \n — a raw
+  // newline inside a label value corrupts the line-oriented format.
+  EXPECT_NE(text.find("esc_c{q=\"two\\nlines\"} 3"), std::string::npos)
+      << text;
+  for (size_t pos = text.find("esc_c{"); pos != std::string::npos;
+       pos = text.find("esc_c{", pos + 1)) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    // Each sample stays on one physical line.
+    EXPECT_EQ(text.substr(pos, eol - pos).find('\n'), std::string::npos);
+  }
+}
+
+TEST(MetricsRegistryTest, JsonEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("jesc.c", {{"q", "a\"b\\c\nd"}})->Increment();
+  std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos) << json;
+}
+
+// ---- EventLog -------------------------------------------------------------
+
+TEST(EventLogTest, RecordsStructuredEventsInOrder) {
+  EventLog log(/*capacity=*/8);
+  log.Add(LogLevel::kINFO, "serving", "snapshot published",
+          {{"version", "1"}});
+  log.Add(LogLevel::kERROR, "slo", "SLO breach: latency_p99",
+          {{"short_burn", "2.5"}});
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].source, "serving");
+  EXPECT_EQ(events[0].fields[0].second, "1");
+  EXPECT_EQ(events[1].severity, LogLevel::kERROR);
+  EXPECT_GT(events[1].sequence, events[0].sequence);
+  EXPECT_LE(events[0].time_seconds, events[1].time_seconds);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLogTest, RingOverwritesOldestAndCountsDrops) {
+  EventLog log(/*capacity=*/3);
+  for (int i = 0; i < 8; ++i) {
+    log.Add(LogLevel::kINFO, "test", "event " + std::to_string(i));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 5u);
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].message, "event 5");
+  EXPECT_EQ(events[2].message, "event 7");
+  std::string json = log.RenderJson();
+  EXPECT_NE(json.find("\"dropped\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("event 7"), std::string::npos);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  // Sequence numbers keep advancing across Clear().
+  log.Add(LogLevel::kINFO, "test", "after clear");
+  EXPECT_GT(log.Events()[0].sequence, 8u);
+}
+
+// ---- JobProgressRegistry --------------------------------------------------
+
+TEST(JobProgressTest, TracksStagesAndOutcomes) {
+  JobProgressRegistry registry;
+  auto job = registry.Start("offline_pipeline");
+  EXPECT_EQ(registry.num_active(), 1u);
+  job->SetStage("cluster");
+  job->SetFraction(0.4);
+  auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "offline_pipeline");
+  EXPECT_EQ(snapshot[0].stage, "cluster");
+  EXPECT_DOUBLE_EQ(snapshot[0].fraction, 0.4);
+  EXPECT_FALSE(snapshot[0].finished);
+  job->Finish("ok");
+  job.reset();
+  EXPECT_EQ(registry.num_active(), 0u);
+  snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_TRUE(snapshot[0].finished);
+  EXPECT_EQ(snapshot[0].outcome, "ok");
+}
+
+TEST(JobProgressTest, DroppedHandleMarksAborted) {
+  JobProgressRegistry registry;
+  { auto job = registry.Start("doomed"); }  // error path unwinds through it
+  auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_TRUE(snapshot[0].finished);
+  EXPECT_EQ(snapshot[0].outcome, "aborted");
+  // Fractions clamp to [0, 1].
+  auto job = registry.Start("clamped");
+  job->SetFraction(7.0);
+  EXPECT_DOUBLE_EQ(registry.Snapshot()[0].fraction, 1.0);
+}
+
 TEST(ResourceMeterTest, CopyIsIndependent) {
   ResourceMeter meter;
   meter.AddTime("CopyStage", 1.0);

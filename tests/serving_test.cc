@@ -8,10 +8,13 @@
 #include "common/stats.h"
 #include "esharp/pipeline.h"
 #include "microblog/generator.h"
+#include "obs/event_log.h"
 #include "obs/obs.h"
+#include "obs/slo.h"
 #include "querylog/generator.h"
 #include "serving/cache.h"
 #include "serving/engine.h"
+#include "serving/introspect.h"
 #include "serving/metrics.h"
 #include "serving/snapshot.h"
 
@@ -646,6 +649,189 @@ TEST_F(ServingTest, DestructionDrainsPendingAsyncWorkOnExternalPool) {
     auto r = f.get();
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
+}
+
+// ------------------------------------------------------ health transitions --
+
+// The /readyz contract at the engine level: not ready until the first
+// Publish, ready (with version and age) afterwards, and the readiness
+// probe layers a staleness bound on top.
+TEST_F(ServingTest, HealthNotReadyBeforeFirstPublishThenReady) {
+  SnapshotManager manager(corpus_);
+  ServingEngine engine(&manager);
+
+  HealthView before = engine.Health();
+  EXPECT_FALSE(before.ready);
+  EXPECT_FALSE(before.detail.empty());
+  EXPECT_EQ(before.snapshot_version, 0u);
+  obs::ProbeResult probe = EngineReadiness(&engine)();
+  EXPECT_FALSE(probe.ok);
+  EXPECT_FALSE(probe.detail.empty());
+
+  manager.Publish(artifacts_->store);
+  HealthView after = engine.Health();
+  EXPECT_TRUE(after.ready);
+  EXPECT_TRUE(after.detail.empty());
+  EXPECT_EQ(after.snapshot_version, 1u);
+  EXPECT_GE(after.snapshot_age_seconds, 0.0);
+  EXPECT_TRUE(EngineReadiness(&engine)().ok);
+
+  // A staleness bound turns a stalled weekly refresh into not-ready even
+  // though the snapshot itself still serves.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  obs::ProbeResult stale =
+      EngineReadiness(&engine, /*max_snapshot_age_seconds=*/1e-3)();
+  EXPECT_FALSE(stale.ok);
+  EXPECT_TRUE(EngineReadiness(&engine, /*max_snapshot_age_seconds=*/3600)().ok);
+}
+
+// Readiness must not flap during a hot swap: a prober polling Health()
+// concurrently with traffic and repeated Publishes never observes a
+// not-ready window.
+TEST_F(ServingTest, HealthStaysReadyAcrossMidTrafficHotSwap) {
+  auto manager = NewManager();
+  ServingOptions options;
+  options.num_threads = 2;
+  options.max_in_flight = 1 << 20;
+  ServingEngine engine(manager.get(), options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> not_ready_observations{0};
+  std::thread prober([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      HealthView h = engine.Health();
+      if (!h.ready) not_ready_observations.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+  std::thread traffic([&] {
+    for (int i = 0; i < 60; ++i) {
+      QueryRequest request;
+      request.query = *answered_query_;
+      request.bypass_cache = i % 2 == 0;
+      (void)engine.Query(request);
+    }
+  });
+  for (int s = 0; s < 4; ++s) {
+    manager->Publish(artifacts_->store);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  traffic.join();
+  stop.store(true, std::memory_order_release);
+  prober.join();
+
+  EXPECT_EQ(not_ready_observations.load(), 0);
+  HealthView final_health = engine.Health();
+  EXPECT_TRUE(final_health.ready);
+  EXPECT_EQ(final_health.snapshot_version, 5u);  // initial publish + 4 swaps
+  EXPECT_GT(final_health.completed, 0u);
+}
+
+// When the shed rate blows through the objective, the engine itself stays
+// "ready" (the snapshot is fine) but the SLO watchdog degrades — the
+// layering /readyz composes.
+TEST_F(ServingTest, WatchdogDegradesWhenShedRateExceedsObjective) {
+  auto manager = NewManager();
+  ServingOptions options;
+  options.max_in_flight = 0;  // everything sheds
+  ServingEngine engine(manager.get(), options);
+
+  double now = 0;
+  obs::EventLog events(64);
+  obs::SloWatchdog::Options wd_options;
+  wd_options.events = &events;
+  wd_options.clock = [&now] { return now; };
+  obs::SloWatchdog watchdog(wd_options);
+  for (obs::SloObjective& objective : DefaultServingObjectives(&engine)) {
+    if (objective.name != "shed_rate") continue;
+    objective.short_window_seconds = 5;  // compressed for the test clock
+    objective.long_window_seconds = 10;
+    watchdog.AddObjective(std::move(objective));
+  }
+
+  EXPECT_TRUE(engine.Health().ready);
+  EXPECT_TRUE(watchdog.healthy());
+
+  // Sustained 100% shed rate across both windows (target tolerates 5%).
+  for (int t = 0; t <= 12; ++t) {
+    EXPECT_TRUE(engine.Query({*answered_query_}).status().IsUnavailable());
+    now = t;
+    watchdog.Tick();
+  }
+
+  EXPECT_FALSE(watchdog.healthy());
+  std::vector<obs::SloState> states = watchdog.Snapshot();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].name, "shed_rate");
+  EXPECT_TRUE(states[0].breached);
+  EXPECT_GE(states[0].short_burn, 1.0);
+  EXPECT_GE(states[0].long_burn, 1.0);
+
+  bool breach_logged = false;
+  for (const obs::Event& e : events.Events()) {
+    if (e.message.find("SLO breach: shed_rate") != std::string::npos) {
+      breach_logged = true;
+    }
+  }
+  EXPECT_TRUE(breach_logged);
+
+  HealthView health = engine.Health();
+  EXPECT_TRUE(health.ready);  // shedding is not a snapshot problem
+  EXPECT_GE(health.shed, 13u);
+  EXPECT_EQ(health.completed, 0u);
+}
+
+// The active-request registry and finished samples behind /tracez: a
+// pinned request shows up with its stage, and finishing moves it into the
+// latency-bucketed sample ring with its outcome.
+TEST_F(ServingTest, ActiveRegistryTracksStageAndSamplesOutcome) {
+  auto manager = NewManager();
+  std::atomic<int> entered{0};
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+
+  ServingOptions options;
+  options.enable_cache = false;
+  options.num_threads = 2;
+  options.execution_hook = [&](const std::string&) {
+    entered.fetch_add(1);
+    release_future.wait();
+  };
+  ServingEngine engine(manager.get(), options);
+
+  EXPECT_TRUE(engine.ActiveRequests().empty());
+  auto future = engine.SubmitQuery({*answered_query_});
+  while (entered.load() == 0) std::this_thread::yield();
+
+  std::vector<ActiveRequestInfo> active = engine.ActiveRequests();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].query, *answered_query_);
+  // The hook runs at the head of ExecuteUncached: the request has moved
+  // past admission into the detector stages.
+  EXPECT_FALSE(active[0].stage.empty());
+  EXPECT_GE(active[0].elapsed_ms, 0.0);
+
+  release.set_value();
+  ASSERT_TRUE(future.get().ok());
+  EXPECT_TRUE(engine.ActiveRequests().empty());
+
+  std::vector<RequestSample> samples = engine.SampledRequests();
+  ASSERT_FALSE(samples.empty());
+  bool found_ok = false;
+  for (const RequestSample& s : samples) {
+    if (s.query == *answered_query_ && s.outcome == "ok") found_ok = true;
+  }
+  EXPECT_TRUE(found_ok);
+
+  // A shed never reaches the registry but error outcomes are sampled too:
+  // an invalid (empty) query lands in the ring as "invalid".
+  ASSERT_TRUE(engine.Query({""}).status().IsInvalidArgument());
+  samples = engine.SampledRequests();
+  bool found_invalid = false;
+  for (const RequestSample& s : samples) {
+    if (s.outcome == "invalid") found_invalid = true;
+  }
+  EXPECT_TRUE(found_invalid);
 }
 
 // ---------------------------------------------------------- Observability --
