@@ -1,0 +1,197 @@
+// Compares two BENCH_*.json snapshots (the MetricsRegistry::ExportJson
+// schema: counters/gauges/histograms arrays of {"name","labels",...}) and
+// reports per-metric deltas, failing when a directional metric regresses
+// beyond the threshold — the mechanical check that a perf PR's committed
+// baseline actually moved the right way, and that later PRs do not quietly
+// give the win back.
+//
+// Direction is inferred from the metric name:
+//   higher-better: *qps*, *speedup*, *hit_rate*
+//   lower-better:  *_ms, *_seconds, *seconds*, *overhead_pct*, p50/p95/p99
+//   anything else: informational (printed, never failing)
+//
+// Usage: bench_diff BASE.json NEW.json [--threshold_pct=N]   (default 10)
+//
+// Exit status: 0 when no directional metric regressed by more than the
+// threshold, 1 otherwise (also 1 on parse/read errors).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+enum class Direction { kHigherBetter, kLowerBetter, kInformational };
+
+Direction DirectionOf(const std::string& name) {
+  auto has = [&](const char* needle) {
+    return name.find(needle) != std::string::npos;
+  };
+  if (has("qps") || has("speedup") || has("hit_rate")) {
+    return Direction::kHigherBetter;
+  }
+  if (has("_ms") || has("seconds") || has("overhead_pct") || has(".p50") ||
+      has(".p95") || has(".p99")) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kInformational;
+}
+
+/// Extracts the string value of `"key":"..."` starting at or after `from`
+/// within `line`. Returns npos-sentinel empty string when absent. Escapes
+/// are passed through verbatim — metric names and label values in this
+/// schema are plain identifiers.
+bool FindStringField(const std::string& line, const char* key,
+                     std::string* out) {
+  std::string needle = std::string("\"") + key + "\":\"";
+  size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  size_t start = at + needle.size();
+  size_t end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool FindNumberField(const std::string& line, const char* key, double* out) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* p = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  double v = std::strtod(p, &end);
+  if (end == p) return false;
+  *out = v;
+  return true;
+}
+
+/// `"labels":{...}` verbatim (already canonically ordered by the emitter),
+/// "{}" when absent.
+std::string FindLabels(const std::string& line) {
+  size_t at = line.find("\"labels\":");
+  if (at == std::string::npos) return "{}";
+  size_t open = line.find('{', at);
+  size_t close = line.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return "{}";
+  return line.substr(open, close - open + 1);
+}
+
+/// Flat metric map: "name{labels}" (plus ".p50" etc. for histogram
+/// sub-values) -> value.
+using MetricMap = std::map<std::string, double>;
+
+bool ParseFile(const std::string& path, MetricMap* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  bool saw_any_array = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"counters\"") != std::string::npos ||
+        line.find("\"gauges\"") != std::string::npos ||
+        line.find("\"histograms\"") != std::string::npos) {
+      saw_any_array = true;
+    }
+    std::string name;
+    if (!FindStringField(line, "name", &name)) continue;
+    std::string key = name + FindLabels(line);
+    double v = 0;
+    if (FindNumberField(line, "value", &v)) {
+      (*out)[key] = v;
+      continue;
+    }
+    // Histogram entry: explode the summary fields into sub-metrics.
+    static const char* kFields[] = {"count", "mean", "max", "p50", "p95", "p99"};
+    for (const char* f : kFields) {
+      if (FindNumberField(line, f, &v)) (*out)[key + "." + f] = v;
+    }
+  }
+  if (!saw_any_array) {
+    std::fprintf(stderr, "bench_diff: %s is not a metrics JSON snapshot\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+const char* DirectionTag(Direction d) {
+  switch (d) {
+    case Direction::kHigherBetter: return "higher";
+    case Direction::kLowerBetter: return "lower";
+    case Direction::kInformational: return "info";
+  }
+  return "info";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 10.0;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold_pct=", 16) == 0) {
+      threshold_pct = std::strtod(argv[i] + 16, nullptr);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff BASE.json NEW.json [--threshold_pct=N]\n");
+    return 1;
+  }
+
+  MetricMap base, next;
+  if (!ParseFile(files[0], &base) || !ParseFile(files[1], &next)) return 1;
+
+  std::printf("bench_diff: %s -> %s (threshold %.1f%%)\n", files[0].c_str(),
+              files[1].c_str(), threshold_pct);
+  std::printf("%-58s %12s %12s %9s %7s\n", "metric", "base", "new", "delta%",
+              "dir");
+
+  size_t regressions = 0, improvements = 0, missing = 0;
+  for (const auto& [key, base_v] : base) {
+    auto it = next.find(key);
+    if (it == next.end()) {
+      std::printf("%-58s %12.6g %12s %9s %7s\n", key.c_str(), base_v,
+                  "(gone)", "-", "info");
+      ++missing;
+      continue;
+    }
+    double new_v = it->second;
+    double delta_pct =
+        base_v != 0 ? 100.0 * (new_v - base_v) / std::fabs(base_v)
+                    : (new_v == 0 ? 0 : 100.0);
+    Direction dir = DirectionOf(key);
+    bool regressed = false;
+    if (dir == Direction::kHigherBetter) regressed = delta_pct < -threshold_pct;
+    if (dir == Direction::kLowerBetter) regressed = delta_pct > threshold_pct;
+    bool improved = false;
+    if (dir == Direction::kHigherBetter) improved = delta_pct > threshold_pct;
+    if (dir == Direction::kLowerBetter) improved = delta_pct < -threshold_pct;
+    if (regressed) ++regressions;
+    if (improved) ++improvements;
+    std::printf("%-58s %12.6g %12.6g %+8.1f%% %7s%s\n", key.c_str(), base_v,
+                new_v, delta_pct, DirectionTag(dir),
+                regressed ? "  << REGRESSION" : "");
+  }
+  for (const auto& [key, new_v] : next) {
+    if (base.find(key) == base.end()) {
+      std::printf("%-58s %12s %12.6g %9s %7s\n", key.c_str(), "(new)", new_v,
+                  "-", "info");
+    }
+  }
+
+  std::printf("\n%zu regression(s), %zu improvement(s) beyond %.1f%%; "
+              "%zu metric(s) missing from the new file\n",
+              regressions, improvements, threshold_pct, missing);
+  return regressions > 0 ? 1 : 0;
+}

@@ -1,109 +1,372 @@
-// Micro-benchmarks of engine primitives: value hashing/comparison, token
-// index lookups, community-store lookups — the operations the online stage
-// leans on per query (§6.3 budgets: expansion < 100 ms, detection < 1 s).
+// Micro-benchmarks of the online stage: the primitives the per-request hot
+// path leans on (token-index matching, store lookups, evidence-index
+// lookups) and the detect-stage workload comparison the PR 5 fast path is
+// judged by — the reference serial detector (live collection per expansion
+// term, no evidence index) against the snapshot-time fast path (precomputed
+// per-term pools + parallel live fan-out), on a multi-term in-vocabulary
+// workload (§6.3 budgets: expansion < 100 ms, detection < 1 s).
+//
+// Both engines are verified to return bit-identical ranked experts on every
+// workload query, and their detect/rank trace annotations (candidate and
+// expert counts) are compared, before any timing is reported — a speedup
+// table can never ship from divergent paths.
+//
+// Usage: micro_engine [--iters=K] [--queries=N] [--json=PATH] [--smoke]
+//
+// Results are published as bench.online.* gauges into a bench-local
+// MetricsRegistry and written as a JSON snapshot (default BENCH_online.json;
+// schema in EXPERIMENTS.md).
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
 
-#include "community/parallel_cd.h"
-#include "community/store.h"
-#include "graph/builder.h"
-#include "common/rng.h"
-#include "microblog/generator.h"
-#include "querylog/generator.h"
-#include "sqlengine/operators.h"
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "expert/evidence_index.h"
+#include "obs/obs.h"
+#include "serving/engine.h"
 
 namespace {
 
 using namespace esharp;
 
-void BM_ValueHashString(benchmark::State& state) {
-  std::vector<sql::Value> values;
-  Rng rng(1);
-  for (int i = 0; i < 1000; ++i) {
-    values.push_back(
-        sql::Value::String("query term " + std::to_string(rng.Uniform(1000))));
-  }
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(values[i++ % values.size()].Hash());
-  }
-}
-BENCHMARK(BM_ValueHashString);
+// Sink defeating dead-code elimination in the primitive loops.
+volatile uint64_t g_sink = 0;
 
-void BM_ValueCompareNumericFamily(benchmark::State& state) {
-  sql::Value a = sql::Value::Int(42);
-  sql::Value b = sql::Value::Double(42.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.Compare(b));
+double BestOf(size_t iters, const std::function<void()>& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < iters; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.ElapsedSeconds());
   }
+  return best;
 }
-BENCHMARK(BM_ValueCompareNumericFamily);
 
-void BM_RowKeyHash(benchmark::State& state) {
-  sql::TableBuilder b({{"a", sql::DataType::kString},
-                       {"b", sql::DataType::kInt64}});
-  b.AddRow({sql::Value::String("49ers draft"), sql::Value::Int(7)});
-  sql::Table t = b.Build();
-  std::vector<size_t> keys = {0, 1};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sql::HashRowKeys(t.row(0), keys));
-  }
+void Fail(const std::string& why) {
+  std::fprintf(stderr, "micro_engine: %s\n", why.c_str());
+  std::exit(1);
 }
-BENCHMARK(BM_RowKeyHash);
 
-class OnlineFixture : public benchmark::Fixture {
- public:
-  void SetUp(const benchmark::State&) override {
-    if (corpus != nullptr) return;
-    querylog::UniverseOptions uo;
-    uo.seed = 9;
-    universe = new querylog::TopicUniverse(
-        *querylog::TopicUniverse::Generate(uo));
-    microblog::CorpusOptions co;
-    co.seed = 10;
-    corpus = new microblog::TweetCorpus(*GenerateCorpus(*universe, co));
-    querylog::GeneratorOptions go;
-    go.seed = 11;
-    querylog::GeneratedLog gen = *GenerateQueryLog(*universe, go);
-    graph::SimilarityGraphOptions so;
-    graph::Graph g = *BuildSimilarityGraph(gen.log, so);
-    auto detection = *community::DetectCommunitiesParallel(g);
-    store = new community::CommunityStore(
-        community::CommunityStore::Build(g, detection.assignment));
+/// The detect-stage workload: queries that hit a multi-term community, so
+/// expansion fans out to several in-vocabulary terms — the shape the
+/// evidence index and the parallel collection are built for.
+std::vector<std::string> MultiTermQueries(const community::CommunityStore& store,
+                                          size_t limit) {
+  std::vector<std::string> queries;
+  for (const community::Community& c : store.communities()) {
+    if (c.terms.size() < 2) continue;
+    queries.push_back(c.terms.front());
+    if (queries.size() >= limit) break;
   }
-  static querylog::TopicUniverse* universe;
-  static microblog::TweetCorpus* corpus;
-  static community::CommunityStore* store;
+  return queries;
+}
+
+struct VerifiedRun {
+  std::vector<std::vector<expert::RankedExpert>> experts;  // per query
+  /// Per-query (candidates, experts) counts from the detect/rank spans.
+  std::vector<std::pair<std::string, std::string>> counts;
+  uint64_t terms_precomputed = 0;
+  uint64_t terms_live = 0;
 };
 
-querylog::TopicUniverse* OnlineFixture::universe = nullptr;
-microblog::TweetCorpus* OnlineFixture::corpus = nullptr;
-community::CommunityStore* OnlineFixture::store = nullptr;
-
-BENCHMARK_F(OnlineFixture, BM_MatchTweets)(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(corpus->MatchTweets({"49ers"}));
+/// Runs every query once, collecting answers and the trace annotations that
+/// prove what each path saw (candidate pool size, expert count).
+VerifiedRun RunVerified(serving::ServingEngine& engine, obs::Tracer& tracer,
+                        const std::vector<std::string>& queries) {
+  tracer.Reset();
+  VerifiedRun run;
+  for (const std::string& q : queries) {
+    serving::QueryRequest request;
+    request.query = q;
+    Result<serving::QueryResponse> response = engine.Query(std::move(request));
+    if (!response.ok()) Fail("query '" + q + "': " + response.status().ToString());
+    run.experts.push_back(std::move(response->experts));
   }
+  std::string candidates, experts;
+  for (const obs::TraceEvent& e : tracer.Events()) {
+    for (const auto& [key, value] : e.args) {
+      if (e.name == "detect" && key == "candidates") candidates = value;
+      if (e.name == "detect" && key == "terms_precomputed") {
+        run.terms_precomputed += std::strtoull(value.c_str(), nullptr, 10);
+      }
+      if (e.name == "detect" && key == "terms_live") {
+        run.terms_live += std::strtoull(value.c_str(), nullptr, 10);
+      }
+      if (e.name == "rank" && key == "experts") {
+        experts = value;
+        run.counts.emplace_back(candidates, experts);
+      }
+    }
+  }
+  return run;
 }
 
-BENCHMARK_F(OnlineFixture, BM_MatchTweetsTwoTerms)(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(corpus->MatchTweets({"49ers", "review"}));
+bool SameExperts(const std::vector<expert::RankedExpert>& a,
+                 const std::vector<expert::RankedExpert>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Exact double equality on every field: the fast path must be
+    // bit-identical, not merely close.
+    if (a[i].user != b[i].user || a[i].score != b[i].score ||
+        a[i].z_topical_signal != b[i].z_topical_signal ||
+        a[i].z_mention_impact != b[i].z_mention_impact ||
+        a[i].z_retweet_impact != b[i].z_retweet_impact ||
+        a[i].z_conversation != b[i].z_conversation ||
+        a[i].z_hashtag != b[i].z_hashtag ||
+        a[i].z_followers != b[i].z_followers) {
+      return false;
+    }
   }
+  return true;
 }
 
-BENCHMARK_F(OnlineFixture, BM_StoreExactLookup)(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(store->Find("49ers"));
-  }
-}
+struct DetectPass {
+  double detect_ms = 0;  // sum over the workload, best pass
+  double expand_ms = 0;  // companions from that same best pass
+  double rank_ms = 0;
+};
 
-BENCHMARK_F(OnlineFixture, BM_StorePhraseLookup)(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(store->FindPhrase("review"));
+/// Times the workload `iters` times and keeps the pass with the smallest
+/// detect-stage sum (minimum filters scheduler noise; expand/rank come from
+/// the same pass so the breakdown stays coherent).
+DetectPass TimeDetect(serving::ServingEngine& engine,
+                      const std::vector<std::string>& queries, size_t iters) {
+  DetectPass best;
+  best.detect_ms = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < iters; ++i) {
+    DetectPass pass;
+    for (const std::string& q : queries) {
+      serving::QueryRequest request;
+      request.query = q;
+      Result<serving::QueryResponse> response =
+          engine.Query(std::move(request));
+      if (!response.ok()) {
+        Fail("query '" + q + "': " + response.status().ToString());
+      }
+      pass.detect_ms += response->stages.detect_ms;
+      pass.expand_ms += response->stages.expand_ms;
+      pass.rank_ms += response->stages.rank_ms;
+      g_sink += response->experts.size();
+    }
+    if (pass.detect_ms < best.detect_ms) best = pass;
   }
+  return best;
 }
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  size_t iters = 7;
+  size_t max_queries = 48;
+  bool smoke = false;
+  std::string json_path = "BENCH_online.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iters = std::strtoul(argv[i] + 8, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      max_queries = std::strtoul(argv[i] + 10, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (smoke) {
+    iters = std::min<size_t>(iters, 2);
+    max_queries = std::min<size_t>(max_queries, 8);
+  }
+  if (iters < 1) iters = 1;
+  if (max_queries < 1) max_queries = 1;
+
+  bench::PrintHeader("Micro: online detect fast path");
+  bench::WorldOptions world_options;
+  world_options.scale = bench::WorldScale::kSmall;
+  auto world = bench::BuildWorld(world_options);
+  const microblog::TweetCorpus& corpus = world->corpus;
+
+  // Two snapshot managers over the same corpus and store: the fast one
+  // builds the term-evidence index at publish (the default), the reference
+  // one publishes without it — so the reference engine cannot quietly serve
+  // from precomputed pools.
+  auto store = std::make_shared<const community::CommunityStore>(
+      world->artifacts.store);
+  serving::SnapshotManager fast_manager(&corpus);
+  fast_manager.Publish(store);
+  serving::SnapshotManager ref_manager(&corpus);
+  ref_manager.set_build_evidence_on_publish(false);
+  ref_manager.Publish(store);
+
+  std::vector<std::string> queries = MultiTermQueries(*store, max_queries);
+  if (queries.empty()) Fail("no multi-term community in the store");
+
+  // The expansion vocabulary the workload touches, for the primitive loops.
+  std::shared_ptr<const serving::ServingSnapshot> fast_snapshot =
+      fast_manager.Acquire();
+  const expert::TermEvidenceIndex* evidence = fast_snapshot->evidence();
+  if (evidence == nullptr) Fail("published snapshot carries no evidence index");
+  const core::ESharp& esharp = fast_snapshot->esharp();
+  std::vector<std::string> terms;
+  for (const std::string& q : queries) {
+    core::QueryExpansion expansion = esharp.Expand(q);
+    if (!expansion.matched) Fail("workload query '" + q + "' did not match");
+    for (std::string& t : expansion.terms) terms.push_back(std::move(t));
+  }
+  // Pre-tokenized forms (amortized per snapshot in production).
+  std::vector<std::vector<std::string>> term_tokens;
+  std::vector<std::vector<microblog::TokenId>> term_ids;
+  for (const std::string& t : terms) {
+    term_tokens.push_back(SplitWhitespace(t));
+    term_ids.push_back(corpus.TokenizeNormalized(t));
+  }
+
+  std::printf("world: %zu tweets, %zu users, %zu tokens; workload: %zu "
+              "queries -> %zu expansion terms; best of %zu\n\n",
+              corpus.num_tweets(), corpus.num_users(), corpus.num_tokens(),
+              queries.size(), terms.size(), iters);
+
+  // ---- Primitives ---------------------------------------------------------
+  double match_string_s = BestOf(iters, [&] {
+    for (const auto& tokens : term_tokens) {
+      g_sink += corpus.MatchTweets(tokens).size();
+    }
+  });
+  double match_token_s = BestOf(iters, [&] {
+    for (const auto& ids : term_ids) {
+      g_sink += corpus.MatchTweets(ids).size();
+    }
+  });
+  expert::ExpertDetector detector(&corpus);
+  double collect_live_s = BestOf(iters, [&] {
+    for (const auto& ids : term_ids) {
+      auto pool = detector.CollectCandidates(ids);
+      g_sink += pool ? pool->size() : 0;
+    }
+  });
+  double evidence_lookup_s = BestOf(iters, [&] {
+    for (const std::string& t : terms) {
+      const auto* pool = evidence->Find(t);
+      g_sink += pool ? pool->size() : 0;
+    }
+  });
+  double store_lookup_s = BestOf(iters, [&] {
+    for (const std::string& q : queries) g_sink += store->Find(q).ok();
+  });
+
+  std::printf("%-28s %12s\n", "Primitive (workload sweep)", "Best(ms)");
+  std::printf("%-28s %12.3f\n", "match_tweets_string", match_string_s * 1e3);
+  std::printf("%-28s %12.3f\n", "match_tweets_token_ids", match_token_s * 1e3);
+  std::printf("%-28s %12.3f\n", "collect_candidates_live", collect_live_s * 1e3);
+  std::printf("%-28s %12.3f\n", "evidence_index_lookup", evidence_lookup_s * 1e3);
+  std::printf("%-28s %12.3f\n", "store_exact_lookup", store_lookup_s * 1e3);
+
+  // ---- Detect-stage workload: reference vs fast path ----------------------
+  obs::Tracer ref_tracer, fast_tracer;
+  serving::ServingOptions ref_options;
+  ref_options.num_threads = world_options.threads;
+  ref_options.enable_cache = false;
+  ref_options.enable_single_flight = false;
+  ref_options.use_evidence_index = false;
+  ref_options.parallel_detect = false;
+  ref_options.tracer = &ref_tracer;
+  serving::ServingEngine ref_engine(&ref_manager, ref_options);
+
+  serving::ServingOptions fast_options = ref_options;
+  fast_options.use_evidence_index = true;
+  fast_options.parallel_detect = true;
+  fast_options.tracer = &fast_tracer;
+  serving::ServingEngine fast_engine(&fast_manager, fast_options);
+
+  // Equivalence gate before any timing.
+  VerifiedRun ref_run = RunVerified(ref_engine, ref_tracer, queries);
+  VerifiedRun fast_run = RunVerified(fast_engine, fast_tracer, queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!SameExperts(ref_run.experts[i], fast_run.experts[i])) {
+      Fail("experts diverge on query '" + queries[i] + "'");
+    }
+  }
+  if (ref_run.counts != fast_run.counts) {
+    Fail("trace candidate/expert counts diverge between paths");
+  }
+  if (ref_run.counts.size() != queries.size()) {
+    Fail("expected one detect/rank span pair per query");
+  }
+  if (fast_run.terms_precomputed == 0) {
+    Fail("fast path never used the evidence index");
+  }
+  std::printf("\nequivalence: %zu queries bit-identical; counts match per "
+              "query; fast path served %llu/%llu terms precomputed\n",
+              queries.size(),
+              static_cast<unsigned long long>(fast_run.terms_precomputed),
+              static_cast<unsigned long long>(fast_run.terms_precomputed +
+                                              fast_run.terms_live));
+
+  ref_tracer.Reset();
+  fast_tracer.Reset();
+  DetectPass ref_pass = TimeDetect(ref_engine, queries, iters);
+  DetectPass fast_pass = TimeDetect(fast_engine, queries, iters);
+  double detect_speedup =
+      fast_pass.detect_ms > 0 ? ref_pass.detect_ms / fast_pass.detect_ms : 0;
+
+  std::printf("\n%-12s %12s %12s %12s\n", "Path", "Expand(ms)", "Detect(ms)",
+              "Rank(ms)");
+  std::printf("%-12s %12.3f %12.3f %12.3f\n", "reference", ref_pass.expand_ms,
+              ref_pass.detect_ms, ref_pass.rank_ms);
+  std::printf("%-12s %12.3f %12.3f %12.3f\n", "fast", fast_pass.expand_ms,
+              fast_pass.detect_ms, fast_pass.rank_ms);
+  std::printf("\ndetect-stage speedup: %.2fx (acceptance floor 3x on this "
+              "multi-term in-vocabulary workload)\n",
+              detect_speedup);
+
+  // ---- Machine-readable snapshot ------------------------------------------
+  obs::MetricsRegistry registry;
+  registry.GetGauge("bench.online.queries")
+      ->Set(static_cast<double>(queries.size()));
+  registry.GetGauge("bench.online.expansion_terms")
+      ->Set(static_cast<double>(terms.size()));
+  registry.GetGauge("bench.online.evidence_terms")
+      ->Set(static_cast<double>(evidence->num_terms()));
+  registry.GetGauge("bench.online.match_seconds", {{"path", "string"}})
+      ->Set(match_string_s);
+  registry.GetGauge("bench.online.match_seconds", {{"path", "token_ids"}})
+      ->Set(match_token_s);
+  registry.GetGauge("bench.online.match_speedup")
+      ->Set(match_token_s > 0 ? match_string_s / match_token_s : 0);
+  registry.GetGauge("bench.online.collect_seconds", {{"path", "live"}})
+      ->Set(collect_live_s);
+  registry.GetGauge("bench.online.collect_seconds", {{"path", "precomputed"}})
+      ->Set(evidence_lookup_s);
+  registry.GetGauge("bench.online.store_lookup_seconds")->Set(store_lookup_s);
+  registry.GetGauge("bench.online.detect_ms", {{"path", "reference"}})
+      ->Set(ref_pass.detect_ms);
+  registry.GetGauge("bench.online.detect_ms", {{"path", "fast"}})
+      ->Set(fast_pass.detect_ms);
+  registry.GetGauge("bench.online.expand_ms", {{"path", "reference"}})
+      ->Set(ref_pass.expand_ms);
+  registry.GetGauge("bench.online.expand_ms", {{"path", "fast"}})
+      ->Set(fast_pass.expand_ms);
+  registry.GetGauge("bench.online.rank_ms", {{"path", "reference"}})
+      ->Set(ref_pass.rank_ms);
+  registry.GetGauge("bench.online.rank_ms", {{"path", "fast"}})
+      ->Set(fast_pass.rank_ms);
+  registry.GetGauge("bench.online.detect_speedup")->Set(detect_speedup);
+  registry.GetGauge("bench.online.terms_precomputed")
+      ->Set(static_cast<double>(fast_run.terms_precomputed));
+  registry.GetGauge("bench.online.terms_live")
+      ->Set(static_cast<double>(fast_run.terms_live));
+  Status written = registry.WriteJsonFile(json_path);
+  if (!written.ok()) {
+    ESHARP_LOG(WARN) << "could not write " << json_path << ": "
+                     << written.ToString();
+  } else {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -15,7 +15,11 @@
 // the distribution dominates and is served from the cache.
 //
 // Usage: serving_load [closed_threads] [queries_per_thread] [open_qps]
-//                     [--json=PATH]
+//                     [--json=PATH] [--reference]
+//
+// --reference serves every request through the pre-PR-5 path (no
+// term-evidence index, serial per-term collection), for A/B runs against
+// the default fast path: diff the two JSON files with bench_diff.
 //
 // Every run's results are also published as bench.serving.* gauges
 // (labelled {run="closed_cold"|...}) into a bench-local MetricsRegistry
@@ -173,10 +177,13 @@ void PublishRun(obs::MetricsRegistry& registry, const char* label,
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_serving.json";
+  bool reference = false;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--reference") == 0) {
+      reference = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -204,6 +211,7 @@ int main(int argc, char** argv) {
   ZipfSampler zipf(queries.size(), 1.05);
 
   serving::SnapshotManager manager(&world->corpus);
+  manager.set_build_evidence_on_publish(!reference);
   manager.Publish(std::make_shared<const community::CommunityStore>(
       world->artifacts.store));
 
@@ -212,7 +220,10 @@ int main(int argc, char** argv) {
   serving_options.max_in_flight = 256;
   serving_options.cache.ttl_seconds = 3600;  // TTL out of the way; this
                                              // bench isolates cache effects
+  serving_options.use_evidence_index = !reference;
+  serving_options.parallel_detect = !reference;
   serving::ServingEngine engine(&manager, serving_options);
+  if (reference) std::printf("path: reference (no evidence index, serial)\n");
 
   std::printf("workload: %zu distinct queries, zipf s=1.05\n",
               queries.size());

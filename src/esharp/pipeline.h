@@ -7,7 +7,9 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "community/store.h"
+#include "expert/evidence_index.h"
 #include "graph/builder.h"
+#include "microblog/corpus.h"
 #include "obs/trace.h"
 #include "querylog/log.h"
 #include "sqlengine/explain.h"
@@ -53,6 +55,11 @@ struct OfflineOptions {
   /// When set (kSqlEngine backend only), the first clustering iteration's
   /// main plan is profiled into this EXPLAIN ANALYZE tree.
   sql::ExplainStats* explain = nullptr;
+  /// When set, the index stage also precomputes the per-term evidence
+  /// index over this corpus (the serving fast path's snapshot artifact;
+  /// see expert/evidence_index.h) into
+  /// OfflineArtifacts::evidence_index, parallelized on `pool`.
+  const microblog::TweetCorpus* corpus = nullptr;
 };
 
 /// \brief Everything the offline stage produces.
@@ -64,6 +71,10 @@ struct OfflineArtifacts {
   std::vector<double> modularity_per_iteration;
   /// The indexed collection of expertise domains.
   community::CommunityStore store;
+  /// Precomputed per-term candidate pools for the serving fast path; null
+  /// unless OfflineOptions::corpus was set. shared_ptr because serving
+  /// snapshots co-own it with (and hot-swap it alongside) the store.
+  std::shared_ptr<const expert::TermEvidenceIndex> evidence_index;
 };
 
 /// \brief Runs the offline pipeline of Fig. 1 over a query log: extract the

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "common/stats.h"
 #include "expert/cluster_filter.h"
@@ -10,37 +9,85 @@
 
 namespace esharp::expert {
 
-std::vector<CandidateEvidence> ExpertDetector::CollectCandidates(
-    const std::string& query) const {
-  std::vector<std::string> tokens = SplitWhitespace(ToLowerAscii(query));
+namespace {
+
+/// Dense touched-list scratch for candidate accumulation: slot_of_user maps
+/// a user id to its index in the output pool, validated by an epoch stamp
+/// so consecutive collections skip the O(num_users) clear. Thread-local —
+/// each collecting thread (serving fan-out workers included) reuses its
+/// own, sized to the largest corpus it has seen.
+struct EvidenceScratch {
+  std::vector<uint64_t> epoch_of_user;
+  std::vector<uint32_t> slot_of_user;
+  uint64_t epoch = 0;
+};
+thread_local EvidenceScratch tls_evidence_scratch;
+
+/// Looks up (or creates) the accumulator slot of `user` in `out`.
+inline CandidateEvidence* SlotFor(EvidenceScratch& scratch,
+                                  std::vector<CandidateEvidence>* out,
+                                  microblog::UserId user) {
+  if (scratch.epoch_of_user[user] != scratch.epoch) {
+    scratch.epoch_of_user[user] = scratch.epoch;
+    scratch.slot_of_user[user] = static_cast<uint32_t>(out->size());
+    out->emplace_back();
+    out->back().user = user;
+  }
+  return &(*out)[scratch.slot_of_user[user]];
+}
+
+}  // namespace
+
+std::optional<std::vector<CandidateEvidence>> ExpertDetector::CollectCandidates(
+    const std::vector<microblog::TokenId>& tokens,
+    CollectCancel* cancel) const {
+  if (cancel != nullptr && cancel->Cancelled()) return std::nullopt;
   std::vector<uint32_t> matching = corpus_->MatchTweets(tokens);
 
-  std::unordered_map<microblog::UserId, CandidateEvidence> by_user;
+  EvidenceScratch& scratch = tls_evidence_scratch;
+  if (scratch.epoch_of_user.size() < corpus_->num_users()) {
+    scratch.epoch_of_user.resize(corpus_->num_users(), 0);
+    scratch.slot_of_user.resize(corpus_->num_users(), 0);
+  }
+  ++scratch.epoch;
+
+  std::vector<CandidateEvidence> out;
+  // Each matching tweet surfaces its author plus its mentions; candidates
+  // repeat across tweets, so the match count is a generous upper bound and
+  // a cheap way to avoid growth reallocations on head terms.
+  out.reserve(std::min<size_t>(matching.size() + 1, corpus_->num_users()));
+  size_t since_check = 0;
   for (uint32_t tid : matching) {
+    if (cancel != nullptr && ++since_check >= kCollectCancelStride) {
+      since_check = 0;
+      if (cancel->Cancelled()) return std::nullopt;
+    }
     const microblog::Tweet& t = corpus_->tweet(tid);
-    CandidateEvidence& author = by_user[t.author];
-    author.user = t.author;
-    author.is_author = true;
-    author.tweets_on_topic += 1;
-    author.retweets_on_topic += t.retweet_count;
-    if (!t.mentions.empty()) author.conversational_on_topic += 1;
-    if (t.text.find('#') != std::string::npos) author.hashtag_on_topic += 1;
+    CandidateEvidence* author = SlotFor(scratch, &out, t.author);
+    author->is_author = true;
+    author->tweets_on_topic += 1;
+    author->retweets_on_topic += t.retweet_count;
+    if (!t.mentions.empty()) author->conversational_on_topic += 1;
+    if (t.text.find('#') != std::string::npos) author->hashtag_on_topic += 1;
     for (microblog::UserId m : t.mentions) {
-      CandidateEvidence& mentioned = by_user[m];
-      mentioned.user = m;
-      mentioned.is_mentioned = true;
-      mentioned.mentions_on_topic += 1;
+      CandidateEvidence* mentioned = SlotFor(scratch, &out, m);
+      mentioned->is_mentioned = true;
+      mentioned->mentions_on_topic += 1;
     }
   }
 
-  std::vector<CandidateEvidence> out;
-  out.reserve(by_user.size());
-  for (const auto& [uid, ev] : by_user) out.push_back(ev);
   std::sort(out.begin(), out.end(),
             [](const CandidateEvidence& a, const CandidateEvidence& b) {
               return a.user < b.user;
             });
   return out;
+}
+
+std::vector<CandidateEvidence> ExpertDetector::CollectCandidates(
+    const std::string& query) const {
+  // One normalization pass: lower-case + tokenize + intern here, then the
+  // TokenId path — the corpus never sees the raw strings again.
+  return *CollectCandidates(corpus_->TokenizeQuery(query));
 }
 
 Result<std::vector<RankedExpert>> ExpertDetector::RankCandidates(
@@ -144,30 +191,113 @@ Result<std::vector<RankedExpert>> ExpertDetector::FindExperts(
   return RankCandidates(CollectCandidates(query));
 }
 
-std::vector<CandidateEvidence> MergeEvidence(
-    const std::vector<std::vector<CandidateEvidence>>& lists) {
-  std::unordered_map<microblog::UserId, CandidateEvidence> by_user;
-  for (const auto& list : lists) {
-    for (const CandidateEvidence& c : list) {
-      CandidateEvidence& acc = by_user[c.user];
-      acc.user = c.user;
-      acc.is_author = acc.is_author || c.is_author;
-      acc.is_mentioned = acc.is_mentioned || c.is_mentioned;
-      acc.tweets_on_topic += c.tweets_on_topic;
-      acc.mentions_on_topic += c.mentions_on_topic;
-      acc.retweets_on_topic += c.retweets_on_topic;
-      acc.conversational_on_topic += c.conversational_on_topic;
-      acc.hashtag_on_topic += c.hashtag_on_topic;
+namespace {
+
+inline void AccumulateInto(CandidateEvidence* acc, const CandidateEvidence& c) {
+  acc->is_author = acc->is_author || c.is_author;
+  acc->is_mentioned = acc->is_mentioned || c.is_mentioned;
+  acc->tweets_on_topic += c.tweets_on_topic;
+  acc->mentions_on_topic += c.mentions_on_topic;
+  acc->retweets_on_topic += c.retweets_on_topic;
+  acc->conversational_on_topic += c.conversational_on_topic;
+  acc->hashtag_on_topic += c.hashtag_on_topic;
+}
+
+bool SortedUniqueByUser(const std::vector<CandidateEvidence>& list) {
+  for (size_t i = 1; i < list.size(); ++i) {
+    if (list[i - 1].user >= list[i].user) return false;
+  }
+  return true;
+}
+
+/// Restores the sorted-unique invariant for a list produced outside
+/// CollectCandidates (sort, then combine equal users in place).
+std::vector<CandidateEvidence> Normalize(
+    const std::vector<CandidateEvidence>& list) {
+  std::vector<CandidateEvidence> sorted = list;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const CandidateEvidence& a, const CandidateEvidence& b) {
+                     return a.user < b.user;
+                   });
+  std::vector<CandidateEvidence> out;
+  out.reserve(sorted.size());
+  for (const CandidateEvidence& c : sorted) {
+    if (!out.empty() && out.back().user == c.user) {
+      AccumulateInto(&out.back(), c);
+    } else {
+      out.push_back(c);
     }
   }
-  std::vector<CandidateEvidence> out;
-  out.reserve(by_user.size());
-  for (const auto& [uid, ev] : by_user) out.push_back(ev);
-  std::sort(out.begin(), out.end(),
-            [](const CandidateEvidence& a, const CandidateEvidence& b) {
-              return a.user < b.user;
-            });
   return out;
+}
+
+}  // namespace
+
+std::vector<CandidateEvidence> MergeEvidenceViews(
+    const std::vector<const std::vector<CandidateEvidence>*>& lists) {
+  // Cursor per non-empty pool; every pool is sorted by user with unique
+  // users, so the union is a k-way merge: repeatedly take the smallest
+  // user across cursors and fold every pool holding it. k is the expansion
+  // width (<= max_expansion_terms), so a linear min scan beats a heap.
+  struct Cursor {
+    const CandidateEvidence* it;
+    const CandidateEvidence* end;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(lists.size());
+  size_t total = 0;
+  for (const std::vector<CandidateEvidence>* list : lists) {
+    if (list == nullptr || list->empty()) continue;
+    cursors.push_back({list->data(), list->data() + list->size()});
+    total += list->size();
+  }
+  std::vector<CandidateEvidence> out;
+  out.reserve(total);  // upper bound: no user shared across pools
+  while (!cursors.empty()) {
+    microblog::UserId next_user = cursors[0].it->user;
+    for (size_t i = 1; i < cursors.size(); ++i) {
+      next_user = std::min(next_user, cursors[i].it->user);
+    }
+    out.emplace_back();
+    CandidateEvidence* acc = &out.back();
+    acc->user = next_user;
+    for (size_t i = 0; i < cursors.size();) {
+      Cursor& c = cursors[i];
+      if (c.it->user == next_user) {
+        AccumulateInto(acc, *c.it);
+        ++c.it;
+        if (c.it == c.end) {
+          cursors[i] = cursors.back();
+          cursors.pop_back();
+          continue;  // re-examine the swapped-in cursor at index i
+        }
+      }
+      ++i;
+    }
+  }
+  // `out` is ascending by construction: each round consumes the smallest
+  // user across all cursors, so no final sort is needed.
+  return out;
+}
+
+std::vector<CandidateEvidence> MergeEvidence(
+    const std::vector<std::vector<CandidateEvidence>>& lists) {
+  // Lists from CollectCandidates already satisfy the sorted-unique
+  // invariant; normalize any caller-built list that does not, preserving
+  // the historical any-order contract.
+  std::vector<std::vector<CandidateEvidence>> normalized;
+  normalized.reserve(lists.size());  // pointer stability for `views`
+  std::vector<const std::vector<CandidateEvidence>*> views;
+  views.reserve(lists.size());
+  for (const std::vector<CandidateEvidence>& list : lists) {
+    if (SortedUniqueByUser(list)) {
+      views.push_back(&list);
+    } else {
+      normalized.push_back(Normalize(list));
+      views.push_back(&normalized.back());
+    }
+  }
+  return MergeEvidenceViews(views);
 }
 
 }  // namespace esharp::expert

@@ -1,6 +1,8 @@
 #ifndef ESHARP_EXPERT_DETECTOR_H_
 #define ESHARP_EXPERT_DETECTOR_H_
 
+#include <atomic>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -77,6 +79,23 @@ struct DetectorOptions {
   bool enable_cluster_filter = false;
 };
 
+/// \brief Cooperative cancellation for candidate collection. The serving
+/// layer's per-request deadline cannot interrupt a thread mid-collection;
+/// instead the collector polls `Cancelled()` on entry and every
+/// `kCollectCancelStride` matching tweets, so one term over a head token's
+/// postings cannot blow past the deadline unchecked.
+class CollectCancel {
+ public:
+  virtual ~CollectCancel() = default;
+  /// Must be safe to call from any collecting thread; returning true once
+  /// should keep returning true (latched), since several workers share one
+  /// token.
+  virtual bool Cancelled() = 0;
+};
+
+/// How many matching tweets are processed between Cancelled() polls.
+inline constexpr size_t kCollectCancelStride = 1024;
+
 /// \brief Production implementation of Pal & Counts' topical-authority
 /// detector, simplified per §3 of the e# paper.
 ///
@@ -93,9 +112,18 @@ class ExpertDetector {
                           DetectorOptions options = {})
       : corpus_(corpus), options_(options) {}
 
-  /// Collects candidates and their raw evidence for one query.
+  /// Collects candidates and their raw evidence for one query, sorted by
+  /// user id. Normalizes (lower-cases, tokenizes, interns) exactly once.
   std::vector<CandidateEvidence> CollectCandidates(
       const std::string& query) const;
+
+  /// Pre-tokenized overload: `tokens` are already lower-cased and interned
+  /// (TweetCorpus::TokenizeQuery), so the per-request hot path never
+  /// re-normalizes or re-hashes a term. When `cancel` fires mid-collection
+  /// the return is nullopt; a null `cancel` never cancels.
+  std::optional<std::vector<CandidateEvidence>> CollectCandidates(
+      const std::vector<microblog::TokenId>& tokens,
+      CollectCancel* cancel = nullptr) const;
 
   /// Full pipeline for one query: candidates, features, z-scoring, ranking.
   /// Returns at most `max_experts` experts with score >= min_z_score,
@@ -111,6 +139,10 @@ class ExpertDetector {
   /// Mutable access so harnesses can sweep min_z_score (Fig. 9).
   DetectorOptions* mutable_options() { return &options_; }
 
+  /// The corpus this detector collects from (callers pre-tokenize against
+  /// it for the TokenId overload).
+  const microblog::TweetCorpus* corpus() const { return corpus_; }
+
  private:
   const microblog::TweetCorpus* corpus_;
   DetectorOptions options_;
@@ -118,8 +150,19 @@ class ExpertDetector {
 
 /// \brief Merges evidence lists by user, summing counts and OR-ing flags —
 /// the union step of e#'s expanded search (§5).
+///
+/// Lists sorted by user with unique users (the CollectCandidates /
+/// TermEvidenceIndex output invariant) merge with a k-way sorted merge and
+/// no hashing; a list that breaks the invariant is normalized first, so the
+/// historical any-order contract still holds.
 std::vector<CandidateEvidence> MergeEvidence(
     const std::vector<std::vector<CandidateEvidence>>& lists);
+
+/// \brief Zero-copy variant over borrowed pools: what the serving fast path
+/// uses to union precomputed (snapshot-owned) and live pools without
+/// copying either. Null entries are skipped.
+std::vector<CandidateEvidence> MergeEvidenceViews(
+    const std::vector<const std::vector<CandidateEvidence>*>& lists);
 
 }  // namespace esharp::expert
 

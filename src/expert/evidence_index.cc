@@ -1,0 +1,55 @@
+#include "expert/evidence_index.h"
+
+#include <utility>
+
+namespace esharp::expert {
+
+TermEvidenceIndex TermEvidenceIndex::Build(
+    const microblog::TweetCorpus& corpus,
+    const std::vector<std::string>& vocabulary, const BuildOptions& options) {
+  TermEvidenceIndex index;
+  index.term_to_pool_.reserve(vocabulary.size());
+  std::vector<const std::string*> distinct;
+  distinct.reserve(vocabulary.size());
+  for (const std::string& term : vocabulary) {
+    auto [it, inserted] =
+        index.term_to_pool_.try_emplace(term, distinct.size());
+    if (inserted) distinct.push_back(&it->first);
+  }
+  index.pools_.resize(distinct.size());
+
+  // Detector options never affect collection (they only weight ranking),
+  // so a default-options detector builds pools valid for any online
+  // configuration over the same corpus.
+  ExpertDetector detector(&corpus);
+  auto build_one = [&](size_t i) {
+    index.pools_[i] = detector.CollectCandidates(*distinct[i]);
+  };
+  if (options.pool != nullptr && distinct.size() > 1) {
+    options.pool->ParallelFor(distinct.size(), build_one);
+  } else {
+    for (size_t i = 0; i < distinct.size(); ++i) build_one(i);
+  }
+  return index;
+}
+
+size_t TermEvidenceIndex::num_entries() const {
+  size_t total = 0;
+  for (const std::vector<CandidateEvidence>& pool : pools_) {
+    total += pool.size();
+  }
+  return total;
+}
+
+uint64_t TermEvidenceIndex::SizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [term, i] : term_to_pool_) {
+    total += term.size() + sizeof(size_t) + 16;
+  }
+  for (const std::vector<CandidateEvidence>& pool : pools_) {
+    total += pool.size() * sizeof(CandidateEvidence) + sizeof(pool);
+  }
+  return total;
+}
+
+}  // namespace esharp::expert

@@ -1,0 +1,81 @@
+#ifndef ESHARP_EXPERT_EVIDENCE_INDEX_H_
+#define ESHARP_EXPERT_EVIDENCE_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "expert/detector.h"
+#include "microblog/corpus.h"
+
+namespace esharp::expert {
+
+/// \brief Snapshot-time per-term evidence index: the candidate pool of
+/// every expansion-vocabulary term, precomputed once when a serving
+/// generation is built.
+///
+/// The online stage's expansion vocabulary is closed per snapshot — it is
+/// exactly the community store's term set (§5 expands a query into its
+/// community siblings; nothing else). The corpus is immutable while a
+/// generation serves, so each term's CandidateEvidence pool is a pure
+/// function of (corpus, term) and can be computed offline: online detection
+/// for an in-vocabulary term becomes a hash lookup plus its share of a
+/// k-way sorted merge instead of a postings intersection plus per-tweet
+/// accumulation. Ad-hoc terms (the raw query when no community matches,
+/// phrase-fallback synthesized terms) are not in the vocabulary and take
+/// the live collection path.
+///
+/// Pools are built by the same CollectCandidates code the live path runs,
+/// so the two paths are bit-identical by construction; the `online`-labeled
+/// test suite enforces this across randomized corpora.
+///
+/// Immutable after Build; safe for concurrent readers. Hot-swapped with the
+/// snapshot that owns it.
+class TermEvidenceIndex {
+ public:
+  struct BuildOptions {
+    /// Parallelizes the per-term collection across the pool when set (the
+    /// offline pipeline's worker pool); terms are independent, so the
+    /// result is identical either way.
+    ThreadPool* pool = nullptr;
+  };
+
+  TermEvidenceIndex() = default;
+
+  /// Builds the index over `vocabulary` (terms as they leave query
+  /// expansion: lower-cased). Duplicate terms are indexed once.
+  static TermEvidenceIndex Build(const microblog::TweetCorpus& corpus,
+                                 const std::vector<std::string>& vocabulary,
+                                 const BuildOptions& options);
+  static TermEvidenceIndex Build(const microblog::TweetCorpus& corpus,
+                                 const std::vector<std::string>& vocabulary) {
+    return Build(corpus, vocabulary, BuildOptions());
+  }
+
+  /// The precomputed pool of a normalized (lower-cased) term, or nullptr
+  /// when the term is outside this snapshot's vocabulary. The pointer
+  /// aliases index storage: valid while the index (in serving, the
+  /// snapshot holding it) is alive.
+  const std::vector<CandidateEvidence>* Find(
+      const std::string& normalized_term) const {
+    auto it = term_to_pool_.find(normalized_term);
+    return it == term_to_pool_.end() ? nullptr : &pools_[it->second];
+  }
+
+  size_t num_terms() const { return term_to_pool_.size(); }
+
+  /// Total precomputed evidence entries across all pools.
+  size_t num_entries() const;
+
+  /// Approximate memory footprint.
+  uint64_t SizeBytes() const;
+
+ private:
+  std::unordered_map<std::string, size_t> term_to_pool_;
+  std::vector<std::vector<CandidateEvidence>> pools_;
+};
+
+}  // namespace esharp::expert
+
+#endif  // ESHARP_EXPERT_EVIDENCE_INDEX_H_

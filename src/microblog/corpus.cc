@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 #include "common/strings.h"
 
@@ -28,11 +27,18 @@ uint32_t TweetCorpus::AddTweet(UserId author, std::string text,
   t.mentions = std::move(mentions);
   t.retweet_count = retweet_count;
 
-  // Index unique tokens.
-  std::vector<std::string> tokens = SplitWhitespace(t.text);
-  std::unordered_set<std::string> unique(tokens.begin(), tokens.end());
-  for (const std::string& tok : unique) {
-    token_index_[tok].push_back(id);
+  // Index unique tokens: intern each token and append this tweet id to its
+  // postings. Ids are handed out densely in insertion order, so every
+  // postings array stays sorted without ever re-sorting; duplicates within
+  // one tweet are caught by the back() check (a token repeats within a
+  // tweet only back-to-back in the postings sense — same tweet id).
+  for (std::string& tok : SplitWhitespace(t.text)) {
+    auto [it, inserted] =
+        token_ids_.try_emplace(std::move(tok),
+                               static_cast<TokenId>(postings_.size()));
+    if (inserted) postings_.emplace_back();
+    std::vector<uint32_t>& plist = postings_[it->second];
+    if (plist.empty() || plist.back() != id) plist.push_back(id);
   }
 
   ++tweets_by_user_[author];
@@ -46,28 +52,98 @@ uint32_t TweetCorpus::AddTweet(UserId author, std::string text,
   return id;
 }
 
+TokenId TweetCorpus::FindToken(std::string_view normalized_token) const {
+  // Heterogeneous lookup needs C++20 transparent hashing; a transient
+  // string keeps the dictionary simple and this is off the per-tweet path.
+  auto it = token_ids_.find(std::string(normalized_token));
+  return it == token_ids_.end() ? kNoToken : it->second;
+}
+
+std::vector<TokenId> TweetCorpus::TokenizeQuery(std::string_view query) const {
+  return TokenizeNormalized(ToLowerAscii(query));
+}
+
+std::vector<TokenId> TweetCorpus::TokenizeNormalized(
+    std::string_view normalized) const {
+  std::vector<std::string> tokens = SplitWhitespace(normalized);
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& tok : tokens) {
+    auto it = token_ids_.find(tok);
+    ids.push_back(it == token_ids_.end() ? kNoToken : it->second);
+  }
+  return ids;
+}
+
+namespace {
+
+/// Intersects `current` (sorted, the running result) with `next` (sorted),
+/// writing into `out`. Gallops through `next`: for each kept candidate the
+/// probe doubles its stride from the last match position, so the cost is
+/// O(|current| * log(gap)) instead of O(|current| + |next|) — a large win
+/// when one selective term meets a head term's long postings.
+void GallopIntersect(const std::vector<uint32_t>& current,
+                     const std::vector<uint32_t>& next,
+                     std::vector<uint32_t>* out) {
+  out->clear();
+  size_t pos = 0;  // cursor into next, only ever advances
+  const size_t n = next.size();
+  for (uint32_t value : current) {
+    // Gallop: find the first stride where next[pos + stride] >= value.
+    size_t stride = 1;
+    while (pos + stride < n && next[pos + stride] < value) stride <<= 1;
+    // Binary search in (pos + stride/2, min(pos + stride, n)].
+    size_t lo = pos + (stride >> 1);
+    size_t hi = std::min(pos + stride, n);
+    const uint32_t* found =
+        std::lower_bound(next.data() + lo, next.data() + hi, value);
+    pos = static_cast<size_t>(found - next.data());
+    if (pos >= n) break;
+    if (next[pos] == value) {
+      out->push_back(value);
+      ++pos;
+      if (pos >= n) break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> TweetCorpus::MatchTweets(
+    const std::vector<TokenId>& tokens) const {
+  if (tokens.empty()) return {};
+  std::vector<const std::vector<uint32_t>*> lists;
+  lists.reserve(tokens.size());
+  for (TokenId id : tokens) {
+    if (id == kNoToken) return {};
+    lists.push_back(&postings_[id]);
+  }
+  // Rarest first: the running result can only shrink, so starting from the
+  // smallest df bounds every later intersection by it.
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint32_t> result = *lists[0];
+  std::vector<uint32_t> scratch;
+  scratch.reserve(result.size());
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    if (lists[i] == lists[i - 1]) continue;  // duplicate query token
+    GallopIntersect(result, *lists[i], &scratch);
+    std::swap(result, scratch);
+  }
+  return result;
+}
+
 std::vector<uint32_t> TweetCorpus::MatchTweets(
     const std::vector<std::string>& tokens) const {
   if (tokens.empty()) return {};
-  // Intersect postings, rarest token first.
-  std::vector<const std::vector<uint32_t>*> postings;
-  postings.reserve(tokens.size());
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
   for (const std::string& tok : tokens) {
-    auto it = token_index_.find(ToLowerAscii(tok));
-    if (it == token_index_.end()) return {};
-    postings.push_back(&it->second);
+    TokenId id = FindToken(ToLowerAscii(tok));
+    if (id == kNoToken) return {};
+    ids.push_back(id);
   }
-  std::sort(postings.begin(), postings.end(),
-            [](const auto* a, const auto* b) { return a->size() < b->size(); });
-  std::vector<uint32_t> result = *postings[0];
-  for (size_t i = 1; i < postings.size() && !result.empty(); ++i) {
-    std::vector<uint32_t> next;
-    next.reserve(result.size());
-    std::set_intersection(result.begin(), result.end(), postings[i]->begin(),
-                          postings[i]->end(), std::back_inserter(next));
-    result = std::move(next);
-  }
-  return result;
+  return MatchTweets(ids);
 }
 
 uint64_t TweetCorpus::SizeBytes() const {
@@ -77,6 +153,9 @@ uint64_t TweetCorpus::SizeBytes() const {
   }
   for (const UserProfile& u : users_) {
     total += u.screen_name.size() + u.description.size() + 24;
+  }
+  for (const auto& [token, id] : token_ids_) {
+    total += token.size() + sizeof(TokenId) + postings_[id].size() * 4 + 16;
   }
   return total;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +14,14 @@ namespace esharp::microblog {
 
 /// \brief Account identifier.
 using UserId = uint32_t;
+
+/// \brief Interned token identifier: a dense index into the corpus token
+/// dictionary, assigned in first-seen order at AddTweet time.
+using TokenId = uint32_t;
+
+/// \brief Sentinel for "token never seen in the corpus". A query containing
+/// an unknown token matches no tweet (§3: a match needs every term present).
+inline constexpr TokenId kNoToken = static_cast<TokenId>(-1);
 
 /// \brief Ground-truth account archetypes of the simulation.
 enum class AccountKind {
@@ -53,6 +62,13 @@ struct Tweet {
 /// The indexes cover exactly what the detector needs: a token inverted
 /// index for "tweet matches query" (all terms present after lower-casing),
 /// per-user tweet/mention/retweet totals for the TS/MI/RI denominators.
+///
+/// Tokens are interned: the dictionary maps each distinct token to a dense
+/// TokenId and the postings live in per-id sorted arrays (tweet ids are
+/// assigned densely in insertion order, so each postings array is sorted by
+/// construction). The online stage resolves its expansion terms to TokenIds
+/// once per request and intersects postings by id — no per-term re-hashing
+/// or re-lowercasing on the hot path.
 class TweetCorpus {
  public:
   /// Adds a user; ids must be added densely in order.
@@ -69,9 +85,40 @@ class TweetCorpus {
   const Tweet& tweet(uint32_t id) const { return tweets_[id]; }
   const std::vector<Tweet>& tweets() const { return tweets_; }
 
+  /// Distinct tokens in the dictionary.
+  size_t num_tokens() const { return postings_.size(); }
+
+  /// Id of an already-normalized (lower-cased) token, kNoToken if unseen.
+  TokenId FindToken(std::string_view normalized_token) const;
+
+  /// Lower-cases and whitespace-splits `query`, resolving each token to its
+  /// TokenId (kNoToken for unseen tokens). This is the once-per-request
+  /// normalization the detector's pre-tokenized overloads build on.
+  std::vector<TokenId> TokenizeQuery(std::string_view query) const;
+
+  /// TokenizeQuery minus the lower-casing, for text that is already
+  /// normalized (query-expansion terms, store terms): splits and interns
+  /// only, so the hot path never re-lower-cases a term.
+  std::vector<TokenId> TokenizeNormalized(std::string_view normalized) const;
+
+  /// Postings (ascending tweet ids) of a token. `id` must be a valid id
+  /// returned by FindToken/TokenizeQuery, not kNoToken.
+  const std::vector<uint32_t>& Postings(TokenId id) const {
+    return postings_[id];
+  }
+
+  /// Document frequency of a token (postings length).
+  size_t TokenDf(TokenId id) const { return postings_[id].size(); }
+
   /// Ids of tweets containing every token of `tokens` (whole-word match
   /// after lower-casing — the §3 predicate). Empty tokens match nothing.
   std::vector<uint32_t> MatchTweets(const std::vector<std::string>& tokens) const;
+
+  /// Pre-tokenized fast path: same contract over interned ids. Any
+  /// kNoToken entry (or an empty list) matches nothing. Intersection runs
+  /// rarest-first (df order) with galloping search, so a query with one
+  /// selective term costs ~its postings length, not the head term's.
+  std::vector<uint32_t> MatchTweets(const std::vector<TokenId>& tokens) const;
 
   /// Total tweets authored by a user.
   uint64_t TweetsByUser(UserId id) const { return tweets_by_user_[id]; }
@@ -80,13 +127,16 @@ class TweetCorpus {
   /// Total retweets of a user's tweets.
   uint64_t RetweetsOfUser(UserId id) const { return retweets_of_user_[id]; }
 
-  /// Approximate memory footprint.
+  /// Approximate memory footprint (tweets, profiles, token index).
   uint64_t SizeBytes() const;
 
  private:
   std::vector<UserProfile> users_;
   std::vector<Tweet> tweets_;
-  std::unordered_map<std::string, std::vector<uint32_t>> token_index_;
+  /// Token dictionary: normalized token -> dense TokenId.
+  std::unordered_map<std::string, TokenId> token_ids_;
+  /// Postings by TokenId; ascending tweet ids by construction.
+  std::vector<std::vector<uint32_t>> postings_;
   std::vector<uint64_t> tweets_by_user_;
   std::vector<uint64_t> mentions_of_user_;
   std::vector<uint64_t> retweets_of_user_;

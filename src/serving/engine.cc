@@ -10,6 +10,64 @@
 
 namespace esharp::serving {
 
+namespace {
+
+/// Shared state of one request's live-term collection fan-out. Owned by
+/// shared_ptr: the submitting request and every helper task co-own it (and
+/// the snapshot), so a helper that dequeues after the request completed —
+/// or after the engine was destroyed — still touches only valid memory,
+/// finds the claim counter exhausted, and returns.
+///
+/// Also the fan-out's CollectCancel: the deadline is evaluated inside the
+/// per-term collection loops (every kCollectCancelStride matching tweets),
+/// and once any worker observes it expired the latch cancels the rest.
+struct LiveDetectState final : expert::CollectCancel {
+  std::shared_ptr<const ServingSnapshot> snapshot;
+  std::vector<std::vector<microblog::TokenId>> tokens;  // per live term
+  std::vector<std::vector<expert::CandidateEvidence>> results;
+  Timer timer;             // copies the request's queue timer time base
+  double deadline_ms = 0;  // <= 0: none
+  std::atomic<bool> cancelled{false};
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  // guarded by mu
+
+  bool Cancelled() override {
+    if (cancelled.load(std::memory_order_relaxed)) return true;
+    if (deadline_ms > 0 && timer.ElapsedMillis() > deadline_ms) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Claims and collects terms until none remain. Run by the submitting
+  /// thread (always) and by any helper the pool gets to in time.
+  void RunWorker() {
+    const size_t n = tokens.size();
+    const expert::ExpertDetector& detector = snapshot->esharp().detector();
+    for (;;) {
+      size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= n) return;
+      std::optional<std::vector<expert::CandidateEvidence>> pool =
+          detector.CollectCandidates(tokens[k], this);
+      if (pool.has_value()) results[k] = std::move(*pool);
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == n) cv.notify_all();
+    }
+  }
+
+  /// Blocks until every claimed term finished (all terms are claimed by
+  /// the time the submitting thread's RunWorker returns).
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done == tokens.size(); });
+  }
+};
+
+}  // namespace
+
 ServingEngine::ServingEngine(SnapshotManager* snapshots,
                              ServingOptions options)
     : snapshots_(snapshots),
@@ -451,24 +509,75 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
   expand_span.End();
   response.stages.expand_ms = stage_timer.ElapsedMillis();
 
-  // Stage 2: candidate collection, once per expansion term, with a
-  // deadline check between terms so a hot domain cannot blow the budget.
+  // Stage 2: candidate collection. In-vocabulary terms resolve to their
+  // snapshot-time precomputed pools (a hash lookup); the rest collect live
+  // — in parallel on the worker pool when enabled — with the deadline
+  // enforced cooperatively *inside* each term's collection, so one term
+  // over a head token's postings cannot blow the budget unchecked.
   stage_timer.Reset();
   SetActiveStage(request_id, "detect");
   ESHARP_SPAN(detect_span, options_.tracer, "detect", trace_parent);
-  std::vector<std::vector<expert::CandidateEvidence>> pools;
-  pools.reserve(expansion.terms.size());
-  for (const std::string& term : expansion.terms) {
-    if (deadline_ms > 0 && queue_timer.ElapsedMillis() > deadline_ms) {
+  const expert::TermEvidenceIndex* evidence =
+      options_.use_evidence_index ? snapshot->evidence() : nullptr;
+  const size_t num_terms = expansion.terms.size();
+  std::vector<const std::vector<expert::CandidateEvidence>*> pools(num_terms,
+                                                                   nullptr);
+  std::vector<size_t> live_terms;
+  for (size_t i = 0; i < num_terms; ++i) {
+    const std::vector<expert::CandidateEvidence>* pre =
+        evidence != nullptr ? evidence->Find(expansion.terms[i]) : nullptr;
+    if (pre != nullptr) {
+      pools[i] = pre;
+    } else {
+      live_terms.push_back(i);
+    }
+  }
+
+  std::shared_ptr<LiveDetectState> live;
+  if (!live_terms.empty()) {
+    // Heap-owned, shared with every helper task: a helper that dequeues
+    // after this request finished (pool backlog) finds no work left and
+    // touches only this state and the snapshot it co-owns — never the
+    // request stack or the engine.
+    live = std::make_shared<LiveDetectState>();
+    live->snapshot = snapshot;
+    live->timer = queue_timer;
+    live->deadline_ms = deadline_ms;
+    live->tokens.reserve(live_terms.size());
+    const microblog::TweetCorpus& corpus = *esharp.detector().corpus();
+    for (size_t i : live_terms) {
+      // Expansion terms are already lower-cased: split + intern only.
+      live->tokens.push_back(corpus.TokenizeNormalized(expansion.terms[i]));
+    }
+    live->results.resize(live_terms.size());
+    size_t helpers =
+        options_.parallel_detect && live_terms.size() > 1
+            ? std::min(live_terms.size() - 1, pool_->num_threads())
+            : 0;
+    for (size_t h = 0; h < helpers; ++h) {
+      pool_->Submit([live] { live->RunWorker(); });
+    }
+    // Help-first: this thread collects terms too, so progress never waits
+    // on pool capacity; Wait() then covers claims helpers are finishing.
+    live->RunWorker();
+    live->Wait();
+    if (live->cancelled.load(std::memory_order_relaxed)) {
       metrics_.RecordTimeout();
       ESHARP_SPAN_ANNOTATE(detect_span, "outcome", "timeout");
       return Status::DeadlineExceeded("deadline of ", deadline_ms,
                                       " ms elapsed during detection");
     }
-    pools.push_back(esharp.detector().CollectCandidates(term));
+    for (size_t k = 0; k < live_terms.size(); ++k) {
+      pools[live_terms[k]] = &live->results[k];
+    }
   }
+
   std::vector<expert::CandidateEvidence> merged =
-      expert::MergeEvidence(pools);
+      expert::MergeEvidenceViews(pools);
+  ESHARP_SPAN_ANNOTATE(detect_span, "terms_precomputed",
+                       static_cast<int64_t>(num_terms - live_terms.size()));
+  ESHARP_SPAN_ANNOTATE(detect_span, "terms_live",
+                       static_cast<int64_t>(live_terms.size()));
   ESHARP_SPAN_ANNOTATE(detect_span, "candidates",
                        static_cast<int64_t>(merged.size()));
   detect_span.End();

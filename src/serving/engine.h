@@ -48,6 +48,17 @@ struct ServingOptions {
   /// Collapse concurrent identical queries into one detector execution
   /// (the followers wait for the leader's result).
   bool enable_single_flight = true;
+  /// Serve in-vocabulary expansion terms from the snapshot's precomputed
+  /// term-evidence index (terms outside the vocabulary — ad-hoc queries,
+  /// phrase-fallback synthesized terms — always collect live). Off = the
+  /// reference serial detector path; results are bit-identical either way
+  /// (the `online` test suite enforces it).
+  bool use_evidence_index = true;
+  /// Fan live-term collection out across the worker pool. The submitting
+  /// request always collects terms itself too (help-first), so a saturated
+  /// pool degrades to the serial path instead of deadlocking; queued
+  /// helpers that arrive late find no work left and return.
+  bool parallel_detect = true;
   /// Instrumentation seam: invoked with the cache key at the start of every
   /// uncached execution, on the executing thread. Tests use it to pin a
   /// leader in place and prove single-flight behavior; benches can inject

@@ -7,16 +7,31 @@ namespace esharp::serving {
 
 uint64_t SnapshotManager::Publish(
     std::shared_ptr<const community::CommunityStore> store,
-    core::ESharpOptions options) {
+    core::ESharpOptions options,
+    std::shared_ptr<const expert::TermEvidenceIndex> evidence) {
   // Publishes serialize so the pointer and the counter advance together:
   // two unserialized publishers could otherwise install snapshots out of
   // version order, leaving current_ a generation behind version_ — readers
   // would then judge every cache entry stale until the next publish.
   // Acquire() never takes this lock.
   std::lock_guard<std::mutex> lock(publish_mu_);
+  if (evidence == nullptr && build_evidence_on_publish_) {
+    // The expansion vocabulary of this generation is the store's term set;
+    // precompute every term's candidate pool so the engine's detect stage
+    // is a lookup for in-vocabulary terms. Runs on the publisher's thread
+    // under the publish lock — the weekly refresh path, not a query path.
+    std::vector<std::string> vocabulary;
+    for (const community::Community& c : store->communities()) {
+      for (const std::string& term : c.terms) {
+        vocabulary.push_back(ToLowerAscii(term));
+      }
+    }
+    evidence = std::make_shared<const expert::TermEvidenceIndex>(
+        expert::TermEvidenceIndex::Build(*corpus_, vocabulary));
+  }
   uint64_t version = next_version_++;
   auto snapshot = std::make_shared<const ServingSnapshot>(
-      version, std::move(store), corpus_, options);
+      version, std::move(store), corpus_, options, std::move(evidence));
   current_.store(std::move(snapshot), std::memory_order_release);
   // version_ trails the pointer: once a reader observes version N it can
   // Acquire() a snapshot at least that new (possibly newer, never older).
@@ -28,11 +43,12 @@ uint64_t SnapshotManager::Publish(
   return version;
 }
 
-uint64_t SnapshotManager::Publish(community::CommunityStore store,
-                                  core::ESharpOptions options) {
+uint64_t SnapshotManager::Publish(
+    community::CommunityStore store, core::ESharpOptions options,
+    std::shared_ptr<const expert::TermEvidenceIndex> evidence) {
   return Publish(std::make_shared<const community::CommunityStore>(
                      std::move(store)),
-                 options);
+                 options, std::move(evidence));
 }
 
 }  // namespace esharp::serving

@@ -8,6 +8,7 @@
 
 #include "community/store.h"
 #include "esharp/esharp.h"
+#include "expert/evidence_index.h"
 #include "microblog/corpus.h"
 #include "obs/metrics.h"
 
@@ -24,12 +25,16 @@ namespace esharp::serving {
 /// moved on to a newer generation.
 class ServingSnapshot {
  public:
-  ServingSnapshot(uint64_t version,
-                  std::shared_ptr<const community::CommunityStore> store,
-                  const microblog::TweetCorpus* corpus,
-                  core::ESharpOptions options)
+  /// `evidence` may be null (the engine then collects every term live);
+  /// SnapshotManager::Publish builds one by default.
+  ServingSnapshot(
+      uint64_t version,
+      std::shared_ptr<const community::CommunityStore> store,
+      const microblog::TweetCorpus* corpus, core::ESharpOptions options,
+      std::shared_ptr<const expert::TermEvidenceIndex> evidence = nullptr)
       : version_(version),
         store_(std::move(store)),
+        evidence_(std::move(evidence)),
         esharp_(store_.get(), corpus, options),
         published_at_seconds_(obs::NowSeconds()) {}
 
@@ -47,6 +52,12 @@ class ServingSnapshot {
   /// read-only after construction.
   const core::ESharp& esharp() const { return esharp_; }
 
+  /// Precomputed per-term candidate pools for this generation's expansion
+  /// vocabulary, or nullptr (live collection for every term). Borrowed
+  /// pools stay valid while the snapshot is held — exactly the serving
+  /// engine's per-request pinning discipline.
+  const expert::TermEvidenceIndex* evidence() const { return evidence_.get(); }
+
   /// When this generation was installed (obs::NowSeconds() time base).
   /// Readiness probes derive snapshot staleness from it: a weekly-refresh
   /// service whose snapshot stops turning over is quietly broken even
@@ -56,6 +67,7 @@ class ServingSnapshot {
  private:
   const uint64_t version_;
   const std::shared_ptr<const community::CommunityStore> store_;
+  const std::shared_ptr<const expert::TermEvidenceIndex> evidence_;
   const core::ESharp esharp_;
   const double published_at_seconds_;
 };
@@ -79,13 +91,30 @@ class SnapshotManager {
   /// its version number. Thread-safe against concurrent Acquire() and
   /// Publish() calls; concurrent publishes serialize on a mutex so
   /// generations are installed in version order (readers stay lock-free).
-  uint64_t Publish(std::shared_ptr<const community::CommunityStore> store,
-                   core::ESharpOptions options = {});
+  ///
+  /// `evidence` is the generation's precomputed term-evidence index
+  /// (RunOfflinePipeline builds one when OfflineOptions::corpus is set).
+  /// When null and evidence building is enabled (the default), Publish
+  /// builds it here — on the publisher's thread, i.e. the weekly refresh,
+  /// never the query path.
+  uint64_t Publish(
+      std::shared_ptr<const community::CommunityStore> store,
+      core::ESharpOptions options = {},
+      std::shared_ptr<const expert::TermEvidenceIndex> evidence = nullptr);
 
   /// Convenience overload: takes ownership of a store by value (the common
   /// hand-off from RunOfflinePipeline artifacts).
-  uint64_t Publish(community::CommunityStore store,
-                   core::ESharpOptions options = {});
+  uint64_t Publish(
+      community::CommunityStore store, core::ESharpOptions options = {},
+      std::shared_ptr<const expert::TermEvidenceIndex> evidence = nullptr);
+
+  /// Disables (or re-enables) building a missing evidence index at publish
+  /// time. Reference/baseline setups use this to serve with live collection
+  /// only; snapshots published while disabled carry whatever `evidence`
+  /// the caller passed (usually none).
+  void set_build_evidence_on_publish(bool build) {
+    build_evidence_on_publish_ = build;
+  }
 
   /// Returns the current generation, or nullptr before the first Publish.
   /// Lock-free on the fast path; the returned shared_ptr pins the
@@ -102,6 +131,7 @@ class SnapshotManager {
   const microblog::TweetCorpus* corpus_;
   std::mutex publish_mu_;
   uint64_t next_version_ = 1;  // guarded by publish_mu_
+  bool build_evidence_on_publish_ = true;
   std::atomic<uint64_t> version_{0};
   std::atomic<std::shared_ptr<const ServingSnapshot>> current_{nullptr};
 };

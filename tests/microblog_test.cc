@@ -42,27 +42,28 @@ TEST(CorpusTest, MatchIsAllTermsLowerCased) {
   corpus.AddTweet(0, "49ers game today", {}, 0);
   corpus.AddTweet(0, "nba draft", {}, 0);
 
-  auto hits = corpus.MatchTweets({"49ers", "draft"});
+  using Terms = std::vector<std::string>;
+  auto hits = corpus.MatchTweets(Terms{"49ers", "draft"});
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0], t0);
-  EXPECT_EQ(corpus.MatchTweets({"49ERS"}).size(), 2u);
-  EXPECT_EQ(corpus.MatchTweets({"draft"}).size(), 2u);
-  EXPECT_TRUE(corpus.MatchTweets({"hockey"}).empty());
-  EXPECT_TRUE(corpus.MatchTweets({}).empty());
+  EXPECT_EQ(corpus.MatchTweets(Terms{"49ERS"}).size(), 2u);
+  EXPECT_EQ(corpus.MatchTweets(Terms{"draft"}).size(), 2u);
+  EXPECT_TRUE(corpus.MatchTweets(Terms{"hockey"}).empty());
+  EXPECT_TRUE(corpus.MatchTweets(Terms{}).empty());
 }
 
 TEST(CorpusTest, MatchRequiresWholeTokens) {
   TweetCorpus corpus;
   corpus.AddUser(MakeUser(0, AccountKind::kCasual));
   corpus.AddTweet(0, "drafting prospects", {}, 0);
-  EXPECT_TRUE(corpus.MatchTweets({"draft"}).empty());
+  EXPECT_TRUE(corpus.MatchTweets(std::vector<std::string>{"draft"}).empty());
 }
 
 TEST(CorpusTest, MatchResultsAreSortedTweetIds) {
   TweetCorpus corpus;
   corpus.AddUser(MakeUser(0, AccountKind::kCasual));
   for (int i = 0; i < 20; ++i) corpus.AddTweet(0, "nfl talk", {}, 0);
-  auto hits = corpus.MatchTweets({"nfl"});
+  auto hits = corpus.MatchTweets(std::vector<std::string>{"nfl"});
   ASSERT_EQ(hits.size(), 20u);
   EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
 }
