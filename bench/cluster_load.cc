@@ -1,0 +1,340 @@
+// Load generator for the sharded serving tier: replays the Zipf query
+// workload through a ClusterRouter over N in-process shards and sweeps the
+// shard count, so one run shows how scatter-gather + merge overhead moves
+// against per-shard work shrinking with 1/N.
+//
+// Before any timing, each cluster is checked for the tier's core
+// guarantee: the routed answer must be *bit-identical* to an unsharded
+// engine over the union corpus (the bench aborts on the first mismatch —
+// a fast cluster that returns different experts is not a result).
+//
+// Per shard count the closed-loop workload runs twice: cold (router cache
+// invalidated) and warm (populated by the cold pass). Hedging stays on
+// with its default trigger, and any hedges/degraded answers observed are
+// published as gauges — on a healthy in-process cluster both should be at
+// or near zero, so a jump in the baseline diff is itself a finding.
+//
+// Usage: cluster_load [closed_threads] [queries_per_thread]
+//                     [--smoke] [--json=PATH]
+//
+// Results are published as bench.cluster.* gauges (labelled
+// {run="closed_cold"|"closed_warm", shards=N}) into a bench-local registry
+// and written as a JSON snapshot (default BENCH_cluster.json; schema in
+// EXPERIMENTS.md) for mechanical diffing with bench_diff.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/partition.h"
+#include "cluster/router.h"
+#include "cluster/shard.h"
+#include "common/rng.h"
+#include "community/store.h"
+#include "expert/detector.h"
+#include "obs/obs.h"
+#include "serving/engine.h"
+
+namespace {
+
+using namespace esharp;
+
+/// Distinct surviving queries, Zipf-ranked by popularity (same workload
+/// construction as serving_load, so the two benches stress the two tiers
+/// with the same traffic shape).
+std::vector<std::string> WorkloadQueries(const querylog::QueryLog& log) {
+  std::vector<const querylog::QueryInfo*> infos;
+  infos.reserve(log.num_queries());
+  for (const querylog::QueryInfo& q : log.queries()) infos.push_back(&q);
+  std::sort(infos.begin(), infos.end(),
+            [](const querylog::QueryInfo* a, const querylog::QueryInfo* b) {
+              if (a->total_count != b->total_count)
+                return a->total_count > b->total_count;
+              return a->id < b->id;
+            });
+  std::vector<std::string> queries;
+  queries.reserve(infos.size());
+  for (const querylog::QueryInfo* q : infos) queries.push_back(q->text);
+  return queries;
+}
+
+/// One N-shard in-process cluster over the world corpus. Members are
+/// declaration-ordered so teardown is safe: router drains first, then the
+/// engines, managers and partitions it pointed at.
+struct Cluster {
+  cluster::PartitionedCorpus partition;
+  std::shared_ptr<const community::CommunityStore> store;
+  std::vector<std::unique_ptr<serving::SnapshotManager>> managers;
+  std::vector<std::unique_ptr<serving::ServingEngine>> engines;
+  std::unique_ptr<expert::ExpertDetector> union_detector;
+  std::unique_ptr<cluster::ClusterRouter> router;
+};
+
+std::unique_ptr<Cluster> BuildCluster(const bench::ExperimentWorld& world,
+                                      uint32_t num_shards,
+                                      size_t router_threads) {
+  auto c = std::make_unique<Cluster>();
+  c->partition = cluster::PartitionCorpus(world.corpus, num_shards);
+  c->store = std::make_shared<const community::CommunityStore>(
+      world.artifacts.store);
+  std::vector<std::unique_ptr<cluster::ShardTransport>> transports;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    c->managers.push_back(std::make_unique<serving::SnapshotManager>(
+        c->partition.shards[s].get()));
+    c->managers.back()->Publish(c->store);
+    serving::ServingOptions engine_options;
+    engine_options.num_threads = 2;
+    engine_options.enable_cache = false;  // router caches; shards don't
+    engine_options.enable_single_flight = false;
+    c->engines.push_back(std::make_unique<serving::ServingEngine>(
+        c->managers.back().get(), engine_options));
+    transports.push_back(std::make_unique<cluster::InProcessShard>(
+        "shard-" + std::to_string(s), c->engines.back().get()));
+  }
+  c->union_detector = std::make_unique<expert::ExpertDetector>(&world.corpus);
+  cluster::RouterOptions router_options;
+  router_options.num_threads = router_threads;
+  c->router = std::make_unique<cluster::ClusterRouter>(
+      std::move(transports), c->union_detector.get(), router_options);
+  return c;
+}
+
+/// Aborts unless the routed answer equals the unsharded reference bit for
+/// bit on a sample of the workload. Runs before timing, on every N.
+void AssertRankEquivalence(Cluster& cluster,
+                           serving::ServingEngine& reference,
+                           const std::vector<std::string>& queries,
+                           size_t sample) {
+  cluster.router->InvalidateCache();
+  for (size_t i = 0; i < std::min(sample, queries.size()); ++i) {
+    const std::string& q = queries[i * 7919 % queries.size()];
+    auto ref = reference.Query({q});
+    auto routed = cluster.router->Query({q});
+    if (!ref.ok() || !routed.ok()) {
+      std::fprintf(stderr, "equivalence probe failed on '%s': %s / %s\n",
+                   q.c_str(), ref.status().ToString().c_str(),
+                   routed.status().ToString().c_str());
+      std::abort();
+    }
+    bool same = ref->experts.size() == routed->experts.size();
+    for (size_t e = 0; same && e < ref->experts.size(); ++e) {
+      same = ref->experts[e].user == routed->experts[e].user &&
+             ref->experts[e].score == routed->experts[e].score;
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "rank mismatch on '%s' at %zu shards: sharded answer is "
+                   "not bit-identical to the union engine\n",
+                   q.c_str(), cluster.router->num_shards());
+      std::abort();
+    }
+  }
+  cluster.router->InvalidateCache();
+}
+
+struct RunResult {
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  uint64_t degraded = 0;
+  uint64_t hedges = 0;
+  double wall_seconds = 0;
+  double qps = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double hit_rate = 0;
+  double merge_ms_mean = 0;
+};
+
+/// Closed loop through the router: `threads` clients, back-to-back
+/// Zipf-sampled queries.
+RunResult RunClosedLoop(cluster::ClusterRouter& router,
+                        const std::vector<std::string>& queries,
+                        const ZipfSampler& zipf, size_t threads,
+                        size_t per_thread, uint64_t seed) {
+  router.mutable_metrics()->Reset();
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> hedges{0};
+  std::atomic<double> merge_ms_sum{0};
+  Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(seed + t);
+      uint64_t my_degraded = 0, my_hedges = 0;
+      double my_merge = 0;
+      for (size_t i = 0; i < per_thread; ++i) {
+        serving::QueryRequest request;
+        request.query = queries[zipf.Sample(&rng)];
+        auto response = router.Query(std::move(request));
+        if (response.ok()) {
+          if (response->degraded) ++my_degraded;
+          my_hedges += response->hedges_fired;
+          my_merge += response->merge_ms;
+        }
+      }
+      degraded.fetch_add(my_degraded, std::memory_order_relaxed);
+      hedges.fetch_add(my_hedges, std::memory_order_relaxed);
+      double expected = merge_ms_sum.load(std::memory_order_relaxed);
+      while (!merge_ms_sum.compare_exchange_weak(
+          expected, expected + my_merge, std::memory_order_relaxed)) {
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  serving::MetricsReport m = router.metrics().Report();
+  RunResult r;
+  r.issued = threads * per_thread;
+  r.ok = m.completed;
+  r.shed = m.shed;
+  r.errors = m.errors + m.timeouts;
+  r.degraded = degraded.load();
+  r.hedges = hedges.load();
+  r.wall_seconds = wall.ElapsedSeconds();
+  r.qps = r.wall_seconds > 0
+              ? static_cast<double>(m.completed) / r.wall_seconds
+              : 0;
+  r.p50_ms = m.p50_ms;
+  r.p95_ms = m.p95_ms;
+  r.p99_ms = m.p99_ms;
+  r.hit_rate = m.cache_hit_rate;
+  r.merge_ms_mean =
+      m.completed > 0 ? merge_ms_sum.load() / static_cast<double>(m.completed)
+                      : 0;
+  return r;
+}
+
+void PrintRow(uint32_t shards, const char* label, const RunResult& r) {
+  std::printf(
+      "%6u %-12s %8llu %8llu %9.1f %8.3f %8.3f %8.3f %6.1f%% %6llu %6llu\n",
+      shards, label, static_cast<unsigned long long>(r.issued),
+      static_cast<unsigned long long>(r.ok), r.qps, r.p50_ms, r.p95_ms,
+      r.p99_ms, 100.0 * r.hit_rate,
+      static_cast<unsigned long long>(r.degraded),
+      static_cast<unsigned long long>(r.hedges));
+}
+
+void PublishRun(obs::MetricsRegistry& registry, uint32_t shards,
+                const char* label, const RunResult& r) {
+  const obs::Labels run{{"run", label}, {"shards", std::to_string(shards)}};
+  registry.GetGauge("bench.cluster.issued", run)
+      ->Set(static_cast<double>(r.issued));
+  registry.GetGauge("bench.cluster.ok", run)->Set(static_cast<double>(r.ok));
+  registry.GetGauge("bench.cluster.errors", run)
+      ->Set(static_cast<double>(r.errors));
+  registry.GetGauge("bench.cluster.degraded", run)
+      ->Set(static_cast<double>(r.degraded));
+  registry.GetGauge("bench.cluster.hedges", run)
+      ->Set(static_cast<double>(r.hedges));
+  registry.GetGauge("bench.cluster.wall_seconds", run)->Set(r.wall_seconds);
+  registry.GetGauge("bench.cluster.qps", run)->Set(r.qps);
+  registry.GetGauge("bench.cluster.p50_ms", run)->Set(r.p50_ms);
+  registry.GetGauge("bench.cluster.p95_ms", run)->Set(r.p95_ms);
+  registry.GetGauge("bench.cluster.p99_ms", run)->Set(r.p99_ms);
+  registry.GetGauge("bench.cluster.hit_rate", run)->Set(r.hit_rate);
+  registry.GetGauge("bench.cluster.merge_ms_mean", run)->Set(r.merge_ms_mean);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_cluster.json";
+  bool smoke = false;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  size_t closed_threads =
+      positional.size() > 0 ? std::strtoul(positional[0], nullptr, 10)
+                            : (smoke ? 2 : 4);
+  // Default is deliberately long enough that per-N walls are tens of
+  // milliseconds: shorter runs put single-scheduler-hiccup noise in the
+  // committed baseline's percentiles.
+  size_t per_thread =
+      positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10)
+                            : (smoke ? 15 : 1000);
+  size_t equivalence_sample = smoke ? 5 : 25;
+
+  bench::PrintHeader("Cluster tier: shard-count sweep, Zipf workload");
+  bench::WorldOptions world_options;
+  world_options.scale = bench::WorldScale::kSmall;
+  auto world = bench::BuildWorld(world_options);
+
+  std::vector<std::string> queries = WorkloadQueries(world->generated.log);
+  if (queries.empty()) {
+    ESHARP_LOG(ERROR) << "empty workload: no query survived the log's "
+                         "min-count filter";
+    return 1;
+  }
+  ZipfSampler zipf(queries.size(), 1.05);
+
+  // Unsharded reference for the pre-timing equivalence gate (cache off so
+  // every probe exercises the full path).
+  serving::SnapshotManager reference_manager(&world->corpus);
+  reference_manager.Publish(std::make_shared<const community::CommunityStore>(
+      world->artifacts.store));
+  serving::ServingOptions reference_options;
+  reference_options.num_threads = 2;
+  reference_options.enable_cache = false;
+  reference_options.enable_single_flight = false;
+  serving::ServingEngine reference(&reference_manager, reference_options);
+
+  std::printf("workload: %zu distinct queries, zipf s=1.05, %zu clients x "
+              "%zu queries\n\n",
+              queries.size(), closed_threads, per_thread);
+  std::printf("%6s %-12s %8s %8s %9s %8s %8s %8s %7s %6s %6s\n", "shards",
+              "run", "issued", "ok", "qps", "p50ms", "p95ms", "p99ms", "hit",
+              "degr", "hedge");
+
+  obs::MetricsRegistry registry;
+  registry.GetGauge("bench.cluster.workload_queries")
+      ->Set(static_cast<double>(queries.size()));
+  registry.GetGauge("bench.cluster.closed_threads")
+      ->Set(static_cast<double>(closed_threads));
+
+  const uint32_t shard_counts[] = {1, 2, 4, 8};
+  double qps_at_1 = 0;
+  for (uint32_t n : shard_counts) {
+    auto cluster = BuildCluster(*world, n, /*router_threads=*/n + 2);
+    AssertRankEquivalence(*cluster, reference, queries, equivalence_sample);
+
+    RunResult cold = RunClosedLoop(*cluster->router, queries, zipf,
+                                   closed_threads, per_thread, 81);
+    PrintRow(n, "closed-cold", cold);
+    RunResult warm = RunClosedLoop(*cluster->router, queries, zipf,
+                                   closed_threads, per_thread, 82);
+    PrintRow(n, "closed-warm", warm);
+
+    PublishRun(registry, n, "closed_cold", cold);
+    PublishRun(registry, n, "closed_warm", warm);
+    if (n == 1) qps_at_1 = cold.qps;
+    if (n == 8 && qps_at_1 > 0) {
+      registry.GetGauge("bench.cluster.cold_qps_ratio_8v1")
+          ->Set(cold.qps / qps_at_1);
+    }
+  }
+
+  Status written = registry.WriteJsonFile(json_path);
+  if (!written.ok()) {
+    ESHARP_LOG(WARN) << "could not write " << json_path << ": "
+                     << written.ToString();
+  } else {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

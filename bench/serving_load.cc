@@ -15,11 +15,18 @@
 // the distribution dominates and is served from the cache.
 //
 // Usage: serving_load [closed_threads] [queries_per_thread] [open_qps]
-//                     [--json=PATH] [--reference]
+//                     [--json=PATH] [--reference] [--shards=N]
 //
 // --reference serves every request through the pre-PR-5 path (no
 // term-evidence index, serial per-term collection), for A/B runs against
 // the default fast path: diff the two JSON files with bench_diff.
+//
+// --shards=N routes the closed-loop workload through a ClusterRouter over
+// N in-process shard engines instead of one engine — an A/B of the
+// single-node vs sharded front door under identical traffic. Sharded mode
+// runs the closed loop only (the router has no async submit path) and
+// defaults the JSON snapshot to BENCH_serving_sharded.json so a sweep
+// never clobbers the committed single-node baseline.
 //
 // Every run's results are also published as bench.serving.* gauges
 // (labelled {run="closed_cold"|...}) into a bench-local MetricsRegistry
@@ -37,6 +44,9 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "cluster/partition.h"
+#include "cluster/router.h"
+#include "cluster/shard.h"
 #include "common/rng.h"
 #include "obs/debugz.h"
 #include "obs/obs.h"
@@ -77,9 +87,9 @@ struct RunResult {
   double hit_rate = 0;
 };
 
-RunResult Summarize(serving::ServingEngine& engine, uint64_t issued,
+RunResult Summarize(const serving::ServingMetrics& metrics, uint64_t issued,
                     double wall_seconds) {
-  serving::MetricsReport m = engine.metrics().Report();
+  serving::MetricsReport m = metrics.Report();
   RunResult r;
   r.issued = issued;
   r.ok = m.completed;
@@ -116,7 +126,7 @@ RunResult RunClosedLoop(serving::ServingEngine& engine,
     });
   }
   for (auto& c : clients) c.join();
-  return Summarize(engine, threads * per_thread, wall.ElapsedSeconds());
+  return Summarize(engine.metrics(), threads * per_thread, wall.ElapsedSeconds());
 }
 
 /// Open loop: submit asynchronously at `offered_qps`, never waiting for
@@ -142,7 +152,7 @@ RunResult RunOpenLoop(serving::ServingEngine& engine,
     }
   }
   for (auto& f : futures) (void)f.get();
-  return Summarize(engine, total, wall.ElapsedSeconds());
+  return Summarize(engine.metrics(), total, wall.ElapsedSeconds());
 }
 
 void PrintRow(const char* label, const RunResult& r) {
@@ -173,20 +183,122 @@ void PublishRun(obs::MetricsRegistry& registry, const char* label,
   registry.GetGauge("bench.serving.hit_rate", run)->Set(r.hit_rate);
 }
 
+/// Closed loop through a ClusterRouter (the --shards=N mode): identical
+/// client model to the engine overload, so the two sides of the A/B see
+/// the same traffic.
+RunResult RunClosedLoop(cluster::ClusterRouter& router,
+                        const std::vector<std::string>& queries,
+                        const ZipfSampler& zipf, size_t threads,
+                        size_t per_thread, uint64_t seed) {
+  router.mutable_metrics()->Reset();
+  Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(seed + t);
+      for (size_t i = 0; i < per_thread; ++i) {
+        serving::QueryRequest request;
+        request.query = queries[zipf.Sample(&rng)];
+        (void)router.Query(std::move(request));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  return Summarize(router.metrics(), threads * per_thread,
+                   wall.ElapsedSeconds());
+}
+
+/// The --shards=N mode: the same closed-loop workload, served through the
+/// cluster front door over N in-process shards. Closed loop only — the
+/// router serves on the caller's thread and the open-loop/scrape sections
+/// are single-engine measurements by design.
+int RunShardedMode(bench::ExperimentWorld& world,
+                   const std::vector<std::string>& queries,
+                   const ZipfSampler& zipf, uint32_t num_shards,
+                   size_t closed_threads, size_t per_thread,
+                   const std::string& json_path) {
+  cluster::PartitionedCorpus partition =
+      cluster::PartitionCorpus(world.corpus, num_shards);
+  auto store = std::make_shared<const community::CommunityStore>(
+      world.artifacts.store);
+  std::vector<std::unique_ptr<serving::SnapshotManager>> managers;
+  std::vector<std::unique_ptr<serving::ServingEngine>> engines;
+  std::vector<std::unique_ptr<cluster::ShardTransport>> transports;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    managers.push_back(std::make_unique<serving::SnapshotManager>(
+        partition.shards[s].get()));
+    managers.back()->Publish(store);
+    serving::ServingOptions engine_options;
+    engine_options.num_threads = 2;
+    engine_options.enable_cache = false;  // the router caches
+    engine_options.enable_single_flight = false;
+    engines.push_back(std::make_unique<serving::ServingEngine>(
+        managers.back().get(), engine_options));
+    transports.push_back(std::make_unique<cluster::InProcessShard>(
+        "shard-" + std::to_string(s), engines.back().get()));
+  }
+  expert::ExpertDetector union_detector(&world.corpus);
+  cluster::RouterOptions router_options;
+  router_options.num_threads = num_shards + 2;
+  cluster::ClusterRouter router(std::move(transports), &union_detector,
+                                router_options);
+
+  std::printf("path: sharded (%u in-process shards behind the router)\n",
+              num_shards);
+  std::printf("workload: %zu distinct queries, zipf s=1.05\n\n",
+              queries.size());
+  std::printf("%-22s %8s %8s %6s %9s %9s %9s %9s %8s\n", "run", "issued",
+              "ok", "shed", "qps", "p50ms", "p95ms", "p99ms", "hit");
+
+  router.InvalidateCache();
+  RunResult closed_cold =
+      RunClosedLoop(router, queries, zipf, closed_threads, per_thread, 71);
+  PrintRow("closed-loop cold", closed_cold);
+  RunResult closed_warm =
+      RunClosedLoop(router, queries, zipf, closed_threads, per_thread, 72);
+  PrintRow("closed-loop warm", closed_warm);
+
+  obs::MetricsRegistry registry;
+  registry.GetGauge("bench.serving.workload_queries")
+      ->Set(static_cast<double>(queries.size()));
+  registry.GetGauge("bench.serving.closed_threads")
+      ->Set(static_cast<double>(closed_threads));
+  registry.GetGauge("bench.serving.shards")
+      ->Set(static_cast<double>(num_shards));
+  PublishRun(registry, "closed_cold", closed_cold);
+  PublishRun(registry, "closed_warm", closed_warm);
+  Status written = registry.WriteJsonFile(json_path);
+  if (!written.ok()) {
+    ESHARP_LOG(WARN) << "could not write " << json_path << ": "
+                     << written.ToString();
+  } else {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path = "BENCH_serving.json";
+  std::string json_path;
   bool reference = false;
+  uint32_t shards = 0;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--reference") == 0) {
       reference = true;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<uint32_t>(std::strtoul(argv[i] + 9, nullptr, 10));
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  if (json_path.empty()) {
+    json_path = shards > 0 ? "BENCH_serving_sharded.json"
+                           : "BENCH_serving.json";
   }
   size_t closed_threads =
       positional.size() > 0 ? std::strtoul(positional[0], nullptr, 10) : 4;
@@ -209,6 +321,11 @@ int main(int argc, char** argv) {
   // Web query popularity is famously Zipfian; s=1.05 matches the log
   // generator's own domain skew.
   ZipfSampler zipf(queries.size(), 1.05);
+
+  if (shards > 0) {
+    return RunShardedMode(*world, queries, zipf, shards, closed_threads,
+                          per_thread, json_path);
+  }
 
   serving::SnapshotManager manager(&world->corpus);
   manager.set_build_evidence_on_publish(!reference);

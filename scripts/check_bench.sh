@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Regression gate over every committed BENCH_*.json baseline: re-runs each
+# JSON-emitting bench at its baseline configuration into a temp dir, then
+# bench_diff's the fresh snapshot against the committed one. Exits non-zero
+# if any bench fails to run or any diff reports a regression beyond the
+# threshold (bench_diff's default unless THRESHOLD_PCT is set).
+#
+# Usage: scripts/check_bench.sh [build_dir]       (default: build)
+#   THRESHOLD_PCT=25 scripts/check_bench.sh       # loosen for noisy boxes
+#   ATTEMPTS=1 scripts/check_bench.sh             # disable the retry
+#
+# A baseline only counts as regressed after ATTEMPTS (default 3) fresh
+# runs, diffed best-of (bench_diff merges repeated runs per metric, so
+# each metric needs just one unperturbed sample). Transient CPU
+# contention — another build, a scraper, the CI agent itself — skews a
+# whole run and then vanishes; a real regression survives the best-of
+# merge across every attempt. On small (single-core) machines this is
+# what makes the default threshold usable at all.
+#
+# Keep this list in sync with EXPERIMENTS.md ("Bench snapshots"): one line
+# per committed baseline, naming the bench invocation that regenerates it.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+BENCH_DIR="$BUILD_DIR/bench"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+if [ ! -x "$BENCH_DIR/bench_diff" ]; then
+  echo "error: $BENCH_DIR/bench_diff not built (cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+DIFF_ARGS=()
+if [ -n "${THRESHOLD_PCT:-}" ]; then
+  DIFF_ARGS+=("--threshold_pct=$THRESHOLD_PCT")
+fi
+
+ATTEMPTS="${ATTEMPTS:-3}"
+failures=0
+
+# run_one <baseline.json> <bench binary> [bench args...]
+run_one() {
+  baseline="$REPO_ROOT/$1"
+  bench="$2"
+  shift 2
+  fresh="$OUT_DIR/$(basename "$baseline")"
+  if [ ! -f "$baseline" ]; then
+    echo "SKIP  $(basename "$baseline"): no committed baseline"
+    return
+  fi
+  attempt=1
+  runs=()
+  while :; do
+    fresh="$OUT_DIR/$(basename "$baseline").$attempt"
+    echo "RUN   $bench $* --json=$fresh (attempt $attempt/$ATTEMPTS)"
+    if ! "$BENCH_DIR/$bench" "$@" "--json=$fresh" > "$OUT_DIR/$bench.log" 2>&1
+    then
+      echo "FAIL  $bench exited non-zero; log tail:" >&2
+      tail -20 "$OUT_DIR/$bench.log" >&2
+      failures=$((failures + 1))
+      return
+    fi
+    runs+=("$fresh")
+    if "$BENCH_DIR/bench_diff" "$baseline" "${runs[@]}" \
+         ${DIFF_ARGS[@]+"${DIFF_ARGS[@]}"} > "$OUT_DIR/$bench.diff" 2>&1
+    then
+      cat "$OUT_DIR/$bench.diff"
+      echo "OK    $(basename "$baseline")"
+      return
+    fi
+    if [ "$attempt" -ge "$ATTEMPTS" ]; then
+      cat "$OUT_DIR/$bench.diff"
+      echo "FAIL  $(basename "$baseline"): regression after best-of-$ATTEMPTS" >&2
+      failures=$((failures + 1))
+      return
+    fi
+    echo "RETRY $(basename "$baseline"): dirty best-of diff, rerunning (contention?)"
+    attempt=$((attempt + 1))
+  done
+}
+
+# The serving/cluster runs pin workloads large enough that per-run walls
+# are well past scheduler-hiccup scale; the committed baselines are
+# generated with these exact arguments (EXPERIMENTS.md).
+run_one BENCH_serving.json  serving_load 4 3000 2000
+run_one BENCH_cluster.json  cluster_load 4 1000
+run_one BENCH_pipeline.json scaling_pipeline
+run_one BENCH_sql.json      micro_sql
+run_one BENCH_online.json   micro_engine
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_bench: $failures baseline(s) regressed or failed" >&2
+  exit 1
+fi
+echo "check_bench: all baselines clean"

@@ -1,0 +1,106 @@
+#include "cluster/introspect.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace esharp::cluster {
+
+obs::Probe ClusterQuorumReadiness(const ClusterRouter* router, size_t quorum) {
+  return [router, quorum]() {
+    size_t total = router->num_shards();
+    size_t need = quorum > 0 ? quorum : total / 2 + 1;
+    size_t healthy = router->health().healthy_shards();
+    obs::ProbeResult result;
+    if (healthy < need) {
+      result.ok = false;
+      result.detail = StrFormat("quorum lost: %zu/%zu shards up (need %zu)",
+                                healthy, total, need);
+      return result;
+    }
+    if (healthy < total) {
+      // Ready but degraded: partial answers are being served.
+      result.detail = StrFormat("degraded: %zu/%zu shards up (quorum %zu)",
+                                healthy, total, need);
+      return result;
+    }
+    result.detail = StrFormat("%zu/%zu shards up", healthy, total);
+    return result;
+  };
+}
+
+std::vector<obs::SloObjective> DefaultClusterObjectives(
+    const ClusterRouter* router, ClusterSloThresholds thresholds) {
+  std::vector<obs::SloObjective> objectives;
+
+  obs::SloObjective p99;
+  p99.name = "latency_p99";
+  p99.kind = obs::SloObjective::Kind::kValue;
+  p99.value = [router]() {
+    return router->metrics().Report().p99_ms / 1000.0;  // seconds
+  };
+  p99.target = thresholds.p99_latency_seconds;
+  objectives.push_back(std::move(p99));
+
+  obs::SloObjective errors;
+  errors.name = "error_rate";
+  errors.kind = obs::SloObjective::Kind::kRatio;
+  errors.bad = [router]() {
+    serving::MetricsReport report = router->metrics().Report();
+    return static_cast<double>(report.errors + report.timeouts);
+  };
+  errors.total = [router]() {
+    return static_cast<double>(router->metrics().Report().completed);
+  };
+  errors.target = thresholds.error_rate;
+  objectives.push_back(std::move(errors));
+
+  obs::SloObjective down;
+  down.name = "shard_down_ratio";
+  down.kind = obs::SloObjective::Kind::kValue;
+  down.value = [router]() {
+    size_t total = router->num_shards();
+    if (total == 0) return 0.0;
+    size_t healthy = router->health().healthy_shards();
+    return static_cast<double>(total - healthy) /
+           static_cast<double>(total);
+  };
+  down.target = thresholds.shard_down_ratio;
+  objectives.push_back(std::move(down));
+
+  return objectives;
+}
+
+void MountClusterEndpoints(obs::DebugServer* server, ClusterRouter* router,
+                           ClusterIntrospectionOptions options) {
+  obs::StatuszOptions statusz;
+  statusz.build_info = std::move(options.build_info);
+  statusz.tracer = options.tracer;
+  statusz.watchdog = options.watchdog;
+  statusz.readiness.emplace_back(
+      "cluster", ClusterQuorumReadiness(router, options.quorum));
+  statusz.overview = [router]() {
+    serving::MetricsReport report = router->metrics().Report();
+    serving::CacheStats cache = router->cache_stats();
+    std::string out;
+    out += StrFormat(
+        "cluster:  %zu shards (%zu up), version %016llx\n",
+        router->num_shards(), router->health().healthy_shards(),
+        static_cast<unsigned long long>(router->ClusterVersion()));
+    out += StrFormat(
+        "requests: %llu completed, %llu shed, %.1f qps (window)\n",
+        static_cast<unsigned long long>(report.completed),
+        static_cast<unsigned long long>(report.shed), report.window_qps);
+    out += StrFormat("latency:  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+                     report.p50_ms, report.p95_ms, report.p99_ms);
+    out += StrFormat("cache:    %.1f%% hit rate\n", cache.HitRate() * 100.0);
+    out += StrFormat("admission: %zu / %zu in flight\n", router->in_flight(),
+                     router->options().max_in_flight);
+    out += "\n";
+    out += router->health().RenderTable();
+    return out;
+  };
+  obs::MountStatusz(server, std::move(statusz));
+}
+
+}  // namespace esharp::cluster

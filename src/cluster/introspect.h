@@ -1,0 +1,65 @@
+#ifndef ESHARP_CLUSTER_INTROSPECT_H_
+#define ESHARP_CLUSTER_INTROSPECT_H_
+
+/// \file Glue between the cluster router and the obs/debugz endpoint
+/// family, mirroring serving/introspect.h one tier up: quorum readiness
+/// from the shard health tracker, the /statusz shard table, and the
+/// default SLO objectives a sharded deployment should watch.
+
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "obs/debugz.h"
+#include "obs/slo.h"
+
+namespace esharp::cluster {
+
+/// \brief Thresholds behind DefaultClusterObjectives.
+struct ClusterSloThresholds {
+  double p99_latency_seconds = 1.0;  ///< kValue target for "latency_p99".
+  double error_rate = 0.01;          ///< kRatio target for "error_rate".
+  /// kValue target for "shard_down_ratio": tolerated fraction of shards
+  /// in kDown. The default tolerates one shard of a 4-shard cluster but
+  /// burns budget the moment a second drops.
+  double shard_down_ratio = 0.26;
+};
+
+/// \brief Readiness probe over the router's shard health: passes while at
+/// least `quorum` shards are not kDown (quorum 0 = majority, n/2 + 1).
+/// One dead shard in a 4-shard cluster keeps /readyz green — the router
+/// still serves (degraded) answers — but losing quorum flips it, which is
+/// what should pull the router out of a load balancer. The router must
+/// outlive the probe.
+obs::Probe ClusterQuorumReadiness(const ClusterRouter* router,
+                                  size_t quorum = 0);
+
+/// \brief Standard objectives for one router, ready for
+/// SloWatchdog::AddObjective:
+///   latency_p99       kValue — routed p99 vs. p99_latency_seconds
+///   error_rate        kRatio — (errors + timeouts) / completed
+///   shard_down_ratio  kValue — down shards / total shards
+/// The router must outlive the watchdog the objectives are added to.
+std::vector<obs::SloObjective> DefaultClusterObjectives(
+    const ClusterRouter* router, ClusterSloThresholds thresholds = {});
+
+/// \brief Wiring of MountClusterEndpoints.
+struct ClusterIntrospectionOptions {
+  std::string build_info;                ///< /statusz header line.
+  obs::Tracer* tracer = nullptr;         ///< /tracez?format=json source.
+  obs::SloWatchdog* watchdog = nullptr;  ///< /readyz + /statusz SLO table.
+  /// Readiness quorum (0 = majority).
+  size_t quorum = 0;
+};
+
+/// \brief Mounts the statusz family on `server`, wired to `router`:
+/// /readyz from ClusterQuorumReadiness (plus the watchdog when given) and
+/// a /statusz overview with routed qps/latency, cache hit rate, and the
+/// per-shard table (snapshot version, state, qps, p50/p99, failures,
+/// hedges). The router (and watchdog/tracer) must outlive the server.
+void MountClusterEndpoints(obs::DebugServer* server, ClusterRouter* router,
+                           ClusterIntrospectionOptions options = {});
+
+}  // namespace esharp::cluster
+
+#endif  // ESHARP_CLUSTER_INTROSPECT_H_

@@ -1,0 +1,16 @@
+#include "cluster/merge.h"
+
+namespace esharp::cluster {
+
+std::vector<expert::CandidateEvidence> MergeShardEvidence(
+    const std::vector<const std::vector<expert::CandidateEvidence>*>& pools) {
+  return expert::MergeEvidenceViews(pools);
+}
+
+Result<std::vector<expert::RankedExpert>> MergeAndRank(
+    const expert::ExpertDetector& detector,
+    const std::vector<const std::vector<expert::CandidateEvidence>*>& pools) {
+  return detector.RankCandidates(MergeShardEvidence(pools));
+}
+
+}  // namespace esharp::cluster

@@ -1,0 +1,27 @@
+#include "cluster/partition.h"
+
+namespace esharp::cluster {
+
+PartitionedCorpus PartitionCorpus(const microblog::TweetCorpus& corpus,
+                                  uint32_t num_shards) {
+  Partitioner partitioner(num_shards);
+  PartitionedCorpus out;
+  out.shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    out.shards.push_back(std::make_unique<microblog::TweetCorpus>());
+  }
+  // Users first: AddUser requires dense in-order ids, and replicating the
+  // whole profile table keeps global UserIds valid on every shard.
+  for (const microblog::UserProfile& user : corpus.users()) {
+    for (auto& shard : out.shards) shard->AddUser(user);
+  }
+  for (const microblog::Tweet& tweet : corpus.tweets()) {
+    microblog::TweetCorpus& shard =
+        *out.shards[partitioner.ShardOfId(tweet.id)];
+    shard.AddTweet(tweet.author, tweet.text, tweet.mentions,
+                   tweet.retweet_count);
+  }
+  return out;
+}
+
+}  // namespace esharp::cluster

@@ -1,0 +1,43 @@
+#ifndef ESHARP_CLUSTER_PARTITION_H_
+#define ESHARP_CLUSTER_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/partitioner.h"
+#include "microblog/corpus.h"
+
+namespace esharp::cluster {
+
+/// \brief A corpus split into disjoint per-shard sub-corpora.
+///
+/// Invariants the sharded tier's rank-equivalence rests on (cluster_test
+/// enforces them on randomized worlds):
+///  * Tweets partition: every tweet of the source corpus lives in exactly
+///    one shard, assigned by Partitioner::ShardOfId over its *source*
+///    tweet id (shard-local ids are re-assigned densely — evidence is
+///    keyed by user, never by tweet id, so the renumbering is invisible).
+///  * Users replicate: every shard holds every user profile under its
+///    original dense id, so shard evidence pools all speak global UserIds
+///    and merge without translation.
+///  * Per-user counts sum: TweetsByUser / MentionsOfUser / RetweetsOfUser
+///    are per-tweet additive, so summed over shards they equal the source
+///    corpus exactly (integer arithmetic — no rounding to drift).
+struct PartitionedCorpus {
+  std::vector<std::unique_ptr<microblog::TweetCorpus>> shards;
+
+  size_t num_shards() const { return shards.size(); }
+};
+
+/// \brief Splits `corpus` into `num_shards` sub-corpora (see
+/// PartitionedCorpus for the invariants). Deterministic: same corpus +
+/// same shard count = same partition, on every platform — both the
+/// snapshot builder and the router derive placement from the same
+/// Partitioner, so they can never disagree.
+PartitionedCorpus PartitionCorpus(const microblog::TweetCorpus& corpus,
+                                  uint32_t num_shards);
+
+}  // namespace esharp::cluster
+
+#endif  // ESHARP_CLUSTER_PARTITION_H_

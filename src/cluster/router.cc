@@ -1,0 +1,340 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "cluster/merge.h"
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace esharp::cluster {
+
+namespace {
+
+std::vector<std::string> ShardNames(
+    const std::vector<std::unique_ptr<ShardTransport>>& shards) {
+  std::vector<std::string> names;
+  names.reserve(shards.size());
+  for (const auto& shard : shards) names.push_back(shard->name());
+  return names;
+}
+
+}  // namespace
+
+/// Shared state of one query's gather: co-owned by the router's caller
+/// thread and every scatter/hedge task. A shard resolves with its *first*
+/// finishing attempt (success or failure); later attempts still feed the
+/// health tracker but cannot change the answer.
+struct ClusterRouter::GatherState {
+  std::string query;
+  double deadline_ms = 0;  // client budget; <= 0 none
+  Timer timer;             // copies the request's queue timer time base
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<bool> finished;  // shard resolved (guarded by mu)
+  std::vector<bool> hedged;
+  std::vector<std::optional<ShardEvidence>> results;
+  std::vector<Status> errors;
+  size_t resolved = 0;
+
+  explicit GatherState(size_t num_shards)
+      : finished(num_shards, false),
+        hedged(num_shards, false),
+        results(num_shards),
+        errors(num_shards, Status::OK()) {}
+};
+
+ClusterRouter::ClusterRouter(
+    std::vector<std::unique_ptr<ShardTransport>> shards,
+    const expert::ExpertDetector* detector, RouterOptions options)
+    : shards_(std::move(shards)),
+      detector_(detector),
+      options_(std::move(options)),
+      owned_pool_(options_.pool == nullptr
+                      ? std::make_unique<ThreadPool>(options_.num_threads)
+                      : nullptr),
+      pool_(options_.pool != nullptr ? options_.pool : owned_pool_.get()),
+      health_(ShardNames(shards_),
+              ShardHealthTracker::Options{options_.down_threshold,
+                                          options_.clock}),
+      cache_(options_.cache) {}
+
+ClusterRouter::~ClusterRouter() {
+  // Mirror ServingEngine: drain the owned pool (runs + joins queued
+  // attempts), then wait out attempts queued on an external pool — the
+  // outstanding_ decrement is the last router-state access an attempt
+  // makes, so zero means no task can still touch shards_ or health_.
+  owned_pool_.reset();
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+uint64_t ClusterRouter::ClusterVersion() const {
+  uint64_t combined = shards_.size();
+  for (const auto& shard : shards_) {
+    combined = HashCombine(combined, shard->VersionHint());
+  }
+  return combined;
+}
+
+bool ClusterRouter::TryAdmit() {
+  size_t current = in_flight_.load(std::memory_order_relaxed);
+  while (current < options_.max_in_flight) {
+    if (in_flight_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  metrics_.RecordShed();
+  return false;
+}
+
+Result<ClusterResponse> ClusterRouter::Query(serving::QueryRequest request) {
+  if (!TryAdmit()) {
+    return Status::Unavailable("router overloaded: ", options_.max_in_flight,
+                               " requests in flight");
+  }
+  Timer queue_timer;
+  Result<ClusterResponse> result =
+      Execute(request, queue_timer, EffectiveDeadline(request));
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  return result;
+}
+
+void ClusterRouter::LaunchAttempt(const std::shared_ptr<GatherState>& state,
+                                  size_t index, bool is_hedge) {
+  if (is_hedge) health_.RecordHedge(index);
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit([this, state, index] {
+    ShardRequest shard_request;
+    shard_request.query = state->query;
+    bool expired = false;
+    if (state->deadline_ms > 0) {
+      // The shard gets a fraction of what is *left* of the client budget,
+      // so queue wait and earlier stages are charged to the same clock
+      // and the router keeps headroom for merge + rank.
+      double remaining = state->deadline_ms - state->timer.ElapsedMillis();
+      if (remaining <= 0) {
+        expired = true;
+      } else {
+        shard_request.deadline_ms =
+            remaining * options_.shard_deadline_fraction;
+      }
+    }
+    Timer attempt_timer;
+    Result<ShardEvidence> attempt =
+        expired ? Result<ShardEvidence>(Status::DeadlineExceeded(
+                      "client budget exhausted before shard attempt"))
+                : shards_[index]->Collect(shard_request);
+    double seconds = attempt_timer.ElapsedSeconds();
+    if (attempt.ok()) {
+      health_.RecordSuccess(index, seconds,
+                            attempt.ValueOrDie().snapshot_version);
+    } else {
+      health_.RecordFailure(index, seconds);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->finished[index]) {
+        state->finished[index] = true;
+        if (attempt.ok()) {
+          state->results[index] = attempt.MoveValueUnsafe();
+        } else {
+          state->errors[index] = attempt.status();
+        }
+        ++state->resolved;
+      }
+    }
+    state->cv.notify_all();
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+Result<ClusterResponse> ClusterRouter::Execute(
+    const serving::QueryRequest& request, const Timer& queue_timer,
+    double deadline_ms) {
+  if (request.query.empty()) {
+    metrics_.RecordError();
+    return Status::InvalidArgument("empty query");
+  }
+  if (shards_.empty()) {
+    metrics_.RecordError();
+    return Status::FailedPrecondition("router has no shards");
+  }
+  const size_t n = shards_.size();
+
+  ESHARP_SPAN(request_span, options_.tracer, "cluster_request", nullptr);
+  ESHARP_SPAN_ANNOTATE(request_span, "shards", static_cast<int64_t>(n));
+
+  ClusterResponse response;
+  response.shards_total = n;
+  response.cluster_version = ClusterVersion();
+
+  const std::string key = ToLowerAscii(request.query);
+  const bool use_cache = options_.enable_cache && !request.bypass_cache;
+  if (use_cache) {
+    std::optional<serving::CachedResult> hit =
+        cache_.Get(key, clock_.ElapsedSeconds(), response.cluster_version);
+    if (hit.has_value()) {
+      response.experts = std::move(hit->experts);
+      response.from_cache = true;
+      response.shards_answered = n;
+      response.total_ms = queue_timer.ElapsedMillis();
+      ESHARP_SPAN_ANNOTATE(request_span, "outcome", "cache_hit");
+      metrics_.RecordRequest(queue_timer.ElapsedSeconds(), {},
+                             /*cache_hit=*/true, /*deduplicated=*/false);
+      return response;
+    }
+  }
+
+  // Scatter.
+  ESHARP_SPAN(gather_span, options_.tracer, "gather", &request_span);
+  auto state = std::make_shared<GatherState>(n);
+  state->query = request.query;
+  state->deadline_ms = deadline_ms;
+  state->timer = queue_timer;
+  for (size_t i = 0; i < n; ++i) {
+    LaunchAttempt(state, i, /*is_hedge=*/false);
+  }
+
+  // Gather. The hedge trigger arms only after warmup samples exist; its
+  // delay is measured from this request's submission, so "late" means
+  // late relative to what the cluster recently served.
+  double hedge_delay_ms = -1;
+  if (options_.enable_hedging &&
+      health_.total_samples() >= options_.hedge_warmup) {
+    hedge_delay_ms =
+        std::max(options_.hedge_min_ms,
+                 health_.LatencyPercentileMs(options_.hedge_percentile) *
+                     options_.hedge_factor);
+  }
+  size_t hedges_fired = 0;
+  bool deadline_hit = false;
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    for (;;) {
+      if (state->resolved == n) break;
+      double elapsed = state->timer.ElapsedMillis();
+      if (deadline_ms > 0 && elapsed >= deadline_ms) {
+        deadline_hit = true;
+        break;
+      }
+      if (hedge_delay_ms >= 0 && elapsed >= hedge_delay_ms) {
+        for (size_t i = 0; i < n; ++i) {
+          if (!state->finished[i] && !state->hedged[i]) {
+            state->hedged[i] = true;
+            ++hedges_fired;
+            // Submitting under state->mu is safe: pool workers take the
+            // pool mutex only before running a task, never while holding
+            // state->mu, so there is no lock cycle.
+            LaunchAttempt(state, i, /*is_hedge=*/true);
+          }
+        }
+        hedge_delay_ms = -1;  // at most one hedge wave per request
+        continue;
+      }
+      // Next timed event: the deadline and/or the hedge trigger; plain
+      // wait when neither is pending (every attempt resolves eventually).
+      double next_ms = -1;
+      if (deadline_ms > 0) next_ms = deadline_ms - elapsed;
+      if (hedge_delay_ms >= 0) {
+        double until_hedge = hedge_delay_ms - elapsed;
+        next_ms = next_ms < 0 ? until_hedge : std::min(next_ms, until_hedge);
+      }
+      if (next_ms < 0) {
+        state->cv.wait(lock);
+      } else {
+        state->cv.wait_for(
+            lock, std::chrono::duration<double, std::milli>(next_ms));
+      }
+    }
+  }
+
+  // Harvest under the lock; the shared_ptr keeps GatherState alive for
+  // any straggler attempt, but `pools` borrows from it, so hold the state
+  // until the merge below is done (we do — `state` outlives this scope).
+  std::vector<const std::vector<expert::CandidateEvidence>*> pools(n, nullptr);
+  size_t answered = 0;
+  bool any_shard_timeout = false;
+  Status first_error = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (size_t i = 0; i < n; ++i) {
+      if (state->finished[i] && state->results[i].has_value()) {
+        pools[i] = &state->results[i]->evidence;
+        ++answered;
+      } else if (state->finished[i]) {
+        if (state->errors[i].IsDeadlineExceeded()) any_shard_timeout = true;
+        if (first_error.ok()) first_error = state->errors[i];
+      } else {
+        any_shard_timeout = true;  // still out when the budget expired
+      }
+    }
+  }
+  gather_span.End();
+  ESHARP_SPAN_ANNOTATE(request_span, "answered",
+                       static_cast<int64_t>(answered));
+  ESHARP_SPAN_ANNOTATE(request_span, "hedges",
+                       static_cast<int64_t>(hedges_fired));
+  double gather_ms = queue_timer.ElapsedMillis();
+  response.shards_answered = answered;
+  response.hedges_fired = hedges_fired;
+  response.degraded = answered < n;
+
+  if (answered == 0 || answered < options_.min_shards_answered) {
+    if (deadline_hit || any_shard_timeout) {
+      metrics_.RecordTimeout();
+      ESHARP_SPAN_ANNOTATE(request_span, "outcome", "timeout");
+      return Status::DeadlineExceeded(
+          "only ", answered, " of ", n, " shards answered within ",
+          deadline_ms, " ms (need ",
+          std::max<size_t>(options_.min_shards_answered, 1), ")");
+    }
+    metrics_.RecordError();
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", "error");
+    if (!first_error.ok()) return first_error;
+    return Status::Unavailable("no shard answered");
+  }
+
+  // Merge + the single cluster-level rank step (see cluster/merge.h for
+  // why this reproduces the unsharded ranking bit for bit).
+  Timer merge_timer;
+  ESHARP_SPAN(rank_span, options_.tracer, "merge_rank", &request_span);
+  Result<std::vector<expert::RankedExpert>> ranked =
+      MergeAndRank(*detector_, pools);
+  rank_span.End();
+  if (!ranked.ok()) {
+    metrics_.RecordError();
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", "error");
+    return ranked.status();
+  }
+  response.experts = ranked.MoveValueUnsafe();
+  response.merge_ms = merge_timer.ElapsedMillis();
+  response.total_ms = queue_timer.ElapsedMillis();
+
+  // Complete answers only: a degraded answer is correct for the shards
+  // that spoke but must not outlive the outage in the cache.
+  if (use_cache && !response.degraded) {
+    cache_.Put(key,
+               serving::CachedResult{response.experts,
+                                     response.cluster_version},
+               clock_.ElapsedSeconds());
+  }
+  serving::StageTimings stages;
+  stages.detect_ms = gather_ms;
+  stages.rank_ms = response.merge_ms;
+  metrics_.RecordRequest(queue_timer.ElapsedSeconds(), stages,
+                         /*cache_hit=*/false, /*deduplicated=*/false);
+  ESHARP_SPAN_ANNOTATE(request_span, "outcome",
+                       response.degraded ? "degraded" : "ok");
+  return response;
+}
+
+}  // namespace esharp::cluster

@@ -1,0 +1,188 @@
+#include "cluster/transport_http.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace esharp::cluster {
+
+namespace {
+
+int StatusToHttp(const Status& status) {
+  if (status.IsInvalidArgument()) return 400;
+  if (status.IsUnavailable() || status.IsFailedPrecondition()) return 503;
+  if (status.IsDeadlineExceeded()) return 504;
+  return 500;
+}
+
+Status HttpToStatus(int http_status, const std::string& body) {
+  switch (http_status) {
+    case 400:
+      return Status::InvalidArgument("shard rejected request: ", body);
+    case 503:
+      return Status::Unavailable("shard unavailable: ", body);
+    case 504:
+      return Status::DeadlineExceeded("shard deadline: ", body);
+    default:
+      return Status::Internal("shard returned HTTP ", http_status, ": ",
+                              body);
+  }
+}
+
+}  // namespace
+
+std::string EncodeShardEvidence(const ShardEvidence& evidence) {
+  std::string out = StrFormat(
+      "version=%llu terms=%llu candidates=%llu ms=%.6f\n",
+      static_cast<unsigned long long>(evidence.snapshot_version),
+      static_cast<unsigned long long>(evidence.terms),
+      static_cast<unsigned long long>(evidence.evidence.size()),
+      evidence.shard_ms);
+  out.reserve(out.size() + evidence.evidence.size() * 32);
+  for (const expert::CandidateEvidence& c : evidence.evidence) {
+    unsigned flags = (c.is_author ? 1u : 0u) | (c.is_mentioned ? 2u : 0u);
+    out += StrFormat("%u %u %llu %llu %llu %llu %llu\n", c.user, flags,
+                     static_cast<unsigned long long>(c.tweets_on_topic),
+                     static_cast<unsigned long long>(c.mentions_on_topic),
+                     static_cast<unsigned long long>(c.retweets_on_topic),
+                     static_cast<unsigned long long>(c.conversational_on_topic),
+                     static_cast<unsigned long long>(c.hashtag_on_topic));
+  }
+  return out;
+}
+
+Result<ShardEvidence> DecodeShardEvidence(const std::string& body) {
+  ShardEvidence evidence;
+  unsigned long long version = 0, terms = 0, candidates = 0;
+  double ms = 0;
+  const char* p = body.c_str();
+  int header_len = 0;
+  if (std::sscanf(p, "version=%llu terms=%llu candidates=%llu ms=%lf\n%n",
+                  &version, &terms, &candidates, &ms, &header_len) < 4) {
+    return Status::Internal("malformed shard evidence header");
+  }
+  evidence.snapshot_version = version;
+  evidence.terms = static_cast<size_t>(terms);
+  evidence.shard_ms = ms;
+  evidence.evidence.reserve(static_cast<size_t>(candidates));
+  p += header_len;
+  for (unsigned long long i = 0; i < candidates; ++i) {
+    expert::CandidateEvidence c;
+    unsigned user = 0, flags = 0;
+    unsigned long long tweets = 0, mentions = 0, retweets = 0;
+    unsigned long long conversational = 0, hashtag = 0;
+    int line_len = 0;
+    if (std::sscanf(p, "%u %u %llu %llu %llu %llu %llu\n%n", &user, &flags,
+                    &tweets, &mentions, &retweets, &conversational, &hashtag,
+                    &line_len) < 7) {
+      return Status::Internal("malformed shard evidence line ", i, " of ",
+                              candidates);
+    }
+    c.user = user;
+    c.is_author = (flags & 1u) != 0;
+    c.is_mentioned = (flags & 2u) != 0;
+    c.tweets_on_topic = tweets;
+    c.mentions_on_topic = mentions;
+    c.retweets_on_topic = retweets;
+    c.conversational_on_topic = conversational;
+    c.hashtag_on_topic = hashtag;
+    evidence.evidence.push_back(c);
+    p += line_len;
+  }
+  return evidence;
+}
+
+std::string UrlEncode(const std::string& value) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(value.size());
+  for (unsigned char c : value) {
+    bool unreserved = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.' || c == '~';
+    if (unreserved) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+void MountShardEndpoint(obs::DebugServer* server,
+                        serving::ServingEngine* engine) {
+  server->Handle("/shard/evidence", [engine](const obs::HttpRequest& request) {
+    obs::HttpResponse response;
+    serving::QueryRequest query;
+    query.query = request.Param("q");
+    std::string deadline = request.Param("deadline_ms");
+    // 0 = explicit none: the router's budget replaces any engine default.
+    query.deadline_ms =
+        deadline.empty() ? 0 : std::strtod(deadline.c_str(), nullptr);
+    Result<serving::EvidenceResponse> result =
+        engine->QueryEvidence(std::move(query));
+    if (!result.ok()) {
+      response.status = StatusToHttp(result.status());
+      response.body = result.status().ToString();
+      return response;
+    }
+    serving::EvidenceResponse evidence = result.MoveValueUnsafe();
+    ShardEvidence wire;
+    wire.evidence = std::move(evidence.evidence);
+    wire.snapshot_version = evidence.snapshot_version;
+    wire.terms = evidence.terms;
+    wire.shard_ms = evidence.total_ms;
+    response.body = EncodeShardEvidence(wire);
+    return response;
+  });
+  server->Handle("/shard/health", [engine](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    serving::HealthView health = engine->Health();
+    response.status = health.ready ? 200 : 503;
+    response.body = StrFormat(
+        "ready=%d version=%llu in_flight=%llu\n", health.ready ? 1 : 0,
+        static_cast<unsigned long long>(health.snapshot_version),
+        static_cast<unsigned long long>(health.in_flight));
+    return response;
+  });
+}
+
+HttpShardTransport::HttpShardTransport(std::string name, std::string host,
+                                       int port, Options options)
+    : name_(std::move(name)),
+      host_(std::move(host)),
+      port_(port),
+      options_(options) {}
+
+Result<ShardEvidence> HttpShardTransport::Collect(
+    const ShardRequest& request) {
+  std::string path = "/shard/evidence?q=" + UrlEncode(request.query);
+  double timeout = options_.default_timeout_seconds;
+  if (request.deadline_ms > 0) {
+    path += StrFormat("&deadline_ms=%.3f", request.deadline_ms);
+    timeout = request.deadline_ms / 1e3 + options_.timeout_slack_seconds;
+  }
+  Result<obs::HttpResponseData> http =
+      obs::HttpGet(host_, port_, path, timeout);
+  if (!http.ok()) {
+    // Connection refused / socket timeout: the shard process is gone or
+    // unreachably slow — either way, this attempt failed.
+    return Status::Unavailable("shard ", name_, " unreachable: ",
+                               http.status().ToString());
+  }
+  const obs::HttpResponseData& data = http.ValueOrDie();
+  if (data.status != 200) return HttpToStatus(data.status, data.body);
+  Result<ShardEvidence> decoded = DecodeShardEvidence(data.body);
+  if (decoded.ok()) {
+    last_version_.store(decoded.ValueOrDie().snapshot_version,
+                        std::memory_order_release);
+  }
+  return decoded;
+}
+
+}  // namespace esharp::cluster

@@ -1,0 +1,75 @@
+#ifndef ESHARP_CLUSTER_TRANSPORT_HTTP_H_
+#define ESHARP_CLUSTER_TRANSPORT_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "cluster/shard.h"
+#include "common/result.h"
+#include "obs/debugz.h"
+#include "serving/engine.h"
+
+namespace esharp::cluster {
+
+/// \brief Mounts the shard-side wire endpoints on a debugz server, so a
+/// shard process reuses the HTTP stack it already runs for /statusz:
+///   /shard/evidence?q=<query>[&deadline_ms=<d>]  the collection RPC
+///   /shard/health                                 version + readiness line
+/// Status mapping: 400 InvalidArgument, 503 Unavailable/FailedPrecondition
+/// (shedding, no snapshot), 504 DeadlineExceeded, 500 anything else. The
+/// engine must outlive the server.
+void MountShardEndpoint(obs::DebugServer* server,
+                        serving::ServingEngine* engine);
+
+/// \brief Text wire format of one ShardEvidence (version line, then one
+/// line per candidate). Exposed for tests; both ends are pure integer
+/// formatting, so a decode(encode(x)) round trip is exact — the
+/// bit-identical rank guarantee survives the wire.
+std::string EncodeShardEvidence(const ShardEvidence& evidence);
+Result<ShardEvidence> DecodeShardEvidence(const std::string& body);
+
+/// \brief Percent-encodes a query parameter value.
+std::string UrlEncode(const std::string& value);
+
+/// \brief HTTP transport: the shard is another process serving
+/// MountShardEndpoint. Collect() is one blocking GET with a socket
+/// timeout derived from the attempt deadline, so a dead host resolves as
+/// a failed attempt instead of hanging the gather.
+class HttpShardTransport final : public ShardTransport {
+ public:
+  struct Options {
+    /// Socket timeout when the attempt carries no deadline.
+    double default_timeout_seconds = 5.0;
+    /// Slack added on top of a deadline-derived timeout, so the shard's
+    /// own deadline answer (504) wins over a raw socket cut.
+    double timeout_slack_seconds = 0.5;
+  };
+
+  HttpShardTransport(std::string name, std::string host, int port)
+      : HttpShardTransport(std::move(name), std::move(host), port,
+                           Options()) {}
+  HttpShardTransport(std::string name, std::string host, int port,
+                     Options options);
+
+  const std::string& name() const override { return name_; }
+  Result<ShardEvidence> Collect(const ShardRequest& request) override;
+
+  /// Last snapshot version a successful Collect reported — no RPC, so a
+  /// remote publish is only noticed (and the router cache invalidated)
+  /// at the next successful contact.
+  uint64_t VersionHint() const override {
+    return last_version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::string name_;
+  std::string host_;
+  int port_;
+  Options options_;
+  std::atomic<uint64_t> last_version_{0};
+};
+
+}  // namespace esharp::cluster
+
+#endif  // ESHARP_CLUSTER_TRANSPORT_HTTP_H_

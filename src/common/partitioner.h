@@ -1,0 +1,52 @@
+#ifndef ESHARP_COMMON_PARTITIONER_H_
+#define ESHARP_COMMON_PARTITIONER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace esharp {
+
+/// \brief Deterministic assignment of ids and keys to a fixed number of
+/// shards.
+///
+/// The cluster tier partitions the corpus at snapshot-build time and routes
+/// queries at serve time; both sides construct their own Partitioner from
+/// the shard count alone, so they can never disagree about where a tweet
+/// lives — there is no shared mutable routing table to drift. The mapping
+/// is pure integer arithmetic (Mix64 / FNV-1a), so it is identical across
+/// platforms, compilers and runs; common_test pins golden values to keep it
+/// that way (changing the mapping silently invalidates every partitioned
+/// snapshot).
+///
+/// Dense ids (tweet ids, user ids) go through Mix64 first: `id % shards`
+/// would stripe insertion order across shards, which keeps neighboring
+/// tweets — often the same author's burst — artificially correlated.
+class Partitioner {
+ public:
+  explicit Partitioner(uint32_t num_shards) : num_shards_(num_shards) {
+    assert(num_shards > 0 && "a partitioner needs at least one shard");
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// Shard of a dense numeric id (tweet id, user id).
+  uint32_t ShardOfId(uint64_t id) const {
+    return static_cast<uint32_t>(Mix64(id) % num_shards_);
+  }
+
+  /// Shard of a string key (query text, term). Mix64 on top of FNV-1a
+  /// because FNV's low bits are weak for short keys.
+  uint32_t ShardOfKey(std::string_view key) const {
+    return static_cast<uint32_t>(Mix64(Fnv1a64(key)) % num_shards_);
+  }
+
+ private:
+  uint32_t num_shards_;
+};
+
+}  // namespace esharp
+
+#endif  // ESHARP_COMMON_PARTITIONER_H_

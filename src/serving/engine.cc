@@ -509,77 +509,15 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
   expand_span.End();
   response.stages.expand_ms = stage_timer.ElapsedMillis();
 
-  // Stage 2: candidate collection. In-vocabulary terms resolve to their
-  // snapshot-time precomputed pools (a hash lookup); the rest collect live
-  // — in parallel on the worker pool when enabled — with the deadline
-  // enforced cooperatively *inside* each term's collection, so one term
-  // over a head token's postings cannot blow the budget unchecked.
+  // Stage 2: candidate collection (shared with the cluster tier's
+  // QueryEvidence path; see DetectMerged).
   stage_timer.Reset();
   SetActiveStage(request_id, "detect");
   ESHARP_SPAN(detect_span, options_.tracer, "detect", trace_parent);
-  const expert::TermEvidenceIndex* evidence =
-      options_.use_evidence_index ? snapshot->evidence() : nullptr;
-  const size_t num_terms = expansion.terms.size();
-  std::vector<const std::vector<expert::CandidateEvidence>*> pools(num_terms,
-                                                                   nullptr);
-  std::vector<size_t> live_terms;
-  for (size_t i = 0; i < num_terms; ++i) {
-    const std::vector<expert::CandidateEvidence>* pre =
-        evidence != nullptr ? evidence->Find(expansion.terms[i]) : nullptr;
-    if (pre != nullptr) {
-      pools[i] = pre;
-    } else {
-      live_terms.push_back(i);
-    }
-  }
-
-  std::shared_ptr<LiveDetectState> live;
-  if (!live_terms.empty()) {
-    // Heap-owned, shared with every helper task: a helper that dequeues
-    // after this request finished (pool backlog) finds no work left and
-    // touches only this state and the snapshot it co-owns — never the
-    // request stack or the engine.
-    live = std::make_shared<LiveDetectState>();
-    live->snapshot = snapshot;
-    live->timer = queue_timer;
-    live->deadline_ms = deadline_ms;
-    live->tokens.reserve(live_terms.size());
-    const microblog::TweetCorpus& corpus = *esharp.detector().corpus();
-    for (size_t i : live_terms) {
-      // Expansion terms are already lower-cased: split + intern only.
-      live->tokens.push_back(corpus.TokenizeNormalized(expansion.terms[i]));
-    }
-    live->results.resize(live_terms.size());
-    size_t helpers =
-        options_.parallel_detect && live_terms.size() > 1
-            ? std::min(live_terms.size() - 1, pool_->num_threads())
-            : 0;
-    for (size_t h = 0; h < helpers; ++h) {
-      pool_->Submit([live] { live->RunWorker(); });
-    }
-    // Help-first: this thread collects terms too, so progress never waits
-    // on pool capacity; Wait() then covers claims helpers are finishing.
-    live->RunWorker();
-    live->Wait();
-    if (live->cancelled.load(std::memory_order_relaxed)) {
-      metrics_.RecordTimeout();
-      ESHARP_SPAN_ANNOTATE(detect_span, "outcome", "timeout");
-      return Status::DeadlineExceeded("deadline of ", deadline_ms,
-                                      " ms elapsed during detection");
-    }
-    for (size_t k = 0; k < live_terms.size(); ++k) {
-      pools[live_terms[k]] = &live->results[k];
-    }
-  }
-
-  std::vector<expert::CandidateEvidence> merged =
-      expert::MergeEvidenceViews(pools);
-  ESHARP_SPAN_ANNOTATE(detect_span, "terms_precomputed",
-                       static_cast<int64_t>(num_terms - live_terms.size()));
-  ESHARP_SPAN_ANNOTATE(detect_span, "terms_live",
-                       static_cast<int64_t>(live_terms.size()));
-  ESHARP_SPAN_ANNOTATE(detect_span, "candidates",
-                       static_cast<int64_t>(merged.size()));
+  Result<std::vector<expert::CandidateEvidence>> detected = DetectMerged(
+      expansion.terms, queue_timer, deadline_ms, snapshot, &detect_span);
+  if (!detected.ok()) return detected.status();
+  std::vector<expert::CandidateEvidence> merged = detected.MoveValueUnsafe();
   detect_span.End();
   response.stages.detect_ms = stage_timer.ElapsedMillis();
 
@@ -607,6 +545,170 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
   }
   metrics_.RecordRequest(queue_timer.ElapsedSeconds(), response.stages,
                          /*cache_hit=*/false, /*deduplicated=*/false);
+  return response;
+}
+
+Result<std::vector<expert::CandidateEvidence>> ServingEngine::DetectMerged(
+    const std::vector<std::string>& terms, const Timer& queue_timer,
+    double deadline_ms, const std::shared_ptr<const ServingSnapshot>& snapshot,
+    obs::Span* detect_span) {
+  // In-vocabulary terms resolve to their snapshot-time precomputed pools (a
+  // hash lookup); the rest collect live — in parallel on the worker pool
+  // when enabled — with the deadline enforced cooperatively *inside* each
+  // term's collection, so one term over a head token's postings cannot blow
+  // the budget unchecked.
+  (void)detect_span;  // only touched through the (disable-able) macros
+  const expert::TermEvidenceIndex* evidence =
+      options_.use_evidence_index ? snapshot->evidence() : nullptr;
+  const size_t num_terms = terms.size();
+  std::vector<const std::vector<expert::CandidateEvidence>*> pools(num_terms,
+                                                                   nullptr);
+  std::vector<size_t> live_terms;
+  for (size_t i = 0; i < num_terms; ++i) {
+    const std::vector<expert::CandidateEvidence>* pre =
+        evidence != nullptr ? evidence->Find(terms[i]) : nullptr;
+    if (pre != nullptr) {
+      pools[i] = pre;
+    } else {
+      live_terms.push_back(i);
+    }
+  }
+
+  std::shared_ptr<LiveDetectState> live;
+  if (!live_terms.empty()) {
+    // Heap-owned, shared with every helper task: a helper that dequeues
+    // after this request finished (pool backlog) finds no work left and
+    // touches only this state and the snapshot it co-owns — never the
+    // request stack or the engine.
+    live = std::make_shared<LiveDetectState>();
+    live->snapshot = snapshot;
+    live->timer = queue_timer;
+    live->deadline_ms = deadline_ms;
+    live->tokens.reserve(live_terms.size());
+    const microblog::TweetCorpus& corpus =
+        *snapshot->esharp().detector().corpus();
+    for (size_t i : live_terms) {
+      // Expansion terms are already lower-cased: split + intern only.
+      live->tokens.push_back(corpus.TokenizeNormalized(terms[i]));
+    }
+    live->results.resize(live_terms.size());
+    size_t helpers =
+        options_.parallel_detect && live_terms.size() > 1
+            ? std::min(live_terms.size() - 1, pool_->num_threads())
+            : 0;
+    for (size_t h = 0; h < helpers; ++h) {
+      pool_->Submit([live] { live->RunWorker(); });
+    }
+    // Help-first: this thread collects terms too, so progress never waits
+    // on pool capacity; Wait() then covers claims helpers are finishing.
+    live->RunWorker();
+    live->Wait();
+    if (live->cancelled.load(std::memory_order_relaxed)) {
+      metrics_.RecordTimeout();
+      ESHARP_SPAN_ANNOTATE((*detect_span), "outcome", "timeout");
+      return Status::DeadlineExceeded("deadline of ", deadline_ms,
+                                      " ms elapsed during detection");
+    }
+    for (size_t k = 0; k < live_terms.size(); ++k) {
+      pools[live_terms[k]] = &live->results[k];
+    }
+  }
+
+  std::vector<expert::CandidateEvidence> merged =
+      expert::MergeEvidenceViews(pools);
+  ESHARP_SPAN_ANNOTATE((*detect_span), "terms_precomputed",
+                       static_cast<int64_t>(num_terms - live_terms.size()));
+  ESHARP_SPAN_ANNOTATE((*detect_span), "terms_live",
+                       static_cast<int64_t>(live_terms.size()));
+  ESHARP_SPAN_ANNOTATE((*detect_span), "candidates",
+                       static_cast<int64_t>(merged.size()));
+  return merged;
+}
+
+Result<EvidenceResponse> ServingEngine::QueryEvidence(QueryRequest request) {
+  if (!TryAdmit()) {
+    return Status::Unavailable("overloaded: ", options_.max_in_flight,
+                               " requests in flight");
+  }
+  Timer queue_timer;
+  Result<EvidenceResponse> result =
+      ExecuteEvidence(request, queue_timer, EffectiveDeadline(request));
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  return result;
+}
+
+Result<EvidenceResponse> ServingEngine::ExecuteEvidence(
+    const QueryRequest& request, const Timer& queue_timer,
+    double deadline_ms) {
+  // A leaner Execute(): no result cache and no single-flight — the
+  // per-term pools in the snapshot's TermEvidenceIndex already are this
+  // path's cache, and deduplication belongs at the router, which sees the
+  // whole query stream. Shows up in /tracez like any other request.
+  obs::Span request_span;
+#if ESHARP_OBS_ENABLED
+  if (options_.tracer != nullptr) {
+    request_span = options_.tracer->StartSpanAt(
+        "shard_request", /*parent=*/nullptr,
+        obs::NowSeconds() - queue_timer.ElapsedSeconds());
+  }
+#endif
+  RequestScope scope(this, request, queue_timer);
+  if (request.query.empty()) {
+    metrics_.RecordError();
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", "invalid");
+    scope.set_outcome("invalid");
+    return Status::InvalidArgument("empty query");
+  }
+  std::shared_ptr<const ServingSnapshot> snapshot = snapshots_->Acquire();
+  if (snapshot == nullptr) {
+    metrics_.RecordError();
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", "error");
+    return Status::FailedPrecondition("no snapshot published yet");
+  }
+  scope.set_version(snapshot->version());
+
+  if (deadline_ms > 0 && queue_timer.ElapsedMillis() > deadline_ms) {
+    metrics_.RecordTimeout();
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", "timeout");
+    scope.set_outcome("timeout");
+    return Status::DeadlineExceeded("deadline of ", deadline_ms,
+                                    " ms elapsed in queue");
+  }
+
+  EvidenceResponse response;
+  response.snapshot_version = snapshot->version();
+
+  Timer stage_timer;
+  SetActiveStage(scope.id(), "expand");
+  ESHARP_SPAN(expand_span, options_.tracer, "expand", &request_span);
+  core::QueryExpansion expansion = snapshot->esharp().Expand(request.query);
+  expand_span.End();
+  StageTimings stages;
+  stages.expand_ms = stage_timer.ElapsedMillis();
+  response.terms = expansion.terms.size();
+
+  stage_timer.Reset();
+  SetActiveStage(scope.id(), "detect");
+  ESHARP_SPAN(detect_span, options_.tracer, "detect", &request_span);
+  Result<std::vector<expert::CandidateEvidence>> detected = DetectMerged(
+      expansion.terms, queue_timer, deadline_ms, snapshot, &detect_span);
+  if (!detected.ok()) {
+    const char* outcome =
+        detected.status().IsDeadlineExceeded() ? "timeout" : "error";
+    ESHARP_SPAN_ANNOTATE(request_span, "outcome", outcome);
+    scope.set_outcome(outcome);
+    return detected.status();
+  }
+  response.evidence = detected.MoveValueUnsafe();
+  detect_span.End();
+  stages.detect_ms = stage_timer.ElapsedMillis();
+  response.total_ms = queue_timer.ElapsedMillis();
+
+  metrics_.RecordRequest(queue_timer.ElapsedSeconds(), stages,
+                         /*cache_hit=*/false, /*deduplicated=*/false);
+  ESHARP_SPAN_ANNOTATE(request_span, "outcome", "ok");
+  scope.set_outcome("ok");
+  scope.set_stages(stages);
   return response;
 }
 

@@ -127,6 +127,27 @@ struct RequestSample {
   double finished_seconds = 0;  ///< obs::NowSeconds() time base.
 };
 
+/// \brief The shard-side answer of the cluster tier: one query's merged
+/// candidate evidence against this engine's corpus partition, *before*
+/// ranking. Ranking is not shard-local — the z-scores of §3 are computed
+/// over the union candidate pool with union-corpus denominators — so a
+/// sharded deployment ships raw evidence to the router and ranks exactly
+/// once there (see src/cluster).
+struct EvidenceResponse {
+  /// Union of the expansion terms' candidate pools over this engine's
+  /// corpus; sorted by user with unique users (the MergeEvidence
+  /// invariant). Counts are partition-local: integer sums over the tweets
+  /// this corpus holds, so pools from disjoint partitions merge exactly.
+  std::vector<expert::CandidateEvidence> evidence;
+  uint64_t snapshot_version = 0;
+  /// Expansion width (the same store is shared across shards, so every
+  /// shard reports the same value; the router sanity-checks nothing here,
+  /// it is for introspection).
+  size_t terms = 0;
+  /// End-to-end latency on this shard, including queue wait, milliseconds.
+  double total_ms = 0;
+};
+
 /// \brief One served answer, with provenance.
 struct QueryResponse {
   std::vector<expert::RankedExpert> experts;
@@ -187,6 +208,20 @@ class ServingEngine {
   /// thread (closed-loop clients and tests).
   Result<QueryResponse> Query(QueryRequest request);
 
+  /// Shard-side entry point of the cluster tier: expansion + candidate
+  /// collection against the pinned snapshot, skipping the rank stage and
+  /// the result cache (partition-local ranks are meaningless — see
+  /// EvidenceResponse). Runs on the caller's thread under the same
+  /// admission control, snapshot pinning and cooperative deadline as
+  /// Query(); in-vocabulary terms are served from the snapshot's
+  /// TermEvidenceIndex, which is this path's per-shard cache.
+  Result<EvidenceResponse> QueryEvidence(QueryRequest request);
+
+  /// Version of the current snapshot generation without acquiring it — a
+  /// single atomic load, cheap enough for per-request cluster cache
+  /// validation (0 before the first publish).
+  uint64_t snapshot_version() const { return snapshots_->version(); }
+
   /// Snapshot-safe domain lookup (returns the community by value; see
   /// CommunityStore::FindCopy). NotFound when the term matches nothing.
   Result<community::Community> LookupDomain(const std::string& term) const;
@@ -243,6 +278,23 @@ class ServingEngine {
       const Timer& queue_timer, double deadline_ms,
       const std::shared_ptr<const ServingSnapshot>& snapshot,
       const obs::Span* trace_parent, uint64_t request_id);
+
+  /// The detect stage shared by ExecuteUncached and QueryEvidence: resolve
+  /// each expansion term to its precomputed pool or collect it live (in
+  /// parallel on the pool, deadline enforced cooperatively inside the
+  /// collection loops), then k-way-merge the pools. Records the timeout
+  /// metric and returns DeadlineExceeded when the deadline fires
+  /// mid-collection. `detect_span` receives the terms/candidates
+  /// annotations (inert when tracing is off).
+  Result<std::vector<expert::CandidateEvidence>> DetectMerged(
+      const std::vector<std::string>& terms, const Timer& queue_timer,
+      double deadline_ms, const std::shared_ptr<const ServingSnapshot>& snapshot,
+      obs::Span* detect_span);
+
+  /// Pipeline of one admitted QueryEvidence request.
+  Result<EvidenceResponse> ExecuteEvidence(const QueryRequest& request,
+                                           const Timer& queue_timer,
+                                           double deadline_ms);
 
   /// Drops stale cache entries when the snapshot generation moved.
   void MaybeInvalidateOnSwap(uint64_t current_version);

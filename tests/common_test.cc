@@ -3,6 +3,8 @@
 #include <cmath>
 #include <thread>
 
+#include "common/hash.h"
+#include "common/partitioner.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/sparse_vector.h"
@@ -505,6 +507,56 @@ TEST(TimerTest, MeasuresElapsed) {
   EXPECT_GE(t.ElapsedMillis(), 15.0);
   t.Reset();
   EXPECT_LT(t.ElapsedMillis(), 15.0);
+}
+
+// ----------------------------------------------------------- Partitioner --
+
+TEST(PartitionerTest, GoldenValuesPinCrossPlatformStability) {
+  // Changing Mix64/Fnv1a64 (or the modulus) silently re-partitions every
+  // sharded corpus; these goldens turn that into a loud test failure.
+  EXPECT_EQ(Mix64(0), 0ULL);
+  EXPECT_EQ(Mix64(1), 12994781566227106604ULL);
+  EXPECT_EQ(Mix64(42), 9297814886316923340ULL);
+  EXPECT_EQ(Mix64(123456789), 10339184063621167238ULL);
+  EXPECT_EQ(Fnv1a64("tennis"), 3635498634972789058ULL);
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+
+  EXPECT_EQ(Partitioner(1).ShardOfId(42), 0u);
+  EXPECT_EQ(Partitioner(2).ShardOfId(42), 0u);
+  EXPECT_EQ(Partitioner(8).ShardOfId(42), 4u);
+  EXPECT_EQ(Partitioner(2).ShardOfKey("tennis"), 1u);
+  EXPECT_EQ(Partitioner(4).ShardOfKey("tennis"), 1u);
+  EXPECT_EQ(Partitioner(8).ShardOfKey("tennis"), 1u);
+}
+
+TEST(PartitionerTest, IsDeterministicAndInRange) {
+  Partitioner p(7);
+  for (uint64_t id = 0; id < 1000; ++id) {
+    uint32_t shard = p.ShardOfId(id);
+    EXPECT_LT(shard, 7u);
+    EXPECT_EQ(shard, p.ShardOfId(id));  // stable across calls
+  }
+  EXPECT_EQ(p.ShardOfKey("alpha"), p.ShardOfKey(std::string("alpha")));
+}
+
+TEST(PartitionerTest, SpreadsDenseIdsEvenly) {
+  // The whole point of mixing before the modulus: dense ids (insertion
+  // order) must not stripe. Expect every shard within 2x of fair share.
+  constexpr uint32_t kShards = 8;
+  constexpr uint64_t kIds = 8000;
+  Partitioner p(kShards);
+  size_t counts[kShards] = {0};
+  for (uint64_t id = 0; id < kIds; ++id) ++counts[p.ShardOfId(id)];
+  for (size_t c : counts) {
+    EXPECT_GT(c, kIds / kShards / 2);
+    EXPECT_LT(c, kIds / kShards * 2);
+  }
+}
+
+TEST(PartitionerTest, SingleShardTakesEverything) {
+  Partitioner p(1);
+  for (uint64_t id = 0; id < 100; ++id) EXPECT_EQ(p.ShardOfId(id), 0u);
+  EXPECT_EQ(p.ShardOfKey("anything"), 0u);
 }
 
 }  // namespace
