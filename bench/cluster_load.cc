@@ -14,8 +14,18 @@
 // published as gauges — on a healthy in-process cluster both should be at
 // or near zero, so a jump in the baseline diff is itself a finding.
 //
+// After the sweep, an A/B section measures what the PR 7 tracing stack
+// (per-query profiles + slow-query log + sampled span tracing) costs on
+// the 4-shard path: the same closed loop runs against two otherwise
+// identical clusters — tracing fully off vs fully on — interleaved over
+// several rounds with best-of qps per side, published as
+// bench.cluster.trace.{qps_off,qps_on,overhead_pct}. With
+// --overhead_budget_pct=N the bench exits non-zero when the overhead
+// exceeds N percent, which is how scripts/check_bench.sh enforces the
+// "< 2% qps" budget.
+//
 // Usage: cluster_load [closed_threads] [queries_per_thread]
-//                     [--smoke] [--json=PATH]
+//                     [--smoke] [--json=PATH] [--overhead_budget_pct=N]
 //
 // Results are published as bench.cluster.* gauges (labelled
 // {run="closed_cold"|"closed_warm", shards=N}) into a bench-local registry
@@ -40,6 +50,7 @@
 #include "community/store.h"
 #include "expert/detector.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "serving/engine.h"
 
 namespace {
@@ -79,7 +90,9 @@ struct Cluster {
 
 std::unique_ptr<Cluster> BuildCluster(const bench::ExperimentWorld& world,
                                       uint32_t num_shards,
-                                      size_t router_threads) {
+                                      size_t router_threads,
+                                      cluster::RouterOptions router_options =
+                                          cluster::RouterOptions()) {
   auto c = std::make_unique<Cluster>();
   c->partition = cluster::PartitionCorpus(world.corpus, num_shards);
   c->store = std::make_shared<const community::CommunityStore>(
@@ -99,7 +112,6 @@ std::unique_ptr<Cluster> BuildCluster(const bench::ExperimentWorld& world,
         "shard-" + std::to_string(s), c->engines.back().get()));
   }
   c->union_detector = std::make_unique<expert::ExpertDetector>(&world.corpus);
-  cluster::RouterOptions router_options;
   router_options.num_threads = router_threads;
   c->router = std::make_unique<cluster::ClusterRouter>(
       std::move(transports), c->union_detector.get(), router_options);
@@ -249,12 +261,15 @@ void PublishRun(obs::MetricsRegistry& registry, uint32_t shards,
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_cluster.json";
   bool smoke = false;
+  double overhead_budget_pct = 0;  // 0 = measure but do not gate
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--overhead_budget_pct=", 22) == 0) {
+      overhead_budget_pct = std::strtod(argv[i] + 22, nullptr);
     } else {
       positional.push_back(argv[i]);
     }
@@ -329,12 +344,71 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Tracing overhead A/B (the "< 2% qps" budget) --------------------
+  //
+  // Two identical 4-shard clusters, one with the whole tracing stack off
+  // (no profiles, no slow-query log entries, no tracer) and one with it
+  // fully on (profiles + slow-query log + a live span ring). The closed
+  // loop alternates sides each round and each side keeps its best round,
+  // so transient scheduler noise has to hit *every* round of one side to
+  // skew the comparison.
+  const uint32_t ab_shards = 4;
+  const size_t ab_rounds = smoke ? 1 : 3;
+
+  cluster::RouterOptions off_options;
+  off_options.enable_profiles = false;
+  off_options.tracer = nullptr;
+  auto off_cluster =
+      BuildCluster(*world, ab_shards, ab_shards + 2, off_options);
+
+  obs::Tracer tracer;
+  cluster::RouterOptions on_options;
+  on_options.enable_profiles = true;  // slow-query log at default bounds
+  on_options.tracer = &tracer;
+  // The production tracing configuration: head-sampled spans (1 in 64),
+  // profiles + slow-query log on every scattered query.
+  on_options.trace_sample_period = 64;
+  auto on_cluster = BuildCluster(*world, ab_shards, ab_shards + 2, on_options);
+
+  double qps_off = 0, qps_on = 0;
+  for (size_t round = 0; round < ab_rounds; ++round) {
+    uint64_t seed = 83 + 2 * round;
+    RunResult off = RunClosedLoop(*off_cluster->router, queries, zipf,
+                                  closed_threads, per_thread, seed);
+    RunResult on = RunClosedLoop(*on_cluster->router, queries, zipf,
+                                 closed_threads, per_thread, seed + 1);
+    PrintRow(ab_shards, "trace-off", off);
+    PrintRow(ab_shards, "trace-on", on);
+    qps_off = std::max(qps_off, off.qps);
+    qps_on = std::max(qps_on, on.qps);
+  }
+  double overhead_pct =
+      qps_off > 0 ? std::max(0.0, 100.0 * (qps_off - qps_on) / qps_off) : 0;
+  std::printf("\ntracing overhead: %.1f qps off, %.1f qps on -> %.2f%%"
+              " (%llu profiles retained, %zu spans)\n",
+              qps_off, qps_on, overhead_pct,
+              static_cast<unsigned long long>(
+                  on_cluster->router->slow_queries().recorded()),
+              tracer.size());
+  registry.GetGauge("bench.cluster.trace.qps_off")->Set(qps_off);
+  registry.GetGauge("bench.cluster.trace.qps_on")->Set(qps_on);
+  registry.GetGauge("bench.cluster.trace.overhead_pct")->Set(overhead_pct);
+
   Status written = registry.WriteJsonFile(json_path);
   if (!written.ok()) {
     ESHARP_LOG(WARN) << "could not write " << json_path << ": "
                      << written.ToString();
   } else {
     std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  // The gate runs after the snapshot is written, so a failing run still
+  // leaves its numbers on disk for inspection.
+  if (overhead_budget_pct > 0 && overhead_pct > overhead_budget_pct) {
+    std::fprintf(stderr,
+                 "FAIL: tracing overhead %.2f%% exceeds the %.2f%% budget\n",
+                 overhead_pct, overhead_budget_pct);
+    return 1;
   }
   return 0;
 }

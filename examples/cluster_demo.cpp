@@ -13,12 +13,18 @@
 //
 // Build and run:
 //   cmake -B build && cmake --build build -j
-//   ./build/examples/cluster_demo [--port=N]
+//   ./build/examples/cluster_demo [--port=N] [--trace_out=PATH]
 //
 // --port=N additionally mounts the cluster debug endpoints (0 picks an
 // ephemeral port):
 //   curl localhost:N/statusz   # cluster summary + per-shard table
 //   curl localhost:N/readyz    # quorum readiness
+//   curl localhost:N/queryz    # slow-query log; ?trace=<id> = Chrome trace
+//
+// --trace_out=PATH dumps the slowest profiled query's stitched Chrome
+// trace (one lane per shard, hedges and deadline attribution included) to
+// PATH — load it in chrome://tracing or ui.perfetto.dev. With the outage
+// below, the slowest query is usually one that lost shard-2.
 
 #include <atomic>
 #include <cstdio>
@@ -30,6 +36,7 @@
 
 #include "cluster/introspect.h"
 #include "cluster/partition.h"
+#include "common/file_io.h"
 #include "cluster/router.h"
 #include "cluster/shard.h"
 #include "esharp/pipeline.h"
@@ -76,8 +83,10 @@ class KillableShard final : public cluster::ShardTransport {
 
 int main(int argc, char** argv) {
   int port = -1;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--port=", 7) == 0) port = std::atoi(argv[i] + 7);
+    if (std::strncmp(argv[i], "--trace_out=", 12) == 0) trace_out = argv[i] + 12;
   }
   constexpr uint32_t kShards = 4;
 
@@ -163,8 +172,9 @@ int main(int argc, char** argv) {
     wiring.build_info = "cluster_demo (e# reproduction)";
     cluster::MountClusterEndpoints(server.get(), &router, wiring);
     if (!server->Start().ok()) return 1;
-    std::printf("\ndebugz on http://127.0.0.1:%d (/statusz, /readyz)\n",
-                server->port());
+    std::printf(
+        "\ndebugz on http://127.0.0.1:%d (/statusz, /readyz, /queryz)\n",
+        server->port());
   }
 
   std::vector<std::string> queries;
@@ -244,6 +254,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(degraded_count.load()));
   std::printf("shard table:\n%s\n", router.health().RenderTable().c_str());
   std::printf("router metrics:\n%s", router.metrics().ToTable().c_str());
+
+  // The slow-query log saw every scattered query above; dump the slowest
+  // one's stitched per-shard trace on request.
+  std::vector<std::shared_ptr<const obs::QueryProfile>> slowest =
+      router.slow_queries().TopK();
+  std::printf("\nslow-query log: %llu profiled, slowest %.3f ms\n",
+              static_cast<unsigned long long>(router.slow_queries().recorded()),
+              slowest.empty() ? 0.0 : slowest.front()->total_ms);
+  if (!trace_out.empty() && !slowest.empty()) {
+    const obs::QueryProfile& slow = *slowest.front();
+    Status written = WriteStringToFile(trace_out, slow.ExportChromeJson());
+    if (written.ok()) {
+      std::printf("wrote Chrome trace of '%s' (trace %s, %.3f ms, %s) to "
+                  "%s — load in chrome://tracing\n",
+                  slow.query.c_str(), slow.trace.TraceIdHex().c_str(),
+                  slow.total_ms, slow.outcome.c_str(), trace_out.c_str());
+    } else {
+      std::printf("could not write %s: %s\n", trace_out.c_str(),
+                  written.ToString().c_str());
+    }
+  }
   if (server != nullptr) server->Stop();
   return 0;
 }

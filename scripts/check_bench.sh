@@ -85,7 +85,7 @@ run_one() {
 # are well past scheduler-hiccup scale; the committed baselines are
 # generated with these exact arguments (EXPERIMENTS.md).
 run_one BENCH_serving.json  serving_load 4 3000 2000
-run_one BENCH_cluster.json  cluster_load 4 1000
+run_one BENCH_cluster.json  cluster_load 4 1000 --overhead_budget_pct=2
 run_one BENCH_pipeline.json scaling_pipeline
 run_one BENCH_sql.json      micro_sql
 run_one BENCH_online.json   micro_engine

@@ -49,7 +49,8 @@ double ShardHealthTracker::Now() const {
 }
 
 void ShardHealthTracker::RecordAttempt(PerShard& shard, double latency_seconds,
-                                       bool ok, uint64_t snapshot_version) {
+                                       bool ok, uint64_t snapshot_version,
+                                       const Status& error) {
   shard.requests_counter->Increment();
   if (!ok) shard.failures_counter->Increment();
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -60,6 +61,7 @@ void ShardHealthTracker::RecordAttempt(PerShard& shard, double latency_seconds,
   } else {
     ++shard.failures;
     ++shard.consecutive_failures;
+    shard.last_error = error.ToString();
   }
   shard.latency.Add(latency_seconds);
   double now = Now();
@@ -72,12 +74,13 @@ void ShardHealthTracker::RecordAttempt(PerShard& shard, double latency_seconds,
 void ShardHealthTracker::RecordSuccess(size_t shard, double latency_seconds,
                                        uint64_t snapshot_version) {
   RecordAttempt(*shards_[shard], latency_seconds, /*ok=*/true,
-                snapshot_version);
+                snapshot_version, Status::OK());
 }
 
-void ShardHealthTracker::RecordFailure(size_t shard, double latency_seconds) {
+void ShardHealthTracker::RecordFailure(size_t shard, double latency_seconds,
+                                       const Status& error) {
   RecordAttempt(*shards_[shard], latency_seconds, /*ok=*/false,
-                /*snapshot_version=*/0);
+                /*snapshot_version=*/0, error);
 }
 
 void ShardHealthTracker::RecordHedge(size_t shard) {
@@ -143,6 +146,7 @@ ShardStatus ShardHealthTracker::StatusOfLocked(const PerShard& shard) const {
   status.window_qps = decayed / kRateTauSeconds;
   status.p50_ms = shard.latency.Percentile(50) * 1e3;
   status.p99_ms = shard.latency.Percentile(99) * 1e3;
+  status.last_error = shard.last_error;
   return status;
 }
 
@@ -165,15 +169,16 @@ std::vector<ShardStatus> ShardHealthTracker::Snapshot() const {
 std::string ShardHealthTracker::RenderTable() const {
   std::string out =
       "shard              state     snapshot      qps    p50_ms    p99_ms"
-      "  requests  failures  hedges\n";
+      "  requests  failures  hedges  last_error\n";
   for (const ShardStatus& s : Snapshot()) {
     out += StrFormat(
-        "%-18s %-9s %8llu %8.1f %9.2f %9.2f %9llu %9llu %7llu\n",
+        "%-18s %-9s %8llu %8.1f %9.2f %9.2f %9llu %9llu %7llu  %s\n",
         s.name.c_str(), ShardStateName(s.state),
         static_cast<unsigned long long>(s.snapshot_version), s.window_qps,
         s.p50_ms, s.p99_ms, static_cast<unsigned long long>(s.requests),
         static_cast<unsigned long long>(s.failures),
-        static_cast<unsigned long long>(s.hedges));
+        static_cast<unsigned long long>(s.hedges),
+        s.last_error.empty() ? "-" : s.last_error.c_str());
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/status.h"
 #include "obs/metrics.h"
 
 namespace esharp::cluster {
@@ -37,6 +38,12 @@ struct ShardStatus {
   double window_qps = 0;  ///< EWMA attempt rate (tau ~10 s).
   double p50_ms = 0;
   double p99_ms = 0;
+  /// The most recent failure's Status::ToString() — over the HTTP
+  /// transport this is the shard's own error detail carried through the
+  /// wire ("Failed precondition: no snapshot published yet"), not just an
+  /// HTTP code. Empty until a failure occurs; kept after recovery so
+  /// /statusz still shows what last went wrong.
+  std::string last_error;
 };
 
 /// \brief Per-shard outcome/latency accounting behind the router: feeds the
@@ -64,7 +71,10 @@ class ShardHealthTracker {
 
   void RecordSuccess(size_t shard, double latency_seconds,
                      uint64_t snapshot_version);
-  void RecordFailure(size_t shard, double latency_seconds);
+  /// `error` becomes the shard's last_error (default keeps the old
+  /// call shape working where the cause is unknown).
+  void RecordFailure(size_t shard, double latency_seconds,
+                     const Status& error = Status::Internal("unknown"));
   void RecordHedge(size_t shard);
 
   ShardState StateOf(size_t shard) const;
@@ -95,6 +105,7 @@ class ShardHealthTracker {
     uint64_t hedges = 0;
     uint64_t consecutive_failures = 0;
     uint64_t snapshot_version = 0;
+    std::string last_error;
     LatencyHistogram latency;  // seconds
     double ewma_events = 0;
     double last_event_time = 0;
@@ -106,7 +117,7 @@ class ShardHealthTracker {
 
   double Now() const;
   void RecordAttempt(PerShard& shard, double latency_seconds, bool ok,
-                     uint64_t snapshot_version);
+                     uint64_t snapshot_version, const Status& error);
   ShardStatus StatusOfLocked(const PerShard& shard) const;
 
   Options options_;

@@ -101,6 +101,10 @@ void MountClusterEndpoints(obs::DebugServer* server, ClusterRouter* router,
     return out;
   };
   obs::MountStatusz(server, std::move(statusz));
+  // The slow-query log rides the same server: /queryz lists the slowest
+  // and most recent routed queries, ?trace=<id> serves one query's
+  // stitched Chrome trace.
+  obs::MountQueryz(server, &router->slow_queries());
 }
 
 }  // namespace esharp::cluster

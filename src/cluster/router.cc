@@ -34,6 +34,8 @@ struct ClusterRouter::GatherState {
   std::string query;
   double deadline_ms = 0;  // client budget; <= 0 none
   Timer timer;             // copies the request's queue timer time base
+  /// The query's trace; each attempt serves under a deterministic child.
+  obs::TraceContext trace;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -42,12 +44,20 @@ struct ClusterRouter::GatherState {
   std::vector<std::optional<ShardEvidence>> results;
   std::vector<Status> errors;
   size_t resolved = 0;
+  /// Child-span index of the next attempt (guarded by mu).
+  uint64_t attempt_counter = 0;
+  /// Profile lanes in the making: every attempt ever launched per shard,
+  /// completed in place when it finishes (guarded by mu). A straggler
+  /// finishing after the router harvested still completes its record here
+  /// harmlessly — the profile was built from a copy.
+  std::vector<std::vector<obs::LaneAttempt>> attempts;
 
   explicit GatherState(size_t num_shards)
       : finished(num_shards, false),
         hedged(num_shards, false),
         results(num_shards),
-        errors(num_shards, Status::OK()) {}
+        errors(num_shards, Status::OK()),
+        attempts(num_shards) {}
 };
 
 ClusterRouter::ClusterRouter(
@@ -63,6 +73,7 @@ ClusterRouter::ClusterRouter(
       health_(ShardNames(shards_),
               ShardHealthTracker::Options{options_.down_threshold,
                                           options_.clock}),
+      slow_log_(options_.slow_query_log),
       cache_(options_.cache) {}
 
 ClusterRouter::~ClusterRouter() {
@@ -112,7 +123,7 @@ void ClusterRouter::LaunchAttempt(const std::shared_ptr<GatherState>& state,
                                   size_t index, bool is_hedge) {
   if (is_hedge) health_.RecordHedge(index);
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  pool_->Submit([this, state, index] {
+  pool_->Submit([this, state, index, is_hedge] {
     ShardRequest shard_request;
     shard_request.query = state->query;
     bool expired = false;
@@ -128,6 +139,20 @@ void ClusterRouter::LaunchAttempt(const std::shared_ptr<GatherState>& state,
             remaining * options_.shard_deadline_fraction;
       }
     }
+    // Open this attempt's profile record and mint its child trace context;
+    // the record completes in place under the same mutex when the attempt
+    // resolves below.
+    size_t attempt_slot;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      shard_request.trace = state->trace.Child(state->attempt_counter++);
+      obs::LaneAttempt rec;
+      rec.hedge = is_hedge;
+      rec.start_ms = state->timer.ElapsedMillis();
+      rec.deadline_ms = shard_request.deadline_ms;
+      state->attempts[index].push_back(std::move(rec));
+      attempt_slot = state->attempts[index].size() - 1;
+    }
     Timer attempt_timer;
     Result<ShardEvidence> attempt =
         expired ? Result<ShardEvidence>(Status::DeadlineExceeded(
@@ -138,13 +163,31 @@ void ClusterRouter::LaunchAttempt(const std::shared_ptr<GatherState>& state,
       health_.RecordSuccess(index, seconds,
                             attempt.ValueOrDie().snapshot_version);
     } else {
-      health_.RecordFailure(index, seconds);
+      health_.RecordFailure(index, seconds, attempt.status());
     }
     {
       std::lock_guard<std::mutex> lock(state->mu);
+      obs::LaneAttempt& rec = state->attempts[index][attempt_slot];
+      rec.dur_ms = seconds * 1e3;
+      if (attempt.ok()) {
+        const ShardEvidence& evidence = attempt.ValueOrDie();
+        rec.outcome = "ok";
+        rec.candidates = evidence.evidence.size();
+        // The breakdown is trustworthy when the shard echoed our trace
+        // (in-process always does; over HTTP it proves the profile line
+        // belongs to this attempt, not a stale or garbled response).
+        rec.has_breakdown = evidence.trace.SameTrace(shard_request.trace);
+        rec.queue_ms = evidence.queue_ms;
+        rec.expand_ms = evidence.expand_ms;
+        rec.detect_ms = evidence.detect_ms;
+      } else {
+        rec.outcome = "error";
+        rec.detail = attempt.status().ToString();
+      }
       if (!state->finished[index]) {
         state->finished[index] = true;
         if (attempt.ok()) {
+          rec.won = true;  // first finisher's evidence is the one used
           state->results[index] = attempt.MoveValueUnsafe();
         } else {
           state->errors[index] = attempt.status();
@@ -170,10 +213,34 @@ Result<ClusterResponse> ClusterRouter::Execute(
   }
   const size_t n = shards_.size();
 
-  ESHARP_SPAN(request_span, options_.tracer, "cluster_request", nullptr);
+  // Every routed query serves under one 128-bit trace id: the caller's
+  // when it brought a valid context, a fresh root otherwise. Attempts get
+  // deterministic children of it, and the shards' own spans adopt it.
+  // Router-minted roots are head-sampled (trace_sample_period); only
+  // sampled requests touch the span ring, so tracing stays off the
+  // cache-hit fast path under load.
+  obs::TraceContext trace_ctx;
+  if (request.trace.valid()) {
+    trace_ctx = request.trace;
+  } else {
+    const uint64_t period = options_.trace_sample_period;
+    bool sampled =
+        period == 1 ||
+        (period > 0 &&
+         trace_counter_.fetch_add(1, std::memory_order_relaxed) % period ==
+             0);
+    trace_ctx = obs::TraceContext::NewRoot(sampled);
+  }
+  [[maybe_unused]] obs::Tracer* tracer =
+      trace_ctx.sampled ? options_.tracer : nullptr;
+
+  ESHARP_SPAN(request_span, tracer, "cluster_request", nullptr);
+  request_span.SetTrace(trace_ctx.trace_hi, trace_ctx.trace_lo);
+  ESHARP_SPAN_ANNOTATE(request_span, "trace", trace_ctx.TraceIdHex());
   ESHARP_SPAN_ANNOTATE(request_span, "shards", static_cast<int64_t>(n));
 
   ClusterResponse response;
+  response.trace = trace_ctx;
   response.shards_total = n;
   response.cluster_version = ClusterVersion();
 
@@ -195,11 +262,13 @@ Result<ClusterResponse> ClusterRouter::Execute(
   }
 
   // Scatter.
-  ESHARP_SPAN(gather_span, options_.tracer, "gather", &request_span);
+  const double scatter_start_ms = queue_timer.ElapsedMillis();
+  ESHARP_SPAN(gather_span, tracer, "gather", &request_span);
   auto state = std::make_shared<GatherState>(n);
   state->query = request.query;
   state->deadline_ms = deadline_ms;
   state->timer = queue_timer;
+  state->trace = trace_ctx;
   for (size_t i = 0; i < n; ++i) {
     LaunchAttempt(state, i, /*is_hedge=*/false);
   }
@@ -264,6 +333,8 @@ Result<ClusterResponse> ClusterRouter::Execute(
   size_t answered = 0;
   bool any_shard_timeout = false;
   Status first_error = Status::OK();
+  std::vector<std::vector<obs::LaneAttempt>> lane_attempts;
+  std::vector<std::string> lane_annotations(n);
   {
     std::lock_guard<std::mutex> lock(state->mu);
     for (size_t i = 0; i < n; ++i) {
@@ -273,10 +344,15 @@ Result<ClusterResponse> ClusterRouter::Execute(
       } else if (state->finished[i]) {
         if (state->errors[i].IsDeadlineExceeded()) any_shard_timeout = true;
         if (first_error.ok()) first_error = state->errors[i];
+        lane_annotations[i] = "failed: " + state->errors[i].ToString();
       } else {
         any_shard_timeout = true;  // still out when the budget expired
+        lane_annotations[i] = "no answer before deadline";
       }
     }
+    // Snapshot the attempt records for the profile while stragglers may
+    // still be completing theirs in place.
+    lane_attempts = state->attempts;
   }
   gather_span.End();
   ESHARP_SPAN_ANNOTATE(request_span, "answered",
@@ -288,10 +364,44 @@ Result<ClusterResponse> ClusterRouter::Execute(
   response.hedges_fired = hedges_fired;
   response.degraded = answered < n;
 
+  // Stitch and retain this query's profile: the router's stages plus one
+  // lane per shard, with every attempt's outcome. Runs on every
+  // post-scatter exit, so a timed-out or failed query still leaves a
+  // complete, inspectable picture in /queryz — those are exactly the
+  // queries worth debugging.
+  auto record_profile = [&](const char* outcome) {
+    if (!options_.enable_profiles) return;
+    auto profile = std::make_shared<obs::QueryProfile>();
+    profile->trace = trace_ctx;
+    profile->query = request.query;
+    profile->outcome = outcome;
+    profile->total_ms = queue_timer.ElapsedMillis();
+    profile->merge_ms = response.merge_ms;
+    profile->deadline_ms = deadline_ms > 0 ? deadline_ms : 0;
+    profile->shards_total = n;
+    profile->shards_answered = answered;
+    profile->hedges_fired = hedges_fired;
+    profile->degraded = response.degraded;
+    profile->recorded_at_seconds = obs::NowSeconds();
+    profile->stages.push_back(
+        {"gather", scatter_start_ms, gather_ms - scatter_start_ms});
+    if (response.merge_ms > 0) {
+      profile->stages.push_back({"merge_rank", gather_ms, response.merge_ms});
+    }
+    profile->lanes.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      profile->lanes[i].name = shards_[i]->name();
+      profile->lanes[i].annotation = lane_annotations[i];
+      profile->lanes[i].attempts = std::move(lane_attempts[i]);
+    }
+    slow_log_.Record(std::move(profile));
+  };
+
   if (answered == 0 || answered < options_.min_shards_answered) {
     if (deadline_hit || any_shard_timeout) {
       metrics_.RecordTimeout();
       ESHARP_SPAN_ANNOTATE(request_span, "outcome", "timeout");
+      record_profile("timeout");
       return Status::DeadlineExceeded(
           "only ", answered, " of ", n, " shards answered within ",
           deadline_ms, " ms (need ",
@@ -299,6 +409,7 @@ Result<ClusterResponse> ClusterRouter::Execute(
     }
     metrics_.RecordError();
     ESHARP_SPAN_ANNOTATE(request_span, "outcome", "error");
+    record_profile("error");
     if (!first_error.ok()) return first_error;
     return Status::Unavailable("no shard answered");
   }
@@ -306,13 +417,14 @@ Result<ClusterResponse> ClusterRouter::Execute(
   // Merge + the single cluster-level rank step (see cluster/merge.h for
   // why this reproduces the unsharded ranking bit for bit).
   Timer merge_timer;
-  ESHARP_SPAN(rank_span, options_.tracer, "merge_rank", &request_span);
+  ESHARP_SPAN(rank_span, tracer, "merge_rank", &request_span);
   Result<std::vector<expert::RankedExpert>> ranked =
       MergeAndRank(*detector_, pools);
   rank_span.End();
   if (!ranked.ok()) {
     metrics_.RecordError();
     ESHARP_SPAN_ANNOTATE(request_span, "outcome", "error");
+    record_profile("error");
     return ranked.status();
   }
   response.experts = ranked.MoveValueUnsafe();
@@ -330,10 +442,14 @@ Result<ClusterResponse> ClusterRouter::Execute(
   serving::StageTimings stages;
   stages.detect_ms = gather_ms;
   stages.rank_ms = response.merge_ms;
+  // The trace id rides the latency histogram as an exemplar, so a p99
+  // bucket in /varz points straight at a retained /queryz profile.
   metrics_.RecordRequest(queue_timer.ElapsedSeconds(), stages,
-                         /*cache_hit=*/false, /*deduplicated=*/false);
+                         /*cache_hit=*/false, /*deduplicated=*/false,
+                         trace_ctx.TraceIdHex());
   ESHARP_SPAN_ANNOTATE(request_span, "outcome",
                        response.degraded ? "degraded" : "ok");
+  record_profile(response.degraded ? "degraded" : "ok");
   return response;
 }
 

@@ -15,6 +15,8 @@
 #include "common/timer.h"
 #include "expert/detector.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
+#include "obs/trace_context.h"
 #include "serving/cache.h"
 #include "serving/engine.h"
 #include "serving/metrics.h"
@@ -68,6 +70,21 @@ struct RouterOptions {
   /// Optional scatter tracing: a "cluster_request" span with a "gather"
   /// child, annotated with shard/hedge counts. Must outlive the router.
   obs::Tracer* tracer = nullptr;
+  /// Head sampling for router-minted trace roots: every Nth request is
+  /// sampled (1 = all, 0 = none); only sampled requests record spans into
+  /// `tracer`, which keeps span-ring contention off the cache-hit fast
+  /// path at high qps. Requests arriving with their own valid trace keep
+  /// the caller's sampling decision. Profiles and the slow-query log are
+  /// independent of this knob (they only engage on the scatter path).
+  uint64_t trace_sample_period = 1;
+  /// Per-query profiles: every routed query (cache hits excepted — they
+  /// never scatter) is stitched into an obs::QueryProfile — one lane per
+  /// shard, every attempt with its deadline and the shard's piggybacked
+  /// breakdown — and recorded in the slow-query log behind /queryz.
+  /// Independent of `tracer`: profiles are per-query trees, the tracer is
+  /// the flat span ring.
+  bool enable_profiles = true;
+  obs::SlowQueryLogOptions slow_query_log;
   /// Test seam: clock for the health tracker's qps window.
   std::function<double()> clock;
 };
@@ -88,6 +105,11 @@ struct ClusterResponse {
   /// Merge + rank time at the router, milliseconds.
   double merge_ms = 0;
   double total_ms = 0;
+  /// Distributed trace context this query was served under (the request's
+  /// when it carried a valid one, else a router-minted root). Its
+  /// TraceIdHex() is the /queryz?trace= lookup key for this query's
+  /// profile and the exemplar label on the latency histogram.
+  obs::TraceContext trace{};
 };
 
 /// \brief The cluster tier's front door: scatter-gather over N shard
@@ -137,6 +159,10 @@ class ClusterRouter {
   const ShardHealthTracker& health() const { return health_; }
   ShardHealthTracker* mutable_health() { return &health_; }
 
+  /// The slow-query log of stitched per-query profiles (/queryz). Empty
+  /// when RouterOptions::enable_profiles is false.
+  const obs::SlowQueryLog& slow_queries() const { return slow_log_; }
+
   const serving::ServingMetrics& metrics() const { return metrics_; }
   serving::ServingMetrics* mutable_metrics() { return &metrics_; }
 
@@ -180,10 +206,13 @@ class ClusterRouter {
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;  // owned_pool_.get() or options_.pool
   ShardHealthTracker health_;
+  obs::SlowQueryLog slow_log_;
   serving::ShardedResultCache cache_;
   serving::ServingMetrics metrics_;
   Timer clock_;  // monotonic time base for cache TTLs
   std::atomic<size_t> in_flight_{0};
+  /// Round-robin position of the trace head sampler (trace_sample_period).
+  std::atomic<uint64_t> trace_counter_{0};
   /// Attempts still running or queued anywhere; the destructor spins on
   /// zero after draining the owned pool (mirrors ServingEngine).
   std::atomic<size_t> outstanding_{0};

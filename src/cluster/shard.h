@@ -20,6 +20,10 @@ struct ShardRequest {
   /// no deadline. Always explicit — the router's budget overrides any
   /// engine-side default, so one slow shard cannot ignore the client.
   double deadline_ms = 0;
+  /// Distributed trace context of this attempt: the router's query trace
+  /// id plus a per-attempt child span id. Crosses the wire as a header
+  /// line so shard-side spans carry the router's trace id.
+  obs::TraceContext trace{};
 };
 
 /// \brief One shard's answer: its partition's merged candidate evidence.
@@ -30,6 +34,14 @@ struct ShardEvidence {
   uint64_t snapshot_version = 0;
   size_t terms = 0;
   double shard_ms = 0;  ///< Shard-side end-to-end latency, milliseconds.
+  /// The trace context the shard served under (echoes the request's when
+  /// valid — proof of cross-process adoption).
+  obs::TraceContext trace{};
+  /// Shard-side timing breakdown, piggybacked for the router's per-query
+  /// profile: where shard_ms actually went.
+  double queue_ms = 0;
+  double expand_ms = 0;
+  double detect_ms = 0;
 };
 
 /// \brief Transport seam between the router and one shard engine. Two
@@ -71,6 +83,7 @@ class InProcessShard final : public ShardTransport {
     query.query = request.query;
     // 0 = explicitly none; never fall through to the engine default (-1).
     query.deadline_ms = request.deadline_ms > 0 ? request.deadline_ms : 0;
+    query.trace = request.trace;
     Result<serving::EvidenceResponse> result =
         engine_->QueryEvidence(std::move(query));
     if (!result.ok()) return result.status();
@@ -80,6 +93,10 @@ class InProcessShard final : public ShardTransport {
     evidence.snapshot_version = response.snapshot_version;
     evidence.terms = response.terms;
     evidence.shard_ms = response.total_ms;
+    evidence.trace = response.trace;
+    evidence.queue_ms = response.queue_ms;
+    evidence.expand_ms = response.stages.expand_ms;
+    evidence.detect_ms = response.stages.detect_ms;
     return evidence;
   }
 

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "common/strings.h"
@@ -19,10 +20,19 @@ int StatusToHttp(const Status& status) {
 }
 
 Status HttpToStatus(int http_status, const std::string& body) {
+  // The body is the shard's Status::ToString() ("<Code name>: <message>"),
+  // so the real failure cause — "no snapshot published yet", the shard's
+  // own deadline detail — survives the wire into the router's health
+  // tracker and /statusz instead of flattening to a bare HTTP code.
   switch (http_status) {
     case 400:
       return Status::InvalidArgument("shard rejected request: ", body);
     case 503:
+      // 503 covers two shard states; tell them apart by the code name the
+      // shard serialized, so "not ready yet" is not misread as "down".
+      if (body.rfind("Failed precondition", 0) == 0) {
+        return Status::FailedPrecondition("shard not ready: ", body);
+      }
       return Status::Unavailable("shard unavailable: ", body);
     case 504:
       return Status::DeadlineExceeded("shard deadline: ", body);
@@ -41,6 +51,15 @@ std::string EncodeShardEvidence(const ShardEvidence& evidence) {
       static_cast<unsigned long long>(evidence.terms),
       static_cast<unsigned long long>(evidence.evidence.size()),
       evidence.shard_ms);
+  // Optional profile line: trace adoption proof plus the shard-side timing
+  // breakdown the router stitches into its per-query profile. Decoders
+  // that predate it skip nothing — it is only written when there is a
+  // trace to report, and DecodeShardEvidence tolerates its absence.
+  if (evidence.trace.valid()) {
+    out += StrFormat("profile trace=%s queue=%.6f expand=%.6f detect=%.6f\n",
+                     evidence.trace.ToHeader().c_str(), evidence.queue_ms,
+                     evidence.expand_ms, evidence.detect_ms);
+  }
   out.reserve(out.size() + evidence.evidence.size() * 32);
   for (const expert::CandidateEvidence& c : evidence.evidence) {
     unsigned flags = (c.is_author ? 1u : 0u) | (c.is_mentioned ? 2u : 0u);
@@ -69,6 +88,34 @@ Result<ShardEvidence> DecodeShardEvidence(const std::string& body) {
   evidence.shard_ms = ms;
   evidence.evidence.reserve(static_cast<size_t>(candidates));
   p += header_len;
+  // Optional profile line (see EncodeShardEvidence). A malformed one is
+  // dropped, not fatal: the candidate payload is still good, and the
+  // evidence's trace simply stays invalid.
+  if (std::strncmp(p, "profile ", 8) == 0) {
+    char trace_buf[64] = {0};
+    double queue = 0, expand = 0, detect = 0;
+    int line_len = 0;
+    if (std::sscanf(p, "profile trace=%63s queue=%lf expand=%lf detect=%lf\n%n",
+                    trace_buf, &queue, &expand, &detect, &line_len) == 4 &&
+        line_len > 0) {
+      Result<obs::TraceContext> trace =
+          obs::TraceContext::FromHeader(trace_buf);
+      if (trace.ok()) {
+        evidence.trace = trace.ValueOrDie();
+        evidence.queue_ms = queue;
+        evidence.expand_ms = expand;
+        evidence.detect_ms = detect;
+      }
+    } else {
+      // Skip the unparseable line so the candidate loop starts clean.
+      const char* nl = std::strchr(p, '\n');
+      if (nl == nullptr) {
+        return Status::Internal("malformed shard evidence profile line");
+      }
+      line_len = static_cast<int>(nl - p) + 1;
+    }
+    p += line_len;
+  }
   for (unsigned long long i = 0; i < candidates; ++i) {
     expert::CandidateEvidence c;
     unsigned user = 0, flags = 0;
@@ -124,6 +171,13 @@ void MountShardEndpoint(obs::DebugServer* server,
     // 0 = explicit none: the router's budget replaces any engine default.
     query.deadline_ms =
         deadline.empty() ? 0 : std::strtod(deadline.c_str(), nullptr);
+    // Lenient by design: a missing, truncated or corrupt trace header
+    // yields a fresh root on the engine side, never a rejected request or
+    // a poisoned id.
+    std::string trace_header = request.Param("trace");
+    if (!trace_header.empty()) {
+      query.trace = obs::TraceContext::FromHeaderOrRoot(trace_header);
+    }
     Result<serving::EvidenceResponse> result =
         engine->QueryEvidence(std::move(query));
     if (!result.ok()) {
@@ -137,6 +191,10 @@ void MountShardEndpoint(obs::DebugServer* server,
     wire.snapshot_version = evidence.snapshot_version;
     wire.terms = evidence.terms;
     wire.shard_ms = evidence.total_ms;
+    wire.trace = evidence.trace;
+    wire.queue_ms = evidence.queue_ms;
+    wire.expand_ms = evidence.stages.expand_ms;
+    wire.detect_ms = evidence.stages.detect_ms;
     response.body = EncodeShardEvidence(wire);
     return response;
   });
@@ -166,6 +224,10 @@ Result<ShardEvidence> HttpShardTransport::Collect(
   if (request.deadline_ms > 0) {
     path += StrFormat("&deadline_ms=%.3f", request.deadline_ms);
     timeout = request.deadline_ms / 1e3 + options_.timeout_slack_seconds;
+  }
+  if (request.trace.valid()) {
+    // ToHeader() is pure unreserved characters — no encoding needed.
+    path += "&trace=" + request.trace.ToHeader();
   }
   Result<obs::HttpResponseData> http =
       obs::HttpGet(host_, port_, path, timeout);

@@ -14,18 +14,27 @@ namespace esharp::cluster {
 
 /// \brief Mounts the shard-side wire endpoints on a debugz server, so a
 /// shard process reuses the HTTP stack it already runs for /statusz:
-///   /shard/evidence?q=<query>[&deadline_ms=<d>]  the collection RPC
+///   /shard/evidence?q=<query>[&deadline_ms=<d>][&trace=<traceparent>]
+///                                                 the collection RPC
 ///   /shard/health                                 version + readiness line
-/// Status mapping: 400 InvalidArgument, 503 Unavailable/FailedPrecondition
-/// (shedding, no snapshot), 504 DeadlineExceeded, 500 anything else. The
-/// engine must outlive the server.
+/// The trace parameter is a TraceContext header; the shard serves under it
+/// (shard spans carry the router's trace id) and echoes it on the response
+/// profile line. A malformed header degrades to a fresh root, never an
+/// error. Status mapping: 400 InvalidArgument, 503
+/// Unavailable/FailedPrecondition (shedding, no snapshot), 504
+/// DeadlineExceeded, 500 anything else; error bodies carry the shard's
+/// Status::ToString(), so the router sees the true cause. The engine must
+/// outlive the server.
 void MountShardEndpoint(obs::DebugServer* server,
                         serving::ServingEngine* engine);
 
-/// \brief Text wire format of one ShardEvidence (version line, then one
-/// line per candidate). Exposed for tests; both ends are pure integer
-/// formatting, so a decode(encode(x)) round trip is exact — the
-/// bit-identical rank guarantee survives the wire.
+/// \brief Text wire format of one ShardEvidence (version line, then an
+/// optional "profile trace=... queue=... expand=... detect=..." line when
+/// the shard served under a trace, then one line per candidate). Exposed
+/// for tests; candidate counts are pure integer formatting, so a
+/// decode(encode(x)) round trip is exact — the bit-identical rank
+/// guarantee survives the wire. Decode tolerates a missing profile line
+/// (older shards) and drops a malformed one without failing the payload.
 std::string EncodeShardEvidence(const ShardEvidence& evidence);
 Result<ShardEvidence> DecodeShardEvidence(const std::string& body);
 

@@ -214,7 +214,22 @@ std::string MetricsRegistry::ExportJson() const {
                                                  s.count)) +
            ",\"mean\":" + JsonNumber(s.mean) + ",\"max\":" + JsonNumber(s.max) +
            ",\"p50\":" + JsonNumber(s.p50) + ",\"p95\":" + JsonNumber(s.p95) +
-           ",\"p99\":" + JsonNumber(s.p99) + "}";
+           ",\"p99\":" + JsonNumber(s.p99);
+    // Exemplar keys ("le"/"at"/"trace") deliberately avoid the summary
+    // field names above: bench_diff parses these lines with per-key
+    // scans, and a nested "value" or "p99" would corrupt its metric map.
+    std::vector<Exemplar> exemplars = e.instrument->Exemplars();
+    if (!exemplars.empty()) {
+      out += ",\"exemplars\":[";
+      for (size_t i = 0; i < exemplars.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "{\"le\":" + JsonNumber(exemplars[i].le_seconds) +
+               ",\"at\":" + JsonNumber(exemplars[i].value_seconds) +
+               ",\"trace\":\"" + JsonEscape(exemplars[i].label) + "\"}";
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += "\n  ]\n}\n";
   return out;

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -104,14 +105,50 @@ struct HistogramSnapshot {
   double p99 = 0;
 };
 
+/// \brief One exemplar: a concrete observation a histogram bucket can
+/// point at — typically a trace id, so the p99 bucket in /varz links to
+/// the /queryz profile of an actual slow query instead of an anonymous
+/// quantile.
+struct Exemplar {
+  double le_seconds = 0;  ///< Bucket upper bound (inf rendered as 1e300).
+  double value_seconds = 0;
+  std::string label;  ///< Trace id (32 hex) or other correlation key.
+};
+
 /// \brief Thread-safe latency distribution: `common/stats.h`
 /// LatencyHistogram behind a mutex. The lock is held for a few bucket
 /// increments; callers that cannot afford even that shard externally.
+///
+/// Observations may carry an exemplar label; the histogram keeps the
+/// latest labeled observation per decade bucket (1ms/10ms/100ms/1s/inf),
+/// exported in the JSON snapshot.
 class Histogram {
  public:
-  void Observe(double seconds) {
+  void Observe(double seconds) { Observe(seconds, {}); }
+
+  void Observe(double seconds, std::string_view exemplar_label) {
     std::lock_guard<std::mutex> lock(mu_);
     hist_.Add(seconds);
+    if (!exemplar_label.empty()) {
+      size_t bucket = 0;
+      while (bucket + 1 < kExemplarBuckets &&
+             seconds > kExemplarUpperSeconds[bucket]) {
+        ++bucket;
+      }
+      exemplars_[bucket].le_seconds = kExemplarUpperSeconds[bucket];
+      exemplars_[bucket].value_seconds = seconds;
+      exemplars_[bucket].label = std::string(exemplar_label);
+    }
+  }
+
+  /// Buckets that have seen a labeled observation, ascending by bound.
+  std::vector<Exemplar> Exemplars() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Exemplar> out;
+    for (const Exemplar& e : exemplars_) {
+      if (!e.label.empty()) out.push_back(e);
+    }
+    return out;
   }
 
   HistogramSnapshot Snapshot() const {
@@ -134,11 +171,17 @@ class Histogram {
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     hist_.Reset();
+    for (Exemplar& e : exemplars_) e = Exemplar{};
   }
 
  private:
+  static constexpr size_t kExemplarBuckets = 5;
+  static constexpr double kExemplarUpperSeconds[kExemplarBuckets] = {
+      0.001, 0.01, 0.1, 1.0, 1e300};
+
   mutable std::mutex mu_;
   LatencyHistogram hist_;
+  std::array<Exemplar, kExemplarBuckets> exemplars_;
 };
 
 /// \brief Process-wide registry of named instruments.

@@ -1,0 +1,160 @@
+#ifndef ESHARP_OBS_PROFILE_H_
+#define ESHARP_OBS_PROFILE_H_
+
+/// \file Per-query profiles and the bounded slow-query log.
+///
+/// A QueryProfile is the stitched cross-process picture of ONE query: the
+/// router's own stages plus one lane per shard, each lane holding every
+/// attempt (primary and hedge) the router launched there, with the shard's
+/// piggybacked timing breakdown when the attempt answered. It is the
+/// "which shard made this query slow, and was it the hedge or the
+/// primary?" answer, exportable as a Chrome/Perfetto trace with one lane
+/// per shard.
+///
+/// The SlowQueryLog retains a bounded set of profiles — the top-K slowest
+/// plus a ring of recent ones — and backs the /queryz debugz endpoint.
+/// Profiles never hold the result payload (no expert lists), only timing,
+/// attribution and the query text, so the log's footprint is a few KB per
+/// entry regardless of answer size.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace_context.h"
+
+namespace esharp::obs {
+
+class DebugServer;  // obs/debugz.h; only needed by MountQueryz
+
+/// \brief One named interval inside a profile, relative to the query's
+/// admission (milliseconds).
+struct ProfileStage {
+  std::string name;
+  double start_ms = 0;
+  double dur_ms = 0;
+};
+
+/// \brief One attempt the router launched against one shard. A lane holds
+/// one of these for the primary and, when the hedge trigger fired, a
+/// second for the hedge.
+struct LaneAttempt {
+  bool hedge = false;
+  /// True when this attempt's evidence is the one the answer used (the
+  /// first finisher per shard wins; a hedge with won=true is a hedge win).
+  bool won = false;
+  /// "ok", "error", or "outstanding" (still running when the router
+  /// stopped gathering — the deadline attribution for a lane that never
+  /// answered).
+  std::string outcome = "outstanding";
+  /// Error detail when outcome == "error" (shard status message).
+  std::string detail;
+  double start_ms = 0;  ///< Launch offset from query admission.
+  double dur_ms = 0;    ///< 0 while outstanding.
+  /// Budget the router granted this attempt (shard_deadline_fraction of
+  /// the remaining client budget at launch); 0 = none.
+  double deadline_ms = 0;
+  /// Shard-side breakdown piggybacked on the evidence response (all 0 when
+  /// the attempt failed before the shard answered).
+  double queue_ms = 0;
+  double expand_ms = 0;
+  double detect_ms = 0;
+  size_t candidates = 0;
+  bool has_breakdown = false;
+};
+
+/// \brief One shard's lane in the profile. Present for every shard the
+/// query scattered to — a dead or timed-out shard keeps its lane with an
+/// annotation, it does not silently vanish from the picture.
+struct ProfileLane {
+  std::string name;
+  /// Why this lane contributed nothing ("" when it answered).
+  std::string annotation;
+  std::vector<LaneAttempt> attempts;
+};
+
+/// \brief The stitched cross-process profile of one routed query.
+struct QueryProfile {
+  TraceContext trace;
+  std::string query;
+  /// "ok", "degraded", "timeout", "error".
+  std::string outcome;
+  double total_ms = 0;
+  double merge_ms = 0;
+  double deadline_ms = 0;  ///< Client budget; 0 = none.
+  size_t shards_total = 0;
+  size_t shards_answered = 0;
+  size_t hedges_fired = 0;
+  bool degraded = false;
+  std::vector<ProfileStage> stages;  ///< Router-side (gather, merge_rank).
+  std::vector<ProfileLane> lanes;    ///< One per shard, scatter order.
+  double recorded_at_seconds = 0;    ///< obs::NowSeconds() time base.
+
+  /// Chrome trace JSON for this one query: tid 0 is the router lane, tid
+  /// i+1 is shard lane i (thread_name metadata carries the shard names).
+  /// Attempts render as complete events with hedge/won/deadline/outcome
+  /// args; an answered attempt nests its shard-side queue/expand/detect
+  /// breakdown inside itself. Loads in chrome://tracing and Perfetto.
+  std::string ExportChromeJson() const;
+};
+
+struct SlowQueryLogOptions {
+  /// Slowest profiles retained (by total_ms), a bounded leaderboard.
+  size_t top_k = 16;
+  /// Most recent profiles retained regardless of latency, a ring.
+  size_t recent = 32;
+};
+
+/// \brief Bounded retention of query profiles: the top-K slowest plus a
+/// ring of recent ones. Thread-safe; entries are shared_ptr<const ...> so
+/// a /queryz render never blocks or races recording. Never stores result
+/// payloads — see the file comment.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowQueryLogOptions options = {});
+
+  void Record(std::shared_ptr<const QueryProfile> profile);
+
+  /// Slowest first.
+  std::vector<std::shared_ptr<const QueryProfile>> TopK() const;
+
+  /// Newest first.
+  std::vector<std::shared_ptr<const QueryProfile>> Recent() const;
+
+  /// Profile whose 32-hex trace id matches, or nullptr. Also accepts a
+  /// full "00-...-...-.." header (the id is extracted).
+  std::shared_ptr<const QueryProfile> Find(std::string_view trace_id) const;
+
+  /// Profiles recorded since construction (retention is bounded; this is
+  /// not).
+  uint64_t recorded() const;
+
+  const SlowQueryLogOptions& options() const { return options_; }
+
+  /// {"recorded":N,"top":[...],"recent":[...]} — the /queryz?format=json
+  /// body. Each entry is a summary (trace id, query, outcome, totals, per
+  /// lane attempt outcomes), not the full Chrome trace.
+  std::string RenderJson() const;
+
+ private:
+  SlowQueryLogOptions options_;
+  mutable std::mutex mu_;
+  /// Sorted descending by total_ms, size <= top_k.
+  std::vector<std::shared_ptr<const QueryProfile>> top_;
+  std::vector<std::shared_ptr<const QueryProfile>> recent_;  // ring
+  size_t recent_pos_ = 0;
+  uint64_t recorded_ = 0;
+};
+
+/// \brief Mounts /queryz on `server`: an HTML table of the slowest and
+/// most recent queries (?format=json for machines), and
+/// ?trace=<32-hex id> to download one query's stitched Chrome trace. The
+/// log must outlive the server.
+void MountQueryz(DebugServer* server, const SlowQueryLog* log);
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_PROFILE_H_

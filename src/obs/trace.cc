@@ -40,6 +40,8 @@ Span& Span::operator=(Span&& other) noexcept {
     name_ = std::move(other.name_);
     id_ = other.id_;
     parent_id_ = other.parent_id_;
+    trace_hi_ = other.trace_hi_;
+    trace_lo_ = other.trace_lo_;
     start_us_ = other.start_us_;
     args_ = std::move(other.args_);
     other.tracer_ = nullptr;
@@ -70,6 +72,8 @@ void Span::End() {
   event.name = std::move(name_);
   event.id = id_;
   event.parent_id = parent_id_;
+  event.trace_hi = trace_hi_;
+  event.trace_lo = trace_lo_;
   event.start_us = start_us_;
   event.dur_us = NowSeconds() * 1e6 - start_us_;
   event.tid = tracer->CurrentTid();
@@ -88,7 +92,11 @@ Span Tracer::StartSpanAt(const std::string& name, const Span* parent,
                          double start_seconds) {
   uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   uint64_t parent_id = parent != nullptr ? parent->id() : 0;
-  return Span(this, name, id, parent_id, start_seconds * 1e6);
+  Span span(this, name, id, parent_id, start_seconds * 1e6);
+  // Children ride their parent's distributed trace: SetTrace on the
+  // request root propagates through the whole in-process tree for free.
+  if (parent != nullptr) span.SetTrace(parent->trace_hi(), parent->trace_lo());
+  return span;
 }
 
 uint64_t Tracer::RecordSpan(
@@ -99,6 +107,10 @@ uint64_t Tracer::RecordSpan(
   event.name = name;
   event.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   event.parent_id = parent != nullptr ? parent->id() : 0;
+  if (parent != nullptr) {
+    event.trace_hi = parent->trace_hi();
+    event.trace_lo = parent->trace_lo();
+  }
   event.start_us = start_seconds * 1e6;
   event.dur_us = (end_seconds - start_seconds) * 1e6;
   event.tid = CurrentTid();
@@ -173,6 +185,11 @@ std::string Tracer::ExportChromeJson() const {
         JsonEscape(e.name).c_str(), e.start_us, e.dur_us, e.tid,
         static_cast<unsigned long long>(e.id),
         static_cast<unsigned long long>(e.parent_id));
+    if ((e.trace_hi | e.trace_lo) != 0) {
+      out += StrFormat(",\"trace\":\"%016llx%016llx\"",
+                       static_cast<unsigned long long>(e.trace_hi),
+                       static_cast<unsigned long long>(e.trace_lo));
+    }
     for (const auto& [k, v] : e.args) {
       out += ",\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
     }

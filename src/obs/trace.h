@@ -23,6 +23,13 @@ struct TraceEvent {
   std::string name;
   uint64_t id = 0;
   uint64_t parent_id = 0;  ///< 0 = root.
+  /// 128-bit distributed trace id (obs::TraceContext); 0/0 when the span
+  /// belongs to no cross-process trace. Lets one query's spans be pulled
+  /// out of a shared per-engine ring even when the ring interleaves many
+  /// concurrent requests — and, because the id crosses the shard wire,
+  /// correlates router spans with the shard spans they fanned out into.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
   double start_us = 0;
   double dur_us = 0;
   uint32_t tid = 0;
@@ -54,8 +61,18 @@ class Span {
   /// Stops the clock and records the event. Idempotent.
   void End();
 
+  /// Tags this span with a distributed trace id. Child spans started with
+  /// this span as parent inherit the tag automatically, so one SetTrace on
+  /// the request root covers the whole in-process tree.
+  void SetTrace(uint64_t trace_hi, uint64_t trace_lo) {
+    trace_hi_ = trace_hi;
+    trace_lo_ = trace_lo;
+  }
+
   /// Unique id within the tracer (0 for an inert span).
   uint64_t id() const { return id_; }
+  uint64_t trace_hi() const { return trace_hi_; }
+  uint64_t trace_lo() const { return trace_lo_; }
   bool active() const { return tracer_ != nullptr; }
 
  private:
@@ -72,6 +89,8 @@ class Span {
   std::string name_;
   uint64_t id_ = 0;
   uint64_t parent_id_ = 0;
+  uint64_t trace_hi_ = 0;
+  uint64_t trace_lo_ = 0;
   double start_us_ = 0;
   std::vector<std::pair<std::string, std::string>> args_;
 };

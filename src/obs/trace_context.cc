@@ -1,0 +1,127 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace esharp::obs {
+
+namespace {
+
+/// Parses exactly `n` lowercase-or-uppercase hex digits starting at `p`.
+/// Returns false on any non-hex character.
+bool ParseHex(const char* p, size_t n, uint64_t* out) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    char c = p[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  *out = v;
+  return true;
+}
+
+/// One fresh 64-bit value per call: a process-local counter mixed with the
+/// steady clock and a per-thread address, so concurrent roots in one
+/// process and roots minted by different processes diverge immediately.
+uint64_t Entropy64() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t ticks = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed);
+  uint64_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  static const int process_anchor = 0;
+  uint64_t aslr = reinterpret_cast<uint64_t>(&process_anchor);
+  return Mix64(HashCombine(Mix64(ticks ^ aslr), Mix64(seq) ^ tid));
+}
+
+uint64_t NonZero(uint64_t v) { return v == 0 ? 1 : v; }
+
+}  // namespace
+
+TraceContext TraceContext::NewRoot(bool sampled) {
+  TraceContext ctx;
+  ctx.trace_hi = NonZero(Entropy64());
+  ctx.trace_lo = NonZero(Entropy64());
+  ctx.span_id = NonZero(Entropy64());
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+TraceContext TraceContext::Child(uint64_t child_index) const {
+  TraceContext child = *this;
+  // Pure integer derivation — no clock, no counter — so it is replayable
+  // and identical on every platform (golden-pinned in tracing_test.cc).
+  child.span_id =
+      NonZero(Mix64(HashCombine(HashCombine(trace_lo, span_id), child_index)));
+  return child;
+}
+
+std::string TraceContext::ToHeader() const {
+  return StrFormat("00-%016llx%016llx-%016llx-%02x",
+                   static_cast<unsigned long long>(trace_hi),
+                   static_cast<unsigned long long>(trace_lo),
+                   static_cast<unsigned long long>(span_id),
+                   sampled ? 1u : 0u);
+}
+
+std::string TraceContext::TraceIdHex() const {
+  return StrFormat("%016llx%016llx", static_cast<unsigned long long>(trace_hi),
+                   static_cast<unsigned long long>(trace_lo));
+}
+
+Result<TraceContext> TraceContext::FromHeader(std::string_view header) {
+  // 00-{32 hex}-{16 hex}-{2 hex}: 2 + 1 + 32 + 1 + 16 + 1 + 2 = 55.
+  if (header.size() != 55) {
+    return Status::InvalidArgument("trace header length ", header.size(),
+                                   ", want 55");
+  }
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return Status::InvalidArgument("trace header delimiters misplaced");
+  }
+  const char* p = header.data();
+  uint64_t version = 0;
+  if (!ParseHex(p, 2, &version)) {
+    return Status::InvalidArgument("trace header version not hex");
+  }
+  if (version != 0) {
+    // Future versions may append fields; until one exists, treat them as
+    // unparseable rather than guessing at their layout.
+    return Status::InvalidArgument("unsupported trace header version ",
+                                   version);
+  }
+  TraceContext ctx;
+  uint64_t flags = 0;
+  if (!ParseHex(p + 3, 16, &ctx.trace_hi) ||
+      !ParseHex(p + 19, 16, &ctx.trace_lo) ||
+      !ParseHex(p + 36, 16, &ctx.span_id) || !ParseHex(p + 53, 2, &flags)) {
+    return Status::InvalidArgument("trace header has non-hex id digits");
+  }
+  ctx.sampled = (flags & 1u) != 0;
+  if (!ctx.valid()) {
+    return Status::InvalidArgument("trace header carries zero ids");
+  }
+  return ctx;
+}
+
+TraceContext TraceContext::FromHeaderOrRoot(std::string_view header,
+                                            bool sampled_default) {
+  Result<TraceContext> parsed = FromHeader(header);
+  if (parsed.ok()) return parsed.ValueOrDie();
+  return NewRoot(sampled_default);
+}
+
+}  // namespace esharp::obs

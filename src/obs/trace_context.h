@@ -1,0 +1,86 @@
+#ifndef ESHARP_OBS_TRACE_CONTEXT_H_
+#define ESHARP_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace esharp::obs {
+
+/// \brief Dapper-style trace context: the identity one query keeps as it
+/// crosses process boundaries. A 128-bit trace id names the whole query
+/// (router request plus every shard attempt it fans out into), a 64-bit
+/// span id names the position within that query's tree, and the sampling
+/// bit tells downstream processes whether to spend effort on detail.
+///
+/// Child derivation is deterministic (pure integer mixing over the parent
+/// ids and a child index — see Child()), so the router and a replayed
+/// trace agree on every span id without coordination, and the codec golden
+/// values in tests/tracing_test.cc pin the scheme cross-platform exactly
+/// like common/partitioner.h pins the shard router.
+///
+/// The wire form follows the W3C traceparent shape:
+///
+///   00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+///
+/// (version "00", flags bit 0 = sampled; 55 chars total). Decoding is
+/// strict — any malformed, truncated or zero-id header is rejected so the
+/// caller can fall back to a fresh root (FromHeaderOrRoot) instead of
+/// propagating a poisoned id.
+struct TraceContext {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  bool sampled = true;
+
+  /// A context is valid when both the 128-bit trace id and the span id are
+  /// nonzero (all-zero ids are the W3C "absent" sentinel).
+  bool valid() const { return (trace_hi | trace_lo) != 0 && span_id != 0; }
+
+  /// Mints a fresh root context with a process-unique trace id (clock,
+  /// counter and address-space entropy mixed through Mix64 — no PRNG state
+  /// to seed or contend on).
+  static TraceContext NewRoot(bool sampled = true);
+
+  /// Deterministic child: same trace id, child span id derived from
+  /// (trace_lo, span_id, child_index) by pure integer mixing. Two routers
+  /// replaying the same scatter produce identical span ids; the derivation
+  /// is pinned by golden values in the test suite.
+  TraceContext Child(uint64_t child_index) const;
+
+  /// "00-<32 hex>-<16 hex>-<2 hex>" (55 chars).
+  std::string ToHeader() const;
+
+  /// The 32-hex-digit trace id alone: the /queryz lookup key and the value
+  /// of "trace" annotations on spans and histogram exemplars.
+  std::string TraceIdHex() const;
+
+  /// Strict parse of ToHeader()'s format. Errors (InvalidArgument) on
+  /// anything but a well-formed version-00 header with nonzero ids.
+  static Result<TraceContext> FromHeader(std::string_view header);
+
+  /// Lenient entry point for the wire: a well-formed header is adopted,
+  /// anything else (missing, truncated, corrupt, zero ids) yields a fresh
+  /// root — never a crash, never a poisoned id.
+  static TraceContext FromHeaderOrRoot(std::string_view header,
+                                       bool sampled_default = true);
+
+  bool operator==(const TraceContext& other) const {
+    return trace_hi == other.trace_hi && trace_lo == other.trace_lo &&
+           span_id == other.span_id && sampled == other.sampled;
+  }
+  bool operator!=(const TraceContext& other) const {
+    return !(*this == other);
+  }
+
+  /// True when `other` names the same 128-bit trace (span ids may differ).
+  bool SameTrace(const TraceContext& other) const {
+    return trace_hi == other.trace_hi && trace_lo == other.trace_lo;
+  }
+};
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_TRACE_CONTEXT_H_

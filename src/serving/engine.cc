@@ -323,6 +323,12 @@ Result<QueryResponse> ServingEngine::Execute(const QueryRequest& request,
     double submitted = now - queue_timer.ElapsedSeconds();
     request_span =
         options_.tracer->StartSpanAt("request", /*parent=*/nullptr, submitted);
+    // Join the caller's distributed trace, or mint a fresh root: every
+    // request serves under SOME 128-bit trace id, and children inherit it.
+    obs::TraceContext trace_ctx =
+        request.trace.valid() ? request.trace : obs::TraceContext::NewRoot();
+    request_span.SetTrace(trace_ctx.trace_hi, trace_ctx.trace_lo);
+    request_span.Annotate("trace", trace_ctx.TraceIdHex());
     options_.tracer->RecordSpan("admission", &request_span, submitted, now);
   }
 #endif
@@ -493,7 +499,7 @@ Result<QueryResponse> ServingEngine::ExecuteUncached(
     const std::string& key, const QueryRequest& request,
     const Timer& queue_timer, double deadline_ms,
     const std::shared_ptr<const ServingSnapshot>& snapshot,
-    const obs::Span* trace_parent, uint64_t request_id) {
+    [[maybe_unused]] const obs::Span* trace_parent, uint64_t request_id) {
   if (options_.execution_hook) options_.execution_hook(key);
   const core::ESharp& esharp = snapshot->esharp();
   QueryResponse response;
@@ -644,12 +650,22 @@ Result<EvidenceResponse> ServingEngine::ExecuteEvidence(
   // per-term pools in the snapshot's TermEvidenceIndex already are this
   // path's cache, and deduplication belongs at the router, which sees the
   // whole query stream. Shows up in /tracez like any other request.
+  // Adopt the router's trace context when the request carries one; a
+  // direct caller (tests, single-node serving) gets a fresh root. Recorded
+  // in the response so the router can assert cross-process adoption.
+  obs::TraceContext trace_ctx =
+      request.trace.valid() ? request.trace : obs::TraceContext::NewRoot();
+  double queue_wait_ms = queue_timer.ElapsedMillis();
   obs::Span request_span;
 #if ESHARP_OBS_ENABLED
   if (options_.tracer != nullptr) {
+    double now = obs::NowSeconds();
+    double submitted = now - queue_timer.ElapsedSeconds();
     request_span = options_.tracer->StartSpanAt(
-        "shard_request", /*parent=*/nullptr,
-        obs::NowSeconds() - queue_timer.ElapsedSeconds());
+        "shard_request", /*parent=*/nullptr, submitted);
+    request_span.SetTrace(trace_ctx.trace_hi, trace_ctx.trace_lo);
+    request_span.Annotate("trace", trace_ctx.TraceIdHex());
+    options_.tracer->RecordSpan("admission", &request_span, submitted, now);
   }
 #endif
   RequestScope scope(this, request, queue_timer);
@@ -677,6 +693,8 @@ Result<EvidenceResponse> ServingEngine::ExecuteEvidence(
 
   EvidenceResponse response;
   response.snapshot_version = snapshot->version();
+  response.trace = trace_ctx;
+  response.queue_ms = queue_wait_ms;
 
   Timer stage_timer;
   SetActiveStage(scope.id(), "expand");
@@ -702,6 +720,7 @@ Result<EvidenceResponse> ServingEngine::ExecuteEvidence(
   response.evidence = detected.MoveValueUnsafe();
   detect_span.End();
   stages.detect_ms = stage_timer.ElapsedMillis();
+  response.stages = stages;
   response.total_ms = queue_timer.ElapsedMillis();
 
   metrics_.RecordRequest(queue_timer.ElapsedSeconds(), stages,

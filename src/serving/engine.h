@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "obs/obs.h"
+#include "obs/trace_context.h"
 #include "serving/cache.h"
 #include "serving/metrics.h"
 #include "serving/snapshot.h"
@@ -81,6 +82,11 @@ struct QueryRequest {
   double deadline_ms = -1;
   /// Skips cache lookup AND population for this request.
   bool bypass_cache = false;
+  /// Distributed trace context to serve under. Invalid (default) = the
+  /// engine mints a fresh root at admission; valid = the request joins an
+  /// existing trace (the cluster router's scatter sets this, so shard
+  /// spans carry the router's trace id across the process boundary).
+  obs::TraceContext trace{};
 };
 
 /// \brief Point-in-time health of one engine: the signals /healthz and
@@ -146,6 +152,16 @@ struct EvidenceResponse {
   size_t terms = 0;
   /// End-to-end latency on this shard, including queue wait, milliseconds.
   double total_ms = 0;
+  /// Admission-queue wait alone, milliseconds (piggybacked to the router
+  /// so cross-shard profiles attribute shard latency to queue vs work).
+  double queue_ms = 0;
+  /// Expand/detect breakdown of this shard's work (rank_ms stays 0 — the
+  /// shard path never ranks).
+  StageTimings stages;
+  /// The trace context the shard actually served under: the request's when
+  /// it was valid, otherwise the fresh root the shard minted. Lets the
+  /// router (and tests) confirm cross-process adoption.
+  obs::TraceContext trace{};
 };
 
 /// \brief One served answer, with provenance.

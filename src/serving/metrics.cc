@@ -63,11 +63,12 @@ void ServingMetrics::SetClockForTest(std::function<double()> clock) {
 
 void ServingMetrics::RecordRequest(double total_seconds,
                                    const StageTimings& stages, bool cache_hit,
-                                   bool deduplicated) {
+                                   bool deduplicated,
+                                   std::string_view exemplar_label) {
   completed_->Increment();
   if (cache_hit) cache_hits_->Increment();
   if (deduplicated) deduplicated_->Increment();
-  total_->Observe(total_seconds);
+  total_->Observe(total_seconds, exemplar_label);
   if (!cache_hit && !deduplicated) {
     expand_->Observe(stages.expand_ms / 1e3);
     detect_->Observe(stages.detect_ms / 1e3);

@@ -5,6 +5,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 
@@ -62,9 +63,13 @@ class ServingMetrics {
   ServingMetrics();
 
   /// Records one completed request. `stages` applies only when the request
-  /// actually executed (cache hits carry zero stage time).
+  /// actually executed (cache hits carry zero stage time). A non-empty
+  /// `exemplar_label` (a trace id) rides the total-latency histogram as an
+  /// exemplar, linking the bucket this request landed in to its retained
+  /// trace/profile.
   void RecordRequest(double total_seconds, const StageTimings& stages,
-                     bool cache_hit, bool deduplicated);
+                     bool cache_hit, bool deduplicated,
+                     std::string_view exemplar_label = {});
 
   /// Records a request rejected by admission control.
   void RecordShed() { shed_->Increment(); }
