@@ -1,35 +1,70 @@
 #include "common/file_io.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <system_error>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 namespace esharp {
 
-Result<std::string> ReadFileToString(const std::string& path) {
+namespace {
+
+/// "No such file or directory (errno 2)" — the cause callers were missing
+/// when open/read/map failed with a bare "cannot open".
+std::string ErrnoDetail(int err) {
+  return std::generic_category().message(err) + " (errno " +
+         std::to_string(err) + ")";
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path,
+                                     uint64_t max_bytes) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Status::IOError("cannot open '", path, "' for reading");
+    return Status::IOError("cannot open '", path, "' for reading: ",
+                           ErrnoDetail(errno));
   }
   std::string out;
   char buffer[1 << 16];
   size_t n;
   while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    if (out.size() + n > max_bytes) {
+      std::fclose(f);
+      return Status::IOError("refusing to read '", path, "': larger than the ",
+                             max_bytes, "-byte cap");
+    }
     out.append(buffer, n);
   }
+  const int read_errno = errno;
   bool failed = std::ferror(f) != 0;
   std::fclose(f);
-  if (failed) return Status::IOError("read error on '", path, "'");
+  if (failed) {
+    return Status::IOError("read error on '", path, "': ",
+                           ErrnoDetail(read_errno));
+  }
   return out;
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view content) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IOError("cannot open '", path, "' for writing");
+    return Status::IOError("cannot open '", path, "' for writing: ",
+                           ErrnoDetail(errno));
   }
   size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int write_errno = errno;
   bool failed = written != content.size();
   if (std::fclose(f) != 0) failed = true;
-  if (failed) return Status::IOError("write error on '", path, "'");
+  if (failed) {
+    return Status::IOError("write error on '", path, "': ",
+                           ErrnoDetail(write_errno));
+  }
   return Status::OK();
 }
 
@@ -38,6 +73,91 @@ bool FileExists(const std::string& path) {
   if (f == nullptr) return false;
   std::fclose(f);
   return true;
+}
+
+MmapFile::~MmapFile() { Close(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  data_ = other.data_;
+  size_ = other.size_;
+  open_ = other.open_;
+  mapped_ = other.mapped_;
+  owned_ = std::move(other.owned_);
+  // The fallback buffer may be small enough for SSO, in which case the
+  // move relocated the bytes; re-anchor the view.
+  if (open_ && !mapped_) {
+    data_ = reinterpret_cast<const uint8_t*>(owned_.data());
+  }
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.open_ = false;
+  other.mapped_ = false;
+  other.owned_.clear();
+  return *this;
+}
+
+Status MmapFile::Open(const std::string& path) {
+  Close();
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open '", path, "': ", ErrnoDetail(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat '", path, "': ", ErrnoDetail(err));
+  }
+  size_ = static_cast<size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap of length 0 is EINVAL; an empty file is a valid (empty) view.
+    ::close(fd);
+    data_ = nullptr;
+    open_ = true;
+    mapped_ = false;
+    return Status::OK();
+  }
+  void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (addr == MAP_FAILED) {
+    // Fall back to a plain read: same bytes, no zero-copy. Carry the mmap
+    // cause if the read also fails.
+    const int map_err = errno;
+    ::close(fd);
+    Result<std::string> read = ReadFileToString(path, SIZE_MAX);
+    if (!read.ok()) {
+      return Status::IOError("cannot map '", path, "': ",
+                             ErrnoDetail(map_err),
+                             "; fallback read also failed: ",
+                             read.status().message());
+    }
+    owned_ = std::move(read).MoveValueUnsafe();
+    size_ = owned_.size();
+    data_ = reinterpret_cast<const uint8_t*>(owned_.data());
+    open_ = true;
+    mapped_ = false;
+    return Status::OK();
+  }
+  ::close(fd);  // the mapping survives the descriptor
+  data_ = static_cast<const uint8_t*>(addr);
+  open_ = true;
+  mapped_ = true;
+  return Status::OK();
+}
+
+void MmapFile::Close() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+  mapped_ = false;
+  owned_.clear();
+  owned_.shrink_to_fit();
 }
 
 }  // namespace esharp

@@ -1,20 +1,65 @@
 #ifndef ESHARP_COMMON_FILE_IO_H_
 #define ESHARP_COMMON_FILE_IO_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
 
 namespace esharp {
 
-/// \brief Reads an entire file into a string.
-Result<std::string> ReadFileToString(const std::string& path);
+/// Default ReadFileToString cap: 1 GiB, far above every text artifact the
+/// system writes (TSV stores, JSON snapshots) and far below "swap death".
+inline constexpr uint64_t kDefaultReadCap = uint64_t{1} << 30;
+
+/// \brief Reads an entire file into a string. Fails with an errno-detailed
+/// kIOError (path + cause) and refuses files larger than `max_bytes` —
+/// callers reading operator-supplied paths get a bound instead of an
+/// allocation the size of whatever the path points at.
+Result<std::string> ReadFileToString(const std::string& path,
+                                     uint64_t max_bytes = kDefaultReadCap);
 
 /// \brief Writes a string to a file, replacing any previous content.
 Status WriteStringToFile(const std::string& path, std::string_view content);
 
 /// \brief True iff the file exists and is readable.
 bool FileExists(const std::string& path);
+
+/// \brief A read-only memory-mapped file (the zero-parse cold-start path
+/// of serving/snapshot_file.h). Opens and maps in Open(); unmaps in the
+/// destructor. Movable, not copyable. Every failure Status carries the
+/// path and the errno detail.
+///
+/// Where mmap is unavailable the class falls back to reading the file
+/// into an owned buffer — callers see identical bytes either way, only
+/// the cold-start speed differs.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Opens and maps `path` read-only. On failure the instance stays empty.
+  Status Open(const std::string& path);
+
+  /// Unmaps and forgets the mapping (no-op when empty).
+  void Close();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool is_open() const { return open_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool open_ = false;
+  bool mapped_ = false;       // data_ came from mmap (else owned fallback)
+  std::string owned_;         // fallback storage when not mapped
+};
 
 }  // namespace esharp
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string_view>
 
@@ -34,6 +35,23 @@ inline uint64_t Mix64(uint64_t k) {
 inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
 }
+
+/// \brief Bit image of a double with +0.0/-0.0 canonicalized, so values
+/// that compare equal hash equal. This is the self-defined replacement for
+/// std::hash<double> in the engine's cell hashing: a fixed, documented
+/// function the batched SIMD hash kernels (common/simd.h) can reproduce
+/// bit-identically, with no dependency on standard-library internals.
+inline uint64_t CanonicalF64Bits(double d) {
+  if (d == 0.0) return 0;  // merges -0.0 into +0.0
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// \brief Stable hash of a double cell: Mix64 over the canonical bits.
+/// NaN bit patterns hash arbitrarily (NaN compares unequal to everything,
+/// so its hash can never be observed through equality).
+inline uint64_t HashF64(double d) { return Mix64(CanonicalF64Bits(d)); }
 
 }  // namespace esharp
 

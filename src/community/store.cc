@@ -167,6 +167,29 @@ Result<CommunityStore> CommunityStore::ParseTsv(const std::string& tsv) {
   return store;
 }
 
+CommunityStore CommunityStore::FromSnapshotParts(
+    std::vector<Community> communities,
+    const std::vector<std::pair<uint64_t, double>>& inter_weights) {
+  CommunityStore store;
+  store.communities_ = std::move(communities);
+  for (size_t i = 0; i < store.communities_.size(); ++i) {
+    for (const std::string& term : store.communities_[i].terms) {
+      store.term_index_.emplace(ToLowerAscii(term), i);
+    }
+  }
+  store.inter_weight_.reserve(inter_weights.size());
+  for (const auto& [key, w] : inter_weights) store.inter_weight_[key] = w;
+  return store;
+}
+
+std::vector<std::pair<uint64_t, double>> CommunityStore::InterWeights() const {
+  std::vector<std::pair<uint64_t, double>> out(inter_weight_.begin(),
+                                               inter_weight_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 uint64_t CommunityStore::SizeBytes() const {
   uint64_t total = 0;
   for (const Community& c : communities_) {

@@ -85,6 +85,18 @@ class CommunityStore {
   /// Parses the TSV form back into a store.
   static Result<CommunityStore> ParseTsv(const std::string& tsv);
 
+  /// Reassembles a store from pre-built parts, as decoded from a binary
+  /// snapshot: communities in index order plus (PairKey, weight) inter-
+  /// community edges. The term index is rebuilt with the same first-wins
+  /// rule Build and ParseTsv use, so lookups behave identically.
+  static CommunityStore FromSnapshotParts(
+      std::vector<Community> communities,
+      const std::vector<std::pair<uint64_t, double>>& inter_weights);
+
+  /// Inter-community weights as sorted (PairKey, weight) pairs, for
+  /// snapshot serialization (deterministic byte-stable order).
+  std::vector<std::pair<uint64_t, double>> InterWeights() const;
+
   /// Approximate serialized size (Table 9 reports ~100 MB for the real
   /// collection).
   uint64_t SizeBytes() const;

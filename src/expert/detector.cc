@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
 #include "common/stats.h"
 #include "expert/cluster_filter.h"
 #include "common/strings.h"
@@ -253,24 +254,36 @@ std::vector<CandidateEvidence> MergeEvidenceViews(
   }
   std::vector<CandidateEvidence> out;
   out.reserve(total);  // upper bound: no user shared across pools
+  // Head users kept in a flat array alongside the cursors so the per-round
+  // minimum is one vectorizable sweep (simd::MinU32) instead of a chain of
+  // dependent compares through struct fields.
+  std::vector<uint32_t> heads(cursors.size());
+  for (size_t i = 0; i < cursors.size(); ++i) heads[i] = cursors[i].it->user;
   while (!cursors.empty()) {
-    microblog::UserId next_user = cursors[0].it->user;
-    for (size_t i = 1; i < cursors.size(); ++i) {
-      next_user = std::min(next_user, cursors[i].it->user);
+    if (cursors.size() == 1) {
+      // One surviving pool: its tail is already sorted with unique users,
+      // so the remaining entries append verbatim — no per-round folding.
+      out.insert(out.end(), cursors[0].it, cursors[0].end);
+      break;
     }
+    const microblog::UserId next_user =
+        simd::MinU32(heads.data(), heads.size());
     out.emplace_back();
     CandidateEvidence* acc = &out.back();
     acc->user = next_user;
     for (size_t i = 0; i < cursors.size();) {
       Cursor& c = cursors[i];
-      if (c.it->user == next_user) {
+      if (heads[i] == next_user) {
         AccumulateInto(acc, *c.it);
         ++c.it;
         if (c.it == c.end) {
           cursors[i] = cursors.back();
           cursors.pop_back();
+          heads[i] = heads.back();
+          heads.pop_back();
           continue;  // re-examine the swapped-in cursor at index i
         }
+        heads[i] = c.it->user;
       }
       ++i;
     }

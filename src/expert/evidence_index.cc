@@ -33,6 +33,24 @@ TermEvidenceIndex TermEvidenceIndex::Build(
   return index;
 }
 
+TermEvidenceIndex TermEvidenceIndex::FromSnapshotParts(
+    std::vector<std::string> terms,
+    std::vector<std::vector<CandidateEvidence>> pools) {
+  TermEvidenceIndex index;
+  index.pools_ = std::move(pools);
+  index.term_to_pool_.reserve(terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    index.term_to_pool_.emplace(std::move(terms[i]), i);
+  }
+  return index;
+}
+
+std::vector<std::string> TermEvidenceIndex::TermStrings() const {
+  std::vector<std::string> terms(pools_.size());
+  for (const auto& [term, i] : term_to_pool_) terms[i] = term;
+  return terms;
+}
+
 size_t TermEvidenceIndex::num_entries() const {
   size_t total = 0;
   for (const std::vector<CandidateEvidence>& pool : pools_) {

@@ -53,6 +53,25 @@ class TermEvidenceIndex {
     return Build(corpus, vocabulary, BuildOptions());
   }
 
+  /// Reassembles an index from pre-built parts, as decoded from a binary
+  /// snapshot: `terms[i]` owns `pools[i]`. Skips CollectCandidates entirely
+  /// — this is the zero-parse cold-start path, valid because pools are a
+  /// pure function of the (immutable) corpus and vocabulary that were
+  /// saved together with them.
+  static TermEvidenceIndex FromSnapshotParts(
+      std::vector<std::string> terms,
+      std::vector<std::vector<CandidateEvidence>> pools);
+
+  /// Terms in pool order (the inverse of Find), for snapshot
+  /// serialization. pools(i) below is the pool of term i.
+  std::vector<std::string> TermStrings() const;
+
+  /// Pool by dense index (aligned with TermStrings).
+  const std::vector<CandidateEvidence>& pool(size_t i) const {
+    return pools_[i];
+  }
+  size_t num_pools() const { return pools_.size(); }
+
   /// The precomputed pool of a normalized (lower-cased) term, or nullptr
   /// when the term is outside this snapshot's vocabulary. The pointer
   /// aliases index storage: valid while the index (in serving, the

@@ -71,6 +71,25 @@ struct Tweet {
 /// or re-lowercasing on the hot path.
 class TweetCorpus {
  public:
+  /// Reassembles a corpus from pre-built parts, as decoded from a binary
+  /// snapshot (serving/snapshot_file.h): users and tweets in id order,
+  /// `tokens` holding the dictionary strings in TokenId order, postings
+  /// aligned to it, and the per-user totals. Only the token hash map is
+  /// rebuilt; nothing is re-tokenized or re-counted. The caller guarantees
+  /// the parts are mutually consistent (the snapshot loader's checksums
+  /// cover this).
+  static TweetCorpus FromSnapshotParts(
+      std::vector<UserProfile> users, std::vector<Tweet> tweets,
+      std::vector<std::string> tokens,
+      std::vector<std::vector<uint32_t>> postings,
+      std::vector<uint64_t> tweets_by_user,
+      std::vector<uint64_t> mentions_of_user,
+      std::vector<uint64_t> retweets_of_user);
+
+  /// Dictionary strings in TokenId order (the inverse of FindToken), for
+  /// snapshot serialization.
+  std::vector<std::string> TokenStrings() const;
+
   /// Adds a user; ids must be added densely in order.
   void AddUser(UserProfile user);
 
@@ -116,8 +135,10 @@ class TweetCorpus {
 
   /// Pre-tokenized fast path: same contract over interned ids. Any
   /// kNoToken entry (or an empty list) matches nothing. Intersection runs
-  /// rarest-first (df order) with galloping search, so a query with one
-  /// selective term costs ~its postings length, not the head term's.
+  /// rarest-first (df order); each step picks galloping search when the
+  /// next list dwarfs the running result (df ratio > 8) and a SIMD linear
+  /// merge otherwise — galloping a near-equal-length list costs more in
+  /// branchy binary searches than one vectorized sweep.
   std::vector<uint32_t> MatchTweets(const std::vector<TokenId>& tokens) const;
 
   /// Total tweets authored by a user.

@@ -51,4 +51,35 @@ uint64_t SnapshotManager::Publish(
                  options, std::move(evidence));
 }
 
+Status SnapshotManager::SaveSnapshot(const std::string& path) const {
+  std::shared_ptr<const ServingSnapshot> snapshot = Acquire();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition(
+        "SaveSnapshot before the first Publish: no generation to save");
+  }
+  return SaveSnapshotFile(path, *corpus_, snapshot->store(),
+                          snapshot->evidence());
+}
+
+Result<SnapshotManager::ColdStartArtifacts> SnapshotManager::LoadSnapshot(
+    const std::string& path, core::ESharpOptions options) {
+  ESHARP_ASSIGN_OR_RETURN(SnapshotArtifacts decoded, LoadSnapshotFile(path));
+  ColdStartArtifacts artifacts;
+  artifacts.corpus = decoded.corpus;
+  artifacts.info = decoded.info;
+  artifacts.manager = std::make_unique<SnapshotManager>(decoded.corpus.get());
+  // A file without evidence cold-starts with live collection; rebuilding
+  // the index here would cost exactly the offline work this path skips.
+  artifacts.manager->set_build_evidence_on_publish(false);
+  artifacts.manager->Publish(decoded.store, options, decoded.evidence);
+  artifacts.manager->set_build_evidence_on_publish(true);
+  obs::EventLog::Global().Add(
+      obs::LogLevel::kINFO, "serving", "cold start from snapshot file",
+      {{"file_bytes",
+        StrFormat("%llu",
+                  static_cast<unsigned long long>(decoded.info.file_bytes))},
+       {"has_evidence", decoded.info.has_evidence ? "true" : "false"}});
+  return artifacts;
+}
+
 }  // namespace esharp::serving

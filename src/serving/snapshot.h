@@ -6,11 +6,14 @@
 #include <memory>
 #include <mutex>
 
+#include <string>
+
 #include "community/store.h"
 #include "esharp/esharp.h"
 #include "expert/evidence_index.h"
 #include "microblog/corpus.h"
 #include "obs/metrics.h"
+#include "serving/snapshot_file.h"
 
 namespace esharp::serving {
 
@@ -115,6 +118,31 @@ class SnapshotManager {
   void set_build_evidence_on_publish(bool build) {
     build_evidence_on_publish_ = build;
   }
+
+  /// Serializes the current generation (corpus, store, evidence) to the
+  /// versioned binary snapshot file at `path` — the artifact LoadSnapshot
+  /// cold-starts from. FailedPrecondition before the first Publish.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// The result of a cold start from a snapshot file: the corpus decoded
+  /// from the file (which the manager borrows, so the caller must keep it
+  /// alive for the manager's lifetime) plus a manager with generation 1
+  /// already published.
+  struct ColdStartArtifacts {
+    std::shared_ptr<microblog::TweetCorpus> corpus;
+    std::unique_ptr<SnapshotManager> manager;
+    SnapshotFileInfo info;
+  };
+
+  /// Cold-starts a serving tier from a snapshot file: maps and validates
+  /// `path`, reassembles the artifacts, and publishes them as generation 1
+  /// — no log parsing, graph build, clustering or evidence collection.
+  /// When the file carries no EVIDENCE section the publish does NOT
+  /// rebuild the index (that would silently reintroduce the pipeline cost
+  /// this path exists to skip); the engine serves with live collection
+  /// until the next regular Publish.
+  static Result<ColdStartArtifacts> LoadSnapshot(
+      const std::string& path, core::ESharpOptions options = {});
 
   /// Returns the current generation, or nullptr before the first Publish.
   /// Lock-free on the fast path; the returned shared_ptr pins the

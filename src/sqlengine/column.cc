@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/simd.h"
 #include "sqlengine/table.h"
 
 namespace esharp::sql {
@@ -38,10 +39,9 @@ uint64_t ColumnVec::HashAt(size_t i) const {
     case DataType::kBool:
       return Mix64(bools[i] != 0 ? 1 : 2);
     case DataType::kInt64:
-      return Mix64(static_cast<uint64_t>(
-          std::hash<double>{}(static_cast<double>(ints[i]))));
+      return HashF64(static_cast<double>(ints[i]));
     case DataType::kDouble:
-      return Mix64(static_cast<uint64_t>(std::hash<double>{}(doubles[i])));
+      return HashF64(doubles[i]);
     case DataType::kString:
       return dict->hash(str_ids[i]);
     case DataType::kNull:
@@ -308,24 +308,34 @@ void HashKeyColumns(const ColumnTable& t, const std::vector<size_t>& key_idx,
   const size_t n = t.num_rows();
   hashes->assign(n, 0x87c37b91114253d5ULL);  // HashRowKeys seed
   uint64_t* h = hashes->data();
+  // Numeric key columns stage canonical f64 bits and fold them in with the
+  // batched SIMD Mix64+combine kernel (bit-identical to the scalar chain,
+  // so partition routing matches Value::Hash / HashAt). String and
+  // null-bearing columns stay fused: their per-cell hash is a gather /
+  // branchy lookup that dominates the combine, and staging it through a
+  // scratch column only adds a memory pass.
+  std::vector<uint64_t> cell;
   for (size_t idx : key_idx) {
     const ColumnVec& col = t.col(idx);
     const bool has_nulls = col.nulls.AnyNull();
-    if (!has_nulls && col.type == DataType::kString) {
+    const bool numeric = !has_nulls && (col.type == DataType::kInt64 ||
+                                        col.type == DataType::kDouble);
+    if (numeric) {
+      cell.resize(n);
+      if (col.type == DataType::kInt64) {
+        for (size_t r = 0; r < n; ++r) {
+          cell[r] = CanonicalF64Bits(static_cast<double>(col.ints[r]));
+        }
+      } else {
+        for (size_t r = 0; r < n; ++r) {
+          cell[r] = CanonicalF64Bits(col.doubles[r]);
+        }
+      }
+      simd::HashCombineMix64Batch(h, cell.data(), n);
+    } else if (!has_nulls && col.type == DataType::kString) {
       const StringDict& dict = *col.dict;
       for (size_t r = 0; r < n; ++r) {
         h[r] = HashCombine(h[r], dict.hash(col.str_ids[r]));
-      }
-    } else if (!has_nulls && col.type == DataType::kInt64) {
-      for (size_t r = 0; r < n; ++r) {
-        h[r] = HashCombine(h[r], Mix64(static_cast<uint64_t>(std::hash<double>{}(
-                                     static_cast<double>(col.ints[r])))));
-      }
-    } else if (!has_nulls && col.type == DataType::kDouble) {
-      for (size_t r = 0; r < n; ++r) {
-        h[r] = HashCombine(
-            h[r],
-            Mix64(static_cast<uint64_t>(std::hash<double>{}(col.doubles[r]))));
       }
     } else {
       for (size_t r = 0; r < n; ++r) {

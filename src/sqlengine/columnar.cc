@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/simd.h"
 #include "sqlengine/table.h"
 
 namespace esharp::sql {
@@ -66,11 +67,14 @@ Result<ColumnTable> ColumnarFilter(const ColumnTable& t, const ExprPtr& pred) {
     return Status::InvalidArgument("filter predicate is not BOOL: ",
                                    pred->ToString());
   }
-  std::vector<uint32_t> idx;
-  idx.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (sel.bools[i]) idx.push_back(static_cast<uint32_t>(i));
-  }
+  // Selection-vector compaction: the BOOL column is already a byte-per-row
+  // flag array, so the movemask-based SIMD kernel turns it into packed row
+  // indices without the per-row branch. +7: the kernel's compress-store
+  // emulation clobbers up to 7 slots past the returned count.
+  std::vector<uint32_t> idx(n + 7);
+  const size_t k = n == 0 ? 0 : simd::CompactSelection(sel.bools.data(), n,
+                                                       idx.data());
+  idx.resize(k);
   return t.Gather(idx);
 }
 

@@ -87,11 +87,12 @@ uint64_t Value::Hash() const {
       return Mix64(bool_value() ? 1 : 2);
     case DataType::kInt64:
       // Hash ints via their double image so 1 and 1.0 collide (they compare
-      // equal in the numeric family).
-      return Mix64(static_cast<uint64_t>(
-          std::hash<double>{}(static_cast<double>(int_value()))));
+      // equal in the numeric family). HashF64 is the engine-defined double
+      // hash; std::hash<double> would tie partition routing to stdlib
+      // internals the SIMD batch kernels cannot reproduce.
+      return HashF64(static_cast<double>(int_value()));
     case DataType::kDouble:
-      return Mix64(static_cast<uint64_t>(std::hash<double>{}(double_value())));
+      return HashF64(double_value());
     case DataType::kString:
       return Fnv1a64(string_value());
   }
