@@ -295,12 +295,18 @@ int main(int argc, char** argv) {
   if (ref_run.counts != fast_run.counts) {
     Fail("trace candidate/expert counts diverge between paths");
   }
+#if ESHARP_OBS_ENABLED
+  // Under -DESHARP_OBS_OFF=ON spans record nothing, so the per-query
+  // count comparison above is vacuous and the span-annotated
+  // precomputed/live term split is unavailable; the ranked-experts
+  // equality remains the equivalence gate.
   if (ref_run.counts.size() != queries.size()) {
     Fail("expected one detect/rank span pair per query");
   }
   if (fast_run.terms_precomputed == 0) {
     Fail("fast path never used the evidence index");
   }
+#endif
   std::printf("\nequivalence: %zu queries bit-identical; counts match per "
               "query; fast path served %llu/%llu terms precomputed\n",
               queries.size(),

@@ -25,8 +25,18 @@
 // trace (one lane per shard, hedges and deadline attribution included) to
 // PATH — load it in chrome://tracing or ui.perfetto.dev. With the outage
 // below, the slowest query is usually one that lost shard-2.
+//
+// --incident_dir=PATH arms the full incident stack against the outage: a
+// time-series sampler over the global registry, an SLO watchdog with
+// demo-tight windows, and a flight recorder triggered both by the
+// shard-down health transition and by the SLO breach. The demo then
+// *asserts* on its own black box — a bundle landed, it names the dead
+// shard, and its time series show the dead shard's completion rate
+// dipping through the outage and recovering after revival — and exits
+// non-zero if any of that is missing.
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -43,6 +53,9 @@
 #include "expert/detector.h"
 #include "microblog/generator.h"
 #include "obs/debugz.h"
+#include "obs/flightrecorder.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "querylog/generator.h"
 #include "serving/engine.h"
 
@@ -84,9 +97,13 @@ class KillableShard final : public cluster::ShardTransport {
 int main(int argc, char** argv) {
   int port = -1;
   std::string trace_out;
+  std::string incident_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--port=", 7) == 0) port = std::atoi(argv[i] + 7);
     if (std::strncmp(argv[i], "--trace_out=", 12) == 0) trace_out = argv[i] + 12;
+    if (std::strncmp(argv[i], "--incident_dir=", 15) == 0) {
+      incident_dir = argv[i] + 15;
+    }
   }
   constexpr uint32_t kShards = 4;
 
@@ -152,8 +169,66 @@ int main(int argc, char** argv) {
   // visible in the degraded counts and the health tracker (cached answers
   // never touch a shard and would mask the dead one).
   router_options.enable_cache = false;
+  // The flight recorder is constructed after the router (it snapshots the
+  // router's shard table), so the transition hook reaches it through a
+  // slot filled in once both exist.
+  auto recorder_slot =
+      std::make_shared<std::atomic<obs::FlightRecorder*>>(nullptr);
+  if (!incident_dir.empty()) {
+    router_options.on_shard_transition =
+        [recorder_slot](const cluster::ShardStatus& status,
+                        cluster::ShardState /*previous*/) {
+          obs::FlightRecorder* recorder = recorder_slot->load();
+          if (recorder != nullptr &&
+              status.state == cluster::ShardState::kDown) {
+            (void)recorder->Trigger("shard_down:" + status.name,
+                                    status.last_error);
+          }
+        };
+  }
   cluster::ClusterRouter router(std::move(transports), &union_detector,
                                 router_options);
+
+  // ---- Incident stack (--incident_dir) -------------------------------------
+  // Sampler at 20 Hz (the demo lives ~1 s; production would use the 1 Hz
+  // default), watchdog with windows tightened to demo scale, recorder
+  // armed on both the shard-down transition above and the SLO breach.
+  std::unique_ptr<obs::TimeSeriesStore> sampler;
+  std::unique_ptr<obs::SloWatchdog> watchdog;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!incident_dir.empty()) {
+    obs::TimeSeriesOptions sampler_options;
+    sampler_options.capacity = 4096;
+    sampler = std::make_unique<obs::TimeSeriesStore>(sampler_options);
+    sampler->Start(0.05);
+
+    cluster::ClusterSloThresholds thresholds;
+    thresholds.shard_down_ratio = 0.1;  // one dead shard of 4 = breach
+    watchdog = std::make_unique<obs::SloWatchdog>();
+    for (obs::SloObjective& objective :
+         cluster::DefaultClusterObjectives(&router, thresholds)) {
+      objective.short_window_seconds = 0.3;
+      objective.long_window_seconds = 0.6;
+      objective.burn_threshold = 1.0;
+      watchdog->AddObjective(std::move(objective));
+    }
+
+    obs::FlightRecorderOptions recorder_options;
+    recorder_options.dir = incident_dir;
+    recorder_options.min_interval_seconds = 0;  // demo: keep every trigger
+    recorder_options.window_seconds = 60;
+    recorder_options.timeseries = sampler.get();
+    recorder_options.slow_queries = &router.slow_queries();
+    recorder_options.statusz = [&router]() {
+      return router.health().RenderTable();
+    };
+    recorder = std::make_unique<obs::FlightRecorder>(recorder_options);
+    recorder_slot->store(recorder.get());
+    watchdog->AddAlertCallback(recorder->SloAlertHook());
+    watchdog->Start(0.05);
+    std::printf("incident stack armed: bundles land in %s\n",
+                incident_dir.c_str());
+  }
 
   serving::SnapshotManager reference_manager(&*corpus);
   reference_manager.Publish(store);
@@ -170,6 +245,8 @@ int main(int argc, char** argv) {
     server = std::make_unique<obs::DebugServer>(server_options);
     cluster::ClusterIntrospectionOptions wiring;
     wiring.build_info = "cluster_demo (e# reproduction)";
+    wiring.timeseries = sampler.get();  // mounts /graphz when armed
+    wiring.recorder = recorder.get();   // mounts /incidentz when armed
     cluster::MountClusterEndpoints(server.get(), &router, wiring);
     if (!server->Start().ok()) return 1;
     std::printf(
@@ -219,8 +296,13 @@ int main(int argc, char** argv) {
 
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
   std::printf("killing shard-2 under live traffic...\n");
+  double kill_t = obs::NowSeconds();
   switches[2]->set_dead(true);
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // With the incident stack armed the outage must outlast the watchdog's
+  // long burn window (0.6 s) so the SLO breach fires, not just the
+  // health transition.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(incident_dir.empty() ? 300 : 900));
 
   auto degraded = router.Query({queries[0], /*deadline_ms=*/-1,
                                 /*bypass_cache=*/true});
@@ -235,8 +317,10 @@ int main(int argc, char** argv) {
               quorum.detail.c_str());
 
   std::printf("\nreviving shard-2...\n");
+  double revive_t = obs::NowSeconds();
   switches[2]->set_dead(false);
-  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(incident_dir.empty() ? 150 : 400));
   stop.store(true, std::memory_order_release);
   for (std::thread& t : clients) t.join();
 
@@ -275,6 +359,88 @@ int main(int argc, char** argv) {
                   written.ToString().c_str());
     }
   }
+  // ---- 6. Incident validation ----------------------------------------------
+  // The incident stack must have caught the outage on its own: at least
+  // one bundle on disk, one naming the dead shard, and the sampler's
+  // rings showing shard-2's engine completion rate collapsing through
+  // the outage window and recovering after revival.
+  int verdict = 0;
+  if (!incident_dir.empty()) {
+    watchdog->Stop();
+    sampler->Stop();
+#if !ESHARP_OBS_ENABLED
+    std::printf("\nincident stack: built with -DESHARP_OBS_OFF=ON, "
+                "nothing recorded (as designed); skipping validation\n");
+#else
+    std::vector<obs::IncidentBundleInfo> bundles = recorder->Bundles();
+    std::printf("\nincident bundles (%zu):\n", bundles.size());
+    std::string all_bundles;
+    for (const obs::IncidentBundleInfo& bundle : bundles) {
+      std::printf("  #%llu %-28s %6zu bytes  %s\n",
+                  static_cast<unsigned long long>(bundle.sequence),
+                  bundle.reason.c_str(), bundle.size_bytes,
+                  bundle.path.c_str());
+      auto content = ReadFileToString(bundle.path);
+      if (content.ok()) all_bundles += *content;
+    }
+    if (bundles.empty()) {
+      std::printf("FAIL: no incident bundle was written\n");
+      verdict = 1;
+    } else if (all_bundles.find("shard-2") == std::string::npos ||
+               all_bundles.find("down") == std::string::npos) {
+      std::printf("FAIL: no bundle names the dead shard's down transition\n");
+      verdict = 1;
+    }
+
+    // The dip: among the per-engine completion-rate series, exactly the
+    // dead shard's should be busy before the kill, near zero during the
+    // outage, and busy again after revival. The retired reference engine
+    // fails the recovery leg; the surviving shards never dip.
+    std::string dip_series;
+    for (const std::string& name : sampler->SeriesNames()) {
+      if (name.rfind("serving.completed{", 0) != 0) continue;
+      double max_before = 0, min_during = -1, max_after = 0;
+      for (const obs::TimeSeriesPoint& point : sampler->Range(name)) {
+        if (point.time_seconds < kill_t) {
+          max_before = std::max(max_before, point.value);
+        } else if (point.time_seconds > kill_t + 0.2 &&
+                   point.time_seconds < revive_t) {
+          min_during = min_during < 0 ? point.value
+                                      : std::min(min_during, point.value);
+        } else if (point.time_seconds > revive_t + 0.1) {
+          max_after = std::max(max_after, point.value);
+        }
+      }
+      if (max_before > 0 && min_during >= 0 &&
+          min_during < 0.2 * max_before && max_after > 0.2 * max_before) {
+        dip_series = name;
+        std::printf("outage visible in %s: %.0f qps before, %.0f during, "
+                    "%.0f after revival\n",
+                    name.c_str(), max_before, min_during, max_after);
+      }
+    }
+    // Series ids carry label quotes, which land JSON-escaped in the
+    // bundle file; escape the needle the same way before searching.
+    std::string dip_needle;
+    for (char c : dip_series) {
+      if (c == '"' || c == '\\') dip_needle += '\\';
+      dip_needle += c;
+    }
+    if (dip_series.empty()) {
+      std::printf("FAIL: no sampled series shows the dip-and-recover "
+                  "signature of the killed shard\n");
+      verdict = 1;
+    } else if (all_bundles.find(dip_needle) == std::string::npos) {
+      std::printf("FAIL: bundle time series do not include %s\n",
+                  dip_series.c_str());
+      verdict = 1;
+    }
+    if (verdict == 0) {
+      std::printf("incident validation: PASS (%zu bundles, dip captured)\n",
+                  bundles.size());
+    }
+#endif
+  }
   if (server != nullptr) server->Stop();
-  return 0;
+  return verdict;
 }

@@ -90,6 +90,7 @@ run_one BENCH_pipeline.json scaling_pipeline
 run_one BENCH_sql.json      micro_sql
 run_one BENCH_online.json   micro_engine
 run_one BENCH_coldstart.json cold_start --snapshot="$OUT_DIR/coldstart.esnap"
+run_one BENCH_obs.json      micro_obs 5000 2000000 --overhead_budget_pct=2
 
 if [ "$failures" -ne 0 ]; then
   echo "check_bench: $failures baseline(s) regressed or failed" >&2

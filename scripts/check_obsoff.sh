@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Compile-out gate for the observability layer: configures a separate
+# build tree with -DESHARP_OBS_OFF=ON (metrics, spans, the time-series
+# sampler and the flight recorder all compile to no-ops) and runs the
+# full test suite against it. Every suite carries #if ESHARP_OBS_ENABLED
+# guards asserting the no-op behavior — Sample() retains nothing,
+# Trigger() refuses, exporters stay empty — so the stripped build can
+# never silently rot, and the "obs off means obs free" claim stays
+# enforced rather than aspirational.
+#
+# Usage: scripts/check_obsoff.sh [build_dir]   (default: build-obsoff)
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-obsoff}"
+
+echo "== configure (-DESHARP_OBS_OFF=ON) -> $BUILD_DIR"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DESHARP_OBS_OFF=ON
+
+echo "== build"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest (full suite, observability compiled out)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)"
+
+echo "check_obsoff: obs-off build is clean"

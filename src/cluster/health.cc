@@ -53,22 +53,51 @@ void ShardHealthTracker::RecordAttempt(PerShard& shard, double latency_seconds,
                                        const Status& error) {
   shard.requests_counter->Increment();
   if (!ok) shard.failures_counter->Increment();
-  std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.requests;
-  if (ok) {
-    shard.consecutive_failures = 0;
-    if (snapshot_version != 0) shard.snapshot_version = snapshot_version;
-  } else {
-    ++shard.failures;
-    ++shard.consecutive_failures;
-    shard.last_error = error.ToString();
+  ShardState before;
+  ShardState after;
+  ShardStatus status_copy;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    before = StateForLocked(shard);
+    ++shard.requests;
+    if (ok) {
+      shard.consecutive_failures = 0;
+      if (snapshot_version != 0) shard.snapshot_version = snapshot_version;
+    } else {
+      ++shard.failures;
+      ++shard.consecutive_failures;
+      shard.last_error = error.ToString();
+    }
+    shard.latency.Add(latency_seconds);
+    double now = Now();
+    double dt = now - shard.last_event_time;
+    if (dt > 0) shard.ewma_events *= std::exp(-dt / kRateTauSeconds);
+    shard.ewma_events += 1.0;
+    shard.last_event_time = now;
+    after = StateForLocked(shard);
+    if (after != before) status_copy = StatusOfLocked(shard);
   }
-  shard.latency.Add(latency_seconds);
-  double now = Now();
-  double dt = now - shard.last_event_time;
-  if (dt > 0) shard.ewma_events *= std::exp(-dt / kRateTauSeconds);
-  shard.ewma_events += 1.0;
-  shard.last_event_time = now;
+  if (after == before) return;
+  // Emit outside the shard lock: the event log takes its own mutex, and
+  // the transition hook may do arbitrary work (trigger a flight-recorder
+  // bundle) that must never run under health-tracker locks.
+  obs::EventLog* events =
+      options_.events != nullptr ? options_.events : &obs::EventLog::Global();
+  obs::LogLevel severity = after == ShardState::kDown ? obs::LogLevel::kERROR
+                           : after == ShardState::kDegraded
+                               ? obs::LogLevel::kWARN
+                               : obs::LogLevel::kINFO;
+  events->Add(severity, "cluster",
+              StrFormat("shard %s %s -> %s", status_copy.name.c_str(),
+                        ShardStateName(before), ShardStateName(after)),
+              {{"shard", status_copy.name},
+               {"from", ShardStateName(before)},
+               {"to", ShardStateName(after)},
+               {"consecutive_failures",
+                StrFormat("%llu", static_cast<unsigned long long>(
+                                      status_copy.consecutive_failures))},
+               {"last_error", status_copy.last_error}});
+  if (options_.on_transition) options_.on_transition(status_copy, before);
 }
 
 void ShardHealthTracker::RecordSuccess(size_t shard, double latency_seconds,
@@ -90,14 +119,18 @@ void ShardHealthTracker::RecordHedge(size_t shard) {
   ++s.hedges;
 }
 
-ShardState ShardHealthTracker::StateOf(size_t shard) const {
-  const PerShard& s = *shards_[shard];
-  std::lock_guard<std::mutex> lock(s.mu);
-  if (s.consecutive_failures == 0) return ShardState::kHealthy;
-  if (s.consecutive_failures < options_.down_threshold) {
+ShardState ShardHealthTracker::StateForLocked(const PerShard& shard) const {
+  if (shard.consecutive_failures == 0) return ShardState::kHealthy;
+  if (shard.consecutive_failures < options_.down_threshold) {
     return ShardState::kDegraded;
   }
   return ShardState::kDown;
+}
+
+ShardState ShardHealthTracker::StateOf(size_t shard) const {
+  const PerShard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return StateForLocked(s);
 }
 
 size_t ShardHealthTracker::healthy_shards() const {
@@ -129,10 +162,7 @@ size_t ShardHealthTracker::total_samples() const {
 ShardStatus ShardHealthTracker::StatusOfLocked(const PerShard& shard) const {
   ShardStatus status;
   status.name = shard.name;
-  status.state = shard.consecutive_failures == 0 ? ShardState::kHealthy
-                 : shard.consecutive_failures < options_.down_threshold
-                     ? ShardState::kDegraded
-                     : ShardState::kDown;
+  status.state = StateForLocked(shard);
   status.snapshot_version = shard.snapshot_version;
   status.requests = shard.requests;
   status.failures = shard.failures;

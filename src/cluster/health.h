@@ -11,6 +11,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace esharp::cluster {
@@ -61,6 +62,14 @@ class ShardHealthTracker {
     uint64_t down_threshold = 3;
     /// Test seam: replaces obs::NowSeconds for the qps window.
     std::function<double()> clock;
+    /// Invoked on every state transition (healthy <-> degraded <-> down),
+    /// outside the per-shard lock, on whichever thread recorded the
+    /// attempt. Must be thread-safe. The flight recorder's
+    /// shard-down trigger hangs off this.
+    std::function<void(const ShardStatus& status, ShardState previous)>
+        on_transition;
+    /// Transition events land here (null = obs::EventLog::Global()).
+    obs::EventLog* events = nullptr;
   };
 
   explicit ShardHealthTracker(std::vector<std::string> names)
@@ -118,6 +127,7 @@ class ShardHealthTracker {
   double Now() const;
   void RecordAttempt(PerShard& shard, double latency_seconds, bool ok,
                      uint64_t snapshot_version, const Status& error);
+  ShardState StateForLocked(const PerShard& shard) const;
   ShardStatus StatusOfLocked(const PerShard& shard) const;
 
   Options options_;

@@ -77,6 +77,8 @@ void MountClusterEndpoints(obs::DebugServer* server, ClusterRouter* router,
   statusz.build_info = std::move(options.build_info);
   statusz.tracer = options.tracer;
   statusz.watchdog = options.watchdog;
+  statusz.timeseries = options.timeseries;
+  statusz.recorder = options.recorder;
   statusz.readiness.emplace_back(
       "cluster", ClusterQuorumReadiness(router, options.quorum));
   statusz.overview = [router]() {

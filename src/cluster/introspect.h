@@ -50,6 +50,10 @@ struct ClusterIntrospectionOptions {
   obs::SloWatchdog* watchdog = nullptr;  ///< /readyz + /statusz SLO table.
   /// Readiness quorum (0 = majority).
   size_t quorum = 0;
+  /// /graphz source (null disables). Must outlive the server.
+  obs::TimeSeriesStore* timeseries = nullptr;
+  /// /incidentz source (null disables). Must outlive the server.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// \brief Mounts the statusz family on `server`, wired to `router`:

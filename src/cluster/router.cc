@@ -72,7 +72,8 @@ ClusterRouter::ClusterRouter(
       pool_(options_.pool != nullptr ? options_.pool : owned_pool_.get()),
       health_(ShardNames(shards_),
               ShardHealthTracker::Options{options_.down_threshold,
-                                          options_.clock}),
+                                          options_.clock,
+                                          options_.on_shard_transition}),
       slow_log_(options_.slow_query_log),
       cache_(options_.cache) {}
 

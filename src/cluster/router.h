@@ -87,6 +87,12 @@ struct RouterOptions {
   obs::SlowQueryLogOptions slow_query_log;
   /// Test seam: clock for the health tracker's qps window.
   std::function<double()> clock;
+  /// Forwarded to ShardHealthTracker::Options::on_transition: fires on
+  /// every shard state transition, outside tracker locks, from the thread
+  /// that recorded the attempt. Must be thread-safe. Wiring a flight
+  /// recorder's shard-down trigger lives here (examples/cluster_demo).
+  std::function<void(const ShardStatus& status, ShardState previous)>
+      on_shard_transition;
 };
 
 /// \brief One routed answer, with cluster provenance.

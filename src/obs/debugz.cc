@@ -9,10 +9,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/strings.h"
+#include "obs/flightrecorder.h"
 #include "obs/log.h"
+#include "obs/timeseries.h"
 
 namespace esharp::obs {
 
@@ -453,6 +456,150 @@ std::string HtmlPage(const std::string& title, const std::string& body) {
          HtmlEscape(title) + "</h1>" + body + "</body></html>\n";
 }
 
+/// Inline SVG sparkline of one series: a polyline normalized into a small
+/// fixed box (min..max vertical scale; flat series render as a midline).
+std::string SparklineSvg(const std::vector<TimeSeriesPoint>& points) {
+  constexpr double kWidth = 240, kHeight = 32, kPad = 2;
+  if (points.empty()) return "<svg width=\"240\" height=\"32\"></svg>";
+  double t0 = points.front().time_seconds;
+  double t1 = points.back().time_seconds;
+  double lo = points[0].value, hi = points[0].value;
+  for (const TimeSeriesPoint& p : points) {
+    lo = std::min(lo, p.value);
+    hi = std::max(hi, p.value);
+  }
+  double t_span = t1 > t0 ? t1 - t0 : 1;
+  double v_span = hi > lo ? hi - lo : 1;
+  std::string poly;
+  for (const TimeSeriesPoint& p : points) {
+    double x = kPad + (p.time_seconds - t0) / t_span * (kWidth - 2 * kPad);
+    double y = hi > lo
+                   ? kPad + (hi - p.value) / v_span * (kHeight - 2 * kPad)
+                   : kHeight / 2;
+    poly += StrFormat("%.1f,%.1f ", x, y);
+  }
+  return StrFormat(
+      "<svg width=\"%.0f\" height=\"%.0f\"><polyline points=\"%s\" "
+      "fill=\"none\" stroke=\"#36c\" stroke-width=\"1\"/></svg>",
+      kWidth, kHeight, poly.c_str());
+}
+
+HttpResponse GraphzResponse(const std::shared_ptr<StatuszState>& state,
+                            const HttpRequest& request) {
+  HttpResponse response;
+  const TimeSeriesStore* store = state->options.timeseries;
+  if (store == nullptr) {
+    response.status = 404;
+    response.body = "no time-series store mounted\n";
+    return response;
+  }
+  std::string metric = request.Param("metric");
+  double window = std::atof(request.Param("window", "0").c_str());
+  if (request.Param("format") == "json") {
+    response.content_type = "application/json";
+    response.body = store->RenderJson(metric, window);
+    return response;
+  }
+  // HTML: one section per metric family (the series id up to its label
+  // block), one sparkline row per series.
+  std::vector<std::string> names = store->SeriesNames();
+  std::string body = StrFormat(
+      "<p>%zu series, %llu samples taken, %zu points/series capacity"
+      "%s</p>",
+      names.size(),
+      static_cast<unsigned long long>(store->samples_taken()),
+      store->capacity(),
+      metric.empty() ? "" : (" &mdash; filter: " + HtmlEscape(metric)).c_str());
+  std::string family;
+  bool table_open = false;
+  size_t rendered = 0;
+  constexpr size_t kMaxRows = 400;  // a debug page, not a dashboard export
+  for (const std::string& name : names) {
+    if (!metric.empty() && name.find(metric) == std::string::npos) continue;
+    if (++rendered > kMaxRows) {
+      if (table_open) body += "</table>";
+      table_open = false;
+      body += StrFormat("<p>... truncated at %zu rows; narrow with "
+                        "?metric=</p>", kMaxRows);
+      break;
+    }
+    std::string this_family = name.substr(0, name.find('{'));
+    if (this_family != family) {
+      if (table_open) body += "</table>";
+      family = this_family;
+      body += "<h3>" + HtmlEscape(family) + "</h3>";
+      body += "<table><tr><th>series</th><th>trend</th><th>points</th>"
+              "<th>min</th><th>avg</th><th>max</th><th>last</th></tr>";
+      table_open = true;
+    }
+    std::vector<TimeSeriesPoint> points = store->Range(name, window);
+    SeriesWindowStats stats = store->Window(name, window);
+    body += StrFormat(
+        "<tr><td>%s</td><td>%s</td><td>%zu</td><td>%.4g</td><td>%.4g</td>"
+        "<td>%.4g</td><td>%.4g</td></tr>",
+        HtmlEscape(name).c_str(), SparklineSvg(points).c_str(), stats.count,
+        stats.min, stats.avg, stats.max, stats.last);
+  }
+  if (table_open) body += "</table>";
+  body += "<p><a href=\"/graphz?format=json\">json</a> &mdash; "
+          "?metric=&lt;substring&gt; filters, ?window=&lt;seconds&gt; "
+          "bounds the range</p>";
+  response.content_type = "text/html; charset=utf-8";
+  response.body = HtmlPage("graphz", body);
+  return response;
+}
+
+HttpResponse IncidentzResponse(const std::shared_ptr<StatuszState>& state,
+                               const HttpRequest& request) {
+  HttpResponse response;
+  FlightRecorder* recorder = state->options.recorder;
+  if (recorder == nullptr) {
+    response.status = 404;
+    response.body = "no flight recorder mounted\n";
+    return response;
+  }
+  std::string note;
+  std::string trigger = request.Param("trigger");
+  if (!trigger.empty()) {
+    Result<std::string> result =
+        recorder->Trigger("manual:" + trigger, "via /incidentz");
+    note = result.ok() ? "bundle written: " + *result
+                       : "trigger failed: " + result.status().ToString();
+  }
+  if (request.Param("format") == "json") {
+    response.content_type = "application/json";
+    response.body = recorder->RenderJson();
+    return response;
+  }
+  std::string body;
+  if (!note.empty()) body += "<p><b>" + HtmlEscape(note) + "</b></p>";
+  std::vector<IncidentBundleInfo> bundles = recorder->Bundles();
+  body += StrFormat(
+      "<p>%zu bundles retained (max %zu), %llu written, %llu "
+      "debounced</p>",
+      bundles.size(), recorder->options().max_bundles,
+      static_cast<unsigned long long>(recorder->written()),
+      static_cast<unsigned long long>(recorder->suppressed()));
+  body += "<table><tr><th>seq</th><th>captured_unix_ms</th><th>reason</th>"
+          "<th>bytes</th><th>path</th></tr>";
+  for (auto it = bundles.rbegin(); it != bundles.rend(); ++it) {
+    body += StrFormat(
+        "<tr><td>%llu</td><td>%lld</td><td>%s</td><td>%zu</td>"
+        "<td>%s</td></tr>",
+        static_cast<unsigned long long>(it->sequence),
+        static_cast<long long>(it->captured_unix_ms),
+        HtmlEscape(it->reason.empty() ? "(pre-existing)" : it->reason)
+            .c_str(),
+        it->size_bytes, HtmlEscape(it->path).c_str());
+  }
+  body += "</table>";
+  body += "<p><a href=\"/incidentz?format=json\">json</a> &mdash; "
+          "?trigger=&lt;reason&gt; dumps a bundle now</p>";
+  response.content_type = "text/html; charset=utf-8";
+  response.body = HtmlPage("incidentz", body);
+  return response;
+}
+
 HttpResponse TracezResponse(const std::shared_ptr<StatuszState>& state,
                             const HttpRequest& request) {
   if (request.Param("format") == "json") {
@@ -527,9 +674,14 @@ HttpResponse StatuszResponse(const std::shared_ptr<StatuszState>& state) {
             HtmlEscape(state->options.watchdog->RenderText()) + "</pre>";
   }
   body += "<h2>endpoints</h2><ul>";
-  for (const char* path : {"/metrics", "/varz", "/healthz", "/readyz",
-                           "/tracez", "/eventz", "/progressz"}) {
-    body += StrFormat("<li><a href=\"%s\">%s</a></li>", path, path);
+  std::vector<std::string> endpoints = {"/metrics", "/varz",   "/healthz",
+                                        "/readyz",  "/tracez", "/eventz",
+                                        "/progressz"};
+  if (state->options.timeseries != nullptr) endpoints.push_back("/graphz");
+  if (state->options.recorder != nullptr) endpoints.push_back("/incidentz");
+  for (const std::string& path : endpoints) {
+    body += StrFormat("<li><a href=\"%s\">%s</a></li>", path.c_str(),
+                      path.c_str());
   }
   body += "</ul>";
   HttpResponse response;
@@ -576,15 +728,29 @@ void MountStatusz(DebugServer* server, StatuszOptions options) {
   });
   server->Handle("/eventz", [state](const HttpRequest& request) {
     HttpResponse response;
+    EventFilter filter;
+    std::string level = request.Param("level");
+    if (!level.empty() && !ParseLogLevel(level, &filter.min_severity)) {
+      response.status = 400;
+      response.body = "bad level: " + level +
+                      " (want debug|info|warn|error)\n";
+      return response;
+    }
+    filter.after_sequence = static_cast<uint64_t>(
+        std::strtoull(request.Param("after", "0").c_str(), nullptr, 10));
+    filter.limit = static_cast<size_t>(
+        std::strtoull(request.Param("limit", "0").c_str(), nullptr, 10));
     if (request.Param("format") == "json") {
       response.content_type = "application/json";
-      response.body = state->events().RenderJson();
+      response.body = state->events().RenderJson(filter);
     } else {
       response.content_type = "text/html; charset=utf-8";
       response.body = HtmlPage(
-          "eventz", "<pre>" + HtmlEscape(state->events().RenderText()) +
-                        "</pre><p><a href=\"/eventz?format=json\">json</a>"
-                        "</p>");
+          "eventz",
+          "<pre>" + HtmlEscape(state->events().RenderText(filter)) +
+              "</pre><p><a href=\"/eventz?format=json\">json</a> &mdash; "
+              "?level=&lt;floor&gt;, ?after=&lt;seq&gt; cursor, "
+              "?limit=&lt;n&gt;</p>");
     }
     return response;
   });
@@ -605,6 +771,16 @@ void MountStatusz(DebugServer* server, StatuszOptions options) {
   server->Handle("/tracez", [state](const HttpRequest& request) {
     return TracezResponse(state, request);
   });
+  if (state->options.timeseries != nullptr) {
+    server->Handle("/graphz", [state](const HttpRequest& request) {
+      return GraphzResponse(state, request);
+    });
+  }
+  if (state->options.recorder != nullptr) {
+    server->Handle("/incidentz", [state](const HttpRequest& request) {
+      return IncidentzResponse(state, request);
+    });
+  }
   server->Handle("/statusz", [state](const HttpRequest&) {
     return StatuszResponse(state);
   });

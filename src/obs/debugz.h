@@ -22,6 +22,9 @@
 
 namespace esharp::obs {
 
+class TimeSeriesStore;   // obs/timeseries.h
+class FlightRecorder;    // obs/flightrecorder.h
+
 /// \brief One parsed HTTP request, as handed to a Handler. Only the pieces
 /// debug endpoints need: method, path, and decoded query parameters.
 struct HttpRequest {
@@ -183,6 +186,13 @@ struct StatuszOptions {
   /// /tracez live tables; null leaves the sections empty.
   std::function<std::vector<ActiveEntry>()> active_requests;
   std::function<std::vector<SampleEntry>()> request_samples;
+  /// /graphz source: sampled metric history rendered as sparklines (HTML)
+  /// or range queries (?format=json&metric=…&window=…). Null disables the
+  /// endpoint. Must outlive the server.
+  TimeSeriesStore* timeseries = nullptr;
+  /// /incidentz source: bundle listing plus ?trigger=<reason> manual
+  /// dumps. Null disables the endpoint. Must outlive the server.
+  FlightRecorder* recorder = nullptr;
 };
 
 /// \brief Mounts the standard endpoint family on `server`:
@@ -193,8 +203,15 @@ struct StatuszOptions {
 ///   /statusz    overview: build info, uptime, probes, SLO burn, links
 ///   /tracez     active requests + latency-bucketed samples (HTML;
 ///               ?format=json streams the tracer's Chrome JSON)
-///   /eventz     the bounded structured event log (HTML; ?format=json)
+///   /eventz     the bounded structured event log (HTML; ?format=json;
+///               ?level= severity floor, ?after= sequence cursor,
+///               ?limit= newest-N cap)
 ///   /progressz  job progress (HTML; ?format=json)
+///   /graphz     sparklines over the time-series store (when wired;
+///               ?metric= substring filter, ?window= seconds,
+///               ?format=json range queries)
+///   /incidentz  flight-recorder bundle listing (when wired;
+///               ?trigger=<reason> dumps a bundle now; ?format=json)
 /// plus an index page at /.
 void MountStatusz(DebugServer* server, StatuszOptions options);
 

@@ -32,6 +32,26 @@ std::string JsonEscape(const std::string& v) {
 
 }  // namespace
 
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (char c : name) {
+    lowered.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c);
+  }
+  if (lowered == "debug") {
+    *out = LogLevel::kDEBUG;
+  } else if (lowered == "info") {
+    *out = LogLevel::kINFO;
+  } else if (lowered == "warn" || lowered == "warning") {
+    *out = LogLevel::kWARN;
+  } else if (lowered == "error") {
+    *out = LogLevel::kERROR;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 EventLog& EventLog::Global() {
   static EventLog* log = new EventLog();
   return *log;
@@ -71,6 +91,21 @@ std::vector<Event> EventLog::Events() const {
   return out;
 }
 
+std::vector<Event> EventLog::Filtered(const EventFilter& filter) const {
+  std::vector<Event> events = Events();
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [&filter](const Event& e) {
+                                return e.severity < filter.min_severity ||
+                                       e.sequence <= filter.after_sequence;
+                              }),
+               events.end());
+  if (filter.limit > 0 && events.size() > filter.limit) {
+    events.erase(events.begin(),
+                 events.begin() + (events.size() - filter.limit));
+  }
+  return events;
+}
+
 uint64_t EventLog::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
@@ -88,8 +123,8 @@ void EventLog::Clear() {
   dropped_ = 0;
 }
 
-std::string EventLog::RenderText() const {
-  std::vector<Event> events = Events();
+std::string EventLog::RenderText(const EventFilter& filter) const {
+  std::vector<Event> events = Filtered(filter);
   std::string out = StrFormat("%zu events (%llu dropped)\n", events.size(),
                               static_cast<unsigned long long>(dropped()));
   for (const Event& e : events) {
@@ -104,11 +139,14 @@ std::string EventLog::RenderText() const {
   return out;
 }
 
-std::string EventLog::RenderJson() const {
-  std::vector<Event> events = Events();
+std::string EventLog::RenderJson(const EventFilter& filter) const {
+  std::vector<Event> events = Filtered(filter);
+  uint64_t next_after =
+      events.empty() ? filter.after_sequence : events.back().sequence;
   std::string out = StrFormat(
-      "{\"dropped\":%llu,\"events\":[",
-      static_cast<unsigned long long>(dropped()));
+      "{\"dropped\":%llu,\"next_after\":%llu,\"events\":[",
+      static_cast<unsigned long long>(dropped()),
+      static_cast<unsigned long long>(next_after));
   bool first = true;
   for (const Event& e : events) {
     out += first ? "\n" : ",\n";

@@ -24,6 +24,19 @@ struct Event {
   uint64_t sequence = 0;  ///< Monotonic per-log sequence number.
 };
 
+/// \brief Filter over the retained events, driving /eventz's `?level=`
+/// severity cut and `?after=` cursor pagination. The JSON render reports
+/// the last returned sequence as `next_after`, so a poller passes it back
+/// and only ever sees each event once.
+struct EventFilter {
+  LogLevel min_severity = LogLevel::kDEBUG;  ///< Keep events >= this.
+  uint64_t after_sequence = 0;  ///< Keep events with sequence > this.
+  size_t limit = 0;             ///< Keep only the newest N (0 = all).
+};
+
+/// Parses "debug"/"info"/"warn"/"warning"/"error" (any case) into `out`.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
 /// \brief Bounded ring buffer of operational events, the backing store of
 /// the /eventz endpoint. Thread-safe. When full, the oldest event is
 /// overwritten and `dropped()` advances — a long-lived process never grows
@@ -46,6 +59,9 @@ class EventLog {
   /// Snapshot in chronological order (oldest first).
   std::vector<Event> Events() const;
 
+  /// Snapshot restricted by `filter`, chronological.
+  std::vector<Event> Filtered(const EventFilter& filter) const;
+
   /// Events overwritten because the ring was full.
   uint64_t dropped() const;
 
@@ -56,10 +72,14 @@ class EventLog {
   void Clear();
 
   /// Renders the retained events as a plain-text table (newest last).
-  std::string RenderText() const;
+  std::string RenderText() const { return RenderText(EventFilter{}); }
+  std::string RenderText(const EventFilter& filter) const;
 
-  /// Renders {"dropped":N,"events":[{...}, ...]} (oldest first).
-  std::string RenderJson() const;
+  /// Renders {"dropped":N,"next_after":S,"events":[{...}, ...]} (oldest
+  /// first). `next_after` is the cursor for the next poll (== the filter's
+  /// after_sequence when nothing matched).
+  std::string RenderJson() const { return RenderJson(EventFilter{}); }
+  std::string RenderJson(const EventFilter& filter) const;
 
  private:
   const size_t capacity_;

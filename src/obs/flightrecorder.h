@@ -1,0 +1,127 @@
+#ifndef ESHARP_OBS_FLIGHTRECORDER_H_
+#define ESHARP_OBS_FLIGHTRECORDER_H_
+
+/// \file Incident flight recorder: when something goes wrong — an SLO
+/// breach, a shard dropping to kDown, an operator hitting
+/// /incidentz?trigger= — the evidence around the incident (metric
+/// trajectories, the event ring, slow-query profiles, a statusz text
+/// snapshot) is dumped to disk as one timestamped JSON bundle, before the
+/// bounded in-process rings overwrite it. Retention is bounded: the
+/// recorder keeps the last `max_bundles` files and deletes older ones, so
+/// a flapping SLO can never fill a disk.
+///
+/// Bundles are written atomically (temp file + rename): a reader never
+/// observes a half-written bundle. Under -DESHARP_OBS_OFF=ON, Trigger()
+/// is a no-op returning Unavailable — no file I/O, no allocation beyond
+/// the Status.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/event_log.h"
+#include "obs/profile.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace esharp::obs {
+
+/// \brief One bundle on disk, as listed by /incidentz.
+struct IncidentBundleInfo {
+  std::string path;
+  std::string reason;
+  uint64_t sequence = 0;
+  int64_t captured_unix_ms = 0;
+  size_t size_bytes = 0;
+};
+
+struct FlightRecorderOptions {
+  /// Directory bundles land in (created if missing, single level). Must
+  /// be non-empty.
+  std::string dir;
+  /// Bundles kept on disk; triggering the (K+1)-th deletes the oldest.
+  size_t max_bundles = 8;
+  /// Debounce: triggers closer than this to the previous *written* bundle
+  /// are suppressed (a flapping SLO breaches every tick; one bundle per
+  /// episode is the useful granularity). 0 disables.
+  double min_interval_seconds = 30;
+  /// Trailing window of time series captured into each bundle (0 = all
+  /// retained points).
+  double window_seconds = 300;
+  /// Series-id prefixes captured from `timeseries` (empty = every
+  /// series). Bounding the bundle to the metrics that matter keeps its
+  /// size stable as instrumentation grows.
+  std::vector<std::string> metric_allowlist;
+  /// Sources. Null members skip that bundle section (events falls back to
+  /// EventLog::Global()). All must outlive the recorder.
+  const TimeSeriesStore* timeseries = nullptr;
+  EventLog* events = nullptr;
+  const SlowQueryLog* slow_queries = nullptr;
+  /// Free-form status snapshot (e.g. the shard table or a /statusz
+  /// overview), captured as an escaped string.
+  std::function<std::string()> statusz;
+  /// Test seams: monotone clock (debounce) and wall clock (file stamps).
+  std::function<double()> clock;
+  std::function<int64_t()> wall_clock_ms;
+};
+
+/// \brief The recorder. Trigger() is thread-safe and may be called from
+/// alert callbacks, health-transition hooks and debugz handlers
+/// concurrently; one bundle is written at a time.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Dumps one bundle now. Returns its path, or:
+  ///   Unavailable        — observability compiled out, or debounced;
+  ///   FailedPrecondition — no directory configured;
+  ///   IOError            — the write failed.
+  Result<std::string> Trigger(const std::string& reason,
+                              const std::string& detail = "");
+
+  /// Bundles currently retained, oldest first. Includes bundles found in
+  /// `dir` at construction (a restarted process keeps its history).
+  std::vector<IncidentBundleInfo> Bundles() const;
+
+  /// JSON listing for /incidentz?format=json.
+  std::string RenderJson() const;
+
+  /// Adapter for SloWatchdog::AddAlertCallback: triggers a bundle on
+  /// every breach transition (recoveries only log). The recorder must
+  /// outlive the watchdog.
+  std::function<void(const SloState&)> SloAlertHook();
+
+  uint64_t written() const;     ///< Bundles written by this instance.
+  uint64_t suppressed() const;  ///< Triggers debounced away.
+  const FlightRecorderOptions& options() const { return options_; }
+
+ private:
+  double Now() const;
+  int64_t WallMs() const;
+  EventLog& Events() const;
+  std::string BuildBundleJson(const std::string& reason,
+                              const std::string& detail, uint64_t sequence,
+                              int64_t wall_ms) const;
+  void ScanExisting();
+  void EnforceRetentionLocked();
+
+  FlightRecorderOptions options_;
+  mutable std::mutex mu_;
+  std::vector<IncidentBundleInfo> bundles_;  // oldest first
+  double last_written_time_ = 0;
+  bool has_written_ = false;
+  uint64_t next_sequence_ = 1;
+  uint64_t written_ = 0;
+  uint64_t suppressed_ = 0;
+};
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_FLIGHTRECORDER_H_

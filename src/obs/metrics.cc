@@ -137,7 +137,10 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 std::string MetricsRegistry::ExportPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out;
+  // Wall-clock stamp as a comment line, so two saved scrapes are
+  // orderable offline without relying on file mtimes.
+  std::string out = StrFormat("# captured_unix_ms %lld\n",
+                              static_cast<long long>(WallUnixMillis()));
   std::string last_type_line;
   auto type_line = [&](const std::string& name, const char* type) {
     std::string line = "# TYPE " + SanitizeMetricName(name) + " " + type + "\n";
@@ -182,7 +185,10 @@ std::string MetricsRegistry::ExportPrometheus() const {
 
 std::string MetricsRegistry::ExportJson() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\n  \"counters\": [";
+  // Top-level stamp (no "name" on its line, so bench_diff's line scanner
+  // skips it) ordering two offline dumps of the same process.
+  std::string out = StrFormat("{\n  \"captured_unix_ms\": %lld,\n  \"counters\": [",
+                              static_cast<long long>(WallUnixMillis()));
   bool first = true;
   for (const auto& [key, e] : counters_) {
     out += first ? "\n" : ",\n";
@@ -239,6 +245,24 @@ Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
   return WriteStringToFile(path, ExportJson());
 }
 
+RegistrySample MetricsRegistry::SampleAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySample sample;
+  sample.counters.reserve(counters_.size());
+  for (const auto& [key, e] : counters_) {
+    sample.counters.push_back({key, e.name, e.instrument->Value()});
+  }
+  sample.gauges.reserve(gauges_.size());
+  for (const auto& [key, e] : gauges_) {
+    sample.gauges.push_back({key, e.name, e.instrument->Value()});
+  }
+  sample.histograms.reserve(histograms_.size());
+  for (const auto& [key, e] : histograms_) {
+    sample.histograms.push_back({key, e.name, e.instrument->Snapshot()});
+  }
+  return sample;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, e] : counters_) e.instrument->Reset();
@@ -252,6 +276,12 @@ size_t MetricsRegistry::size() const {
 }
 
 std::string DumpAll() { return MetricsRegistry::Global().ExportPrometheus(); }
+
+int64_t WallUnixMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 double NowSeconds() {
   static const std::chrono::steady_clock::time_point epoch =

@@ -184,6 +184,35 @@ class Histogram {
   std::array<Exemplar, kExemplarBuckets> exemplars_;
 };
 
+/// \brief One instrument's point-in-time reading, as returned by
+/// MetricsRegistry::SampleAll. `key` is the registry's interning key —
+/// `name{label="value",...}` with sorted labels — stable across samples,
+/// so periodic samplers (obs/timeseries.h) can use it as a series id.
+struct SampledCounter {
+  std::string key;
+  std::string name;
+  uint64_t value = 0;
+};
+struct SampledGauge {
+  std::string key;
+  std::string name;
+  double value = 0;
+};
+struct SampledHistogram {
+  std::string key;
+  std::string name;
+  HistogramSnapshot snapshot;
+};
+
+/// \brief One full walk of a registry: every instrument of every kind,
+/// read at (approximately) one instant. The input of the time-series
+/// sampler and of offline snapshot differs.
+struct RegistrySample {
+  std::vector<SampledCounter> counters;
+  std::vector<SampledGauge> gauges;
+  std::vector<SampledHistogram> histograms;
+};
+
 /// \brief Process-wide registry of named instruments.
 ///
 /// `Get*` interns an instrument under (name, labels) and returns a stable
@@ -211,11 +240,18 @@ class MetricsRegistry {
   std::string ExportPrometheus() const;
 
   /// JSON snapshot:
-  ///   {"counters":[{"name":...,"labels":{...},"value":N}, ...],
+  ///   {"captured_unix_ms":<wall clock>,
+  ///    "counters":[{"name":...,"labels":{...},"value":N}, ...],
   ///    "gauges":[...same, value double...],
   ///    "histograms":[{"name":...,"labels":{...},"count":N,"mean":..,
   ///                   "max":..,"p50":..,"p95":..,"p99":..}, ...]}
+  /// The wall-clock stamp makes two offline dumps orderable.
   std::string ExportJson() const;
+
+  /// Reads every instrument once (map order, keys sorted). The walk holds
+  /// the registry mutex but reads each instrument lock-free (counters,
+  /// gauges) or under its own short lock (histograms).
+  RegistrySample SampleAll() const;
 
   /// Writes ExportJson() to `path`.
   Status WriteJsonFile(const std::string& path) const;
@@ -254,6 +290,12 @@ std::string DumpAll();
 /// \brief Seconds since a fixed process-local epoch (steady clock). The
 /// shared time base of metrics windows and trace timestamps.
 double NowSeconds();
+
+/// \brief Wall-clock milliseconds since the Unix epoch — the
+/// `captured_unix_ms` stamp of exported snapshots and incident bundles.
+/// Distinct from NowSeconds(): comparable across processes and restarts,
+/// but not monotone.
+int64_t WallUnixMillis();
 
 }  // namespace esharp::obs
 

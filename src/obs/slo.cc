@@ -126,9 +126,15 @@ void SloWatchdog::Tick() {
   for (const auto& [state, is_breach] : transitions) {
     EventLog* events =
         options_.events != nullptr ? options_.events : &EventLog::Global();
+    // Burn rates ride the message too: an operator reading a bundle's
+    // event list sees how hard the budget was burning without unpacking
+    // the structured fields.
+    std::string burns = StrFormat(" (burn short %.2fx long %.2fx)",
+                                  state.short_burn, state.long_burn);
     events->Add(is_breach ? LogLevel::kERROR : LogLevel::kINFO, "slo",
-                is_breach ? "SLO breach: " + state.name
-                          : "SLO recovered: " + state.name,
+                (is_breach ? "SLO breach: " + state.name
+                           : "SLO recovered: " + state.name) +
+                    burns,
                 {{"objective", state.name},
                  {"short_burn", StrFormat("%.3f", state.short_burn)},
                  {"long_burn", StrFormat("%.3f", state.long_burn)}});

@@ -1,0 +1,295 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+#include "obs/obs.h"
+
+namespace esharp::obs {
+
+namespace {
+
+std::string JsonNumber(double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  return StrFormat("%.12g", v);
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0: return "gauge";
+    case 1: return "rate";
+    case 2: return "quantile";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions options)
+    : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.sample_period_seconds <= 0) options_.sample_period_seconds = 1.0;
+}
+
+TimeSeriesStore::~TimeSeriesStore() { Stop(); }
+
+double TimeSeriesStore::Now() const {
+  return options_.clock ? options_.clock() : NowSeconds();
+}
+
+MetricsRegistry& TimeSeriesStore::Registry() const {
+  return options_.registry != nullptr ? *options_.registry
+                                      : MetricsRegistry::Global();
+}
+
+void TimeSeriesStore::Push(Series& series, double time, double value) {
+  TimeSeriesPoint point{time, value};
+  if (series.ring.size() < options_.capacity) {
+    series.ring.push_back(point);
+  } else {
+    series.ring[series.head] = point;
+    series.head = (series.head + 1) % options_.capacity;
+  }
+}
+
+void TimeSeriesStore::RecordGauge(const std::string& key, Kind kind,
+                                  double time, double value) {
+  Series& series = series_[key];
+  series.kind = kind;
+  Push(series, time, value);
+}
+
+void TimeSeriesStore::RecordCounter(const std::string& key, double time,
+                                    double cumulative) {
+  Series& series = series_[key];
+  series.kind = Kind::kRate;
+  if (series.has_prev) {
+    double dt = time - series.prev_time;
+    if (dt > 0) {
+      // A cumulative reading below the previous one means the counter was
+      // reset (a restart, a ResetAll): the new total IS the delta since
+      // the reset, not a negative rate.
+      double delta = cumulative >= series.prev_value
+                         ? cumulative - series.prev_value
+                         : cumulative;
+      Push(series, time, delta / dt);
+    }
+  }
+  // The first observation only establishes the baseline: a rate needs two
+  // cumulative readings.
+  series.has_prev = true;
+  series.prev_value = cumulative;
+  series.prev_time = time;
+}
+
+void TimeSeriesStore::Sample() {
+#if ESHARP_OBS_ENABLED
+  double now = Now();
+  RegistrySample sample = Registry().SampleAll();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SampledGauge& g : sample.gauges) {
+    RecordGauge(g.key, Kind::kGauge, now, g.value);
+  }
+  for (const SampledCounter& c : sample.counters) {
+    RecordCounter(c.key, now, static_cast<double>(c.value));
+  }
+  for (const SampledHistogram& h : sample.histograms) {
+    RecordGauge(h.key + ".p50", Kind::kQuantile, now, h.snapshot.p50);
+    RecordGauge(h.key + ".p95", Kind::kQuantile, now, h.snapshot.p95);
+    RecordGauge(h.key + ".p99", Kind::kQuantile, now, h.snapshot.p99);
+  }
+  ++samples_;
+#endif
+}
+
+void TimeSeriesStore::Start(double period_seconds) {
+#if ESHARP_OBS_ENABLED
+  double period = period_seconds > 0 ? period_seconds
+                                     : options_.sample_period_seconds;
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  poll_thread_ = std::thread([this, period] {
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    while (!stop_requested_) {
+      lock.unlock();
+      Sample();
+      lock.lock();
+      stop_cv_.wait_for(lock,
+                        std::chrono::duration<double>(std::max(0.001, period)),
+                        [this] { return stop_requested_; });
+    }
+  });
+#else
+  (void)period_seconds;
+#endif
+}
+
+void TimeSeriesStore::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    running_ = false;
+    to_join = std::move(poll_thread_);
+  }
+  stop_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+bool TimeSeriesStore::running() const {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  return running_;
+}
+
+std::vector<TimeSeriesPoint> TimeSeriesStore::OrderedLocked(
+    const Series& series) const {
+  std::vector<TimeSeriesPoint> out;
+  out.reserve(series.ring.size());
+  size_t n = series.ring.size();
+  size_t start = n < options_.capacity ? 0 : series.head;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(series.ring[(start + i) % n]);
+  }
+  return out;
+}
+
+std::vector<std::string> TimeSeriesStore::SeriesNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [key, series] : series_) out.push_back(key);
+  return out;
+}
+
+std::vector<TimeSeriesPoint> TimeSeriesStore::Range(
+    const std::string& series, double window_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) return {};
+  std::vector<TimeSeriesPoint> points = OrderedLocked(it->second);
+  if (window_seconds > 0 && !points.empty()) {
+    double cutoff = points.back().time_seconds - window_seconds;
+    points.erase(std::remove_if(points.begin(), points.end(),
+                                [cutoff](const TimeSeriesPoint& p) {
+                                  return p.time_seconds < cutoff;
+                                }),
+                 points.end());
+  }
+  return points;
+}
+
+SeriesWindowStats TimeSeriesStore::Window(const std::string& series,
+                                          double window_seconds) const {
+  std::vector<TimeSeriesPoint> points = Range(series, window_seconds);
+  SeriesWindowStats stats;
+  for (const TimeSeriesPoint& p : points) {
+    if (stats.count == 0) {
+      stats.min = stats.max = p.value;
+    } else {
+      stats.min = std::min(stats.min, p.value);
+      stats.max = std::max(stats.max, p.value);
+    }
+    stats.avg += p.value;
+    stats.last = p.value;
+    ++stats.count;
+  }
+  if (stats.count > 0) stats.avg /= static_cast<double>(stats.count);
+  return stats;
+}
+
+std::string TimeSeriesStore::RenderJsonFiltered(
+    const std::function<bool(const std::string&)>& keep,
+    double window_seconds) const {
+  std::vector<std::string> names = SeriesNames();
+  std::string out = StrFormat(
+      "{\"window_seconds\":%s,\"samples_taken\":%llu,\"series\":[",
+      JsonNumber(window_seconds).c_str(),
+      static_cast<unsigned long long>(samples_taken()));
+  bool first = true;
+  for (const std::string& name : names) {
+    if (!keep(name)) continue;
+    Kind kind;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = series_.find(name);
+      if (it == series_.end()) continue;
+      kind = it->second.kind;
+    }
+    std::vector<TimeSeriesPoint> points = Range(name, window_seconds);
+    SeriesWindowStats stats;
+    for (const TimeSeriesPoint& p : points) {
+      if (stats.count == 0) {
+        stats.min = stats.max = p.value;
+      } else {
+        stats.min = std::min(stats.min, p.value);
+        stats.max = std::max(stats.max, p.value);
+      }
+      stats.avg += p.value;
+      stats.last = p.value;
+      ++stats.count;
+    }
+    if (stats.count > 0) stats.avg /= static_cast<double>(stats.count);
+    out += first ? "\n" : ",\n";
+    first = false;
+    // Series ids are registry keys: escape the quotes label values carry.
+    std::string escaped;
+    escaped.reserve(name.size());
+    for (char c : name) {
+      if (c == '\\' || c == '"') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    out += StrFormat(
+        "  {\"id\":\"%s\",\"kind\":\"%s\",\"stats\":{\"count\":%zu,"
+        "\"min\":%s,\"max\":%s,\"avg\":%s,\"last\":%s},\"points\":[",
+        escaped.c_str(), KindName(static_cast<int>(kind)), stats.count,
+        JsonNumber(stats.min).c_str(), JsonNumber(stats.max).c_str(),
+        JsonNumber(stats.avg).c_str(), JsonNumber(stats.last).c_str());
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "[" + JsonNumber(points[i].time_seconds) + "," +
+             JsonNumber(points[i].value) + "]";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TimeSeriesStore::RenderJson(const std::string& metric_filter,
+                                        double window_seconds) const {
+  return RenderJsonFiltered(
+      [&metric_filter](const std::string& name) {
+        return metric_filter.empty() ||
+               name.find(metric_filter) != std::string::npos;
+      },
+      window_seconds);
+}
+
+std::string TimeSeriesStore::RenderJsonPrefixes(
+    const std::vector<std::string>& prefixes, double window_seconds) const {
+  return RenderJsonFiltered(
+      [&prefixes](const std::string& name) {
+        if (prefixes.empty()) return true;
+        for (const std::string& prefix : prefixes) {
+          if (name.rfind(prefix, 0) == 0) return true;
+        }
+        return false;
+      },
+      window_seconds);
+}
+
+uint64_t TimeSeriesStore::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+size_t TimeSeriesStore::num_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+}  // namespace esharp::obs

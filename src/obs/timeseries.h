@@ -1,0 +1,166 @@
+#ifndef ESHARP_OBS_TIMESERIES_H_
+#define ESHARP_OBS_TIMESERIES_H_
+
+/// \file Bounded in-process metric history. A TimeSeriesStore walks a
+/// MetricsRegistry on a fixed cadence — a background thread in
+/// production, manual Sample() calls with an injected clock in tests —
+/// and keeps, per instrument, a fixed-size ring of points:
+///
+///   * gauges      — the raw reading;
+///   * counters    — the per-second rate over the sampling interval
+///                   (delta / dt), with counter resets (a restart, a
+///                   ResetAll) treated as a fresh start rather than a
+///                   huge negative spike;
+///   * histograms  — decomposed into three companion series, `<key>.p50`,
+///                   `<key>.p95`, `<key>.p99`, each carrying that
+///                   quantile's trajectory.
+///
+/// The rings make incidents diagnosable after the fact: /graphz renders
+/// them as sparklines, range queries serve offline analysis, and the
+/// flight recorder (obs/flightrecorder.h) snapshots them into incident
+/// bundles. Memory is bounded by capacity * live series and never grows
+/// per-sample.
+///
+/// Under -DESHARP_OBS_OFF=ON, Sample() and Start() compile to no-ops (no
+/// thread is spawned, no ring is populated); the class itself stays
+/// available so wiring code needs no #ifdefs.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace esharp::obs {
+
+/// \brief One retained sample of one series.
+struct TimeSeriesPoint {
+  double time_seconds = 0;  ///< Clock time base (obs::NowSeconds()).
+  double value = 0;
+};
+
+/// \brief Windowed aggregation of one series (min/max/avg/last over the
+/// points inside the window). `count == 0` means no points matched.
+struct SeriesWindowStats {
+  size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double avg = 0;
+  double last = 0;
+};
+
+struct TimeSeriesOptions {
+  /// Points retained per series; older points are overwritten ring-wise.
+  /// The default holds 10 minutes at the default 1 s cadence.
+  size_t capacity = 600;
+  /// Background cadence of Start() when no period is passed.
+  double sample_period_seconds = 1.0;
+  /// Registry to walk (null = MetricsRegistry::Global()).
+  MetricsRegistry* registry = nullptr;
+  /// Test seam: replaces obs::NowSeconds. Must be monotone.
+  std::function<double()> clock;
+};
+
+/// \brief The sampler + ring store. All methods are thread-safe; Sample()
+/// may run concurrently with every query method.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesOptions options = {});
+  ~TimeSeriesStore();  ///< Stops the sampling thread, if started.
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Takes one sample of every instrument now. Drive this directly from
+  /// tests (with an injected clock) or let Start()'s thread call it.
+  void Sample();
+
+  /// Spawns a thread calling Sample() every `period_seconds` (<= 0 uses
+  /// options.sample_period_seconds). Idempotent.
+  void Start(double period_seconds = 0);
+
+  /// Stops and joins the sampling thread. Safe when never started.
+  void Stop();
+
+  bool running() const;
+
+  /// Series ids currently retained, sorted. Gauge/counter ids equal the
+  /// registry key (`name{labels}`); histogram quantile series append
+  /// `.p50` / `.p95` / `.p99`.
+  std::vector<std::string> SeriesNames() const;
+
+  /// Points of `series` inside the trailing `window_seconds` (0 = all
+  /// retained), oldest first. Empty when the series is unknown.
+  std::vector<TimeSeriesPoint> Range(const std::string& series,
+                                     double window_seconds = 0) const;
+
+  /// min/max/avg/last over the same range.
+  SeriesWindowStats Window(const std::string& series,
+                           double window_seconds = 0) const;
+
+  /// JSON range query (the /graphz?format=json payload and the flight
+  /// recorder's bundle section): every series whose id contains
+  /// `metric_filter` (empty = all), with its windowed stats and points:
+  ///   {"window_seconds":W,"samples_taken":N,"series":[
+  ///     {"id":"...","kind":"gauge|rate|quantile",
+  ///      "stats":{"count":..,"min":..,"max":..,"avg":..,"last":..},
+  ///      "points":[[t,v],...]}, ...]}
+  std::string RenderJson(const std::string& metric_filter = "",
+                         double window_seconds = 0) const;
+
+  /// Same, but keeping only series whose id starts with one of
+  /// `prefixes` (empty list = all) — the flight recorder's allowlist cut.
+  std::string RenderJsonPrefixes(const std::vector<std::string>& prefixes,
+                                 double window_seconds = 0) const;
+
+  /// Total Sample() walks performed (0 under -DESHARP_OBS_OFF).
+  uint64_t samples_taken() const;
+  size_t num_series() const;
+  size_t capacity() const { return options_.capacity; }
+  const TimeSeriesOptions& options() const { return options_; }
+
+ private:
+  enum class Kind { kGauge, kRate, kQuantile };
+  /// One ring plus the counter-delta state feeding it.
+  struct Series {
+    Kind kind = Kind::kGauge;
+    std::vector<TimeSeriesPoint> ring;  // grows to capacity, then wraps
+    size_t head = 0;                    // next overwrite position once full
+    // Counter series only: the previous cumulative reading, so each
+    // sample stores a rate (delta/dt) instead of the raw total.
+    bool has_prev = false;
+    double prev_value = 0;
+    double prev_time = 0;
+  };
+
+  double Now() const;
+  MetricsRegistry& Registry() const;
+  void Push(Series& series, double time, double value);
+  void RecordGauge(const std::string& key, Kind kind, double time,
+                   double value);
+  void RecordCounter(const std::string& key, double time, double cumulative);
+  std::vector<TimeSeriesPoint> OrderedLocked(const Series& series) const;
+  std::string RenderJsonFiltered(
+      const std::function<bool(const std::string&)>& keep,
+      double window_seconds) const;
+
+  TimeSeriesOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Series> series_;
+  uint64_t samples_ = 0;
+
+  mutable std::mutex thread_mu_;
+  std::thread poll_thread_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace esharp::obs
+
+#endif  // ESHARP_OBS_TIMESERIES_H_

@@ -85,6 +85,8 @@ void MountServingEndpoints(obs::DebugServer* server, ServingEngine* engine,
   statusz.build_info = std::move(options.build_info);
   statusz.tracer = options.tracer;
   statusz.watchdog = options.watchdog;
+  statusz.timeseries = options.timeseries;
+  statusz.recorder = options.recorder;
   statusz.readiness.emplace_back(
       "serving", EngineReadiness(engine, options.max_snapshot_age_seconds));
   statusz.overview = [engine]() {

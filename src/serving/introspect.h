@@ -49,6 +49,10 @@ struct ServingIntrospectionOptions {
   obs::SloWatchdog* watchdog = nullptr;  ///< /readyz + /statusz SLO table.
   /// Readiness staleness bound for EngineReadiness (0 = unbounded).
   double max_snapshot_age_seconds = 0;
+  /// /graphz source (null disables). Must outlive the server.
+  obs::TimeSeriesStore* timeseries = nullptr;
+  /// /incidentz source (null disables). Must outlive the server.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// \brief Mounts the full statusz family on `server`, wired to `engine`:

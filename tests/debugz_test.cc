@@ -18,8 +18,10 @@
 
 #include "obs/debugz.h"
 #include "obs/event_log.h"
+#include "obs/flightrecorder.h"
 #include "obs/progress.h"
 #include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace esharp::obs {
@@ -255,6 +257,95 @@ TEST_F(StatuszTest, EventzRendersTheLogBothWays) {
   EXPECT_NE(json.body.find("\"version\""), std::string::npos);
   EXPECT_NE(json.body.find("snapshot published"), std::string::npos);
 }
+
+TEST_F(StatuszTest, EventzFiltersBySeverityAndCursor) {
+  events_.Add(LogLevel::kDEBUG, "noise", "chatter");
+  events_.Add(LogLevel::kERROR, "slo", "boom");
+  uint64_t boom_seq = events_.Events().back().sequence;
+  events_.Add(LogLevel::kWARN, "health", "wobbled");
+  Mount({});
+
+  HttpResponseData warnings = Get("/eventz?level=warn");
+  EXPECT_EQ(warnings.status, 200);
+  EXPECT_EQ(warnings.body.find("chatter"), std::string::npos)
+      << warnings.body;
+  EXPECT_NE(warnings.body.find("boom"), std::string::npos);
+  EXPECT_NE(warnings.body.find("wobbled"), std::string::npos);
+
+  HttpResponseData paged =
+      Get("/eventz?format=json&after=" + std::to_string(boom_seq));
+  EXPECT_EQ(paged.body.find("boom"), std::string::npos) << paged.body;
+  EXPECT_NE(paged.body.find("wobbled"), std::string::npos);
+  EXPECT_NE(paged.body.find("\"next_after\":"), std::string::npos);
+
+  EXPECT_EQ(Get("/eventz?level=loud").status, 400);
+}
+
+TEST_F(StatuszTest, GraphzRendersSparklinesAndJson) {
+  double now = 10;
+  TimeSeriesOptions ts_options;
+  ts_options.registry = &registry_;
+  ts_options.clock = [&now] { return now; };
+  TimeSeriesStore store(ts_options);
+  registry_.GetGauge("graphz.depth")->Set(1);
+  store.Sample();
+  now = 11;
+  registry_.GetGauge("graphz.depth")->Set(3);
+  store.Sample();
+
+  StatuszOptions options;
+  options.timeseries = &store;
+  Mount(std::move(options));
+
+  HttpResponseData html = Get("/graphz");
+  EXPECT_EQ(html.status, 200);
+#if ESHARP_OBS_ENABLED
+  EXPECT_NE(html.body.find("graphz.depth"), std::string::npos) << html.body;
+  EXPECT_NE(html.body.find("<svg"), std::string::npos);
+  HttpResponseData json = Get("/graphz?format=json&metric=graphz.depth");
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(json.body.find("\"id\":\"graphz.depth\""), std::string::npos)
+      << json.body;
+  EXPECT_NE(json.body.find("\"points\":[[10,1],[11,3]]"), std::string::npos)
+      << json.body;
+  // /statusz advertises the endpoint once a store is wired.
+  EXPECT_NE(Get("/statusz").body.find("/graphz"), std::string::npos);
+#endif
+}
+
+TEST_F(StatuszTest, GraphzAndIncidentzAre404WhenUnwired) {
+  Mount({});
+  EXPECT_EQ(Get("/graphz").status, 404);
+  EXPECT_EQ(Get("/incidentz").status, 404);
+}
+
+#if ESHARP_OBS_ENABLED
+TEST_F(StatuszTest, IncidentzTriggersAndListsBundles) {
+  FlightRecorderOptions recorder_options;
+  recorder_options.dir = ::testing::TempDir() + "debugz_incidents_" +
+                         std::to_string(WallUnixMillis());
+  recorder_options.min_interval_seconds = 0;
+  recorder_options.events = &events_;
+  FlightRecorder recorder(recorder_options);
+
+  StatuszOptions options;
+  options.recorder = &recorder;
+  Mount(std::move(options));
+
+  HttpResponseData triggered = Get("/incidentz?trigger=drill");
+  EXPECT_EQ(triggered.status, 200);
+  EXPECT_NE(triggered.body.find("bundle written:"), std::string::npos)
+      << triggered.body;
+  EXPECT_EQ(recorder.written(), 1u);
+
+  HttpResponseData html = Get("/incidentz");
+  EXPECT_NE(html.body.find("manual:drill"), std::string::npos) << html.body;
+  HttpResponseData json = Get("/incidentz?format=json");
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(json.body.find("\"reason\":\"manual:drill\""), std::string::npos)
+      << json.body;
+}
+#endif
 
 TEST_F(StatuszTest, ProgresszShowsActiveAndFinishedJobs) {
   auto job = progress_.Start("offline_pipeline");

@@ -5,14 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/file_io.h"
+#include "obs/flightrecorder.h"
 #include "obs/obs.h"
 #include "obs/resource_meter.h"
+#include "obs/timeseries.h"
 
 namespace esharp::obs {
 namespace {
@@ -160,7 +166,14 @@ TEST(MetricsRegistryTest, WriteJsonFileRoundTrip) {
   ASSERT_TRUE(registry.WriteJsonFile(path).ok());
   auto contents = ReadFileToString(path);
   ASSERT_TRUE(contents.ok());
-  EXPECT_EQ(*contents, registry.ExportJson());
+  // The capture timestamp moves between the write and a fresh export;
+  // everything after its line must round-trip byte-identically.
+  auto strip_stamp = [](const std::string& json) {
+    auto pos = json.find('\n', json.find("captured_unix_ms"));
+    return json.substr(pos);
+  };
+  EXPECT_NE(contents->find("\"captured_unix_ms\": "), std::string::npos);
+  EXPECT_EQ(strip_stamp(*contents), strip_stamp(registry.ExportJson()));
   std::remove(path.c_str());
 }
 
@@ -507,6 +520,444 @@ TEST(JobProgressTest, DroppedHandleMarksAborted) {
   job->SetFraction(7.0);
   EXPECT_DOUBLE_EQ(registry.Snapshot()[0].fraction, 1.0);
 }
+
+// ---- Export timestamps / SampleAll ----------------------------------------
+
+TEST(MetricsRegistryTest, ExportsStampCaptureWallClock) {
+  MetricsRegistry registry;
+  registry.GetCounter("stamped")->Increment();
+  std::string prom = registry.ExportPrometheus();
+  EXPECT_EQ(prom.rfind("# captured_unix_ms ", 0), 0u) << prom;
+  std::string json = registry.ExportJson();
+  auto pos = json.find("\"captured_unix_ms\": ");
+  ASSERT_NE(pos, std::string::npos) << json;
+  long long ms = std::atoll(json.c_str() + pos + 20);
+  EXPECT_GT(ms, 1500000000000LL);  // a real wall clock, not a steady one
+  // Capture times are monotone non-decreasing across exports.
+  std::string json2 = registry.ExportJson();
+  auto pos2 = json2.find("\"captured_unix_ms\": ");
+  ASSERT_NE(pos2, std::string::npos);
+  EXPECT_GE(std::atoll(json2.c_str() + pos2 + 20), ms);
+}
+
+TEST(MetricsRegistryTest, SampleAllWalksEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("walk.counter", {{"shard", "s0"}})->Increment(7);
+  registry.GetGauge("walk.gauge")->Set(2.5);
+  registry.GetHistogram("walk.hist")->Observe(0.25);
+  RegistrySample sample = registry.SampleAll();
+  ASSERT_EQ(sample.counters.size(), 1u);
+  EXPECT_EQ(sample.counters[0].key, "walk.counter{shard=\"s0\"}");
+  EXPECT_EQ(sample.counters[0].name, "walk.counter");
+  EXPECT_EQ(sample.counters[0].value, 7u);
+  ASSERT_EQ(sample.gauges.size(), 1u);
+  EXPECT_EQ(sample.gauges[0].key, "walk.gauge");
+  EXPECT_DOUBLE_EQ(sample.gauges[0].value, 2.5);
+  ASSERT_EQ(sample.histograms.size(), 1u);
+  EXPECT_EQ(sample.histograms[0].snapshot.count, 1u);
+}
+
+// ---- Event filtering ------------------------------------------------------
+
+TEST(EventLogTest, FilteredBySeverityCursorAndLimit) {
+  EventLog log(/*capacity=*/16);
+  log.Add(LogLevel::kDEBUG, "a", "noise");
+  log.Add(LogLevel::kWARN, "a", "warned");
+  log.Add(LogLevel::kERROR, "a", "broke");
+  log.Add(LogLevel::kINFO, "a", "routine");
+
+  EventFilter warnings;
+  warnings.min_severity = LogLevel::kWARN;
+  std::vector<Event> events = log.Filtered(warnings);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].message, "warned");
+  EXPECT_EQ(events[1].message, "broke");
+
+  // Cursor: only events after the first fetch's next_after.
+  EventFilter after;
+  after.after_sequence = events[0].sequence;
+  events = log.Filtered(after);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].message, "broke");
+  EXPECT_EQ(events[1].message, "routine");
+
+  // Limit keeps the newest, not the oldest.
+  EventFilter last_one;
+  last_one.limit = 1;
+  events = log.Filtered(last_one);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].message, "routine");
+}
+
+TEST(EventLogTest, RenderJsonCarriesCursorAndHonorsFilter) {
+  EventLog log(/*capacity=*/8);
+  log.Add(LogLevel::kINFO, "a", "kept-info");
+  log.Add(LogLevel::kERROR, "a", "kept-error");
+  EventFilter errors_only;
+  errors_only.min_severity = LogLevel::kERROR;
+  std::string json = log.RenderJson(errors_only);
+  EXPECT_EQ(json.find("kept-info"), std::string::npos) << json;
+  EXPECT_NE(json.find("kept-error"), std::string::npos);
+  EXPECT_NE(json.find("\"next_after\":"), std::string::npos);
+}
+
+TEST(EventLogTest, ParseLogLevelAcceptsAliasesRejectsJunk) {
+  LogLevel level = LogLevel::kDEBUG;
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWARN);
+  EXPECT_TRUE(ParseLogLevel("WARNING", &level));
+  EXPECT_EQ(level, LogLevel::kWARN);
+  EXPECT_TRUE(ParseLogLevel("Error", &level));
+  EXPECT_EQ(level, LogLevel::kERROR);
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+}
+
+// ---- Time series ----------------------------------------------------------
+
+TEST(TimeSeriesTest, ManualClockSamplerIsDeterministic) {
+  MetricsRegistry registry;
+  double now = 100.0;
+  TimeSeriesOptions options;
+  options.registry = &registry;
+  options.clock = [&now] { return now; };
+  TimeSeriesStore store(options);
+
+  Counter* requests = registry.GetCounter("ts.requests");
+  Gauge* depth = registry.GetGauge("ts.depth");
+  depth->Set(3);
+  store.Sample();  // counters only baseline on their first observation
+  now = 101.0;
+  requests->Increment(10);
+  depth->Set(5);
+  store.Sample();
+  now = 103.0;
+  requests->Increment(30);
+  store.Sample();
+
+#if ESHARP_OBS_ENABLED
+  EXPECT_EQ(store.samples_taken(), 3u);
+  std::vector<TimeSeriesPoint> rate = store.Range("ts.requests");
+  ASSERT_EQ(rate.size(), 2u);
+  EXPECT_DOUBLE_EQ(rate[0].time_seconds, 101.0);
+  EXPECT_DOUBLE_EQ(rate[0].value, 10.0);  // 10 in 1 s
+  EXPECT_DOUBLE_EQ(rate[1].value, 15.0);  // 30 in 2 s
+  std::vector<TimeSeriesPoint> gauge_points = store.Range("ts.depth");
+  ASSERT_EQ(gauge_points.size(), 3u);
+  EXPECT_DOUBLE_EQ(gauge_points[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(gauge_points[2].value, 5.0);
+  SeriesWindowStats stats = store.Window("ts.requests");
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_DOUBLE_EQ(stats.min, 10.0);
+  EXPECT_DOUBLE_EQ(stats.max, 15.0);
+  EXPECT_DOUBLE_EQ(stats.last, 15.0);
+  // Trailing window cuts on the newest point's time.
+  EXPECT_EQ(store.Range("ts.depth", 1.5).size(), 1u);
+#else
+  // Compiled out: sampling retains nothing.
+  EXPECT_EQ(store.samples_taken(), 0u);
+  EXPECT_EQ(store.num_series(), 0u);
+#endif
+}
+
+#if ESHARP_OBS_ENABLED
+TEST(TimeSeriesTest, RingWrapsAtCapacity) {
+  MetricsRegistry registry;
+  double now = 0;
+  TimeSeriesOptions options;
+  options.registry = &registry;
+  options.clock = [&now] { return now; };
+  options.capacity = 4;
+  TimeSeriesStore store(options);
+  Gauge* gauge = registry.GetGauge("wrap");
+  for (int i = 0; i < 10; ++i) {
+    now = i;
+    gauge->Set(i);
+    store.Sample();
+  }
+  std::vector<TimeSeriesPoint> points = store.Range("wrap");
+  ASSERT_EQ(points.size(), 4u);  // only the newest `capacity` retained
+  EXPECT_DOUBLE_EQ(points[0].value, 6.0);  // oldest first
+  EXPECT_DOUBLE_EQ(points[3].value, 9.0);
+  EXPECT_EQ(store.capacity(), 4u);
+}
+
+TEST(TimeSeriesTest, CounterResetStartsAFreshBaseline) {
+  MetricsRegistry registry;
+  double now = 0;
+  TimeSeriesOptions options;
+  options.registry = &registry;
+  options.clock = [&now] { return now; };
+  TimeSeriesStore store(options);
+  Counter* counter = registry.GetCounter("restart");
+  counter->Increment(10);
+  store.Sample();  // baseline at 10
+  now = 1;
+  counter->Increment(10);
+  store.Sample();  // rate 10
+  counter->Reset();
+  counter->Increment(4);  // cumulative 4 < 20: the process "restarted"
+  now = 2;
+  store.Sample();
+  std::vector<TimeSeriesPoint> points = store.Range("restart");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].value, 10.0);
+  // Post-reset the cumulative value itself is the delta — no negative
+  // spike, no absurd positive one.
+  EXPECT_DOUBLE_EQ(points[1].value, 4.0);
+}
+
+TEST(TimeSeriesTest, HistogramDecomposesIntoQuantileSeries) {
+  MetricsRegistry registry;
+  double now = 0;
+  TimeSeriesOptions options;
+  options.registry = &registry;
+  options.clock = [&now] { return now; };
+  TimeSeriesStore store(options);
+  Histogram* hist = registry.GetHistogram("lat");
+  for (int i = 1; i <= 100; ++i) hist->Observe(i * 1e-3);
+  store.Sample();
+  std::vector<std::string> names = store.SeriesNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "lat.p50"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "lat.p95"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "lat.p99"), names.end());
+  double p50 = store.Window("lat.p50").last;
+  double p95 = store.Window("lat.p95").last;
+  double p99 = store.Window("lat.p99").last;
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 0.2);  // same order as the data, not garbage
+  std::string json = store.RenderJson("lat.");
+  EXPECT_NE(json.find("\"kind\":\"quantile\""), std::string::npos) << json;
+}
+
+TEST(TimeSeriesTest, ConcurrentSampleAndReadIsSafe) {
+  MetricsRegistry registry;
+  TimeSeriesOptions options;
+  options.registry = &registry;
+  TimeSeriesStore store(options);
+  Counter* counter = registry.GetCounter("hot");
+  constexpr size_t kSamples = 1000;
+  std::thread sampler([&] {
+    for (size_t i = 0; i < kSamples; ++i) {
+      counter->Increment();
+      store.Sample();
+    }
+  });
+  while (store.samples_taken() < kSamples) {
+    (void)store.SeriesNames();
+    (void)store.Range("hot");
+    (void)store.Window("hot");
+    (void)store.RenderJson();
+  }
+  sampler.join();
+  EXPECT_EQ(store.samples_taken(), kSamples);
+}
+#endif  // ESHARP_OBS_ENABLED
+
+TEST(TimeSeriesTest, BackgroundSamplerStartStop) {
+  MetricsRegistry registry;
+  TimeSeriesOptions options;
+  options.registry = &registry;
+  TimeSeriesStore store(options);
+  registry.GetGauge("bg")->Set(1);
+  store.Start(/*period_seconds=*/0.001);
+#if ESHARP_OBS_ENABLED
+  EXPECT_TRUE(store.running());
+  for (int spin = 0; spin < 2000 && store.samples_taken() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(store.samples_taken(), 2u);
+#else
+  EXPECT_FALSE(store.running());  // no thread is ever spawned
+#endif
+  store.Stop();
+  EXPECT_FALSE(store.running());
+  store.Stop();  // idempotent
+}
+
+// ---- Flight recorder ------------------------------------------------------
+
+// The recorder deliberately adopts bundles already in its directory (crash
+// recovery), so every test gets a directory no prior run has written to.
+std::string FreshBundleDir(const std::string& tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "fr_" + tag + "_" +
+         std::to_string(WallUnixMillis()) + "_" + std::to_string(counter++);
+}
+
+#if ESHARP_OBS_ENABLED
+TEST(FlightRecorderTest, TriggerWritesBundleWithEverySection) {
+  MetricsRegistry registry;
+  double now = 50.0;
+  TimeSeriesOptions ts_options;
+  ts_options.registry = &registry;
+  ts_options.clock = [&now] { return now; };
+  TimeSeriesStore store(ts_options);
+  registry.GetCounter("bundle.requests")->Increment(5);
+  store.Sample();
+  now = 51.0;
+  registry.GetCounter("bundle.requests")->Increment(5);
+  store.Sample();
+
+  EventLog events(/*capacity=*/8);
+  events.Add(LogLevel::kWARN, "test", "something flapped");
+
+  FlightRecorderOptions options;
+  options.dir = FreshBundleDir("sections");
+  options.timeseries = &store;
+  options.events = &events;
+  options.statusz = [] { return std::string("shard table\nwith \"quotes\""); };
+  options.clock = [&now] { return now; };
+  options.wall_clock_ms = [] { return int64_t{1700000000123}; };
+  FlightRecorder recorder(options);
+
+  auto path = recorder.Trigger("unit_test", "induced");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  auto content = ReadFileToString(*path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("\"reason\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(content->find("\"detail\":\"induced\""), std::string::npos);
+  EXPECT_NE(content->find("\"captured_unix_ms\":1700000000123"),
+            std::string::npos);
+  EXPECT_NE(content->find("bundle.requests"), std::string::npos);
+  EXPECT_NE(content->find("something flapped"), std::string::npos);
+  EXPECT_NE(content->find("shard table\\nwith \\\"quotes\\\""),
+            std::string::npos);
+  ASSERT_EQ(recorder.Bundles().size(), 1u);
+  EXPECT_EQ(recorder.Bundles()[0].captured_unix_ms, 1700000000123);
+  EXPECT_EQ(recorder.written(), 1u);
+  // The trigger itself lands in the event log, pointing at the bundle.
+  std::vector<Event> logged = events.Events();
+  EXPECT_EQ(logged.back().message, "incident bundle written: unit_test");
+}
+
+TEST(FlightRecorderTest, AllowlistBoundsBundleToNamedPrefixes) {
+  MetricsRegistry registry;
+  double now = 0;
+  TimeSeriesOptions ts_options;
+  ts_options.registry = &registry;
+  ts_options.clock = [&now] { return now; };
+  TimeSeriesStore store(ts_options);
+  registry.GetGauge("serving.depth")->Set(1);
+  registry.GetGauge("cluster.noise")->Set(2);
+  store.Sample();
+
+  EventLog events(/*capacity=*/4);
+  FlightRecorderOptions options;
+  options.dir = FreshBundleDir("allowlist");
+  options.timeseries = &store;
+  options.events = &events;
+  options.metric_allowlist = {"serving."};
+  FlightRecorder recorder(options);
+  auto path = recorder.Trigger("allowlist");
+  ASSERT_TRUE(path.ok());
+  auto content = ReadFileToString(*path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("serving.depth"), std::string::npos);
+  EXPECT_EQ(content->find("cluster.noise"), std::string::npos) << *content;
+}
+
+TEST(FlightRecorderTest, RetentionKeepsNewestAcrossRestart) {
+  std::string dir = FreshBundleDir("retention");
+  EventLog events(/*capacity=*/4);
+  int64_t wall = 1700000000000;
+  FlightRecorderOptions options;
+  options.dir = dir;
+  options.max_bundles = 2;
+  options.min_interval_seconds = 0;
+  options.events = &events;
+  options.wall_clock_ms = [&wall] { return wall; };
+  std::vector<std::string> paths;
+  {
+    FlightRecorder recorder(options);
+    for (int i = 0; i < 4; ++i) {
+      wall += 1000;
+      auto path = recorder.Trigger("burst");
+      ASSERT_TRUE(path.ok());
+      paths.push_back(*path);
+    }
+    std::vector<IncidentBundleInfo> kept = recorder.Bundles();
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_EQ(kept[0].sequence, 3u);
+    EXPECT_EQ(kept[1].sequence, 4u);
+    EXPECT_FALSE(ReadFileToString(paths[0]).ok());  // evicted from disk
+    EXPECT_TRUE(ReadFileToString(paths[3]).ok());
+  }
+  // A fresh recorder over the same directory adopts the survivors and
+  // keeps numbering after them.
+  FlightRecorder revived(options);
+  std::vector<IncidentBundleInfo> adopted = revived.Bundles();
+  ASSERT_EQ(adopted.size(), 2u);
+  EXPECT_EQ(adopted[1].sequence, 4u);
+  wall += 1000;
+  auto path = revived.Trigger("after_restart");
+  ASSERT_TRUE(path.ok());
+  std::vector<IncidentBundleInfo> after = revived.Bundles();
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[1].sequence, 5u);
+  EXPECT_FALSE(ReadFileToString(paths[2]).ok());  // oldest survivor evicted
+}
+
+TEST(FlightRecorderTest, DebounceSuppressesBackToBackTriggers) {
+  EventLog events(/*capacity=*/4);
+  double steady = 1000.0;
+  FlightRecorderOptions options;
+  options.dir = FreshBundleDir("debounce");
+  options.min_interval_seconds = 10;
+  options.events = &events;
+  options.clock = [&steady] { return steady; };
+  FlightRecorder recorder(options);
+  EXPECT_TRUE(recorder.Trigger("first").ok());
+  steady += 1;
+  auto debounced = recorder.Trigger("storm");
+  EXPECT_FALSE(debounced.ok());
+  EXPECT_EQ(recorder.suppressed(), 1u);
+  steady += 10;
+  EXPECT_TRUE(recorder.Trigger("next_episode").ok());
+  EXPECT_EQ(recorder.written(), 2u);
+}
+
+TEST(FlightRecorderTest, SloHookFiresOnBreachNotRecovery) {
+  EventLog events(/*capacity=*/4);
+  FlightRecorderOptions options;
+  options.dir = FreshBundleDir("slohook");
+  options.min_interval_seconds = 0;
+  options.events = &events;
+  FlightRecorder recorder(options);
+  auto hook = recorder.SloAlertHook();
+
+  SloState recovered;
+  recovered.name = "error_rate";
+  recovered.breached = false;
+  hook(recovered);
+  EXPECT_EQ(recorder.written(), 0u);
+
+  SloState breached;
+  breached.name = "error_rate";
+  breached.breached = true;
+  breached.short_burn = 2.5;
+  breached.long_burn = 1.25;
+  hook(breached);
+  ASSERT_EQ(recorder.written(), 1u);
+  std::vector<IncidentBundleInfo> bundles = recorder.Bundles();
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(bundles[0].reason, "slo_breach:error_rate");
+  auto content = ReadFileToString(bundles[0].path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("burn short 2.50x long 1.25x"), std::string::npos)
+      << *content;
+}
+#else  // !ESHARP_OBS_ENABLED
+TEST(FlightRecorderTest, CompiledOutTriggerRefuses) {
+  FlightRecorderOptions options;
+  options.dir = FreshBundleDir("off");
+  FlightRecorder recorder(options);
+  EXPECT_FALSE(recorder.Trigger("anything").ok());
+  EXPECT_TRUE(recorder.Bundles().empty());
+  EXPECT_EQ(recorder.written(), 0u);
+}
+#endif  // ESHARP_OBS_ENABLED
 
 TEST(ResourceMeterTest, CopyIsIndependent) {
   ResourceMeter meter;
