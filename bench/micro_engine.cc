@@ -243,6 +243,49 @@ int main(int argc, char** argv) {
       g_sink += corpus.MatchTweets(ids).size();
     }
   });
+  // ---- Gallop-vs-linear cutover calibration -------------------------------
+  // MatchTweets intersects rarest-first; each step picks galloping search
+  // when the next list is more than GallopDfRatio times longer than the
+  // running result, SIMD linear merge otherwise. Sweep the cutover over
+  // the live workload to find (and pin in the JSON, informational) where
+  // this machine's crossover sits. One workload pass is ~0.1 ms — below
+  // timer-jitter scale — so each timed iteration repeats the pass; the
+  // recorded value is per-pass. Regression protection for the *shipped*
+  // ratio comes from the gated match_seconds{path="token_ids"} metric,
+  // which runs under the configured default; the sweep restores that
+  // default afterwards so later sections measure the shipped setting.
+  const size_t configured_ratio = microblog::GetGallopDfRatio();
+  const size_t sweep_ratios[] = {1, 2, 4, 8, 16, 32, 64, 128};
+  const size_t sweep_reps = smoke ? 2 : 25;
+  std::vector<std::pair<size_t, double>> sweep;
+  for (size_t ratio : sweep_ratios) {
+    microblog::SetGallopDfRatio(ratio);
+    double s = BestOf(iters, [&] {
+      for (size_t rep = 0; rep < sweep_reps; ++rep) {
+        for (const auto& ids : term_ids) {
+          g_sink += corpus.MatchTweets(ids).size();
+        }
+      }
+    });
+    sweep.emplace_back(ratio, s / sweep_reps);
+  }
+  microblog::SetGallopDfRatio(configured_ratio);
+  size_t best_ratio = sweep.front().first;
+  double best_ratio_s = sweep.front().second;
+  for (const auto& [ratio, s] : sweep) {
+    if (s < best_ratio_s) {
+      best_ratio = ratio;
+      best_ratio_s = s;
+    }
+  }
+  std::printf("\n%-28s %12s\n", "Gallop cutover sweep (ratio)", "Best(ms)");
+  for (const auto& [ratio, s] : sweep) {
+    std::printf("%-28zu %12.3f%s\n", ratio, s * 1e3,
+                ratio == best_ratio ? "  <- best" : "");
+  }
+  std::printf("configured df-ratio %zu; sweep best %zu\n", configured_ratio,
+              best_ratio);
+
   expert::ExpertDetector detector(&corpus);
   double collect_live_s = BestOf(iters, [&] {
     for (const auto& ids : term_ids) {
@@ -345,6 +388,19 @@ int main(int argc, char** argv) {
       ->Set(match_token_s);
   registry.GetGauge("bench.online.match_speedup")
       ->Set(match_token_s > 0 ? match_string_s / match_token_s : 0);
+  for (const auto& [ratio, s] : sweep) {
+    // "_pass_us" rather than "*_seconds": per-ratio micro-timings are
+    // calibration data, not a regression gate (bench_diff treats the
+    // name as informational; the gated token-id match metric covers the
+    // shipped ratio).
+    registry.GetGauge("bench.online.gallop_sweep_pass_us",
+                      {{"ratio", std::to_string(ratio)}})
+        ->Set(s * 1e6);
+  }
+  registry.GetGauge("bench.online.gallop_best_ratio")
+      ->Set(static_cast<double>(best_ratio));
+  registry.GetGauge("bench.online.gallop_configured_ratio")
+      ->Set(static_cast<double>(configured_ratio));
   registry.GetGauge("bench.online.collect_seconds", {{"path", "live"}})
       ->Set(collect_live_s);
   registry.GetGauge("bench.online.collect_seconds", {{"path", "precomputed"}})

@@ -57,10 +57,20 @@ run_one() {
     echo "RUN   $bench $* --json=$fresh (attempt $attempt/$ATTEMPTS)"
     if ! "$BENCH_DIR/$bench" "$@" "--json=$fresh" > "$OUT_DIR/$bench.log" 2>&1
     then
-      echo "FAIL  $bench exited non-zero; log tail:" >&2
-      tail -20 "$OUT_DIR/$bench.log" >&2
-      failures=$((failures + 1))
-      return
+      # Self-enforcing benches (--overhead_budget_pct, speedup floors)
+      # abort the whole run when a measurement lands outside budget — on a
+      # contended box that is the same transient skew the best-of retry
+      # exists for, so burn an attempt instead of failing outright.
+      if [ "$attempt" -ge "$ATTEMPTS" ]; then
+        echo "FAIL  $bench exited non-zero; log tail:" >&2
+        tail -20 "$OUT_DIR/$bench.log" >&2
+        failures=$((failures + 1))
+        return
+      fi
+      echo "RETRY $bench exited non-zero (contention?), rerunning; log tail:"
+      tail -3 "$OUT_DIR/$bench.log"
+      attempt=$((attempt + 1))
+      continue
     fi
     runs+=("$fresh")
     if "$BENCH_DIR/bench_diff" "$baseline" "${runs[@]}" \
@@ -91,6 +101,7 @@ run_one BENCH_sql.json      micro_sql
 run_one BENCH_online.json   micro_engine
 run_one BENCH_coldstart.json cold_start --snapshot="$OUT_DIR/coldstart.esnap"
 run_one BENCH_obs.json      micro_obs 5000 2000000 --overhead_budget_pct=2
+run_one BENCH_ingest.json   ingest_bench
 
 if [ "$failures" -ne 0 ]; then
   echo "check_bench: $failures baseline(s) regressed or failed" >&2

@@ -12,10 +12,13 @@ PartitionedCorpus PartitionCorpus(const microblog::TweetCorpus& corpus,
   }
   // Users first: AddUser requires dense in-order ids, and replicating the
   // whole profile table keeps global UserIds valid on every shard.
-  for (const microblog::UserProfile& user : corpus.users()) {
+  for (size_t u = 0; u < corpus.num_users(); ++u) {
+    const microblog::UserProfile& user =
+        corpus.user(static_cast<microblog::UserId>(u));
     for (auto& shard : out.shards) shard->AddUser(user);
   }
-  for (const microblog::Tweet& tweet : corpus.tweets()) {
+  for (size_t t = 0; t < corpus.num_tweets(); ++t) {
+    const microblog::Tweet& tweet = corpus.tweet(static_cast<uint32_t>(t));
     microblog::TweetCorpus& shard =
         *out.shards[partitioner.ShardOfId(tweet.id)];
     shard.AddTweet(tweet.author, tweet.text, tweet.mentions,

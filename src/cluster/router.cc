@@ -419,8 +419,12 @@ Result<ClusterResponse> ClusterRouter::Execute(
   // why this reproduces the unsharded ranking bit for bit).
   Timer merge_timer;
   ESHARP_SPAN(rank_span, tracer, "merge_rank", &request_span);
-  Result<std::vector<expert::RankedExpert>> ranked =
-      MergeAndRank(*detector_, pools);
+  // Keep the loaded override alive across the whole rank step: a concurrent
+  // SetUnionDetector must not reclaim the detector mid-merge.
+  std::shared_ptr<const expert::ExpertDetector> override_detector =
+      detector_override_.load(std::memory_order_acquire);
+  Result<std::vector<expert::RankedExpert>> ranked = MergeAndRank(
+      override_detector != nullptr ? *override_detector : *detector_, pools);
   rank_span.End();
   if (!ranked.ok()) {
     metrics_.RecordError();

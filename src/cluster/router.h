@@ -187,6 +187,19 @@ class ClusterRouter {
     return in_flight_.load(std::memory_order_relaxed);
   }
 
+  /// Atomically rebinds the union detector used by the merge + rank step.
+  /// The streaming ingest path calls this after publishing a new corpus
+  /// generation (the union detector must rank over the union corpus, which
+  /// grows with every batch). Queries already past the rank step keep the
+  /// detector they loaded — the shared_ptr pins it — so a rebind never
+  /// invalidates an in-flight merge. Pass the corresponding shard publishes
+  /// first, then rebind, then InvalidateCache(): cached answers ranked by
+  /// the old detector are invalidated by the shard version change.
+  void SetUnionDetector(
+      std::shared_ptr<const expert::ExpertDetector> detector) {
+    detector_override_.store(std::move(detector), std::memory_order_release);
+  }
+
  private:
   /// Shared state of one query's gather. Heap-owned and co-owned by every
   /// scatter/hedge task, so attempts finishing after the router gave up
@@ -208,6 +221,10 @@ class ClusterRouter {
 
   std::vector<std::unique_ptr<ShardTransport>> shards_;
   const expert::ExpertDetector* detector_;
+  /// When set, wins over detector_ (SetUnionDetector); loaded once per
+  /// ranked merge.
+  std::atomic<std::shared_ptr<const expert::ExpertDetector>>
+      detector_override_{nullptr};
   RouterOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;  // owned_pool_.get() or options_.pool

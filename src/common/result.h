@@ -54,6 +54,9 @@ class Result {
 
   const T& operator*() const& { return ValueOrDie(); }
   T& operator*() & { return ValueOrDie(); }
+  /// Dereferencing a temporary Result moves the value out, so move-only
+  /// payloads (e.g. the COW TweetCorpus) work with `T v = *MakeT(...);`.
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
   const T* operator->() const { return &ValueOrDie(); }
   T* operator->() { return &ValueOrDie(); }
 

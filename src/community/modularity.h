@@ -32,6 +32,15 @@ class ModularityContext {
   /// Captures the graph-level constants. The graph must be finalized.
   explicit ModularityContext(const graph::Graph& g);
 
+  /// Explicit-m_G form, for running detection on a subgraph while keeping
+  /// the FULL graph's modularity arithmetic. Merge gains are globally
+  /// coupled through m_G, but within one run merges never cross connected
+  /// components — so clustering each component separately under the full
+  /// graph's m_G reproduces the full run exactly (community/component_cd.h,
+  /// the streaming re-cluster path).
+  explicit ModularityContext(double total_weight)
+      : total_weight_(total_weight) {}
+
   /// Total edge weight m_G.
   double total_weight() const { return total_weight_; }
 

@@ -109,7 +109,9 @@ Result<DetectionResult> DetectCommunitiesParallel(
     return result;
   }
 
-  ModularityContext ctx(g);
+  ModularityContext ctx = options.total_weight_override > 0
+                              ? ModularityContext(options.total_weight_override)
+                              : ModularityContext(g);
   result.communities_per_iteration.push_back(partition.NumCommunities());
   result.modularity_per_iteration.push_back(partition.TotalModularity(ctx));
 

@@ -46,6 +46,11 @@ struct ParallelCdOptions {
   /// (annotated with community count and modularity) under `trace_parent`.
   obs::Tracer* tracer = nullptr;
   const obs::Span* trace_parent = nullptr;
+  /// When > 0, use this as the graph total weight m_G in every gain
+  /// computation instead of g.TotalWeight(). Set by the per-component
+  /// decomposition (component_cd.h) so a component run is bit-identical to
+  /// its slice of a full-graph run.
+  double total_weight_override = 0;
 };
 
 /// \brief The paper's parallel modularity-maximization heuristic, native

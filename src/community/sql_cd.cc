@@ -77,7 +77,9 @@ Result<DetectionResult> DetectCommunitiesSql(const graph::Graph& g,
   exec_options.use_columnar = options.use_columnar;
   sqlns::Executor executor(exec_options);
 
-  const double total_weight = g.TotalWeight();
+  const double total_weight = options.total_weight_override > 0
+                                  ? options.total_weight_override
+                                  : g.TotalWeight();
 
   // ModulGain(d1, d2, w) = w - d1*d2 / (2 m_G): Eq. 8/9 as a scalar UDF,
   // exactly the role ModulGain plays in Fig. 4.

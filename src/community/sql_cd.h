@@ -31,6 +31,11 @@ struct SqlCdOptions {
   /// filter, argmax) is profiled into this EXPLAIN ANALYZE tree with exact
   /// per-operator row counts.
   sql::ExplainStats* explain = nullptr;
+  /// When > 0, use this as the graph total weight m_G in the ModulGain UDF
+  /// and the modularity trace instead of g.TotalWeight(). Set by the
+  /// per-component decomposition (component_cd.h) so a component run is
+  /// bit-identical to its slice of a full-graph run.
+  double total_weight_override = 0;
 };
 
 /// \brief The paper's SQL-based modularity maximization (Fig. 4), executed

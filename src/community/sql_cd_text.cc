@@ -105,7 +105,9 @@ Result<DetectionResult> DetectCommunitiesSqlText(const graph::Graph& g,
     catalog.Register("communities", comm_builder.Build());
   }
 
-  const double total_weight = g.TotalWeight();
+  const double total_weight = options.total_weight_override > 0
+                                  ? options.total_weight_override
+                                  : g.TotalWeight();
   sqlns::FunctionRegistry registry;
   registry.RegisterScalar(
       "modulgain",

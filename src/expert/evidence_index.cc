@@ -1,5 +1,6 @@
 #include "expert/evidence_index.h"
 
+#include <atomic>
 #include <utility>
 
 namespace esharp::expert {
@@ -7,6 +8,15 @@ namespace esharp::expert {
 TermEvidenceIndex TermEvidenceIndex::Build(
     const microblog::TweetCorpus& corpus,
     const std::vector<std::string>& vocabulary, const BuildOptions& options) {
+  static const std::unordered_set<std::string> kNoDirtyTerms;
+  return Extend(nullptr, corpus, vocabulary, kNoDirtyTerms, options);
+}
+
+TermEvidenceIndex TermEvidenceIndex::Extend(
+    const TermEvidenceIndex* previous, const microblog::TweetCorpus& corpus,
+    const std::vector<std::string>& vocabulary,
+    const std::unordered_set<std::string>& dirty_terms,
+    const BuildOptions& options, ExtendStats* stats) {
   TermEvidenceIndex index;
   index.term_to_pool_.reserve(vocabulary.size());
   std::vector<const std::string*> distinct;
@@ -18,17 +28,39 @@ TermEvidenceIndex TermEvidenceIndex::Build(
   }
   index.pools_.resize(distinct.size());
 
+  // Share clean pools with the previous generation up front (cheap, serial)
+  // so the parallel collection below runs only over the dirty remainder.
+  std::vector<size_t> to_collect;
+  size_t reused = 0;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    if (previous != nullptr && dirty_terms.count(*distinct[i]) == 0) {
+      if (std::shared_ptr<const Pool> pool =
+              previous->FindShared(*distinct[i])) {
+        index.pools_[i] = std::move(pool);
+        ++reused;
+        continue;
+      }
+    }
+    to_collect.push_back(i);
+  }
+
   // Detector options never affect collection (they only weight ranking),
   // so a default-options detector builds pools valid for any online
   // configuration over the same corpus.
   ExpertDetector detector(&corpus);
-  auto build_one = [&](size_t i) {
-    index.pools_[i] = detector.CollectCandidates(*distinct[i]);
+  auto build_one = [&](size_t j) {
+    size_t i = to_collect[j];
+    index.pools_[i] =
+        std::make_shared<const Pool>(detector.CollectCandidates(*distinct[i]));
   };
-  if (options.pool != nullptr && distinct.size() > 1) {
-    options.pool->ParallelFor(distinct.size(), build_one);
+  if (options.pool != nullptr && to_collect.size() > 1) {
+    options.pool->ParallelFor(to_collect.size(), build_one);
   } else {
-    for (size_t i = 0; i < distinct.size(); ++i) build_one(i);
+    for (size_t j = 0; j < to_collect.size(); ++j) build_one(j);
+  }
+  if (stats != nullptr) {
+    stats->reused = reused;
+    stats->rebuilt = to_collect.size();
   }
   return index;
 }
@@ -37,7 +69,10 @@ TermEvidenceIndex TermEvidenceIndex::FromSnapshotParts(
     std::vector<std::string> terms,
     std::vector<std::vector<CandidateEvidence>> pools) {
   TermEvidenceIndex index;
-  index.pools_ = std::move(pools);
+  index.pools_.reserve(pools.size());
+  for (std::vector<CandidateEvidence>& pool : pools) {
+    index.pools_.push_back(std::make_shared<const Pool>(std::move(pool)));
+  }
   index.term_to_pool_.reserve(terms.size());
   for (size_t i = 0; i < terms.size(); ++i) {
     index.term_to_pool_.emplace(std::move(terms[i]), i);
@@ -53,8 +88,8 @@ std::vector<std::string> TermEvidenceIndex::TermStrings() const {
 
 size_t TermEvidenceIndex::num_entries() const {
   size_t total = 0;
-  for (const std::vector<CandidateEvidence>& pool : pools_) {
-    total += pool.size();
+  for (const std::shared_ptr<const Pool>& pool : pools_) {
+    total += pool->size();
   }
   return total;
 }
@@ -64,8 +99,8 @@ uint64_t TermEvidenceIndex::SizeBytes() const {
   for (const auto& [term, i] : term_to_pool_) {
     total += term.size() + sizeof(size_t) + 16;
   }
-  for (const std::vector<CandidateEvidence>& pool : pools_) {
-    total += pool.size() * sizeof(CandidateEvidence) + sizeof(pool);
+  for (const std::shared_ptr<const Pool>& pool : pools_) {
+    total += pool->size() * sizeof(CandidateEvidence) + sizeof(*pool);
   }
   return total;
 }

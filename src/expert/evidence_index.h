@@ -1,8 +1,10 @@
 #ifndef ESHARP_EXPERT_EVIDENCE_INDEX_H_
 #define ESHARP_EXPERT_EVIDENCE_INDEX_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -30,15 +32,32 @@ namespace esharp::expert {
 /// so the two paths are bit-identical by construction; the `online`-labeled
 /// test suite enforces this across randomized corpora.
 ///
-/// Immutable after Build; safe for concurrent readers. Hot-swapped with the
-/// snapshot that owns it.
+/// Pools are held by shared_ptr so the streaming ingest path (src/ingest)
+/// can publish delta generations: Extend() shares every pool whose term was
+/// untouched by the batch with the previous generation's index and
+/// re-collects only the dirty ones. A pool is a pure function of (corpus,
+/// term) and a new tweet only changes the pools of terms it matches, so
+/// the shared pools are bitwise the ones a from-scratch Build over the
+/// extended corpus would produce — the ingest equivalence gate enforces
+/// exactly that.
+///
+/// Immutable after Build/Extend; safe for concurrent readers. Hot-swapped
+/// with the snapshot that owns it.
 class TermEvidenceIndex {
  public:
+  using Pool = std::vector<CandidateEvidence>;
+
   struct BuildOptions {
     /// Parallelizes the per-term collection across the pool when set (the
     /// offline pipeline's worker pool); terms are independent, so the
     /// result is identical either way.
     ThreadPool* pool = nullptr;
+  };
+
+  /// Pool-reuse accounting of one Extend call, for the ingest gauges.
+  struct ExtendStats {
+    size_t reused = 0;
+    size_t rebuilt = 0;
   };
 
   TermEvidenceIndex() = default;
@@ -52,6 +71,20 @@ class TermEvidenceIndex {
                                  const std::vector<std::string>& vocabulary) {
     return Build(corpus, vocabulary, BuildOptions());
   }
+
+  /// Delta build for the streaming path: indexes `vocabulary` over the
+  /// (extended) `corpus`, sharing the previous generation's pool for every
+  /// term that is present in `previous` and not in `dirty_terms`, and
+  /// re-collecting the rest. `previous` may be null (degenerates to
+  /// Build). With `dirty_terms` = the terms matched by the batch's new
+  /// tweets, the result is bit-identical to Build(corpus, vocabulary) —
+  /// a pool only depends on the tweets that match its term.
+  static TermEvidenceIndex Extend(const TermEvidenceIndex* previous,
+                                  const microblog::TweetCorpus& corpus,
+                                  const std::vector<std::string>& vocabulary,
+                                  const std::unordered_set<std::string>& dirty_terms,
+                                  const BuildOptions& options,
+                                  ExtendStats* stats = nullptr);
 
   /// Reassembles an index from pre-built parts, as decoded from a binary
   /// snapshot: `terms[i]` owns `pools[i]`. Skips CollectCandidates entirely
@@ -68,18 +101,27 @@ class TermEvidenceIndex {
 
   /// Pool by dense index (aligned with TermStrings).
   const std::vector<CandidateEvidence>& pool(size_t i) const {
-    return pools_[i];
+    return *pools_[i];
   }
   size_t num_pools() const { return pools_.size(); }
 
   /// The precomputed pool of a normalized (lower-cased) term, or nullptr
   /// when the term is outside this snapshot's vocabulary. The pointer
-  /// aliases index storage: valid while the index (in serving, the
-  /// snapshot holding it) is alive.
+  /// aliases pool storage shared across generations: valid while any index
+  /// (in serving, the snapshot holding it) that references the pool is
+  /// alive.
   const std::vector<CandidateEvidence>* Find(
       const std::string& normalized_term) const {
     auto it = term_to_pool_.find(normalized_term);
-    return it == term_to_pool_.end() ? nullptr : &pools_[it->second];
+    return it == term_to_pool_.end() ? nullptr : pools_[it->second].get();
+  }
+
+  /// The shared pool handle of a term, for structural-sharing reuse (and
+  /// the tests that assert clean pools ARE the previous generation's).
+  std::shared_ptr<const Pool> FindShared(
+      const std::string& normalized_term) const {
+    auto it = term_to_pool_.find(normalized_term);
+    return it == term_to_pool_.end() ? nullptr : pools_[it->second];
   }
 
   size_t num_terms() const { return term_to_pool_.size(); }
@@ -92,7 +134,7 @@ class TermEvidenceIndex {
 
  private:
   std::unordered_map<std::string, size_t> term_to_pool_;
-  std::vector<std::vector<CandidateEvidence>> pools_;
+  std::vector<std::shared_ptr<const Pool>> pools_;
 };
 
 }  // namespace esharp::expert

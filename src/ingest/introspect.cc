@@ -1,0 +1,28 @@
+#include "ingest/introspect.h"
+
+namespace esharp::ingest {
+
+std::vector<obs::SloObjective> DefaultIngestObjectives(
+    const IngestPipeline* pipeline, IngestSloThresholds thresholds) {
+  std::vector<obs::SloObjective> objectives;
+
+  obs::SloObjective lag;
+  lag.name = "ingest_lag";
+  lag.kind = obs::SloObjective::Kind::kValue;
+  lag.value = [pipeline] { return pipeline->lag_ms(); };
+  lag.target = thresholds.lag_ms;
+  objectives.push_back(std::move(lag));
+
+  obs::SloObjective backlog;
+  backlog.name = "ingest_backlog";
+  backlog.kind = obs::SloObjective::Kind::kValue;
+  backlog.value = [pipeline] {
+    return static_cast<double>(pipeline->backlog());
+  };
+  backlog.target = thresholds.backlog;
+  objectives.push_back(std::move(backlog));
+
+  return objectives;
+}
+
+}  // namespace esharp::ingest

@@ -1,0 +1,38 @@
+#ifndef ESHARP_INGEST_INTROSPECT_H_
+#define ESHARP_INGEST_INTROSPECT_H_
+
+/// \file Glue between the streaming ingestion pipeline and the obs SLO
+/// machinery, mirroring serving/introspect.h: src/obs stays
+/// ingest-agnostic; this header fills its seams with pipeline signals.
+
+#include <vector>
+
+#include "ingest/ingest.h"
+#include "obs/slo.h"
+
+namespace esharp::ingest {
+
+/// \brief Thresholds behind DefaultIngestObjectives. The lag default is
+/// the tentpole's freshness promise: appends become servable within one
+/// second (sub-second publish cadence), so sustained lag above it burns
+/// budget.
+struct IngestSloThresholds {
+  double lag_ms = 1000;     ///< kValue target for "ingest_lag".
+  double backlog = 100000;  ///< kValue target for "ingest_backlog".
+};
+
+/// \brief The standard objectives for one ingest pipeline, ready to hand
+/// to SloWatchdog::AddObjective:
+///   ingest_lag      kValue — age of the oldest unpublished append (ms)
+///   ingest_backlog  kValue — appends not yet folded into a generation
+/// Both sample the pipeline's atomic counters live, so they are safe from
+/// the watchdog thread while the writer appends. Wiring a breach to an
+/// incident bundle is one AddAlertCallback(recorder->SloAlertHook()) —
+/// examples/ingest_demo does exactly that. The pipeline must outlive the
+/// watchdog the objectives are added to.
+std::vector<obs::SloObjective> DefaultIngestObjectives(
+    const IngestPipeline* pipeline, IngestSloThresholds thresholds = {});
+
+}  // namespace esharp::ingest
+
+#endif  // ESHARP_INGEST_INTROSPECT_H_

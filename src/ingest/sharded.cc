@@ -1,0 +1,170 @@
+#include "ingest/sharded.h"
+
+#include <utility>
+
+#include "cluster/partition.h"
+#include "common/strings.h"
+#include "esharp/esharp.h"
+#include "ingest/verify.h"
+
+namespace esharp::ingest {
+
+ShardedIngest::ShardedIngest(uint32_t num_shards, IngestOptions options)
+    : partitioner_(num_shards),
+      union_manager_(),
+      union_(&union_manager_, options) {
+  shard_tails_.resize(num_shards);
+  shard_corpora_.resize(num_shards);
+  shard_evidence_.resize(num_shards);
+  shard_dirty_.resize(num_shards);
+  std::vector<std::unique_ptr<cluster::ShardTransport>> transports;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shard_managers_.push_back(std::make_unique<serving::SnapshotManager>());
+    serving::ServingOptions serving_options;
+    serving_options.pool = options.pool;
+    shard_engines_.push_back(std::make_unique<serving::ServingEngine>(
+        shard_managers_.back().get(), serving_options));
+    transports.push_back(std::make_unique<cluster::InProcessShard>(
+        StrFormat("shard-%u", s), shard_engines_.back().get()));
+  }
+  bootstrap_detector_ = std::make_unique<expert::ExpertDetector>(
+      &bootstrap_corpus_, options.serving.detector);
+  cluster::RouterOptions router_options;
+  router_options.pool = options.pool;
+  router_ = std::make_unique<cluster::ClusterRouter>(
+      std::move(transports), bootstrap_detector_.get(), router_options);
+}
+
+microblog::UserId ShardedIngest::AppendUser(
+    const microblog::UserProfile& user) {
+  // Users replicate (PartitionCorpus invariant): shard evidence speaks
+  // global UserIds, so every shard needs every profile under its original
+  // dense id.
+  microblog::UserId id = union_.AppendUser(user);
+  for (microblog::TweetCorpus& tail : shard_tails_) {
+    tail.AddUser(user);
+  }
+  return id;
+}
+
+uint32_t ShardedIngest::AppendTweet(
+    microblog::UserId author, const std::string& text,
+    const std::vector<microblog::UserId>& mentions, uint32_t retweet_count) {
+  // Dirty terms attribute to the ONE shard the tweet routes to: the
+  // tweet changes only that shard's pools. Computed against the union
+  // pipeline's registry (same vocabulary every shard serves).
+  std::vector<std::string> dirty = union_.DirtyTermsFor(text);
+  uint32_t id = union_.AppendTweet(author, text, mentions, retweet_count);
+  uint32_t shard = partitioner_.ShardOfId(id);
+  shard_tails_[shard].AddTweet(author, text, mentions, retweet_count);
+  shard_dirty_[shard].insert(std::make_move_iterator(dirty.begin()),
+                             std::make_move_iterator(dirty.end()));
+  return id;
+}
+
+void ShardedIngest::AppendSearches(const std::string& query, uint64_t count) {
+  union_.AppendSearches(query, count);
+}
+
+void ShardedIngest::AppendClicks(const std::string& query, uint32_t url,
+                                 uint64_t clicks) {
+  union_.AppendClicks(query, url, clicks);
+}
+
+Result<PublishStats> ShardedIngest::Publish() {
+  // 1. Union generation: graph, clustering, store, union evidence. The
+  // vocabulary every shard indexes against comes out of this publish.
+  ESHARP_ASSIGN_OR_RETURN(PublishStats stats, union_.Publish());
+  const std::vector<std::string>& vocabulary = union_.published_vocabulary();
+  std::shared_ptr<const community::CommunityStore> store =
+      union_.published_store();
+
+  // 2. Shard generations: frozen tail + replicated union store +
+  // shard-local delta evidence. Publishing shards before the router
+  // rebind is the SetUnionDetector ordering contract.
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    auto generation = std::make_shared<const microblog::TweetCorpus>(
+        std::move(shard_tails_[s]));
+    shard_tails_[s] = generation->ExtendedCopy();
+    expert::TermEvidenceIndex::BuildOptions evidence_options;
+    evidence_options.pool = union_.options().pool;
+    auto evidence = std::make_shared<const expert::TermEvidenceIndex>(
+        expert::TermEvidenceIndex::Extend(shard_evidence_[s].get(),
+                                          *generation, vocabulary,
+                                          shard_dirty_[s], evidence_options));
+    shard_managers_[s]->Publish(store, generation,
+                                union_.options().serving, evidence);
+    shard_corpora_[s] = std::move(generation);
+    shard_evidence_[s] = std::move(evidence);
+    shard_dirty_[s].clear();
+  }
+
+  // 3. Rebind the merge-and-rank detector to the new union generation.
+  // The deleter pins the corpus generation to the detector's lifetime, so
+  // an in-flight merge that loaded the old detector keeps its old corpus
+  // alive too.
+  std::shared_ptr<const microblog::TweetCorpus> corpus_generation =
+      union_.published_corpus();
+  std::shared_ptr<const expert::ExpertDetector> detector(
+      new expert::ExpertDetector(corpus_generation.get(),
+                                 union_.options().serving.detector),
+      [corpus_generation](const expert::ExpertDetector* d) { delete d; });
+  router_->SetUnionDetector(std::move(detector));
+  router_->InvalidateCache();
+  return stats;
+}
+
+Status VerifySharded(ShardedIngest& sharded,
+                     const std::vector<std::string>& probe_queries) {
+  // Union world first: delta graph/store/evidence/corpus == from-scratch.
+  ESHARP_RETURN_NOT_OK(
+      VerifyAgainstRebuild(sharded.union_pipeline(), probe_queries));
+  ESHARP_ASSIGN_OR_RETURN(RebuildArtifacts rebuilt,
+                          RebuildFromScratch(sharded.union_pipeline()));
+
+  // Shard corpora == PartitionCorpus slices of the rebuilt union corpus;
+  // shard evidence == from-scratch Build over each slice.
+  cluster::PartitionedCorpus reference =
+      cluster::PartitionCorpus(*rebuilt.corpus, sharded.num_shards());
+  for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    std::shared_ptr<const microblog::TweetCorpus> got =
+        sharded.shard_corpus(s);
+    if (got == nullptr) {
+      return Status::Internal(StrFormat("shard %u never published", s));
+    }
+    Status corpus_ok = CompareCorpora(*got, *reference.shards[s]);
+    if (!corpus_ok.ok()) {
+      return Status::Internal(StrFormat("shard %u corpus: %s", s,
+                                        corpus_ok.message().c_str()));
+    }
+    expert::TermEvidenceIndex want = expert::TermEvidenceIndex::Build(
+        *reference.shards[s], rebuilt.vocabulary);
+    Status evidence_ok = CompareEvidence(*sharded.shard_evidence(s), want);
+    if (!evidence_ok.ok()) {
+      return Status::Internal(StrFormat("shard %u evidence: %s", s,
+                                        evidence_ok.message().c_str()));
+    }
+  }
+
+  // Routed answers == reference union e#, end to end through scatter,
+  // merge and the union rank step.
+  core::ESharp union_reference(rebuilt.store.get(), rebuilt.corpus.get(),
+                               sharded.union_pipeline().options().serving);
+  for (const std::string& query : probe_queries) {
+    serving::QueryRequest request;
+    request.query = query;
+    ESHARP_ASSIGN_OR_RETURN(cluster::ClusterResponse response,
+                            sharded.Query(std::move(request)));
+    if (response.degraded) {
+      return Status::Internal(StrFormat(
+          "query '%s' answered degraded (%zu/%zu shards) during verify",
+          query.c_str(), response.shards_answered, response.shards_total));
+    }
+    ESHARP_ASSIGN_OR_RETURN(std::vector<expert::RankedExpert> want,
+                            union_reference.FindExperts(query));
+    ESHARP_RETURN_NOT_OK(CompareRanked(response.experts, want, query));
+  }
+  return Status::OK();
+}
+
+}  // namespace esharp::ingest

@@ -1,0 +1,118 @@
+#ifndef ESHARP_INGEST_SHARDED_H_
+#define ESHARP_INGEST_SHARDED_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/router.h"
+#include "cluster/shard.h"
+#include "common/partitioner.h"
+#include "common/result.h"
+#include "expert/detector.h"
+#include "ingest/ingest.h"
+#include "microblog/corpus.h"
+#include "serving/engine.h"
+#include "serving/snapshot.h"
+
+namespace esharp::ingest {
+
+/// \brief Streaming ingestion for the sharded serving tier: one union
+/// IngestPipeline (graph, clustering, union generation) plus per-shard
+/// corpus tails and delta evidence, all published in lockstep so the
+/// cluster router's answers stay bit-identical to a from-scratch
+/// partition-and-rebuild after every batch.
+///
+/// Placement matches cluster::PartitionCorpus exactly: users replicate to
+/// every shard as they arrive; a tweet routes to
+/// Partitioner::ShardOfId(union tweet id). Because union ids are assigned
+/// in append order, shard s's tail replays the same (user, tweet)
+/// subsequence PartitionCorpus would extract from the union corpus — same
+/// dense shard-local ids, token ids, postings and per-user totals.
+///
+/// Publish() publishes the union generation first (graph + store +
+/// clustering + union evidence), then every shard: the shard's frozen
+/// tail, the SHARED union store (replicated, as in the offline partition
+/// path), and shard-local delta evidence extended over the shard's own
+/// dirty terms (a tweet only dirties terms on the one shard it routed
+/// to). Last it rebinds the router's union detector to the new union
+/// generation and invalidates the result cache, per the ordering contract
+/// on ClusterRouter::SetUnionDetector.
+///
+/// Threading matches IngestPipeline: one writer thread appends and
+/// publishes; Query() is safe from any thread concurrently.
+class ShardedIngest {
+ public:
+  ShardedIngest(uint32_t num_shards, IngestOptions options);
+
+  ShardedIngest(const ShardedIngest&) = delete;
+  ShardedIngest& operator=(const ShardedIngest&) = delete;
+
+  microblog::UserId AppendUser(const microblog::UserProfile& user);
+  /// Returns the union (global) tweet id.
+  uint32_t AppendTweet(microblog::UserId author, const std::string& text,
+                       const std::vector<microblog::UserId>& mentions = {},
+                       uint32_t retweet_count = 0);
+  void AppendSearches(const std::string& query, uint64_t count);
+  void AppendClicks(const std::string& query, uint32_t url, uint64_t clicks);
+
+  /// Union publish + every shard publish + router rebind, one batch.
+  Result<PublishStats> Publish();
+
+  /// Serves one query through the scatter-gather router.
+  Result<cluster::ClusterResponse> Query(serving::QueryRequest request) {
+    return router_->Query(std::move(request));
+  }
+
+  uint32_t num_shards() const { return partitioner_.num_shards(); }
+  const IngestPipeline& union_pipeline() const { return union_; }
+  IngestPipeline* mutable_union_pipeline() { return &union_; }
+  cluster::ClusterRouter* router() { return router_.get(); }
+  serving::SnapshotManager* shard_manager(size_t s) {
+    return shard_managers_[s].get();
+  }
+  std::shared_ptr<const microblog::TweetCorpus> shard_corpus(size_t s) const {
+    return shard_corpora_[s];
+  }
+  std::shared_ptr<const expert::TermEvidenceIndex> shard_evidence(
+      size_t s) const {
+    return shard_evidence_[s];
+  }
+
+ private:
+  Partitioner partitioner_;
+  serving::SnapshotManager union_manager_;
+  IngestPipeline union_;
+
+  // Per-shard serving stacks. Declaration order is destruction-safety
+  // order: router_ last, so it drains before the engines it scatters to
+  // die, and the bootstrap detector outlives the router that may still
+  // point at it.
+  std::vector<microblog::TweetCorpus> shard_tails_;
+  std::vector<std::shared_ptr<const microblog::TweetCorpus>> shard_corpora_;
+  std::vector<std::shared_ptr<const expert::TermEvidenceIndex>>
+      shard_evidence_;
+  std::vector<std::unordered_set<std::string>> shard_dirty_;
+  std::vector<std::unique_ptr<serving::SnapshotManager>> shard_managers_;
+  std::vector<std::unique_ptr<serving::ServingEngine>> shard_engines_;
+  /// Pre-first-publish union detector target: an empty corpus. Safe
+  /// because queries fail FailedPrecondition at the shard engines before
+  /// any merge can rank; replaced by SetUnionDetector at first Publish().
+  microblog::TweetCorpus bootstrap_corpus_;
+  std::unique_ptr<expert::ExpertDetector> bootstrap_detector_;
+  std::unique_ptr<cluster::ClusterRouter> router_;
+};
+
+/// \brief The sharded equivalence gate, on top of VerifyAgainstRebuild's
+/// union gate: every shard corpus must equal its slice of
+/// cluster::PartitionCorpus over the rebuilt union corpus, every shard
+/// evidence index must equal a from-scratch Build over that slice, and the
+/// router's ranked answers for `probe_queries` must be bit-identical to a
+/// reference union e#. Requires a drained, published ShardedIngest.
+Status VerifySharded(ShardedIngest& sharded,
+                     const std::vector<std::string>& probe_queries);
+
+}  // namespace esharp::ingest
+
+#endif  // ESHARP_INGEST_SHARDED_H_

@@ -1,0 +1,77 @@
+#ifndef ESHARP_INGEST_VERIFY_H_
+#define ESHARP_INGEST_VERIFY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "community/store.h"
+#include "expert/evidence_index.h"
+#include "graph/graph.h"
+#include "ingest/ingest.h"
+#include "microblog/corpus.h"
+
+namespace esharp::ingest {
+
+/// \brief The from-scratch world: what the offline pipeline produces over
+/// the pipeline's accumulated inputs, built with zero reuse.
+struct RebuildArtifacts {
+  std::shared_ptr<const microblog::TweetCorpus> corpus;
+  std::shared_ptr<const graph::Graph> graph;
+  std::shared_ptr<const community::CommunityStore> store;
+  std::shared_ptr<const expert::TermEvidenceIndex> evidence;
+  std::vector<std::string> vocabulary;
+};
+
+/// \brief Rebuilds every published artifact from scratch: replays the
+/// published corpus append-by-append into a fresh TweetCorpus, re-extracts
+/// the similarity graph from the accumulated log with BuildSimilarityGraph,
+/// re-clusters the full graph cold (no warm start — the ingest path never
+/// warm-starts either), rebuilds the store and a full TermEvidenceIndex.
+///
+/// Requires the pipeline drained (backlog() == 0): the rebuild must target
+/// exactly the published generation, and copying the accumulated log on
+/// every publish to allow mid-batch verification would cost the very work
+/// the delta path avoids. FailedPrecondition otherwise.
+Result<RebuildArtifacts> RebuildFromScratch(const IngestPipeline& pipeline);
+
+/// \brief The equivalence gate: proves the delta-maintained world is
+/// bit-identical to RebuildFromScratch. Compares
+///
+///  * corpus observables: user/tweet/token counts, the token dictionary in
+///    id order, every postings list, per-user TS/MI/RI totals, and every
+///    tweet's text/author/mentions/retweets;
+///  * the similarity graph: vertex labels, the edge array (u, v, weight —
+///    weight bitwise), and TotalWeight() bitwise;
+///  * the community store: community count, per-community term lists in
+///    order, and the inter-community weights;
+///  * the evidence index: TermStrings() and every pool field-by-field;
+///  * ranked answers: FindExperts over `probe_queries` on a reference
+///    ESharp vs the manager's live snapshot — user ids, scores and every
+///    feature z-score bitwise.
+///
+/// Returns OK when every surface matches; Internal with the first
+/// divergence otherwise. Benches run this BEFORE timing and abort on
+/// mismatch, so no speedup number can come from a wrong answer.
+Status VerifyAgainstRebuild(const IngestPipeline& pipeline,
+                            const std::vector<std::string>& probe_queries);
+
+// ---- Comparison surfaces (shared by the gate, the sharded verifier and
+// the fuzz tests; every mismatch is Internal naming the first divergence,
+// doubles compare bitwise) --------------------------------------------------
+
+Status CompareCorpora(const microblog::TweetCorpus& got,
+                      const microblog::TweetCorpus& want);
+Status CompareGraphs(const graph::Graph& got, const graph::Graph& want);
+Status CompareStores(const community::CommunityStore& got,
+                     const community::CommunityStore& want);
+Status CompareEvidence(const expert::TermEvidenceIndex& got,
+                       const expert::TermEvidenceIndex& want);
+Status CompareRanked(const std::vector<expert::RankedExpert>& got,
+                     const std::vector<expert::RankedExpert>& want,
+                     const std::string& query);
+
+}  // namespace esharp::ingest
+
+#endif  // ESHARP_INGEST_VERIFY_H_

@@ -9,16 +9,27 @@
 namespace esharp::microblog {
 
 void TweetCorpus::AddUser(UserProfile user) {
+  assert(!frozen_ && "corpus generation already forked; append to the fork");
   assert(user.id == users_.size() && "user ids must be dense and in order");
-  users_.push_back(std::move(user));
+  users_.push_back(std::move(user), epoch_);
   tweets_by_user_.push_back(0);
   mentions_of_user_.push_back(0);
   retweets_of_user_.push_back(0);
 }
 
+std::vector<uint32_t>& TweetCorpus::MutablePostings(TokenId id) {
+  PostingsEntry& entry = postings_[id];
+  if (entry.owner != epoch_) {
+    entry.list = std::make_shared<std::vector<uint32_t>>(*entry.list);
+    entry.owner = epoch_;
+  }
+  return *entry.list;
+}
+
 uint32_t TweetCorpus::AddTweet(UserId author, std::string text,
                                std::vector<UserId> mentions,
                                uint32_t retweet_count) {
+  assert(!frozen_ && "corpus generation already forked; append to the fork");
   assert(author < users_.size());
   uint32_t id = static_cast<uint32_t>(tweets_.size());
   Tweet t;
@@ -34,11 +45,23 @@ uint32_t TweetCorpus::AddTweet(UserId author, std::string text,
   // one tweet are caught by the back() check (a token repeats within a
   // tweet only back-to-back in the postings sense — same tweet id).
   for (std::string& tok : SplitWhitespace(t.text)) {
-    auto [it, inserted] =
-        token_ids_.try_emplace(std::move(tok),
-                               static_cast<TokenId>(postings_.size()));
-    if (inserted) postings_.emplace_back();
-    std::vector<uint32_t>& plist = postings_[it->second];
+    TokenId tid = kNoToken;
+    auto overlay_it = overlay_tokens_.find(tok);
+    if (overlay_it != overlay_tokens_.end()) {
+      tid = overlay_it->second;
+    } else if (base_tokens_) {
+      auto base_it = base_tokens_->find(tok);
+      if (base_it != base_tokens_->end()) tid = base_it->second;
+    }
+    if (tid == kNoToken) {
+      tid = static_cast<TokenId>(postings_.size());
+      overlay_tokens_.emplace(std::move(tok), tid);
+      PostingsEntry entry;
+      entry.list = std::make_shared<std::vector<uint32_t>>();
+      entry.owner = epoch_;
+      postings_.push_back(std::move(entry));
+    }
+    std::vector<uint32_t>& plist = MutablePostings(tid);
     if (plist.empty() || plist.back() != id) plist.push_back(id);
   }
 
@@ -49,15 +72,47 @@ uint32_t TweetCorpus::AddTweet(UserId author, std::string text,
   }
   retweets_of_user_[author] += retweet_count;
 
-  tweets_.push_back(std::move(t));
+  tweets_.push_back(std::move(t), epoch_);
   return id;
+}
+
+TweetCorpus TweetCorpus::ExtendedCopy() const {
+  frozen_ = true;
+  TweetCorpus out;
+  out.epoch_ = epoch_ + 1;
+  out.users_ = users_;
+  out.tweets_ = tweets_;
+  out.postings_ = postings_;
+  out.tweets_by_user_ = tweets_by_user_;
+  out.mentions_of_user_ = mentions_of_user_;
+  out.retweets_of_user_ = retweets_of_user_;
+  const size_t base_size = base_tokens_ ? base_tokens_->size() : 0;
+  if (overlay_tokens_.size() > std::max<size_t>(1024, base_size / 8)) {
+    // Compact: fold the overlay into a fresh shared base. Linear in the
+    // dictionary but amortized — the next compaction needs the overlay to
+    // grow by an eighth of the (now larger) base again.
+    auto merged = base_tokens_ ? std::make_shared<TokenMap>(*base_tokens_)
+                               : std::make_shared<TokenMap>();
+    merged->insert(overlay_tokens_.begin(), overlay_tokens_.end());
+    out.base_tokens_ = std::move(merged);
+  } else {
+    out.base_tokens_ = base_tokens_;
+    out.overlay_tokens_ = overlay_tokens_;
+  }
+  return out;
 }
 
 TokenId TweetCorpus::FindToken(std::string_view normalized_token) const {
   // Heterogeneous lookup needs C++20 transparent hashing; a transient
   // string keeps the dictionary simple and this is off the per-tweet path.
-  auto it = token_ids_.find(std::string(normalized_token));
-  return it == token_ids_.end() ? kNoToken : it->second;
+  const std::string key(normalized_token);
+  auto it = overlay_tokens_.find(key);
+  if (it != overlay_tokens_.end()) return it->second;
+  if (base_tokens_) {
+    auto bit = base_tokens_->find(key);
+    if (bit != base_tokens_->end()) return bit->second;
+  }
+  return kNoToken;
 }
 
 std::vector<TokenId> TweetCorpus::TokenizeQuery(std::string_view query) const {
@@ -69,10 +124,7 @@ std::vector<TokenId> TweetCorpus::TokenizeNormalized(
   std::vector<std::string> tokens = SplitWhitespace(normalized);
   std::vector<TokenId> ids;
   ids.reserve(tokens.size());
-  for (const std::string& tok : tokens) {
-    auto it = token_ids_.find(tok);
-    ids.push_back(it == token_ids_.end() ? kNoToken : it->second);
-  }
+  for (const std::string& tok : tokens) ids.push_back(FindToken(tok));
   return ids;
 }
 
@@ -110,10 +162,14 @@ void GallopIntersect(const std::vector<uint32_t>& current,
 
 /// Galloping only pays when `next` dwarfs `current`: each kept candidate
 /// costs a branchy doubling probe plus a binary search, which a linear
-/// (SIMD) merge beats until the skipped gaps are ~an order of magnitude
-/// wider than the merge's extra comparisons. 8x is the crossover measured
-/// by bench/micro_engine's match suite.
-constexpr size_t kGallopDfRatio = 8;
+/// (SIMD) merge beats until the skipped gaps are well over an order of
+/// magnitude wider than the merge's extra comparisons. The default sits
+/// mid-plateau of bench/micro_engine's cutover sweep (latency is flat for
+/// ratios 16-128 and ~10% worse at 8 — the vectorized merge amortizes
+/// branchless compares far better than the old scalar estimate assumed;
+/// DESIGN.md "Postings intersection cutover"); SetGallopDfRatio exists so
+/// the sweep can re-measure on new hardware.
+size_t g_gallop_df_ratio = 32;
 
 /// Warms the cache lines of a postings array ahead of the intersection
 /// sweep so the first pass doesn't stall on demand misses (matters most
@@ -127,6 +183,11 @@ void PreTouch(const std::vector<uint32_t>& list) {
 
 }  // namespace
 
+size_t GetGallopDfRatio() { return g_gallop_df_ratio; }
+void SetGallopDfRatio(size_t ratio) {
+  g_gallop_df_ratio = std::max<size_t>(1, ratio);
+}
+
 std::vector<uint32_t> TweetCorpus::MatchTweets(
     const std::vector<TokenId>& tokens) const {
   if (tokens.empty()) return {};
@@ -134,7 +195,7 @@ std::vector<uint32_t> TweetCorpus::MatchTweets(
   lists.reserve(tokens.size());
   for (TokenId id : tokens) {
     if (id == kNoToken) return {};
-    lists.push_back(&postings_[id]);
+    lists.push_back(postings_[id].list.get());
   }
   // Rarest first: the running result can only shrink, so starting from the
   // smallest df bounds every later intersection by it.
@@ -147,7 +208,7 @@ std::vector<uint32_t> TweetCorpus::MatchTweets(
   for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
     const std::vector<uint32_t>& next = *lists[i];
     if (lists[i] == lists[i - 1]) continue;  // duplicate query token
-    if (next.size() / result.size() > kGallopDfRatio) {
+    if (next.size() / result.size() > g_gallop_df_ratio) {
       GallopIntersect(result, next, &scratch);
     } else {
       scratch.resize(result.size());
@@ -184,36 +245,54 @@ TweetCorpus TweetCorpus::FromSnapshotParts(
   assert(tokens.size() == postings.size());
   assert(users.size() == tweets_by_user.size());
   TweetCorpus c;
-  c.users_ = std::move(users);
-  c.tweets_ = std::move(tweets);
-  c.postings_ = std::move(postings);
+  for (UserProfile& u : users) c.users_.push_back(std::move(u), c.epoch_);
+  for (Tweet& t : tweets) c.tweets_.push_back(std::move(t), c.epoch_);
+  c.postings_.reserve(postings.size());
+  for (std::vector<uint32_t>& plist : postings) {
+    PostingsEntry entry;
+    entry.list = std::make_shared<std::vector<uint32_t>>(std::move(plist));
+    entry.owner = c.epoch_;
+    c.postings_.push_back(std::move(entry));
+  }
   c.tweets_by_user_ = std::move(tweets_by_user);
   c.mentions_of_user_ = std::move(mentions_of_user);
   c.retweets_of_user_ = std::move(retweets_of_user);
-  c.token_ids_.reserve(tokens.size());
+  auto base = std::make_shared<TokenMap>();
+  base->reserve(tokens.size());
   for (size_t id = 0; id < tokens.size(); ++id) {
-    c.token_ids_.emplace(std::move(tokens[id]), static_cast<TokenId>(id));
+    base->emplace(std::move(tokens[id]), static_cast<TokenId>(id));
   }
+  c.base_tokens_ = std::move(base);
   return c;
 }
 
 std::vector<std::string> TweetCorpus::TokenStrings() const {
   std::vector<std::string> tokens(postings_.size());
-  for (const auto& [token, id] : token_ids_) tokens[id] = token;
+  if (base_tokens_) {
+    for (const auto& [token, id] : *base_tokens_) tokens[id] = token;
+  }
+  for (const auto& [token, id] : overlay_tokens_) tokens[id] = token;
   return tokens;
 }
 
 uint64_t TweetCorpus::SizeBytes() const {
   uint64_t total = 0;
-  for (const Tweet& t : tweets_) {
+  for (size_t i = 0; i < tweets_.size(); ++i) {
+    const Tweet& t = tweets_.at(i);
     total += t.text.size() + t.mentions.size() * 4 + 16;
   }
-  for (const UserProfile& u : users_) {
+  for (size_t i = 0; i < users_.size(); ++i) {
+    const UserProfile& u = users_.at(i);
     total += u.screen_name.size() + u.description.size() + 24;
   }
-  for (const auto& [token, id] : token_ids_) {
-    total += token.size() + sizeof(TokenId) + postings_[id].size() * 4 + 16;
-  }
+  auto count_tokens = [&](const TokenMap& map) {
+    for (const auto& [token, id] : map) {
+      total += token.size() + sizeof(TokenId) +
+               postings_[id].list->size() * 4 + 16;
+    }
+  };
+  if (base_tokens_) count_tokens(*base_tokens_);
+  count_tokens(overlay_tokens_);
   return total;
 }
 

@@ -1,7 +1,9 @@
 #ifndef ESHARP_MICROBLOG_CORPUS_H_
 #define ESHARP_MICROBLOG_CORPUS_H_
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -69,8 +71,44 @@ struct Tweet {
 /// construction). The online stage resolves its expansion terms to TokenIds
 /// once per request and intersects postings by id — no per-term re-hashing
 /// or re-lowercasing on the hot path.
+///
+/// ## Generations and structural sharing
+///
+/// The streaming ingest path (src/ingest) publishes a fresh corpus
+/// generation per delta batch. ExtendedCopy() forks a corpus in O(touched)
+/// instead of O(corpus): tweet/user storage is chunked and full chunks are
+/// shared between generations by shared_ptr; postings arrays are shared
+/// per-token and cloned copy-on-write the first time a generation appends
+/// to them; the token dictionary is a shared immutable base map plus a
+/// small per-generation overlay that is compacted into a new base once it
+/// outgrows an amortization bound. The parent becomes frozen: once forked
+/// it must never be mutated again (readers of the published generation walk
+/// the shared chunks/postings lock-free; AddUser/AddTweet assert).
+///
+/// A corpus built by replaying the same AddUser/AddTweet sequence — in one
+/// generation or across any number of ExtendedCopy forks — is
+/// observationally identical: same dense ids, same token ids (first-seen
+/// order), same postings. That replay-equivalence is what the ingest
+/// equivalence gate leans on.
 class TweetCorpus {
  public:
+  TweetCorpus() = default;
+
+  /// Generations share storage; an accidental copy would create two
+  /// corpora believing they own the same mutable tail chunks. Fork
+  /// explicitly with ExtendedCopy() instead.
+  TweetCorpus(const TweetCorpus&) = delete;
+  TweetCorpus& operator=(const TweetCorpus&) = delete;
+  TweetCorpus(TweetCorpus&&) = default;
+  TweetCorpus& operator=(TweetCorpus&&) = default;
+
+  /// Forks the next generation: shares all full chunks, postings arrays
+  /// and the dictionary base with *this and marks *this frozen. Appends to
+  /// the fork clone only what they touch. O(#tokens) pointer copies plus
+  /// the per-user totals (plain arrays — every tweet may bump any user's
+  /// mention total, so they don't chunk-share profitably).
+  TweetCorpus ExtendedCopy() const;
+
   /// Reassembles a corpus from pre-built parts, as decoded from a binary
   /// snapshot (serving/snapshot_file.h): users and tweets in id order,
   /// `tokens` holding the dictionary strings in TokenId order, postings
@@ -99,10 +137,8 @@ class TweetCorpus {
 
   size_t num_users() const { return users_.size(); }
   size_t num_tweets() const { return tweets_.size(); }
-  const UserProfile& user(UserId id) const { return users_[id]; }
-  const std::vector<UserProfile>& users() const { return users_; }
-  const Tweet& tweet(uint32_t id) const { return tweets_[id]; }
-  const std::vector<Tweet>& tweets() const { return tweets_; }
+  const UserProfile& user(UserId id) const { return users_.at(id); }
+  const Tweet& tweet(uint32_t id) const { return tweets_.at(id); }
 
   /// Distinct tokens in the dictionary.
   size_t num_tokens() const { return postings_.size(); }
@@ -121,13 +157,15 @@ class TweetCorpus {
   std::vector<TokenId> TokenizeNormalized(std::string_view normalized) const;
 
   /// Postings (ascending tweet ids) of a token. `id` must be a valid id
-  /// returned by FindToken/TokenizeQuery, not kNoToken.
+  /// returned by FindToken/TokenizeQuery, not kNoToken. The reference is
+  /// into storage shared across generations: stable for the lifetime of
+  /// every generation that shares it.
   const std::vector<uint32_t>& Postings(TokenId id) const {
-    return postings_[id];
+    return *postings_[id].list;
   }
 
   /// Document frequency of a token (postings length).
-  size_t TokenDf(TokenId id) const { return postings_[id].size(); }
+  size_t TokenDf(TokenId id) const { return postings_[id].list->size(); }
 
   /// Ids of tweets containing every token of `tokens` (whole-word match
   /// after lower-casing — the §3 predicate). Empty tokens match nothing.
@@ -136,9 +174,10 @@ class TweetCorpus {
   /// Pre-tokenized fast path: same contract over interned ids. Any
   /// kNoToken entry (or an empty list) matches nothing. Intersection runs
   /// rarest-first (df order); each step picks galloping search when the
-  /// next list dwarfs the running result (df ratio > 8) and a SIMD linear
-  /// merge otherwise — galloping a near-equal-length list costs more in
-  /// branchy binary searches than one vectorized sweep.
+  /// next list dwarfs the running result (df ratio above the calibrated
+  /// cutover) and a SIMD linear merge otherwise — galloping a
+  /// near-equal-length list costs more in branchy binary searches than one
+  /// vectorized sweep.
   std::vector<uint32_t> MatchTweets(const std::vector<TokenId>& tokens) const;
 
   /// Total tweets authored by a user.
@@ -152,16 +191,95 @@ class TweetCorpus {
   uint64_t SizeBytes() const;
 
  private:
-  std::vector<UserProfile> users_;
-  std::vector<Tweet> tweets_;
-  /// Token dictionary: normalized token -> dense TokenId.
-  std::unordered_map<std::string, TokenId> token_ids_;
+  /// Chunked copy-on-write storage: generations share full chunks by
+  /// shared_ptr; the partial tail chunk is cloned the first time a
+  /// generation appends (owner epoch mismatch). 4096 entries per chunk
+  /// keeps the fork cost of a 10M-tweet corpus at ~2500 pointer copies.
+  template <typename T>
+  class CowChunks {
+   public:
+    static constexpr size_t kShift = 12;
+    static constexpr size_t kChunkSize = size_t{1} << kShift;
+    static constexpr size_t kMask = kChunkSize - 1;
+
+    size_t size() const { return size_; }
+    const T& at(size_t i) const {
+      assert(i < size_);
+      return (*chunks_[i >> kShift].data)[i & kMask];
+    }
+
+    void push_back(T value, uint64_t epoch) {
+      if ((size_ & kMask) == 0) {
+        Chunk chunk;
+        chunk.data = std::make_shared<std::vector<T>>();
+        chunk.data->reserve(kChunkSize);
+        chunk.owner = epoch;
+        chunks_.push_back(std::move(chunk));
+      } else if (chunks_.back().owner != epoch) {
+        // First append of this generation into a tail chunk inherited from
+        // the parent: clone it so the parent's readers never see growth.
+        Chunk& tail = chunks_.back();
+        auto clone = std::make_shared<std::vector<T>>(*tail.data);
+        clone->reserve(kChunkSize);
+        tail.data = std::move(clone);
+        tail.owner = epoch;
+      }
+      chunks_.back().data->push_back(std::move(value));
+      ++size_;
+    }
+
+   private:
+    struct Chunk {
+      std::shared_ptr<std::vector<T>> data;
+      /// Epoch of the generation allowed to append to this chunk in place.
+      uint64_t owner = 0;
+    };
+    std::vector<Chunk> chunks_;
+    size_t size_ = 0;
+  };
+
+  /// One token's postings, shared across generations until a generation
+  /// appends to it (then cloned, stamped with that generation's epoch).
+  struct PostingsEntry {
+    std::shared_ptr<std::vector<uint32_t>> list;
+    uint64_t owner = 0;
+  };
+
+  using TokenMap = std::unordered_map<std::string, TokenId>;
+
+  /// Grows `list` for an in-place append by this generation, cloning first
+  /// when the entry is shared with an ancestor generation.
+  std::vector<uint32_t>& MutablePostings(TokenId id);
+
+  CowChunks<UserProfile> users_;
+  CowChunks<Tweet> tweets_;
+  /// Token dictionary, two levels: an immutable base shared across
+  /// generations (null for a fresh corpus) plus this generation's overlay
+  /// of newly seen tokens. ExtendedCopy compacts the overlay into a new
+  /// shared base once it exceeds max(1024, base/8) entries, so lookups
+  /// stay ~two probes and compaction cost is amortized across publishes.
+  std::shared_ptr<const TokenMap> base_tokens_;
+  TokenMap overlay_tokens_;
   /// Postings by TokenId; ascending tweet ids by construction.
-  std::vector<std::vector<uint32_t>> postings_;
+  std::vector<PostingsEntry> postings_;
   std::vector<uint64_t> tweets_by_user_;
   std::vector<uint64_t> mentions_of_user_;
   std::vector<uint64_t> retweets_of_user_;
+  /// Generation stamp used by the COW ownership checks above.
+  uint64_t epoch_ = 0;
+  /// Set once ExtendedCopy has forked a child off this corpus: the child
+  /// shares our storage, so further mutation here would corrupt it (and
+  /// race with readers of the published generation).
+  mutable bool frozen_ = false;
 };
+
+/// \brief The galloping-vs-linear-merge df-ratio cutover used by
+/// TweetCorpus::MatchTweets. Exposed for the bench/micro_engine calibration
+/// sweep only: not thread-safe against in-flight matches, so set it before
+/// traffic. The default is the crossover measured by the sweep (DESIGN.md
+/// "Postings intersection cutover").
+size_t GetGallopDfRatio();
+void SetGallopDfRatio(size_t ratio);
 
 }  // namespace esharp::microblog
 

@@ -9,13 +9,24 @@ uint64_t SnapshotManager::Publish(
     std::shared_ptr<const community::CommunityStore> store,
     core::ESharpOptions options,
     std::shared_ptr<const expert::TermEvidenceIndex> evidence) {
+  return Publish(std::move(store), nullptr, options, std::move(evidence));
+}
+
+uint64_t SnapshotManager::Publish(
+    std::shared_ptr<const community::CommunityStore> store,
+    std::shared_ptr<const microblog::TweetCorpus> corpus,
+    core::ESharpOptions options,
+    std::shared_ptr<const expert::TermEvidenceIndex> evidence) {
   // Publishes serialize so the pointer and the counter advance together:
   // two unserialized publishers could otherwise install snapshots out of
   // version order, leaving current_ a generation behind version_ — readers
   // would then judge every cache entry stale until the next publish.
   // Acquire() never takes this lock.
   std::lock_guard<std::mutex> lock(publish_mu_);
-  if (evidence == nullptr && build_evidence_on_publish_) {
+  const microblog::TweetCorpus* generation_corpus =
+      corpus != nullptr ? corpus.get() : corpus_;
+  if (evidence == nullptr && build_evidence_on_publish_ &&
+      generation_corpus != nullptr) {
     // The expansion vocabulary of this generation is the store's term set;
     // precompute every term's candidate pool so the engine's detect stage
     // is a lookup for in-vocabulary terms. Runs on the publisher's thread
@@ -27,11 +38,17 @@ uint64_t SnapshotManager::Publish(
       }
     }
     evidence = std::make_shared<const expert::TermEvidenceIndex>(
-        expert::TermEvidenceIndex::Build(*corpus_, vocabulary));
+        expert::TermEvidenceIndex::Build(*generation_corpus, vocabulary));
   }
   uint64_t version = next_version_++;
-  auto snapshot = std::make_shared<const ServingSnapshot>(
-      version, std::move(store), corpus_, options, std::move(evidence));
+  auto snapshot =
+      corpus != nullptr
+          ? std::make_shared<const ServingSnapshot>(version, std::move(store),
+                                                    std::move(corpus), options,
+                                                    std::move(evidence))
+          : std::make_shared<const ServingSnapshot>(version, std::move(store),
+                                                    corpus_, options,
+                                                    std::move(evidence));
   current_.store(std::move(snapshot), std::memory_order_release);
   // version_ trails the pointer: once a reader observes version N it can
   // Acquire() a snapshot at least that new (possibly newer, never older).
@@ -57,7 +74,7 @@ Status SnapshotManager::SaveSnapshot(const std::string& path) const {
     return Status::FailedPrecondition(
         "SaveSnapshot before the first Publish: no generation to save");
   }
-  return SaveSnapshotFile(path, *corpus_, snapshot->store(),
+  return SaveSnapshotFile(path, *snapshot->corpus(), snapshot->store(),
                           snapshot->evidence());
 }
 
@@ -70,8 +87,11 @@ Result<SnapshotManager::ColdStartArtifacts> SnapshotManager::LoadSnapshot(
   artifacts.manager = std::make_unique<SnapshotManager>(decoded.corpus.get());
   // A file without evidence cold-starts with live collection; rebuilding
   // the index here would cost exactly the offline work this path skips.
+  // The generation owns the decoded corpus, so it survives even if the
+  // caller drops ColdStartArtifacts::corpus.
   artifacts.manager->set_build_evidence_on_publish(false);
-  artifacts.manager->Publish(decoded.store, options, decoded.evidence);
+  artifacts.manager->Publish(decoded.store, decoded.corpus, options,
+                             decoded.evidence);
   artifacts.manager->set_build_evidence_on_publish(true);
   obs::EventLog::Global().Add(
       obs::LogLevel::kINFO, "serving", "cold start from snapshot file",

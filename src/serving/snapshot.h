@@ -29,7 +29,9 @@ namespace esharp::serving {
 class ServingSnapshot {
  public:
   /// `evidence` may be null (the engine then collects every term live);
-  /// SnapshotManager::Publish builds one by default.
+  /// SnapshotManager::Publish builds one by default. The corpus is borrowed
+  /// and must outlive the snapshot (the weekly-refresh setup, where one
+  /// corpus spans every generation).
   ServingSnapshot(
       uint64_t version,
       std::shared_ptr<const community::CommunityStore> store,
@@ -38,7 +40,28 @@ class ServingSnapshot {
       : version_(version),
         store_(std::move(store)),
         evidence_(std::move(evidence)),
+        owned_corpus_(nullptr),
+        corpus_(corpus),
         esharp_(store_.get(), corpus, options),
+        published_at_seconds_(obs::NowSeconds()) {}
+
+  /// Owning-corpus form, for the streaming ingest path where every
+  /// generation extends the corpus: the snapshot holds its own corpus
+  /// generation alive (structurally shared with its neighbors through the
+  /// corpus's copy-on-write chunks), so in-flight readers of generation N
+  /// are unaffected by N+1 appearing.
+  ServingSnapshot(
+      uint64_t version,
+      std::shared_ptr<const community::CommunityStore> store,
+      std::shared_ptr<const microblog::TweetCorpus> corpus,
+      core::ESharpOptions options,
+      std::shared_ptr<const expert::TermEvidenceIndex> evidence = nullptr)
+      : version_(version),
+        store_(std::move(store)),
+        evidence_(std::move(evidence)),
+        owned_corpus_(std::move(corpus)),
+        corpus_(owned_corpus_.get()),
+        esharp_(store_.get(), owned_corpus_.get(), options),
         published_at_seconds_(obs::NowSeconds()) {}
 
   ServingSnapshot(const ServingSnapshot&) = delete;
@@ -61,6 +84,10 @@ class ServingSnapshot {
   /// engine's per-request pinning discipline.
   const expert::TermEvidenceIndex* evidence() const { return evidence_.get(); }
 
+  /// The corpus this generation was built against (owned by the snapshot on
+  /// the streaming path, borrowed from the manager otherwise).
+  const microblog::TweetCorpus* corpus() const { return corpus_; }
+
   /// When this generation was installed (obs::NowSeconds() time base).
   /// Readiness probes derive snapshot staleness from it: a weekly-refresh
   /// service whose snapshot stops turning over is quietly broken even
@@ -71,6 +98,8 @@ class ServingSnapshot {
   const uint64_t version_;
   const std::shared_ptr<const community::CommunityStore> store_;
   const std::shared_ptr<const expert::TermEvidenceIndex> evidence_;
+  const std::shared_ptr<const microblog::TweetCorpus> owned_corpus_;
+  const microblog::TweetCorpus* const corpus_;
   const core::ESharp esharp_;
   const double published_at_seconds_;
 };
@@ -86,8 +115,10 @@ class ServingSnapshot {
 class SnapshotManager {
  public:
   /// The corpus is shared across generations (only the community store is
-  /// refreshed weekly) and must outlive the manager.
-  explicit SnapshotManager(const microblog::TweetCorpus* corpus)
+  /// refreshed weekly) and must outlive the manager. May be nullptr when
+  /// every Publish supplies its own per-generation corpus (the streaming
+  /// ingest path).
+  explicit SnapshotManager(const microblog::TweetCorpus* corpus = nullptr)
       : corpus_(corpus) {}
 
   /// Atomically installs a new generation built from `store` and returns
@@ -109,6 +140,18 @@ class SnapshotManager {
   /// hand-off from RunOfflinePipeline artifacts).
   uint64_t Publish(
       community::CommunityStore store, core::ESharpOptions options = {},
+      std::shared_ptr<const expert::TermEvidenceIndex> evidence = nullptr);
+
+  /// Per-generation-corpus overload, for the streaming ingest path: the
+  /// published snapshot owns `corpus` (no default — supply it explicitly),
+  /// so each generation pins exactly the corpus it was built against while
+  /// consecutive generations structurally share storage through the
+  /// corpus's copy-on-write chunks. The manager's construction-time corpus
+  /// (if any) is ignored for this generation.
+  uint64_t Publish(
+      std::shared_ptr<const community::CommunityStore> store,
+      std::shared_ptr<const microblog::TweetCorpus> corpus,
+      core::ESharpOptions options = {},
       std::shared_ptr<const expert::TermEvidenceIndex> evidence = nullptr);
 
   /// Disables (or re-enables) building a missing evidence index at publish

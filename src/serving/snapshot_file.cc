@@ -89,8 +89,7 @@ std::string EncodeMeta(const microblog::TweetCorpus& corpus,
 }
 
 std::string EncodeUsers(const microblog::TweetCorpus& corpus) {
-  const std::vector<microblog::UserProfile>& users = corpus.users();
-  const size_t n = users.size();
+  const size_t n = corpus.num_users();
   std::string s;
   AppendU64(&s, n);
   std::vector<std::string> screen_names(n), descriptions(n);
@@ -98,12 +97,14 @@ std::string EncodeUsers(const microblog::TweetCorpus& corpus) {
   std::vector<uint64_t> followers(n);
   std::vector<uint32_t> domain(n);
   for (size_t i = 0; i < n; ++i) {
-    screen_names[i] = users[i].screen_name;
-    descriptions[i] = users[i].description;
-    verified[i] = users[i].verified ? 1 : 0;
-    kind[i] = static_cast<uint8_t>(users[i].kind);
-    followers[i] = users[i].followers;
-    domain[i] = users[i].domain;
+    const microblog::UserProfile& user =
+        corpus.user(static_cast<microblog::UserId>(i));
+    screen_names[i] = user.screen_name;
+    descriptions[i] = user.description;
+    verified[i] = user.verified ? 1 : 0;
+    kind[i] = static_cast<uint8_t>(user.kind);
+    followers[i] = user.followers;
+    domain[i] = user.domain;
   }
   AppendStringColumn(&s, screen_names);
   AppendStringColumn(&s, descriptions);
@@ -115,8 +116,7 @@ std::string EncodeUsers(const microblog::TweetCorpus& corpus) {
 }
 
 std::string EncodeTweets(const microblog::TweetCorpus& corpus) {
-  const std::vector<microblog::Tweet>& tweets = corpus.tweets();
-  const size_t n = tweets.size();
+  const size_t n = corpus.num_tweets();
   std::string s;
   AppendU64(&s, n);
   std::vector<uint32_t> author(n), retweets(n);
@@ -126,11 +126,12 @@ std::string EncodeTweets(const microblog::TweetCorpus& corpus) {
   mention_offsets.reserve(n + 1);
   mention_offsets.push_back(0);
   for (size_t i = 0; i < n; ++i) {
-    author[i] = tweets[i].author;
-    retweets[i] = tweets[i].retweet_count;
-    text[i] = tweets[i].text;
-    mention_flat.insert(mention_flat.end(), tweets[i].mentions.begin(),
-                        tweets[i].mentions.end());
+    const microblog::Tweet& tweet = corpus.tweet(static_cast<uint32_t>(i));
+    author[i] = tweet.author;
+    retweets[i] = tweet.retweet_count;
+    text[i] = tweet.text;
+    mention_flat.insert(mention_flat.end(), tweet.mentions.begin(),
+                        tweet.mentions.end());
     mention_offsets.push_back(mention_flat.size());
   }
   AppendArray(&s, author);

@@ -137,14 +137,30 @@ TEST(DebugServerTest, ServesConcurrentClients) {
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([port, &ok] {
       for (int i = 0; i < kPerClient; ++i) {
-        auto r = HttpGet("127.0.0.1", port, "/work");
-        if (r.ok() && r->status == 200) ok.fetch_add(1);
+        // A connect can bounce with a fast reset when the accept thread
+        // is starved under machine load (same failure mode the shed test
+        // below tolerates), so retry until the deadline — the assertion
+        // is that every client gets served, not that the scheduler never
+        // hiccups.
+        auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (true) {
+          auto r = HttpGet("127.0.0.1", port, "/work");
+          if (r.ok() && r->status == 200) {
+            ok.fetch_add(1);
+            break;
+          }
+          if (std::chrono::steady_clock::now() >= deadline) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
       }
     });
   }
   for (auto& c : clients) c.join();
   EXPECT_EQ(ok.load(), kClients * kPerClient);
-  EXPECT_EQ(handled.load(), kClients * kPerClient);
+  // >= rather than ==: a retried request may have been handled once
+  // already when only its response delivery failed.
+  EXPECT_GE(handled.load(), kClients * kPerClient);
 }
 
 TEST(DebugServerTest, ShedsInlineWhenOverloaded) {
@@ -167,10 +183,19 @@ TEST(DebugServerTest, ShedsInlineWhenOverloaded) {
   std::thread pinned([port] { (void)HttpGet("127.0.0.1", port, "/slow"); });
   // ...then hammer until a 503 arrives: the accept loop sheds inline once
   // the in-flight bound is hit, instead of queueing scrapes without limit.
+  // Time-bounded rather than attempt-bounded: on a loaded machine the
+  // accept thread can be starved long enough that early connects bounce
+  // off the listen backlog (fast connection resets, not 503s), so a fixed
+  // attempt count can burn out before the server ever gets to shed.
   bool saw_503 = false;
-  for (int i = 0; i < 200 && !saw_503; ++i) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!saw_503 && std::chrono::steady_clock::now() < deadline) {
     auto r = HttpGet("127.0.0.1", port, "/slow", /*timeout_seconds=*/1.0);
-    if (r.ok() && r->status == 503) saw_503 = true;
+    if (r.ok() && r->status == 503) {
+      saw_503 = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
   }
   release.store(true, std::memory_order_release);
   pinned.join();

@@ -16,6 +16,26 @@ UserProfile MakeUser(UserId id, AccountKind kind) {
   return u;
 }
 
+// Materialized views over the chunked corpus storage, for the range-for
+// loops below (the corpus no longer exposes its internal vectors).
+std::vector<UserProfile> AllUsers(const TweetCorpus& c) {
+  std::vector<UserProfile> users;
+  users.reserve(c.num_users());
+  for (size_t i = 0; i < c.num_users(); ++i) {
+    users.push_back(c.user(static_cast<UserId>(i)));
+  }
+  return users;
+}
+
+std::vector<Tweet> AllTweets(const TweetCorpus& c) {
+  std::vector<Tweet> tweets;
+  tweets.reserve(c.num_tweets());
+  for (size_t i = 0; i < c.num_tweets(); ++i) {
+    tweets.push_back(c.tweet(static_cast<uint32_t>(i)));
+  }
+  return tweets;
+}
+
 // ---------------------------------------------------------------- Corpus --
 
 TEST(CorpusTest, TweetIndexesUpdate) {
@@ -94,7 +114,7 @@ class CorpusGeneratorTest : public ::testing::Test {
 
 TEST_F(CorpusGeneratorTest, PopulationHasAllKinds) {
   size_t experts = 0, casual = 0, spam = 0;
-  for (const UserProfile& u : corpus_->users()) {
+  for (const UserProfile& u : AllUsers(*corpus_)) {
     switch (u.kind) {
       case AccountKind::kExpert: ++experts; break;
       case AccountKind::kCasual: ++casual; break;
@@ -107,7 +127,7 @@ TEST_F(CorpusGeneratorTest, PopulationHasAllKinds) {
 }
 
 TEST_F(CorpusGeneratorTest, ExpertsHaveDomainsOthersDoNot) {
-  for (const UserProfile& u : corpus_->users()) {
+  for (const UserProfile& u : AllUsers(*corpus_)) {
     if (u.kind == AccountKind::kExpert) {
       EXPECT_NE(u.domain, querylog::kNoDomain);
       EXPECT_LT(u.domain, universe_->num_domains());
@@ -122,10 +142,10 @@ TEST_F(CorpusGeneratorTest, ExpertsAreTopical) {
   // their domain's terms (ignoring hashtag variants, this undercounts).
   size_t checked = 0;
   std::vector<std::vector<uint32_t>> tweets_by_user(corpus_->num_users());
-  for (const Tweet& t : corpus_->tweets()) {
+  for (const Tweet& t : AllTweets(*corpus_)) {
     tweets_by_user[t.author].push_back(t.id);
   }
-  for (const UserProfile& u : corpus_->users()) {
+  for (const UserProfile& u : AllUsers(*corpus_)) {
     if (u.kind != AccountKind::kExpert) continue;
     if (tweets_by_user[u.id].size() < 20) continue;
     const auto& dom = universe_->domain(u.domain);
@@ -149,7 +169,7 @@ TEST_F(CorpusGeneratorTest, ExpertsAreTopical) {
 
 TEST_F(CorpusGeneratorTest, MentionsFlowToExperts) {
   uint64_t expert_mentions = 0, other_mentions = 0;
-  for (const UserProfile& u : corpus_->users()) {
+  for (const UserProfile& u : AllUsers(*corpus_)) {
     if (u.kind == AccountKind::kExpert) {
       expert_mentions += corpus_->MentionsOfUser(u.id);
     } else {
@@ -160,7 +180,7 @@ TEST_F(CorpusGeneratorTest, MentionsFlowToExperts) {
 }
 
 TEST_F(CorpusGeneratorTest, TweetsRespectLengthLimit) {
-  for (const Tweet& t : corpus_->tweets()) {
+  for (const Tweet& t : AllTweets(*corpus_)) {
     EXPECT_LE(t.text.size(), 140u);
     EXPECT_FALSE(t.text.empty());
   }
@@ -169,7 +189,7 @@ TEST_F(CorpusGeneratorTest, TweetsRespectLengthLimit) {
 TEST_F(CorpusGeneratorTest, ScreenNamesAreUniqueEnough) {
   std::unordered_set<std::string> names;
   size_t collisions = 0;
-  for (const UserProfile& u : corpus_->users()) {
+  for (const UserProfile& u : AllUsers(*corpus_)) {
     if (!names.insert(u.screen_name).second) ++collisions;
   }
   // A handful of collisions is acceptable (real platforms disambiguate),

@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "cluster/coldstart.h"
+#include "common/rng.h"
+#include "ingest/ingest.h"
+#include "ingest/verify.h"
 #include "cluster/partition.h"
 #include "common/file_io.h"
 #include "esharp/pipeline.h"
@@ -363,6 +366,82 @@ TEST(ShardColdStartTest, SaveLoadRoundTripsEveryShard) {
   ASSERT_FALSE(corrupt.ok());
   EXPECT_NE(corrupt.status().message().find("shard 2 cold start failed"),
             std::string::npos);
+}
+
+// ---- Incrementally-built snapshots ----------------------------------------
+
+// A generation assembled by N delta publishes (COW corpus tail, shared
+// evidence pools, reused store) must save and cold-start exactly like one
+// built offline: the file format sees only the logical artifacts, never
+// the structural sharing behind them.
+TEST(IngestSnapshotRoundTripTest, DeltaBuiltGenerationColdStartsBitIdentically) {
+  serving::SnapshotManager manager;
+  ingest::IngestOptions options;
+  options.extraction.min_query_count = 2;
+  options.extraction.min_similarity = 0.05;
+  ingest::IngestPipeline pipeline(&manager, options);
+
+  const char* kTerms[] = {"solar", "panels", "hockey", "sushi"};
+  for (microblog::UserId u = 0; u < 6; ++u) {
+    microblog::UserProfile profile;
+    profile.id = u;
+    profile.screen_name = "u" + std::to_string(u);
+    pipeline.AppendUser(profile);
+  }
+  Rng rng(7);
+  for (size_t batch = 0; batch < 4; ++batch) {
+    for (size_t i = 0; i < 40; ++i) {
+      const char* a = kTerms[rng.Uniform(4)];
+      const char* b = kTerms[rng.Uniform(4)];
+      switch (rng.Uniform(4)) {
+        case 0:
+          pipeline.AppendSearches(std::string(a) + " " + b, 1);
+          break;
+        case 1:
+          pipeline.AppendClicks(std::string(a), rng.Uniform(6), 1 + rng.Uniform(3));
+          break;
+        default:
+          pipeline.AppendTweet(rng.Uniform(6),
+                               std::string("about ") + a + " " + b,
+                               {rng.Uniform(6)}, rng.Uniform(3));
+      }
+    }
+    ASSERT_TRUE(pipeline.Publish().ok());
+  }
+
+  const std::string path = TempPath("ingest_roundtrip.esnap");
+  ASSERT_TRUE(manager.SaveSnapshot(path).ok());
+  Result<serving::SnapshotManager::ColdStartArtifacts> cold =
+      serving::SnapshotManager::LoadSnapshot(path);
+  ASSERT_TRUE(cold.ok()) << cold.status().message();
+  std::shared_ptr<const serving::ServingSnapshot> snapshot =
+      cold->manager->Acquire();
+  ASSERT_NE(snapshot, nullptr);
+
+  // The decoded world equals the live delta world, surface by surface.
+  Status corpus_ok =
+      ingest::CompareCorpora(*cold->corpus, *pipeline.published_corpus());
+  EXPECT_TRUE(corpus_ok.ok()) << corpus_ok.message();
+  ASSERT_NE(snapshot->evidence(), nullptr);
+  Status evidence_ok = ingest::CompareEvidence(
+      *snapshot->evidence(), *pipeline.published_evidence());
+  EXPECT_TRUE(evidence_ok.ok()) << evidence_ok.message();
+  EXPECT_EQ(SortedTsvLines(snapshot->store().SerializeTsv()),
+            SortedTsvLines(pipeline.published_store()->SerializeTsv()));
+
+  // And it answers like the live one, end to end.
+  std::shared_ptr<const serving::ServingSnapshot> live = manager.Acquire();
+  ASSERT_NE(live, nullptr);
+  for (const char* term : kTerms) {
+    Result<std::vector<expert::RankedExpert>> got =
+        snapshot->esharp().FindExperts(term);
+    Result<std::vector<expert::RankedExpert>> want =
+        live->esharp().FindExperts(term);
+    ASSERT_EQ(got.ok(), want.ok()) << term;
+    if (!got.ok()) continue;
+    Status ranked_ok = ingest::CompareRanked(*got, *want, term);
+    EXPECT_TRUE(ranked_ok.ok()) << ranked_ok.message();
+  }
 }
 
 }  // namespace
